@@ -1,0 +1,43 @@
+//! Criterion benchmark behind Figures 3 and 4: one inner iteration of the
+//! threaded sweep under each concurrency scheme (loop order × threading),
+//! on a small fixed problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use unsnap_core::problem::Problem;
+use unsnap_core::solver::TransportSolver;
+use unsnap_sweep::ConcurrencyScheme;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_scheme");
+    group.sample_size(10);
+
+    let mut base = Problem::figure3_scaled();
+    base.nx = 4;
+    base.ny = 4;
+    base.nz = 4;
+    base.angles_per_octant = 2;
+    base.num_groups = 4;
+    base.inner_iterations = 1;
+    base.outer_iterations = 1;
+
+    for scheme in ConcurrencyScheme::figure_schemes() {
+        let problem = base.clone().with_scheme(scheme);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &problem,
+            |b, p| {
+                b.iter_batched(
+                    || TransportSolver::new(p).unwrap(),
+                    |mut solver| black_box(solver.run().unwrap().scalar_flux_total),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

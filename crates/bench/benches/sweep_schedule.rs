@@ -1,0 +1,41 @@
+//! Criterion benchmark of the sweep-schedule construction (§III-A.2): the
+//! per-angle tlevel/bucket computation on meshes of increasing size, and
+//! the KBA decomposition of the mesh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use unsnap_mesh::{Decomposition2D, StructuredGrid, UnstructuredMesh};
+use unsnap_sweep::SweepSchedule;
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build");
+    group.sample_size(20);
+    for n in [4usize, 8, 12] {
+        let mesh = UnstructuredMesh::from_structured(&StructuredGrid::cube(n, 1.0), 0.001);
+        let omega = [0.53, 0.61, 0.59];
+        group.bench_with_input(BenchmarkId::from_parameter(n * n * n), &mesh, |b, m| {
+            b.iter(|| black_box(SweepSchedule::build(m, omega).unwrap().num_buckets()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_and_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh");
+    group.sample_size(20);
+    for n in [8usize, 16] {
+        let grid = StructuredGrid::cube(n, 1.0);
+        group.bench_with_input(BenchmarkId::new("build_twisted", n * n * n), &grid, |b, g| {
+            b.iter(|| black_box(UnstructuredMesh::from_structured(g, 0.001).num_cells()))
+        });
+        let mesh = UnstructuredMesh::from_structured(&grid, 0.001);
+        group.bench_with_input(BenchmarkId::new("decompose_2x2", n * n * n), &mesh, |b, m| {
+            b.iter(|| black_box(Decomposition2D::new(2, 2).decompose(m).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_construction, bench_mesh_and_partition);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation (§IV-A.3 of the paper): threading over **angles within an
+//! octant**, which forces an atomic/critical scalar-flux reduction, does
+//! not scale — the runtime *increases* with the thread count.
+//!
+//! ```text
+//! cargo run --release -p unsnap-bench --bin ablation_angle_atomic [-- --threads 1,2,4] [--csv]
+//! ```
+//!
+//! The harness compares the angle-threaded scheme (contended reduction)
+//! against the paper's best scheme (collapsed element × group threading,
+//! contention-free) across the same thread counts.
+
+use unsnap_bench::{print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions};
+use unsnap_core::problem::{angle_threaded_scheme, Problem};
+use unsnap_sweep::ConcurrencyScheme;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let mut base = if opts.full {
+        Problem::figure3_full()
+    } else {
+        Problem::figure3_scaled()
+    };
+    // More angles per octant make the contention visible even on small
+    // problems.
+    if !opts.full {
+        base.angles_per_octant = 8;
+        base.num_groups = 8;
+    }
+    let threads = opts.thread_sweep();
+    let schemes = [angle_threaded_scheme(), ConcurrencyScheme::best()];
+
+    if !opts.csv {
+        print_header(
+            "Ablation — angle-threaded sweep with contended scalar-flux reduction",
+            &base,
+            opts.full,
+        );
+    }
+    let points = run_scaling_experiment(&base, &threads, &schemes);
+    if opts.csv {
+        print!("{}", scaling_csv(&points));
+    } else {
+        print!("{}", scaling_table(&points, &threads));
+        println!();
+        println!(
+            "Paper finding: threading over angles requires the scalar-flux update to be \
+             atomic (or inside a critical region); neither allowed thread scaling and the \
+             runtime increased with thread count, so angle threading is excluded from \
+             Figures 3 and 4.  The contended angle* row above should show flat or rising \
+             times while the element*/group* row falls."
+        );
+    }
+}

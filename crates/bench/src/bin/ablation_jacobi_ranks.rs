@@ -1,0 +1,95 @@
+//! Ablation (§III-A.1 of the paper): the block-Jacobi global schedule's
+//! convergence penalty as the number of ranks (Jacobi blocks) grows,
+//! contrasted with the KBA pipeline's idle time.
+//!
+//! ```text
+//! cargo run --release -p unsnap-bench --bin ablation_jacobi_ranks [-- --csv]
+//! ```
+
+use unsnap_bench::HarnessOptions;
+use unsnap_comm::{BlockJacobiSolver, KbaModel};
+use unsnap_core::problem::Problem;
+use unsnap_mesh::Decomposition2D;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+
+    let mut problem = Problem::tiny();
+    problem.nx = 8;
+    problem.ny = 8;
+    problem.nz = 4;
+    problem.num_groups = 2;
+    problem.angles_per_octant = 2;
+    problem.inner_iterations = 200;
+    problem.outer_iterations = 1;
+    problem.convergence_tolerance = 1e-7;
+
+    let decompositions = [
+        Decomposition2D::serial(),
+        Decomposition2D::new(2, 1),
+        Decomposition2D::new(2, 2),
+        Decomposition2D::new(4, 2),
+    ];
+
+    if opts.csv {
+        println!("ranks,iterations_to_tolerance,halo_faces,scalar_flux_total,kba_efficiency");
+    } else {
+        println!("Ablation — block-Jacobi convergence penalty vs number of ranks");
+        println!(
+            "mesh {}x{}x{}, {} angles/octant, {} groups, tolerance {:.0e}",
+            problem.nx,
+            problem.ny,
+            problem.nz,
+            problem.angles_per_octant,
+            problem.num_groups,
+            problem.convergence_tolerance
+        );
+        println!();
+        println!(
+            "{:>6} {:>12} {:>12} {:>16} {:>17}",
+            "ranks", "iterations", "halo faces", "scalar flux", "KBA efficiency"
+        );
+    }
+
+    for decomp in decompositions {
+        let mut solver = BlockJacobiSolver::new(&problem, decomp).expect("decomposition fits");
+        let outcome = solver.run().expect("solve");
+        let local_stages =
+            (problem.nx / decomp.npx + problem.ny / decomp.npy + problem.nz).saturating_sub(2);
+        let kba = KbaModel::evaluate(decomp.npx, decomp.npy, local_stages.max(1));
+        let iterations = outcome
+            .iterations_to_tolerance
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| format!(">{}", problem.inner_iterations));
+        if opts.csv {
+            println!(
+                "{},{},{},{:.6e},{:.4}",
+                outcome.num_ranks,
+                iterations,
+                outcome.halo_faces,
+                outcome.scalar_flux_total,
+                kba.efficiency
+            );
+        } else {
+            println!(
+                "{:>6} {:>12} {:>12} {:>16.6e} {:>16.1}%",
+                outcome.num_ranks,
+                iterations,
+                outcome.halo_faces,
+                outcome.scalar_flux_total,
+                kba.efficiency * 100.0
+            );
+        }
+    }
+
+    if !opts.csv {
+        println!();
+        println!(
+            "Paper/Garrett finding: block Jacobi needs more iterations as the number of \
+             blocks grows (every block lags its neighbours by one iteration), but every \
+             rank starts sweeping immediately.  The KBA column shows the single-octant \
+             pipeline efficiency the sweep-respecting schedule would achieve instead — \
+             high per-iteration efficiency is traded against iteration count."
+        );
+    }
+}

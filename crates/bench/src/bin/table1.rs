@@ -1,0 +1,26 @@
+//! Regenerate **Table I** of the paper: the size of the local DG matrix and
+//! its FP64 footprint for finite-element orders 1–5.
+//!
+//! ```text
+//! cargo run -p unsnap-bench --bin table1 [-- --csv]
+//! ```
+
+use unsnap_bench::HarnessOptions;
+use unsnap_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let rows = report::table1(5);
+    if opts.csv {
+        println!("order,matrix_size,fp64_footprint_kb");
+        for r in rows {
+            println!("{},{},{:.1}", r.order, r.matrix_size, r.footprint_kb);
+        }
+    } else {
+        println!("Table I — size of local matrix for different finite element orders");
+        println!();
+        print!("{}", report::table1_text(5));
+        println!();
+        println!("Paper values: 0.5, 5.7, 32.0, 122.1, 364.5 kB for orders 1-5.");
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerate **Table II** of the paper: assemble/solve time and the
+//! fraction of time spent in the linear solve for the hand-written Gaussian
+//! elimination versus the blocked-LU "MKL" stand-in, for element orders
+//! 1 to 4.
+//!
+//! ```text
+//! cargo run --release -p unsnap-bench --bin table2 [-- --max-order 4] [--full] [--csv]
+//! ```
+//!
+//! The paper runs this experiment flat-MPI (one rank per core); the
+//! default here is a single serial rank, which preserves the quantity of
+//! interest (per-core assemble/solve cost and its solve share).
+
+use unsnap_bench::{print_header, run_solver_comparison, solver_comparison_csv, solver_comparison_table, HarnessOptions};
+use unsnap_core::problem::Problem;
+use unsnap_linalg::SolverKind;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let max_order = opts.max_order.unwrap_or(if opts.full { 4 } else { 3 });
+    let header_problem = if opts.full {
+        Problem::table2_full(1, SolverKind::GaussianElimination)
+    } else {
+        Problem::table2_scaled(1, SolverKind::GaussianElimination)
+    };
+
+    if !opts.csv {
+        print_header(
+            "Table II — assemble/solve time for different finite element orders",
+            &header_problem,
+            opts.full,
+        );
+    }
+
+    let rows = run_solver_comparison(max_order, |order, kind| {
+        if opts.full {
+            Problem::table2_full(order, kind)
+        } else {
+            Problem::table2_scaled(order, kind)
+        }
+    });
+
+    if opts.csv {
+        print!("{}", solver_comparison_csv(&rows));
+    } else {
+        print!("{}", solver_comparison_table(&rows));
+        println!();
+        println!(
+            "Paper shape (on a 56-core Skylake node, full size): GE beats MKL for orders \
+             1-3 (matrices up to 64x64 stay in L1); MKL wins at order 4 (125x125, larger \
+             than L1) by ~1.7x.  The %-in-solve column grows from ~34% at order 1 to \
+             ~74-87% at order 4 — at low order the assembly, not the solve, dominates."
+        );
+    }
+}

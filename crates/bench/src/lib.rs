@@ -1,0 +1,351 @@
+//! # unsnap-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! UnSNAP paper, plus the ablations its text discusses.
+//!
+//! | experiment | paper artefact | binary |
+//! |------------|----------------|--------|
+//! | Table I    | local matrix size & FP64 footprint per element order | `table1` |
+//! | Figure 3   | thread scaling of six concurrency schemes, linear elements | `figure3` |
+//! | Figure 4   | thread scaling of six concurrency schemes, cubic elements | `figure4` |
+//! | Table II   | GE vs MKL assemble/solve time and % in solve, orders 1–4 | `table2` |
+//! | §IV-A.3    | angle-threaded atomic scalar-flux reduction does not scale | `ablation_angle_atomic` |
+//! | §IV-B.1    | pre-assembled/pre-factorised matrices vs on-the-fly assembly | `ablation_preassembly` |
+//! | §III-A.1   | block-Jacobi convergence penalty vs rank count, KBA idle model | `ablation_jacobi_ranks` |
+//!
+//! Every binary accepts `--full` to run the problem at the paper's
+//! published size (which needs a large-memory node, as the original did)
+//! and `--csv` to emit machine-readable output; the default sizes are
+//! scaled down so the whole suite completes on a laptop.  Criterion micro
+//! benchmarks of the underlying kernels live in `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use unsnap_core::problem::Problem;
+use unsnap_core::report::MachineInfo;
+use unsnap_core::solver::TransportSolver;
+use unsnap_linalg::SolverKind;
+use unsnap_sweep::ConcurrencyScheme;
+
+/// Command-line options shared by all benchmark binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// Run the paper-size problem instead of the scaled-down default.
+    pub full: bool,
+    /// Emit CSV instead of a human-readable table.
+    pub csv: bool,
+    /// Thread counts to sweep (`--threads 1,2,4`).
+    pub threads: Option<Vec<usize>>,
+    /// Maximum element order for the solver comparison (`--max-order 4`).
+    pub max_order: Option<usize>,
+}
+
+impl HarnessOptions {
+    /// Parse the options from `std::env::args`.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Self {
+            full: false,
+            csv: false,
+            threads: None,
+            max_order: None,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => opts.full = true,
+                "--csv" => opts.csv = true,
+                "--threads" => {
+                    if let Some(list) = iter.next() {
+                        let parsed: Vec<usize> =
+                            list.split(',').filter_map(|t| t.parse().ok()).collect();
+                        if !parsed.is_empty() {
+                            opts.threads = Some(parsed);
+                        }
+                    }
+                }
+                "--max-order" => {
+                    opts.max_order = iter.next().and_then(|s| s.parse().ok());
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// The thread counts to sweep: explicit list, or the machine default.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        self.threads
+            .clone()
+            .unwrap_or_else(|| MachineInfo::detect().thread_sweep())
+    }
+}
+
+/// One measured point of a thread-scaling experiment (Figures 3/4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Concurrency scheme label (figure legend entry).
+    pub scheme: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Assemble/solve wall time in seconds.
+    pub seconds: f64,
+}
+
+/// Run the Figure-3/4 style experiment: every scheme × every thread count.
+///
+/// `base` should be `Problem::figure3_*` or `Problem::figure4_*`; the
+/// scheme and thread count are overridden per point.
+pub fn run_scaling_experiment(
+    base: &Problem,
+    threads: &[usize],
+    schemes: &[ConcurrencyScheme],
+) -> Vec<ScalingPoint> {
+    let mut points = Vec::with_capacity(threads.len() * schemes.len());
+    for &scheme in schemes {
+        for &t in threads {
+            let problem = base.clone().with_scheme(scheme).with_threads(t);
+            let mut solver = TransportSolver::new(&problem).expect("valid problem");
+            let outcome = solver.run().expect("solve");
+            points.push(ScalingPoint {
+                scheme: scheme.label(),
+                threads: t,
+                seconds: outcome.assemble_solve_seconds,
+            });
+        }
+    }
+    points
+}
+
+/// Render scaling points as a text table (rows = schemes, columns =
+/// thread counts), mirroring the layout of Figures 3 and 4.
+pub fn scaling_table(points: &[ScalingPoint], threads: &[usize]) -> String {
+    let mut schemes: Vec<String> = points.iter().map(|p| p.scheme.clone()).collect();
+    schemes.dedup();
+    let mut out = format!("{:<28}", "scheme \\ threads");
+    for t in threads {
+        out.push_str(&format!(" {t:>10}"));
+    }
+    out.push('\n');
+    for scheme in &schemes {
+        out.push_str(&format!("{scheme:<28}"));
+        for &t in threads {
+            let p = points
+                .iter()
+                .find(|p| &p.scheme == scheme && p.threads == t)
+                .expect("point exists");
+            out.push_str(&format!(" {:>10.3}", p.seconds));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render scaling points as CSV (`scheme,threads,seconds`).
+pub fn scaling_csv(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("scheme,threads,assemble_solve_seconds\n");
+    for p in points {
+        out.push_str(&format!("{},{},{:.6}\n", p.scheme, p.threads, p.seconds));
+    }
+    out
+}
+
+/// One row of the Table-II style solver comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverComparisonRow {
+    /// Element order.
+    pub order: usize,
+    /// Assemble/solve seconds with the hand-written Gaussian elimination.
+    pub ge_seconds: f64,
+    /// Fraction of GE kernel time spent in the solve.
+    pub ge_solve_fraction: f64,
+    /// Assemble/solve seconds with the blocked-LU MKL stand-in.
+    pub mkl_seconds: f64,
+    /// Fraction of MKL kernel time spent in the solve.
+    pub mkl_solve_fraction: f64,
+}
+
+/// Run the Table-II experiment for orders `1..=max_order`.
+///
+/// `problem_for` maps `(order, solver)` to the problem to run, so callers
+/// choose between the paper-size and scaled-down configurations.
+pub fn run_solver_comparison<F>(max_order: usize, problem_for: F) -> Vec<SolverComparisonRow>
+where
+    F: Fn(usize, SolverKind) -> Problem,
+{
+    let mut rows = Vec::with_capacity(max_order);
+    for order in 1..=max_order {
+        let mut seconds = [0.0f64; 2];
+        let mut fractions = [0.0f64; 2];
+        for (slot, kind) in [SolverKind::GaussianElimination, SolverKind::Mkl]
+            .into_iter()
+            .enumerate()
+        {
+            let problem = problem_for(order, kind).with_solve_timing(true);
+            let mut solver = TransportSolver::new(&problem).expect("valid problem");
+            let outcome = solver.run().expect("solve");
+            seconds[slot] = outcome.assemble_solve_seconds;
+            fractions[slot] = outcome.solve_fraction();
+        }
+        rows.push(SolverComparisonRow {
+            order,
+            ge_seconds: seconds[0],
+            ge_solve_fraction: fractions[0],
+            mkl_seconds: seconds[1],
+            mkl_solve_fraction: fractions[1],
+        });
+    }
+    rows
+}
+
+/// Render the solver comparison as a text table shaped like Table II.
+pub fn solver_comparison_table(rows: &[SolverComparisonRow]) -> String {
+    let mut out = format!(
+        "{:>5}  {:>12} {:>11}   {:>12} {:>11}\n",
+        "Order", "GE (s)", "% in solve", "MKL (s)", "% in solve"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5}  {:>12.2} {:>10.0}%   {:>12.2} {:>10.0}%\n",
+            r.order,
+            r.ge_seconds,
+            r.ge_solve_fraction * 100.0,
+            r.mkl_seconds,
+            r.mkl_solve_fraction * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the solver comparison as CSV.
+pub fn solver_comparison_csv(rows: &[SolverComparisonRow]) -> String {
+    let mut out =
+        String::from("order,ge_seconds,ge_solve_fraction,mkl_seconds,mkl_solve_fraction\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{:.6},{:.4},{:.6},{:.4}\n",
+            r.order, r.ge_seconds, r.ge_solve_fraction, r.mkl_seconds, r.mkl_solve_fraction
+        ));
+    }
+    out
+}
+
+/// Print a standard experiment header (machine info, problem shape).
+pub fn print_header(title: &str, problem: &Problem, full: bool) {
+    let machine = MachineInfo::detect();
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+    println!(
+        "machine: {} logical CPUs, {} / {}",
+        machine.logical_cpus, machine.os, machine.arch
+    );
+    println!(
+        "problem: {}x{}x{} cells, {} angles/octant, {} groups, order {}, twist {} ({})",
+        problem.nx,
+        problem.ny,
+        problem.nz,
+        problem.angles_per_octant,
+        problem.num_groups,
+        problem.element_order,
+        problem.twist,
+        if full { "paper size" } else { "scaled down" }
+    );
+    println!(
+        "iterations: {} inner x {} outer",
+        problem.inner_iterations, problem.outer_iterations
+    );
+    println!();
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsnap_sweep::{LoopOrder, ThreadedLoops};
+
+    #[test]
+    fn option_parsing() {
+        let o = HarnessOptions::parse(
+            ["--full", "--csv", "--threads", "1,2,4", "--max-order", "3"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(o.full);
+        assert!(o.csv);
+        assert_eq!(o.threads, Some(vec![1, 2, 4]));
+        assert_eq!(o.max_order, Some(3));
+        assert_eq!(o.thread_sweep(), vec![1, 2, 4]);
+
+        let d = HarnessOptions::parse(std::iter::empty());
+        assert!(!d.full);
+        assert!(!d.csv);
+        assert!(d.threads.is_none());
+        assert!(!d.thread_sweep().is_empty());
+    }
+
+    #[test]
+    fn scaling_experiment_produces_a_point_per_combination() {
+        let mut base = Problem::tiny();
+        base.inner_iterations = 1;
+        let schemes = [
+            ConcurrencyScheme::new(LoopOrder::ElementThenGroup, ThreadedLoops::Collapsed),
+            ConcurrencyScheme::new(LoopOrder::GroupThenElement, ThreadedLoops::OuterOnly),
+        ];
+        let threads = [1usize, 2];
+        let points = run_scaling_experiment(&base, &threads, &schemes);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.seconds > 0.0));
+
+        let table = scaling_table(&points, &threads);
+        assert!(table.contains("angle/element*/group*"));
+        assert_eq!(table.lines().count(), 3);
+
+        let csv = scaling_csv(&points);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("scheme,threads"));
+    }
+
+    #[test]
+    fn solver_comparison_produces_rows_in_order() {
+        let rows = run_solver_comparison(2, |order, kind| {
+            let mut p = Problem::table2_scaled(order, kind);
+            p.nx = 2;
+            p.ny = 2;
+            p.nz = 2;
+            p.inner_iterations = 1;
+            p
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].order, 1);
+        assert_eq!(rows[1].order, 2);
+        for r in &rows {
+            assert!(r.ge_seconds > 0.0 && r.mkl_seconds > 0.0);
+            assert!(r.ge_solve_fraction > 0.0 && r.ge_solve_fraction < 1.0);
+            assert!(r.mkl_solve_fraction > 0.0 && r.mkl_solve_fraction < 1.0);
+        }
+        let table = solver_comparison_table(&rows);
+        assert!(table.contains("% in solve"));
+        let csv = solver_comparison_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn time_it_measures_something() {
+        let (value, secs) = time_it(|| (0..1000).sum::<usize>());
+        assert_eq!(value, 499500);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The parallel block-Jacobi global schedule over rank subdomains.
+//!
+//! Every rank sweeps its own subdomain with per-angle wavefront schedules
+//! that are *masked* to the cells it owns; an upwind face whose neighbour
+//! belongs to another rank takes its angular flux from the **previous**
+//! iteration (that is the content of the per-iteration halo exchange).
+//! "Note that each process can begin computation on its own subdomain
+//! concurrently, unlike with the KBA schedule in the SNAP mini-app where
+//! processors must wait to begin work." (§III-A.1.)
+//!
+//! With a single rank the schedule degenerates to the full sweep and the
+//! solver reproduces `unsnap_core::TransportSolver` exactly; with more
+//! ranks the converged answer is the same but the convergence *rate*
+//! degrades — the trade-off the `ablation_jacobi_ranks` benchmark measures.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use unsnap_core::angular::AngularQuadrature;
+use unsnap_core::data::ProblemData;
+use unsnap_core::kernel::{assemble_solve, KernelScratch, UpwindFace, UpwindSource};
+use unsnap_core::layout::{FluxLayout, FluxStorage};
+use unsnap_core::problem::Problem;
+use unsnap_fem::element::ReferenceElement;
+use unsnap_fem::face::{face_node_indices, FACES};
+use unsnap_fem::geometry::HexVertices;
+use unsnap_fem::integrals::ElementIntegrals;
+use unsnap_linalg::LinearSolver;
+use unsnap_mesh::{Decomposition2D, NeighborRef, Subdomain, UnstructuredMesh};
+use unsnap_sweep::SweepSchedule;
+
+/// Summary of a block-Jacobi distributed solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockJacobiOutcome {
+    /// Number of ranks (Jacobi blocks).
+    pub num_ranks: usize,
+    /// Inner iterations executed.
+    pub inner_iterations: usize,
+    /// Whether the convergence tolerance was met.
+    pub converged: bool,
+    /// Iterations needed to reach the tolerance (if it was reached).
+    pub iterations_to_tolerance: Option<usize>,
+    /// Maximum relative scalar-flux change per inner iteration.
+    pub convergence_history: Vec<f64>,
+    /// Wall-clock seconds spent in the assemble/solve region.
+    pub assemble_solve_seconds: f64,
+    /// Sum of the scalar flux over all nodes/elements/groups.
+    pub scalar_flux_total: f64,
+    /// Total halo faces across all ranks (faces refreshed per iteration).
+    pub halo_faces: usize,
+}
+
+/// Block-Jacobi distributed transport solver (simulated ranks).
+pub struct BlockJacobiSolver {
+    problem: Problem,
+    decomposition: Decomposition2D,
+    mesh: UnstructuredMesh,
+    element: ReferenceElement,
+    face_nodes: [Vec<usize>; 6],
+    integrals: Vec<ElementIntegrals>,
+    quadrature: AngularQuadrature,
+    data: ProblemData,
+    subdomains: Vec<Subdomain>,
+    owner_of_cell: Vec<usize>,
+    /// `schedules[rank][angle]`: the masked wavefront schedule.
+    schedules: Vec<Vec<SweepSchedule>>,
+    psi: FluxStorage,
+    psi_prev: FluxStorage,
+    phi: FluxStorage,
+    phi_outer: FluxStorage,
+    source: FluxStorage,
+    solver: Box<dyn LinearSolver>,
+}
+
+impl BlockJacobiSolver {
+    /// Build the distributed solver for a problem and a 2-D decomposition.
+    pub fn new(problem: &Problem, decomposition: Decomposition2D) -> Result<Self, String> {
+        problem.validate()?;
+        let mesh = problem.build_mesh();
+        let element = ReferenceElement::new(problem.element_order);
+        let nodes = element.nodes_per_element();
+        let face_nodes: [Vec<usize>; 6] =
+            std::array::from_fn(|f| face_node_indices(FACES[f], problem.element_order));
+        let quadrature = AngularQuadrature::product(problem.angles_per_octant);
+        let grid = problem.grid();
+        let data = ProblemData::generate(
+            mesh.num_cells(),
+            |cell| mesh.cell_centroid(cell),
+            [grid.lx, grid.ly, grid.lz],
+            problem.num_groups,
+            problem.material,
+            problem.source,
+        );
+
+        let integrals: Vec<ElementIntegrals> = (0..mesh.num_cells())
+            .map(|cell| {
+                let hex = HexVertices {
+                    corners: *mesh.cell_corners(cell),
+                };
+                ElementIntegrals::compute(&element, &hex)
+            })
+            .collect();
+
+        let subdomains = decomposition.decompose(&mesh);
+        let mut owner_of_cell = vec![0usize; mesh.num_cells()];
+        for sd in &subdomains {
+            for &g in &sd.global_cells {
+                owner_of_cell[g] = sd.rank;
+            }
+        }
+
+        // Masked schedules: one per rank per angle.
+        let mut schedules = Vec::with_capacity(subdomains.len());
+        for sd in &subdomains {
+            let owned: Vec<bool> = (0..mesh.num_cells()).map(|c| sd.owns(c)).collect();
+            let mut per_angle = Vec::with_capacity(quadrature.num_angles());
+            for d in quadrature.directions() {
+                let s = SweepSchedule::build_masked(&mesh, d.omega, &owned)
+                    .map_err(|e| format!("rank {}: {e}", sd.rank))?;
+                per_angle.push(s);
+            }
+            schedules.push(per_angle);
+        }
+
+        let order = problem.scheme.loop_order;
+        let psi_layout = FluxLayout::angular(
+            nodes,
+            mesh.num_cells(),
+            problem.num_groups,
+            quadrature.num_angles(),
+            order,
+        );
+        let scalar_layout = FluxLayout::scalar(nodes, mesh.num_cells(), problem.num_groups, order);
+
+        Ok(Self {
+            problem: problem.clone(),
+            decomposition,
+            mesh,
+            element,
+            face_nodes,
+            integrals,
+            quadrature,
+            data,
+            subdomains,
+            owner_of_cell,
+            schedules,
+            psi: FluxStorage::zeros(psi_layout),
+            psi_prev: FluxStorage::zeros(psi_layout),
+            phi: FluxStorage::zeros(scalar_layout),
+            phi_outer: FluxStorage::zeros(scalar_layout),
+            source: FluxStorage::zeros(scalar_layout),
+            solver: problem.solver.build(),
+        })
+    }
+
+    /// The decomposition in use.
+    pub fn decomposition(&self) -> Decomposition2D {
+        self.decomposition
+    }
+
+    /// The rank subdomains.
+    pub fn subdomains(&self) -> &[Subdomain] {
+        &self.subdomains
+    }
+
+    /// The scalar flux after `run`.
+    pub fn scalar_flux(&self) -> &FluxStorage {
+        &self.phi
+    }
+
+    /// Total halo faces across all ranks.
+    pub fn total_halo_faces(&self) -> usize {
+        self.subdomains.iter().map(|s| s.halo_faces.len()).sum()
+    }
+
+    fn compute_source(&mut self) {
+        let ng = self.problem.num_groups;
+        let nodes = self.element.nodes_per_element();
+        for element in 0..self.mesh.num_cells() {
+            let mat = self.data.material(element);
+            let q_fixed = self.data.fixed_source(element);
+            for g in 0..ng {
+                let mut acc = vec![q_fixed; nodes];
+                for g_from in 0..ng {
+                    let sigma_s = self.data.xs.scatter(mat, g_from, g);
+                    if sigma_s == 0.0 {
+                        continue;
+                    }
+                    let phi_ref = if g_from == g {
+                        self.phi.nodes(element, g_from, 0)
+                    } else {
+                        self.phi_outer.nodes(element, g_from, 0)
+                    };
+                    for (a, &p) in acc.iter_mut().zip(phi_ref.iter()) {
+                        *a += sigma_s * p;
+                    }
+                }
+                self.source.nodes_mut(element, g, 0).copy_from_slice(&acc);
+            }
+        }
+    }
+
+    /// Run the block-Jacobi iteration to the requested iteration counts (or
+    /// until the tolerance is met).
+    pub fn run(&mut self) -> Result<BlockJacobiOutcome, String> {
+        let ng = self.problem.num_groups;
+        let nodes = self.element.nodes_per_element();
+        let mut history = Vec::new();
+        let mut converged = false;
+        let mut iterations_to_tolerance = None;
+        let mut inners_run = 0usize;
+        let mut sweep_seconds = 0.0;
+
+        for _outer in 0..self.problem.outer_iterations {
+            self.phi_outer
+                .as_mut_slice()
+                .copy_from_slice(self.phi.as_slice());
+            for _inner in 0..self.problem.inner_iterations {
+                inners_run += 1;
+                self.compute_source();
+                let phi_old: Vec<f64> = self.phi.as_slice().to_vec();
+                self.phi.fill(0.0);
+
+                // Halo "exchange": expose the previous iteration's angular
+                // flux to cross-rank upwind reads.
+                self.psi_prev
+                    .as_mut_slice()
+                    .copy_from_slice(self.psi.as_slice());
+
+                let t0 = Instant::now();
+                // Every rank sweeps its own subdomain.  Ranks are processed
+                // one after another here, but nothing a rank reads is
+                // written by another rank within the same iteration (own
+                // cells come from `psi`, remote cells from `psi_prev`), so
+                // the loop is embarrassingly parallel across ranks — the
+                // property the paper's schedule is designed around.
+                for rank in 0..self.subdomains.len() {
+                    self.sweep_rank(rank, ng, nodes);
+                }
+                sweep_seconds += t0.elapsed().as_secs_f64();
+
+                let diff = self
+                    .phi
+                    .as_slice()
+                    .iter()
+                    .zip(phi_old.iter())
+                    .fold(0.0f64, |m, (a, b)| m.max((a - b).abs() / b.abs().max(1e-12)));
+                history.push(diff);
+                if self.problem.convergence_tolerance > 0.0
+                    && diff < self.problem.convergence_tolerance
+                {
+                    converged = true;
+                    iterations_to_tolerance = Some(inners_run);
+                    break;
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+
+        Ok(BlockJacobiOutcome {
+            num_ranks: self.decomposition.num_ranks(),
+            inner_iterations: inners_run,
+            converged,
+            iterations_to_tolerance,
+            convergence_history: history,
+            assemble_solve_seconds: sweep_seconds,
+            scalar_flux_total: self.phi.as_slice().iter().sum(),
+            halo_faces: self.total_halo_faces(),
+        })
+    }
+
+    /// Sweep all angles of one rank's subdomain.
+    fn sweep_rank(&mut self, rank: usize, ng: usize, nodes: usize) {
+        let mut scratch = KernelScratch::new(nodes);
+        for angle in 0..self.quadrature.num_angles() {
+            let direction = self.quadrature.directions()[angle];
+            let omega = direction.omega;
+            let weight = direction.weight;
+            let num_buckets = self.schedules[rank][angle].num_buckets();
+            for bucket_index in 0..num_buckets {
+                // Collect results first (immutable borrows), then write.
+                let results: Vec<(usize, usize, Vec<f64>)> = {
+                    let schedule = &self.schedules[rank][angle];
+                    let bucket = &schedule.buckets[bucket_index];
+                    let mut out = Vec::with_capacity(bucket.len() * ng);
+                    for &e in bucket {
+                        for g in 0..ng {
+                            let ints = &self.integrals[e];
+                            let sigma_t = self.data.xs.total(self.data.material(e), g);
+                            let source_nodes = self.source.nodes(e, g, 0);
+                            let inflow = &schedule.inflow_faces[e];
+                            let mut upwind: Vec<UpwindFace<'_>> =
+                                Vec::with_capacity(inflow.len());
+                            for &face in inflow {
+                                let src = match self.mesh.neighbor(e, face) {
+                                    NeighborRef::Boundary { domain_face } => {
+                                        UpwindSource::Boundary(
+                                            self.problem
+                                                .boundaries
+                                                .face(domain_face)
+                                                .incoming_flux(),
+                                        )
+                                    }
+                                    NeighborRef::Interior { cell, face: nf } => {
+                                        // Same rank: current iteration.
+                                        // Other rank: lagged halo data.
+                                        let psi_src = if self.owner_of_cell[cell] == rank {
+                                            self.psi.nodes(cell, g, angle)
+                                        } else {
+                                            self.psi_prev.nodes(cell, g, angle)
+                                        };
+                                        UpwindSource::Interior {
+                                            neighbor_psi: psi_src,
+                                            neighbor_face_nodes: &self.face_nodes[nf],
+                                        }
+                                    }
+                                };
+                                upwind.push(UpwindFace { face, source: src });
+                            }
+                            assemble_solve(
+                                ints,
+                                omega,
+                                sigma_t,
+                                source_nodes,
+                                &upwind,
+                                self.solver.as_ref(),
+                                false,
+                                &mut scratch,
+                            );
+                            out.push((e, g, scratch.rhs.clone()));
+                        }
+                    }
+                    out
+                };
+                for (e, g, psi_nodes) in results {
+                    self.psi
+                        .nodes_mut(e, g, angle)
+                        .copy_from_slice(&psi_nodes);
+                    let phi = self.phi.nodes_mut(e, g, 0);
+                    for (p, &v) in phi.iter_mut().zip(psi_nodes.iter()) {
+                        *p += weight * v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsnap_core::solver::TransportSolver;
+
+    fn base_problem() -> Problem {
+        let mut p = Problem::tiny();
+        p.nx = 4;
+        p.ny = 4;
+        p.nz = 2;
+        p.num_groups = 1;
+        p.angles_per_octant = 2;
+        p.inner_iterations = 3;
+        p.outer_iterations = 1;
+        p.convergence_tolerance = 0.0;
+        p
+    }
+
+    #[test]
+    fn single_rank_matches_full_sweep_solver() {
+        let p = base_problem();
+        let mut jacobi = BlockJacobiSolver::new(&p, Decomposition2D::serial()).unwrap();
+        let jacobi_out = jacobi.run().unwrap();
+
+        let mut full = TransportSolver::new(&p).unwrap();
+        let full_out = full.run().unwrap();
+
+        let rel = (jacobi_out.scalar_flux_total - full_out.scalar_flux_total).abs()
+            / full_out.scalar_flux_total;
+        assert!(rel < 1e-10, "single-rank Jacobi must equal the full sweep");
+        assert_eq!(jacobi_out.halo_faces, 0);
+        assert_eq!(jacobi_out.num_ranks, 1);
+    }
+
+    #[test]
+    fn multi_rank_partition_is_complete() {
+        let p = base_problem();
+        let solver = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 2)).unwrap();
+        let total: usize = solver.subdomains().iter().map(|s| s.num_cells()).sum();
+        assert_eq!(total, p.num_cells());
+        assert!(solver.total_halo_faces() > 0);
+        assert_eq!(solver.decomposition().num_ranks(), 4);
+    }
+
+    #[test]
+    fn converged_answers_agree_across_rank_counts() {
+        // Block Jacobi changes the iteration path, not the fixed point.
+        let mut p = base_problem();
+        p.inner_iterations = 60;
+        p.convergence_tolerance = 1e-9;
+        let mut reference = None;
+        for decomp in [
+            Decomposition2D::serial(),
+            Decomposition2D::new(2, 1),
+            Decomposition2D::new(2, 2),
+        ] {
+            let mut s = BlockJacobiSolver::new(&p, decomp).unwrap();
+            let out = s.run().unwrap();
+            assert!(out.converged, "ranks = {}", decomp.num_ranks());
+            match reference {
+                None => reference = Some(out.scalar_flux_total),
+                Some(r) => {
+                    let rel: f64 = (out.scalar_flux_total - r).abs() / r;
+                    assert!(rel < 1e-6, "ranks = {}: rel = {rel}", decomp.num_ranks());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_never_converge_faster() {
+        // Garrett's observation (§III-A.1): block Jacobi converges more
+        // slowly as the number of blocks grows.
+        let mut p = base_problem();
+        p.inner_iterations = 80;
+        p.convergence_tolerance = 1e-8;
+        let mut iterations = Vec::new();
+        for decomp in [
+            Decomposition2D::serial(),
+            Decomposition2D::new(2, 2),
+            Decomposition2D::new(4, 2),
+        ] {
+            let mut s = BlockJacobiSolver::new(&p, decomp).unwrap();
+            let out = s.run().unwrap();
+            assert!(out.converged);
+            iterations.push(out.iterations_to_tolerance.unwrap());
+        }
+        assert!(
+            iterations[1] >= iterations[0],
+            "2x2 ranks should not converge faster than serial: {iterations:?}"
+        );
+        assert!(
+            iterations[2] >= iterations[1],
+            "4x2 ranks should not converge faster than 2x2: {iterations:?}"
+        );
+    }
+
+    #[test]
+    fn history_length_matches_iterations() {
+        let p = base_problem();
+        let mut s = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let out = s.run().unwrap();
+        assert_eq!(out.convergence_history.len(), out.inner_iterations);
+        assert_eq!(out.inner_iterations, 3);
+        assert!(!out.converged);
+        assert!(out.assemble_solve_seconds > 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Analytic model of the KBA pipelined sweep, used to contrast its
+//! fill/drain idle time with the block-Jacobi schedule's immediate start.
+//!
+//! Under the KBA decomposition the processor grid is `P_x × P_y` columns
+//! and a sweep for one octant enters at one corner of the grid and
+//! propagates diagonally: a rank cannot start until the wavefront reaches
+//! it, and it idles again after the wavefront has passed.  For a single
+//! octant with `W` work stages per rank the classic result is that the
+//! sweep needs `W + (P_x − 1) + (P_y − 1)` pipeline stages, giving a
+//! parallel efficiency of `W / (W + P_x + P_y − 2)`.  Block Jacobi, by
+//! contrast, lets every rank start at stage 0 (efficiency 1 per iteration)
+//! but needs more iterations to converge.
+//!
+//! These closed forms are what the benchmark `ablation_jacobi_ranks` prints
+//! next to the measured Jacobi iteration counts, reproducing the
+//! qualitative comparison of §III-A.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of pipeline stages a KBA sweep of one octant needs on a
+/// `px × py` processor grid when each rank has `work_stages` local
+/// wavefronts to process.
+pub fn kba_stage_count(px: usize, py: usize, work_stages: usize) -> usize {
+    work_stages + (px - 1) + (py - 1)
+}
+
+/// Parallel efficiency of the KBA pipeline for one octant:
+/// useful work divided by total stages.
+pub fn pipeline_efficiency(px: usize, py: usize, work_stages: usize) -> f64 {
+    work_stages as f64 / kba_stage_count(px, py, work_stages) as f64
+}
+
+/// A small record combining the KBA pipeline metrics for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KbaModel {
+    /// Ranks along x.
+    pub px: usize,
+    /// Ranks along y.
+    pub py: usize,
+    /// Local wavefront count per rank (work stages).
+    pub work_stages: usize,
+    /// Total pipeline stages for one octant sweep.
+    pub stages: usize,
+    /// Pipeline efficiency (0, 1].
+    pub efficiency: f64,
+}
+
+impl KbaModel {
+    /// Evaluate the model.
+    pub fn evaluate(px: usize, py: usize, work_stages: usize) -> Self {
+        assert!(px > 0 && py > 0 && work_stages > 0);
+        Self {
+            px,
+            py,
+            work_stages,
+            stages: kba_stage_count(px, py, work_stages),
+            efficiency: pipeline_efficiency(px, py, work_stages),
+        }
+    }
+
+    /// The idle fraction (1 − efficiency).
+    pub fn idle_fraction(&self) -> f64 {
+        1.0 - self.efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_has_no_pipeline_penalty() {
+        assert_eq!(kba_stage_count(1, 1, 10), 10);
+        assert_eq!(pipeline_efficiency(1, 1, 10), 1.0);
+        let m = KbaModel::evaluate(1, 1, 5);
+        assert_eq!(m.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stage_count_grows_with_grid() {
+        assert_eq!(kba_stage_count(2, 2, 10), 12);
+        assert_eq!(kba_stage_count(4, 4, 10), 16);
+        assert!(pipeline_efficiency(4, 4, 10) < pipeline_efficiency(2, 2, 10));
+    }
+
+    #[test]
+    fn efficiency_improves_with_more_local_work() {
+        // More work per rank amortises the pipeline fill — the reason KBA
+        // favours many small ranks only when communication is cheap.
+        assert!(pipeline_efficiency(4, 4, 100) > pipeline_efficiency(4, 4, 10));
+        let big = KbaModel::evaluate(4, 4, 1000);
+        assert!(big.efficiency > 0.99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_work_rejected() {
+        let _ = KbaModel::evaluate(2, 2, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # unsnap-comm
+//!
+//! Simulated distributed-memory substrate for UnSNAP: rank subdomains,
+//! halo exchange, the parallel block-Jacobi global schedule and an
+//! analytic KBA pipeline model for comparison.
+//!
+//! The original mini-app distributes the spatial mesh over MPI ranks with a
+//! KBA-style 2-D decomposition and couples the subdomains with a *parallel
+//! block Jacobi* schedule: every rank sweeps its own subdomain using
+//! *last-iteration* values of the angular flux on faces shared with other
+//! ranks, and a halo exchange refreshes those values once per iteration
+//! (§III-A.1 of the paper).  The pay-off is that every rank can start
+//! working immediately (no pipeline fill as in KBA); the price is a slower
+//! convergence rate that degrades as the number of Jacobi blocks grows —
+//! the trade-off Garrett studied and that UnSNAP is designed to let people
+//! re-examine on modern nodes.
+//!
+//! This crate reproduces that behaviour without an MPI launcher:
+//!
+//! * [`jacobi`] — [`BlockJacobiSolver`]: partitions the mesh with the KBA
+//!   2-D decomposition, sweeps each rank's subdomain with its own masked
+//!   wavefront schedules, and reads cross-rank upwind data from the
+//!   previous iteration (the algorithmic content of the halo exchange; the
+//!   physical message passing is replaced by reading the lagged array,
+//!   which is exactly what arrives in the halo of a real run).
+//! * [`halo`] — an explicit halo-exchange implementation over crossbeam
+//!   channels with `bytes`-packed face payloads, demonstrating the
+//!   communication layer a real distributed run would use and used by the
+//!   tests to verify that packed/unpacked halos match the lagged-array
+//!   shortcut.
+//! * [`kba`] — an analytic model of the KBA pipelined sweep (stage counts,
+//!   pipeline fill/drain efficiency) used to contrast the idle-time
+//!   behaviour of the two global schedules.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod halo;
+pub mod jacobi;
+pub mod kba;
+
+pub use halo::{HaloExchange, HaloMessage};
+pub use jacobi::{BlockJacobiOutcome, BlockJacobiSolver};
+pub use kba::{kba_stage_count, pipeline_efficiency, KbaModel};

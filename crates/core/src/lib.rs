@@ -1,0 +1,77 @@
+//! # unsnap-core
+//!
+//! The core of the UnSNAP mini-app: discrete-ordinates angular quadrature,
+//! multigroup artificial problem data, the discontinuous Galerkin
+//! assemble/solve kernel, the threaded sweep driver with its selectable
+//! concurrency schemes, and the structured diamond-difference (SNAP)
+//! baseline.
+//!
+//! The crate reproduces the computational structure of Figure 2 of the
+//! paper:
+//!
+//! ```text
+//! for all angular directions do
+//!   for all elements in angle schedule do
+//!     for all energy groups do
+//!       Assemble matrix A from Sn quadrature, cross sections and
+//!         element basis functions
+//!       Assemble vector b from source terms, element basis functions
+//!         and upwind neighbour ψ
+//!       Solve A ψ = b
+//! ```
+//!
+//! with the two middle loops interchangeable and threadable according to a
+//! [`unsnap_sweep::ConcurrencyScheme`], and the storage layout of the flux
+//! and source arrays following the loop order (the data-layout experiment
+//! of Figures 3 and 4).
+//!
+//! ## Module map
+//!
+//! * [`angular`] — Sn product quadrature over the unit sphere (angles per
+//!   octant, direction cosines, weights, octant bookkeeping).
+//! * [`data`] — artificial multigroup cross sections, materials and fixed
+//!   source ("Source and Material Option 1" of the paper's experiments).
+//! * [`layout`] — flat storage with explicit extent ordering for the
+//!   angular flux, scalar flux and source arrays.
+//! * [`kernel`] — the per-element/angle/group assemble + solve kernel.
+//! * [`solver`] — the sweep driver: inner/outer iteration structure,
+//!   concurrency schemes, timers and convergence monitoring.
+//! * [`fd`] — the structured diamond-difference baseline (the original
+//!   SNAP spatial discretisation) for the FD-versus-FEM comparison.
+//! * [`preassembly`] — the pre-assembled / pre-factorised matrix ablation
+//!   discussed in §IV-B.1 of the paper.
+//! * [`problem`] — problem definitions and the paper's experiment presets.
+//! * [`report`] — Table I data and small formatting helpers used by the
+//!   benchmark binaries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use unsnap_core::problem::Problem;
+//! use unsnap_core::solver::TransportSolver;
+//!
+//! // A tiny problem that runs in well under a second.
+//! let problem = Problem::tiny();
+//! let mut solver = TransportSolver::new(&problem).unwrap();
+//! let outcome = solver.run().unwrap();
+//! assert!(outcome.scalar_flux_total() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod angular;
+pub mod data;
+pub mod fd;
+pub mod kernel;
+pub mod layout;
+pub mod preassembly;
+pub mod problem;
+pub mod report;
+pub mod solver;
+
+pub use angular::{AngularQuadrature, Direction};
+pub use data::{CrossSections, MaterialOption, SourceOption};
+pub use layout::{FluxLayout, FluxStorage};
+pub use problem::Problem;
+pub use solver::{SolveOutcome, TransportSolver};

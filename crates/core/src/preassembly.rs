@@ -1,0 +1,305 @@
+//! Pre-assembled (and pre-factorised) local matrices — the optimisation
+//! ablation of §IV-B.1 of the paper.
+//!
+//! "For low order elements it may be attractive to pre-assemble (and
+//! invert) the matrix as it is invariant across the outer and inner
+//! iteration loops.  This will clearly increase the memory footprint of the
+//! application as a matrix must be stored for each angle-group-element (for
+//! linear elements this is a factor of 8 times the already large angular
+//! flux array)."
+//!
+//! This module builds exactly that storage: for every
+//! (element, angle, group) triple it assembles the system matrix once
+//! (it depends only on the direction, the total cross section and the
+//! element geometry — not on the evolving source), factorises it with the
+//! selected LU, and then lets the per-iteration kernel reduce to
+//! "assemble the right-hand side + two triangular solves".  The benchmark
+//! `ablation_preassembly` compares this against on-the-fly assembly and
+//! reports both the time and the memory trade-off.
+
+use serde::{Deserialize, Serialize};
+
+use unsnap_fem::element::ReferenceElement;
+use unsnap_fem::geometry::HexVertices;
+use unsnap_fem::integrals::ElementIntegrals;
+use unsnap_linalg::lu::{factor_blocked, LuFactors};
+use unsnap_linalg::DenseMatrix;
+use unsnap_mesh::UnstructuredMesh;
+
+use crate::angular::AngularQuadrature;
+use crate::data::ProblemData;
+use crate::kernel::KernelScratch;
+use crate::problem::Problem;
+
+/// Storage report for a pre-assembled matrix set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreassemblyFootprint {
+    /// Number of matrices stored.
+    pub matrices: usize,
+    /// Bytes used by the factorised matrices (excluding pivot vectors).
+    pub matrix_bytes: usize,
+    /// Bytes the angular flux itself occupies, for the paper's "factor of
+    /// (p+1)³ times the angular flux" comparison.
+    pub angular_flux_bytes: usize,
+}
+
+impl PreassemblyFootprint {
+    /// Ratio of matrix storage to angular-flux storage.
+    pub fn ratio_to_angular_flux(&self) -> f64 {
+        if self.angular_flux_bytes == 0 {
+            0.0
+        } else {
+            self.matrix_bytes as f64 / self.angular_flux_bytes as f64
+        }
+    }
+}
+
+/// Pre-assembled, pre-factorised system matrices for every
+/// (element, angle, group) triple of a problem.
+pub struct PreassembledMatrices {
+    nodes: usize,
+    num_groups: usize,
+    num_angles: usize,
+    factors: Vec<LuFactors>,
+    angular_flux_bytes: usize,
+}
+
+impl PreassembledMatrices {
+    /// Assemble and factorise every local matrix of `problem`.
+    ///
+    /// Memory grows as `cells × angles × groups × (p+1)⁶ × 8` bytes, so
+    /// this is only sensible for small problems and low orders — which is
+    /// the point the paper makes.
+    pub fn build(
+        problem: &Problem,
+        mesh: &UnstructuredMesh,
+        quadrature: &AngularQuadrature,
+        data: &ProblemData,
+    ) -> Result<Self, String> {
+        let element = ReferenceElement::new(problem.element_order);
+        let nodes = element.nodes_per_element();
+        let ne = mesh.num_cells();
+        let ng = problem.num_groups;
+        let na = quadrature.num_angles();
+
+        let mut factors = Vec::with_capacity(ne * ng * na);
+        let mut scratch = KernelScratch::new(nodes);
+        for cell in 0..ne {
+            let hex = HexVertices {
+                corners: *mesh.cell_corners(cell),
+            };
+            let ints = ElementIntegrals::compute(&element, &hex);
+            let mat = data.material(cell);
+            for (angle, d) in quadrature.directions().iter().enumerate() {
+                let _ = angle;
+                for g in 0..ng {
+                    let sigma_t = data.xs.total(mat, g);
+                    assemble_matrix_only(&ints, d.omega, sigma_t, &mut scratch.matrix);
+                    let f = factor_blocked(&scratch.matrix, 32)
+                        .map_err(|e| format!("cell {cell}, group {g}: {e}"))?;
+                    factors.push(f);
+                }
+            }
+        }
+
+        Ok(Self {
+            nodes,
+            num_groups: ng,
+            num_angles: na,
+            factors,
+            angular_flux_bytes: problem.angular_flux_bytes(),
+        })
+    }
+
+    /// The stored factors for `(element, angle, group)`.
+    pub fn factors(&self, element: usize, angle: usize, group: usize) -> &LuFactors {
+        &self.factors[(element * self.num_angles + angle) * self.num_groups + group]
+    }
+
+    /// Solve `A ψ = b` using the stored factors (`b` is overwritten).
+    pub fn solve_in_place(
+        &self,
+        element: usize,
+        angle: usize,
+        group: usize,
+        b: &mut [f64],
+    ) -> Result<(), String> {
+        self.factors(element, angle, group)
+            .solve_in_place(b)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Total number of stored matrices.
+    pub fn num_matrices(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Storage footprint report.
+    pub fn footprint(&self) -> PreassemblyFootprint {
+        PreassemblyFootprint {
+            matrices: self.factors.len(),
+            matrix_bytes: self.factors.len() * self.nodes * self.nodes * 8,
+            angular_flux_bytes: self.angular_flux_bytes,
+        }
+    }
+}
+
+/// Assemble only the system matrix (volume + outflow-face terms) — the part
+/// that is invariant across iterations.
+pub fn assemble_matrix_only(
+    integrals: &ElementIntegrals,
+    omega: [f64; 3],
+    sigma_t: f64,
+    matrix: &mut DenseMatrix,
+) {
+    let n = integrals.nodes_per_element();
+    debug_assert_eq!(matrix.rows(), n);
+    for i in 0..n {
+        let row_m = integrals.mass.row(i);
+        let row_x = integrals.stream[0].row(i);
+        let row_y = integrals.stream[1].row(i);
+        let row_z = integrals.stream[2].row(i);
+        let out = matrix.row_mut(i);
+        for j in 0..n {
+            out[j] = sigma_t * row_m[j]
+                - (omega[0] * row_x[j] + omega[1] * row_y[j] + omega[2] * row_z[j]);
+        }
+    }
+    for face in &integrals.faces {
+        if face.direction_dot_normal(omega) <= 0.0 {
+            continue;
+        }
+        for (a, &ia) in face.node_indices.iter().enumerate() {
+            for (b, &ib) in face.node_indices.iter().enumerate() {
+                matrix[(ia, ib)] += omega[0] * face.matrices[0][(a, b)]
+                    + omega[1] * face.matrices[1][(a, b)]
+                    + omega[2] * face.matrices[2][(a, b)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{assemble, UpwindFace, UpwindSource};
+    use unsnap_fem::face::FACES;
+    use unsnap_linalg::{GaussSolver, LinearSolver};
+
+    fn setup(problem: &Problem) -> (UnstructuredMesh, AngularQuadrature, ProblemData) {
+        let mesh = problem.build_mesh();
+        let quadrature = AngularQuadrature::product(problem.angles_per_octant);
+        let grid = problem.grid();
+        let data = ProblemData::generate(
+            mesh.num_cells(),
+            |cell| mesh.cell_centroid(cell),
+            [grid.lx, grid.ly, grid.lz],
+            problem.num_groups,
+            problem.material,
+            problem.source,
+        );
+        (mesh, quadrature, data)
+    }
+
+    #[test]
+    fn preassembled_count_and_footprint() {
+        let mut p = Problem::tiny();
+        p.nx = 2;
+        p.ny = 2;
+        p.nz = 2;
+        let (mesh, quad, data) = setup(&p);
+        let pre = PreassembledMatrices::build(&p, &mesh, &quad, &data).unwrap();
+        assert_eq!(pre.num_matrices(), 8 * quad.num_angles() * p.num_groups);
+        let fp = pre.footprint();
+        assert_eq!(fp.matrices, pre.num_matrices());
+        // For linear elements the matrix store is exactly (p+1)³ = 8 times
+        // the angular-flux store (n² vs n values per element/angle/group).
+        assert!((fp.ratio_to_angular_flux() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preassembled_solution_matches_on_the_fly_kernel() {
+        let mut p = Problem::tiny();
+        p.nx = 2;
+        p.ny = 2;
+        p.nz = 2;
+        let (mesh, quad, data) = setup(&p);
+        let element = ReferenceElement::new(p.element_order);
+        let pre = PreassembledMatrices::build(&p, &mesh, &quad, &data).unwrap();
+
+        let cell = 3;
+        let angle = 5;
+        let group = 1;
+        let d = quad.directions()[angle];
+        let hex = HexVertices {
+            corners: *mesh.cell_corners(cell),
+        };
+        let ints = ElementIntegrals::compute(&element, &hex);
+        let sigma_t = data.xs.total(data.material(cell), group);
+        let n = ints.nodes_per_element();
+        let source = vec![1.3; n];
+        // Vacuum upwind on the inflow faces.
+        let upwind: Vec<UpwindFace<'_>> = FACES
+            .iter()
+            .filter(|f| ints.face(**f).direction_dot_normal(d.omega) < 0.0)
+            .map(|f| UpwindFace {
+                face: f.index(),
+                source: UpwindSource::Boundary(0.0),
+            })
+            .collect();
+
+        // On-the-fly path.
+        let mut scratch = KernelScratch::new(n);
+        assemble(&ints, d.omega, sigma_t, &source, &upwind, &mut scratch);
+        let mut reference = scratch.rhs.clone();
+        GaussSolver::new()
+            .solve_in_place(&mut scratch.matrix, &mut reference)
+            .unwrap();
+
+        // Pre-assembled path: assemble only the RHS, reuse the factors.
+        let mut scratch2 = KernelScratch::new(n);
+        assemble(&ints, d.omega, sigma_t, &source, &upwind, &mut scratch2);
+        let mut rhs = scratch2.rhs.clone();
+        pre.solve_in_place(cell, angle, group, &mut rhs).unwrap();
+
+        for (a, b) in reference.iter().zip(rhs.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_only_assembly_matches_full_assembly_matrix() {
+        let p = Problem::tiny();
+        let (mesh, quad, data) = setup(&p);
+        let element = ReferenceElement::new(1);
+        let cell = 0;
+        let hex = HexVertices {
+            corners: *mesh.cell_corners(cell),
+        };
+        let ints = ElementIntegrals::compute(&element, &hex);
+        let d = quad.directions()[2];
+        let sigma_t = data.xs.total(0, 0);
+        let n = ints.nodes_per_element();
+
+        let mut only = DenseMatrix::zeros(n, n);
+        assemble_matrix_only(&ints, d.omega, sigma_t, &mut only);
+
+        let mut scratch = KernelScratch::new(n);
+        assemble(&ints, d.omega, sigma_t, &vec![0.0; n], &[], &mut scratch);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((only[(i, j)] - scratch.matrix[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_ratio_handles_zero() {
+        let fp = PreassemblyFootprint {
+            matrices: 0,
+            matrix_bytes: 0,
+            angular_flux_bytes: 0,
+        };
+        assert_eq!(fp.ratio_to_angular_flux(), 0.0);
+    }
+}

@@ -1,0 +1,456 @@
+//! Problem definitions and the paper's experiment presets.
+//!
+//! A [`Problem`] gathers every input parameter of an UnSNAP run: the mesh
+//! extents and twist, the angular and energy resolution, the finite-element
+//! order, the iteration counts, the local dense-solver back end, and the
+//! concurrency scheme used by the sweep.  The presets reproduce the two
+//! problem configurations of §IV of the paper (the loop-ordering study of
+//! Figures 3/4 and the solver comparison of Table II), both at their full
+//! published size and at a scaled-down size suitable for laptops and CI.
+
+use serde::{Deserialize, Serialize};
+
+use unsnap_linalg::SolverKind;
+use unsnap_mesh::boundary::DomainBoundaries;
+use unsnap_mesh::{StructuredGrid, UnstructuredMesh};
+use unsnap_sweep::{ConcurrencyScheme, LoopOrder, ThreadedLoops};
+
+use crate::data::{MaterialOption, SourceOption};
+
+/// Full description of an UnSNAP run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Cells along z.
+    pub nz: usize,
+    /// Domain length along x.
+    pub lx: f64,
+    /// Domain length along y.
+    pub ly: f64,
+    /// Domain length along z.
+    pub lz: f64,
+    /// Maximum mesh twist angle in radians (the paper uses up to 0.001).
+    pub twist: f64,
+    /// Lagrange element order (1 = linear, 3 = cubic, …).
+    pub element_order: usize,
+    /// Angles per octant of the Sn quadrature.
+    pub angles_per_octant: usize,
+    /// Number of energy groups.
+    pub num_groups: usize,
+    /// Artificial material layout.
+    pub material: MaterialOption,
+    /// Artificial fixed-source layout.
+    pub source: SourceOption,
+    /// Boundary conditions on the six domain faces.
+    pub boundaries: DomainBoundaries,
+    /// Number of inner (source) iterations per outer iteration.
+    pub inner_iterations: usize,
+    /// Number of outer (group-coupling) iterations.
+    pub outer_iterations: usize,
+    /// Pointwise scalar-flux convergence tolerance.  The paper's timing
+    /// runs deliberately use too few iterations to converge (for constant
+    /// iteration counts); set a tolerance of 0 to force every requested
+    /// iteration to run.
+    pub convergence_tolerance: f64,
+    /// Local dense solver back end (GE, reference LU or the MKL stand-in).
+    pub solver: SolverKind,
+    /// Concurrency scheme for the sweep.
+    pub scheme: ConcurrencyScheme,
+    /// Number of worker threads (`None` = rayon's default).
+    pub num_threads: Option<usize>,
+    /// Precompute and store the per-element integrals (the paper's
+    /// approach) or recompute them on the fly inside the kernel.
+    pub precompute_integrals: bool,
+    /// Record the time spent inside the linear solve separately from the
+    /// assembly (adds a small timing overhead, as the paper notes).
+    pub time_solve: bool,
+}
+
+impl Problem {
+    /// A tiny smoke-test problem (runs in milliseconds).
+    pub fn tiny() -> Self {
+        Self {
+            nx: 3,
+            ny: 3,
+            nz: 3,
+            lx: 1.0,
+            ly: 1.0,
+            lz: 1.0,
+            twist: 0.001,
+            element_order: 1,
+            angles_per_octant: 2,
+            num_groups: 2,
+            material: MaterialOption::Option1,
+            source: SourceOption::Option1,
+            boundaries: DomainBoundaries::vacuum(),
+            inner_iterations: 2,
+            outer_iterations: 1,
+            convergence_tolerance: 0.0,
+            solver: SolverKind::GaussianElimination,
+            scheme: ConcurrencyScheme::serial(),
+            num_threads: Some(1),
+            precompute_integrals: true,
+            time_solve: false,
+        }
+    }
+
+    /// A small but representative problem used by the quickstart example.
+    pub fn quickstart() -> Self {
+        Self {
+            nx: 6,
+            ny: 6,
+            nz: 6,
+            angles_per_octant: 4,
+            num_groups: 4,
+            inner_iterations: 4,
+            outer_iterations: 2,
+            convergence_tolerance: 1e-6,
+            scheme: ConcurrencyScheme::best(),
+            num_threads: None,
+            ..Self::tiny()
+        }
+    }
+
+    /// The Figure 3 / Figure 4 problem of the paper:
+    ///
+    /// * 16 × 16 × 16 elements
+    /// * 36 angles per octant with isotropic scattering
+    /// * 64 energy groups, Source and Material "Option 1"
+    /// * linear (Figure 3) or cubic (Figure 4) finite elements
+    /// * mesh twisting of up to 0.001 radians
+    /// * 5 inner and 1 outer iteration (not enough to converge — by design,
+    ///   so every run does the same amount of work)
+    pub fn figure3_full() -> Self {
+        Self {
+            nx: 16,
+            ny: 16,
+            nz: 16,
+            element_order: 1,
+            angles_per_octant: 36,
+            num_groups: 64,
+            twist: 0.001,
+            inner_iterations: 5,
+            outer_iterations: 1,
+            convergence_tolerance: 0.0,
+            scheme: ConcurrencyScheme::best(),
+            num_threads: None,
+            ..Self::tiny()
+        }
+    }
+
+    /// Scaled-down Figure 3 problem for machines without 192 GB of memory:
+    /// same shape (linear elements, many groups relative to angles), small
+    /// enough to run in seconds.
+    pub fn figure3_scaled() -> Self {
+        Self {
+            nx: 8,
+            ny: 8,
+            nz: 8,
+            angles_per_octant: 6,
+            num_groups: 16,
+            ..Self::figure3_full()
+        }
+    }
+
+    /// The Figure 4 problem: as Figure 3 but with cubic elements.
+    pub fn figure4_full() -> Self {
+        Self {
+            element_order: 3,
+            ..Self::figure3_full()
+        }
+    }
+
+    /// Scaled-down Figure 4 problem (cubic elements).
+    pub fn figure4_scaled() -> Self {
+        Self {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            angles_per_octant: 4,
+            num_groups: 8,
+            element_order: 3,
+            ..Self::figure3_full()
+        }
+    }
+
+    /// The Table II problem of the paper:
+    ///
+    /// * 32 × 32 × 32 elements
+    /// * 10 angles per octant with isotropic scattering
+    /// * 16 energy groups, Source and Material "Option 1"
+    /// * mesh twisting of up to 0.001 radians
+    /// * 5 inner and 1 outer iteration
+    /// * element order 1–4, hand-written GE vs the MKL stand-in
+    pub fn table2_full(element_order: usize, solver: SolverKind) -> Self {
+        Self {
+            nx: 32,
+            ny: 32,
+            nz: 32,
+            element_order,
+            angles_per_octant: 10,
+            num_groups: 16,
+            twist: 0.001,
+            inner_iterations: 5,
+            outer_iterations: 1,
+            convergence_tolerance: 0.0,
+            solver,
+            scheme: ConcurrencyScheme::serial(),
+            num_threads: Some(1),
+            time_solve: true,
+            ..Self::tiny()
+        }
+    }
+
+    /// Scaled-down Table II problem.
+    pub fn table2_scaled(element_order: usize, solver: SolverKind) -> Self {
+        Self {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            angles_per_octant: 2,
+            num_groups: 4,
+            inner_iterations: 2,
+            ..Self::table2_full(element_order, solver)
+        }
+    }
+
+    /// Override the concurrency scheme.
+    pub fn with_scheme(mut self, scheme: ConcurrencyScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Override the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.num_threads = Some(threads);
+        self
+    }
+
+    /// Override the local solver back end.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Override the element order.
+    pub fn with_order(mut self, order: usize) -> Self {
+        self.element_order = order;
+        self
+    }
+
+    /// Override the mesh resolution (cubic).
+    pub fn with_mesh(mut self, n: usize) -> Self {
+        self.nx = n;
+        self.ny = n;
+        self.nz = n;
+        self
+    }
+
+    /// Override angles per octant and group count.
+    pub fn with_phase_space(mut self, angles_per_octant: usize, num_groups: usize) -> Self {
+        self.angles_per_octant = angles_per_octant;
+        self.num_groups = num_groups;
+        self
+    }
+
+    /// Enable/disable the separate solve timer.
+    pub fn with_solve_timing(mut self, on: bool) -> Self {
+        self.time_solve = on;
+        self
+    }
+
+    /// Enable/disable precomputed per-element integrals.
+    pub fn with_precomputed_integrals(mut self, on: bool) -> Self {
+        self.precompute_integrals = on;
+        self
+    }
+
+    /// The structured grid the mesh is derived from.
+    pub fn grid(&self) -> StructuredGrid {
+        StructuredGrid::new(self.nx, self.ny, self.nz, self.lx, self.ly, self.lz)
+    }
+
+    /// Build the (twisted) unstructured mesh for this problem.
+    pub fn build_mesh(&self) -> UnstructuredMesh {
+        UnstructuredMesh::from_structured(&self.grid(), self.twist)
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Nodes per element, `(order + 1)³`.
+    pub fn nodes_per_element(&self) -> usize {
+        (self.element_order + 1).pow(3)
+    }
+
+    /// Total number of angles (8 × angles per octant).
+    pub fn num_angles(&self) -> usize {
+        8 * self.angles_per_octant
+    }
+
+    /// Number of angular-flux unknowns
+    /// (nodes × cells × groups × angles) — the quantity that drives the
+    /// "enormous memory footprint" discussion of §II-C.
+    pub fn angular_flux_unknowns(&self) -> usize {
+        self.nodes_per_element() * self.num_cells() * self.num_groups * self.num_angles()
+    }
+
+    /// Estimated angular-flux storage in bytes (FP64).
+    pub fn angular_flux_bytes(&self) -> usize {
+        self.angular_flux_unknowns() * std::mem::size_of::<f64>()
+    }
+
+    /// Basic sanity checks on the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            return Err("mesh must have at least one cell in every direction".into());
+        }
+        if self.lx <= 0.0 || self.ly <= 0.0 || self.lz <= 0.0 {
+            return Err("domain extents must be positive".into());
+        }
+        if self.element_order == 0 {
+            return Err("element order must be at least 1".into());
+        }
+        if self.angles_per_octant == 0 {
+            return Err("need at least one angle per octant".into());
+        }
+        if self.num_groups == 0 {
+            return Err("need at least one energy group".into());
+        }
+        if self.inner_iterations == 0 || self.outer_iterations == 0 {
+            return Err("iteration counts must be at least 1".into());
+        }
+        if let Some(0) = self.num_threads {
+            return Err("thread count must be at least 1".into());
+        }
+        if self.twist < 0.0 {
+            return Err("twist angle must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for Problem {
+    fn default() -> Self {
+        Self::quickstart()
+    }
+}
+
+/// Convenience constructor for the scheme that threads only over angles
+/// (the ablation of §IV-A.3).
+pub fn angle_threaded_scheme() -> ConcurrencyScheme {
+    ConcurrencyScheme::new(LoopOrder::ElementThenGroup, ThreadedLoops::Angles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [
+            Problem::tiny(),
+            Problem::quickstart(),
+            Problem::figure3_full(),
+            Problem::figure3_scaled(),
+            Problem::figure4_full(),
+            Problem::figure4_scaled(),
+            Problem::table2_full(3, SolverKind::Mkl),
+            Problem::table2_scaled(2, SolverKind::GaussianElimination),
+        ] {
+            assert!(p.validate().is_ok(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn figure3_matches_paper_parameters() {
+        let p = Problem::figure3_full();
+        assert_eq!((p.nx, p.ny, p.nz), (16, 16, 16));
+        assert_eq!(p.angles_per_octant, 36);
+        assert_eq!(p.num_groups, 64);
+        assert_eq!(p.element_order, 1);
+        assert!(p.twist <= 0.001);
+        assert_eq!(p.inner_iterations, 5);
+        assert_eq!(p.outer_iterations, 1);
+    }
+
+    #[test]
+    fn figure4_is_cubic() {
+        assert_eq!(Problem::figure4_full().element_order, 3);
+        assert_eq!(Problem::figure4_scaled().element_order, 3);
+    }
+
+    #[test]
+    fn table2_matches_paper_parameters() {
+        let p = Problem::table2_full(4, SolverKind::Mkl);
+        assert_eq!((p.nx, p.ny, p.nz), (32, 32, 32));
+        assert_eq!(p.angles_per_octant, 10);
+        assert_eq!(p.num_groups, 16);
+        assert_eq!(p.element_order, 4);
+        assert_eq!(p.solver, SolverKind::Mkl);
+        assert!(p.time_solve);
+    }
+
+    #[test]
+    fn angular_flux_footprint_scales_with_order() {
+        // Linear FEM stores 8× the unknowns of a one-value-per-cell FD
+        // method on the same mesh (§II-C of the paper).
+        let p1 = Problem::tiny();
+        let fd_unknowns = p1.num_cells() * p1.num_groups * p1.num_angles();
+        assert_eq!(p1.angular_flux_unknowns(), 8 * fd_unknowns);
+        let p3 = Problem::tiny().with_order(3);
+        assert_eq!(p3.angular_flux_unknowns(), 64 * fd_unknowns);
+        assert_eq!(p1.angular_flux_bytes(), p1.angular_flux_unknowns() * 8);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = Problem::tiny()
+            .with_mesh(5)
+            .with_order(2)
+            .with_phase_space(3, 7)
+            .with_threads(2)
+            .with_solver(SolverKind::Mkl)
+            .with_scheme(ConcurrencyScheme::best())
+            .with_solve_timing(true)
+            .with_precomputed_integrals(false);
+        assert_eq!(p.num_cells(), 125);
+        assert_eq!(p.nodes_per_element(), 27);
+        assert_eq!(p.num_angles(), 24);
+        assert_eq!(p.num_groups, 7);
+        assert_eq!(p.num_threads, Some(2));
+        assert_eq!(p.solver, SolverKind::Mkl);
+        assert!(p.time_solve);
+        assert!(!p.precompute_integrals);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(Problem { nx: 0, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { lx: -1.0, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { element_order: 0, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { angles_per_octant: 0, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { num_groups: 0, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { inner_iterations: 0, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { num_threads: Some(0), ..Problem::tiny() }.validate().is_err());
+        assert!(Problem { twist: -0.1, ..Problem::tiny() }.validate().is_err());
+    }
+
+    #[test]
+    fn mesh_construction_matches_extents() {
+        let p = Problem::tiny();
+        let mesh = p.build_mesh();
+        assert_eq!(mesh.num_cells(), p.num_cells());
+        assert!((mesh.twist().max_angle - p.twist).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_is_quickstart() {
+        assert_eq!(Problem::default(), Problem::quickstart());
+    }
+}

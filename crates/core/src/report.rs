@@ -1,0 +1,147 @@
+//! Table I data and small reporting helpers shared by the examples and the
+//! benchmark binaries.
+
+use serde::{Deserialize, Serialize};
+
+use unsnap_fem::element::{local_matrix_footprint_bytes, nodes_for_order};
+
+/// One row of Table I of the paper: the size of the local matrix for a
+/// finite-element order and its FP64 footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Finite-element order.
+    pub order: usize,
+    /// Local matrix dimension, `(order + 1)³`.
+    pub matrix_size: usize,
+    /// FP64 footprint of the matrix in kilobytes.
+    pub footprint_kb: f64,
+}
+
+/// Generate Table I for orders `1..=max_order`.
+pub fn table1(max_order: usize) -> Vec<Table1Row> {
+    (1..=max_order)
+        .map(|order| Table1Row {
+            order,
+            matrix_size: nodes_for_order(order),
+            footprint_kb: local_matrix_footprint_bytes(order) as f64 / 1024.0,
+        })
+        .collect()
+}
+
+/// Render Table I as fixed-width text matching the layout of the paper.
+pub fn table1_text(max_order: usize) -> String {
+    let mut out = String::from("Order  Matrix size   FP64 footprint (kB)\n");
+    for row in table1(max_order) {
+        out.push_str(&format!(
+            "{:>5}  {:>4} x {:<4}  {:>10.1}\n",
+            row.order, row.matrix_size, row.matrix_size, row.footprint_kb
+        ));
+    }
+    out
+}
+
+/// Format a duration in seconds with sensible precision for tables.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds >= 100.0 {
+        format!("{seconds:.1}")
+    } else if seconds >= 1.0 {
+        format!("{seconds:.2}")
+    } else {
+        format!("{seconds:.4}")
+    }
+}
+
+/// A short description of the machine the benchmark ran on, recorded in the
+/// harness output so results can be compared against the paper's dual-socket
+/// 56-core Skylake node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineInfo {
+    /// Number of logical CPUs visible to the process.
+    pub logical_cpus: usize,
+    /// Operating system family.
+    pub os: String,
+    /// CPU architecture.
+    pub arch: String,
+}
+
+impl MachineInfo {
+    /// Detect the current machine.
+    pub fn detect() -> Self {
+        Self {
+            logical_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+
+    /// Thread counts to sweep for the Figure 3/4 scaling study: powers of
+    /// two (plus the full count) capped at the available CPUs, mirroring
+    /// the paper's 1 · 2 · 4 · 8 · 14 · 28 · 56 series on its 56-core node.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let mut counts = Vec::new();
+        let mut t = 1;
+        while t < self.logical_cpus {
+            counts.push(t);
+            t *= 2;
+        }
+        counts.push(self.logical_cpus);
+        counts.dedup();
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let rows = table1(5);
+        assert_eq!(rows.len(), 5);
+        let expected = [
+            (1usize, 8usize, 0.5f64),
+            (2, 27, 5.7),
+            (3, 64, 32.0),
+            (4, 125, 122.1),
+            (5, 216, 364.5),
+        ];
+        for (row, (order, size, kb)) in rows.iter().zip(expected.iter()) {
+            assert_eq!(row.order, *order);
+            assert_eq!(row.matrix_size, *size);
+            assert!(
+                (row.footprint_kb - kb).abs() < 0.06,
+                "order {order}: {} vs {kb}",
+                row.footprint_kb
+            );
+        }
+    }
+
+    #[test]
+    fn table1_text_contains_all_rows() {
+        let text = table1_text(5);
+        assert!(text.contains("216 x 216"));
+        assert!(text.contains("8 x 8"));
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(1426.98), "1427.0");
+        assert_eq!(format_seconds(4.29), "4.29");
+        assert_eq!(format_seconds(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn machine_info_detects_something() {
+        let m = MachineInfo::detect();
+        assert!(m.logical_cpus >= 1);
+        assert!(!m.os.is_empty());
+        assert!(!m.arch.is_empty());
+        let sweep = m.thread_sweep();
+        assert!(!sweep.is_empty());
+        assert_eq!(*sweep.first().unwrap(), 1);
+        assert_eq!(*sweep.last().unwrap(), m.logical_cpus);
+        // Strictly increasing.
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,906 @@
+//! The transport solver: sweep driver, concurrency schemes, iteration
+//! structure and timing.
+//!
+//! The solver follows SNAP's iteration structure (which UnSNAP inherits,
+//! §III of the paper):
+//!
+//! * **outer iterations** resolve the group-to-group coupling of the
+//!   scattering source with Jacobi iterations;
+//! * **inner (source) iterations** lag the within-group scattering source;
+//! * each inner iteration performs one full **sweep**: for every octant,
+//!   for every angle in the octant, the wavefront buckets of that angle's
+//!   schedule are processed in order, and inside a bucket the
+//!   element × group work is executed according to the selected
+//!   [`ConcurrencyScheme`] (the six variants of Figures 3/4 plus the
+//!   angle-threaded ablation of §IV-A.3).
+//!
+//! The assemble/solve region is timed as a whole (the quantity plotted in
+//! Figures 3 and 4 and tabulated in Table II), and — when
+//! `Problem::time_solve` is set — the linear-solve share is accumulated
+//! separately so the "% in solve" column of Table II can be reproduced.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use unsnap_fem::element::ReferenceElement;
+use unsnap_fem::face::{face_node_indices, FACES};
+use unsnap_fem::geometry::HexVertices;
+use unsnap_fem::integrals::ElementIntegrals;
+use unsnap_linalg::LinearSolver;
+use unsnap_mesh::{NeighborRef, UnstructuredMesh};
+use unsnap_sweep::{LoopOrder, SweepSchedule, ThreadedLoops};
+
+use crate::angular::AngularQuadrature;
+use crate::data::ProblemData;
+use crate::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
+use crate::layout::{FluxLayout, FluxStorage};
+use crate::problem::Problem;
+
+/// Result of one kernel task (one element × group for one angle).
+struct TaskResult {
+    element: usize,
+    group: usize,
+    psi: Vec<f64>,
+    timing: KernelTiming,
+}
+
+/// Summary of a completed transport solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    /// Inner iterations actually executed (across all outers).
+    pub inner_iterations: usize,
+    /// Outer iterations executed.
+    pub outer_iterations: usize,
+    /// Whether the scalar flux met the convergence tolerance.
+    pub converged: bool,
+    /// Maximum relative scalar-flux change after each inner iteration.
+    pub convergence_history: Vec<f64>,
+    /// Wall-clock seconds spent in the assemble/solve (sweep) region —
+    /// the quantity reported by Figures 3/4 and Table II.
+    pub assemble_solve_seconds: f64,
+    /// Accumulated per-kernel assembly time in seconds (summed over all
+    /// worker threads, so it can exceed the wall-clock time).
+    pub kernel_assemble_seconds: f64,
+    /// Accumulated per-kernel solve time in seconds (only populated when
+    /// `Problem::time_solve` is enabled).
+    pub kernel_solve_seconds: f64,
+    /// Number of local systems assembled and solved.
+    pub kernel_invocations: u64,
+    /// Sum of the scalar flux over all nodes, elements and groups.
+    pub scalar_flux_total: f64,
+    /// Maximum scalar-flux value.
+    pub scalar_flux_max: f64,
+    /// Minimum scalar-flux value.
+    pub scalar_flux_min: f64,
+}
+
+impl SolveOutcome {
+    /// Fraction of the accumulated kernel time spent in the linear solve
+    /// (the "% in solve" column of Table II).  Zero when solve timing was
+    /// disabled.
+    pub fn solve_fraction(&self) -> f64 {
+        let total = self.kernel_assemble_seconds + self.kernel_solve_seconds;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.kernel_solve_seconds / total
+        }
+    }
+
+    /// Sum of the scalar flux (alias kept for API clarity in examples).
+    pub fn scalar_flux_total(&self) -> f64 {
+        self.scalar_flux_total
+    }
+}
+
+/// The UnSNAP transport solver for a single (serial or threaded) domain.
+pub struct TransportSolver {
+    problem: Problem,
+    mesh: UnstructuredMesh,
+    element: ReferenceElement,
+    /// Face-local node index lists for the six faces (identical for every
+    /// element of a given order).
+    face_nodes: [Vec<usize>; 6],
+    /// Precomputed per-element integrals (`None` = compute on the fly).
+    integrals: Option<Vec<ElementIntegrals>>,
+    quadrature: AngularQuadrature,
+    data: ProblemData,
+    /// One sweep schedule per global angle index.
+    schedules: Vec<SweepSchedule>,
+    /// Angular flux ψ(node, element, group, angle).
+    psi: FluxStorage,
+    /// Scalar flux φ(node, element, group).
+    phi: FluxStorage,
+    /// Scalar flux at the previous inner iteration.
+    phi_inner: FluxStorage,
+    /// Scalar flux at the previous outer iteration.
+    phi_outer: FluxStorage,
+    /// Total source (fixed + scattering), same shape as φ.
+    source: FluxStorage,
+    /// Dense solver back end.
+    solver: Box<dyn LinearSolver>,
+    /// Worker pool sized according to `Problem::num_threads`.
+    pool: rayon::ThreadPool,
+}
+
+impl TransportSolver {
+    /// Build a solver for the given problem.
+    pub fn new(problem: &Problem) -> Result<Self, String> {
+        problem.validate()?;
+        let mesh = problem.build_mesh();
+        let element = ReferenceElement::new(problem.element_order);
+        let nodes = element.nodes_per_element();
+
+        let face_nodes: [Vec<usize>; 6] = std::array::from_fn(|f| {
+            face_node_indices(FACES[f], problem.element_order)
+        });
+
+        let quadrature = AngularQuadrature::product(problem.angles_per_octant);
+        let grid = problem.grid();
+        let data = ProblemData::generate(
+            mesh.num_cells(),
+            |cell| mesh.cell_centroid(cell),
+            [grid.lx, grid.ly, grid.lz],
+            problem.num_groups,
+            problem.material,
+            problem.source,
+        );
+
+        let num_threads = problem
+            .num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(num_threads)
+            .build()
+            .map_err(|e| format!("failed to build thread pool: {e}"))?;
+
+        // Per-element integrals (the paper's precomputed basis-pair
+        // integrals) — built in parallel, they are embarrassingly
+        // independent.
+        let integrals = if problem.precompute_integrals {
+            let list: Vec<ElementIntegrals> = pool.install(|| {
+                (0..mesh.num_cells())
+                    .into_par_iter()
+                    .map(|cell| {
+                        let hex = HexVertices {
+                            corners: *mesh.cell_corners(cell),
+                        };
+                        ElementIntegrals::compute(&element, &hex)
+                    })
+                    .collect()
+            });
+            Some(list)
+        } else {
+            None
+        };
+
+        // One wavefront schedule per angle (§III-A.2: potentially unique
+        // per direction on an unstructured mesh).
+        let schedules: Vec<SweepSchedule> = pool.install(|| {
+            quadrature
+                .directions()
+                .par_iter()
+                .map(|d| {
+                    SweepSchedule::build(&mesh, d.omega)
+                        .map_err(|e| format!("angle {:?}: {e}", d.omega))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+
+        let order = problem.scheme.loop_order;
+        let psi = FluxStorage::zeros(FluxLayout::angular(
+            nodes,
+            mesh.num_cells(),
+            problem.num_groups,
+            quadrature.num_angles(),
+            order,
+        ));
+        let scalar_layout =
+            FluxLayout::scalar(nodes, mesh.num_cells(), problem.num_groups, order);
+        let phi = FluxStorage::zeros(scalar_layout);
+        let phi_inner = FluxStorage::zeros(scalar_layout);
+        let phi_outer = FluxStorage::zeros(scalar_layout);
+        let source = FluxStorage::zeros(scalar_layout);
+
+        Ok(Self {
+            problem: problem.clone(),
+            mesh,
+            element,
+            face_nodes,
+            integrals,
+            quadrature,
+            data,
+            schedules,
+            psi,
+            phi,
+            phi_inner,
+            phi_outer,
+            source,
+            solver: problem.solver.build(),
+            pool,
+        })
+    }
+
+    /// The problem this solver was built for.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The mesh the solver operates on.
+    pub fn mesh(&self) -> &UnstructuredMesh {
+        &self.mesh
+    }
+
+    /// The angular quadrature in use.
+    pub fn quadrature(&self) -> &AngularQuadrature {
+        &self.quadrature
+    }
+
+    /// The scalar flux after the most recent `run`.
+    pub fn scalar_flux(&self) -> &FluxStorage {
+        &self.phi
+    }
+
+    /// The angular flux after the most recent `run`.
+    pub fn angular_flux(&self) -> &FluxStorage {
+        &self.psi
+    }
+
+    /// The per-angle sweep schedules.
+    pub fn schedules(&self) -> &[SweepSchedule] {
+        &self.schedules
+    }
+
+    /// Run the full outer/inner iteration structure and return a summary.
+    pub fn run(&mut self) -> Result<SolveOutcome, String> {
+        let mut kernel_total = KernelTiming::default();
+        let mut invocations = 0u64;
+        let mut sweep_seconds = 0.0f64;
+        let mut history = Vec::new();
+        let mut converged = false;
+        let mut inners_run = 0usize;
+
+        for _outer in 0..self.problem.outer_iterations {
+            self.phi_outer
+                .as_mut_slice()
+                .copy_from_slice(self.phi.as_slice());
+
+            for _inner in 0..self.problem.inner_iterations {
+                inners_run += 1;
+                self.compute_source();
+                self.phi_inner
+                    .as_mut_slice()
+                    .copy_from_slice(self.phi.as_slice());
+                self.phi.fill(0.0);
+
+                let t0 = Instant::now();
+                let (timing, count) = self.sweep_all();
+                sweep_seconds += t0.elapsed().as_secs_f64();
+                kernel_total.accumulate(timing);
+                invocations += count;
+
+                let diff = relative_change(self.phi.as_slice(), self.phi_inner.as_slice());
+                history.push(diff);
+                if self.problem.convergence_tolerance > 0.0
+                    && diff < self.problem.convergence_tolerance
+                {
+                    converged = true;
+                    break;
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+
+        let phi = self.phi.as_slice();
+        let scalar_flux_total: f64 = phi.iter().sum();
+        let scalar_flux_max = phi.iter().fold(f64::MIN, |m, &x| m.max(x));
+        let scalar_flux_min = phi.iter().fold(f64::MAX, |m, &x| m.min(x));
+
+        Ok(SolveOutcome {
+            inner_iterations: inners_run,
+            outer_iterations: self.problem.outer_iterations,
+            converged,
+            convergence_history: history,
+            assemble_solve_seconds: sweep_seconds,
+            kernel_assemble_seconds: kernel_total.assemble_ns as f64 * 1e-9,
+            kernel_solve_seconds: kernel_total.solve_ns as f64 * 1e-9,
+            kernel_invocations: invocations,
+            scalar_flux_total,
+            scalar_flux_max,
+            scalar_flux_min,
+        })
+    }
+
+    /// Compute the total source: fixed source plus scattering.
+    ///
+    /// Within-group scattering is taken from the latest scalar flux (the
+    /// source-iteration lag); group-to-group transfer uses the previous
+    /// outer iterate (Jacobi group coupling, as in SNAP).
+    fn compute_source(&mut self) {
+        let ng = self.problem.num_groups;
+        let nodes = self.element.nodes_per_element();
+        for element in 0..self.mesh.num_cells() {
+            let mat = self.data.material(element);
+            let q_fixed = self.data.fixed_source(element);
+            for g in 0..ng {
+                let mut acc = vec![q_fixed; nodes];
+                for g_from in 0..ng {
+                    let sigma_s = self.data.xs.scatter(mat, g_from, g);
+                    if sigma_s == 0.0 {
+                        continue;
+                    }
+                    let phi_ref = if g_from == g {
+                        self.phi.nodes(element, g_from, 0)
+                    } else {
+                        self.phi_outer.nodes(element, g_from, 0)
+                    };
+                    for (a, &p) in acc.iter_mut().zip(phi_ref.iter()) {
+                        *a += sigma_s * p;
+                    }
+                }
+                self.source
+                    .nodes_mut(element, g, 0)
+                    .copy_from_slice(&acc);
+            }
+        }
+    }
+
+    /// Sweep every octant and every angle, accumulating the scalar flux.
+    fn sweep_all(&mut self) -> (KernelTiming, u64) {
+        let mut timing = KernelTiming::default();
+        let mut count = 0u64;
+        match self.problem.scheme.threaded {
+            ThreadedLoops::Angles => {
+                for octant in 0..8 {
+                    let (t, c) = self.sweep_octant_angle_threaded(octant);
+                    timing.accumulate(t);
+                    count += c;
+                }
+            }
+            _ => {
+                for angle in 0..self.quadrature.num_angles() {
+                    let (t, c) = self.sweep_one_angle(angle);
+                    timing.accumulate(t);
+                    count += c;
+                }
+            }
+        }
+        (timing, count)
+    }
+
+    /// Sweep a single angle following its wavefront schedule, using the
+    /// element/group threading dictated by the concurrency scheme.
+    fn sweep_one_angle(&mut self, angle: usize) -> (KernelTiming, u64) {
+        let direction = self.quadrature.directions()[angle];
+        let omega = direction.omega;
+        let weight = direction.weight;
+        let ng = self.problem.num_groups;
+        let nodes = self.element.nodes_per_element();
+        let scheme = self.problem.scheme;
+        let time_solve = self.problem.time_solve;
+
+        let mut timing = KernelTiming::default();
+        let mut count = 0u64;
+
+        let num_buckets = self.schedules[angle].num_buckets();
+        for bucket_index in 0..num_buckets {
+            // Collect the results of the bucket first (immutable borrows of
+            // psi/source/mesh), then write them back (mutable borrows).
+            let results: Vec<TaskResult> = {
+                let schedule = &self.schedules[angle];
+                let bucket = &schedule.buckets[bucket_index];
+                let mesh = &self.mesh;
+                let element = &self.element;
+                let integrals = self.integrals.as_deref();
+                let data = &self.data;
+                let psi = &self.psi;
+                let source = &self.source;
+                let face_nodes = &self.face_nodes;
+                let boundaries = &self.problem.boundaries;
+                let solver = self.solver.as_ref();
+
+                let run_task = |scratch: &mut KernelScratch, e: usize, g: usize| -> TaskResult {
+                    let computed;
+                    let ints: &ElementIntegrals = match integrals {
+                        Some(list) => &list[e],
+                        None => {
+                            let hex = HexVertices {
+                                corners: *mesh.cell_corners(e),
+                            };
+                            computed = ElementIntegrals::compute(element, &hex);
+                            &computed
+                        }
+                    };
+                    let sigma_t = data.xs.total(data.material(e), g);
+                    let source_nodes = source.nodes(e, g, 0);
+                    // Upwind faces for this element and direction.
+                    let inflow = &schedule.inflow_faces[e];
+                    let mut upwind: Vec<UpwindFace<'_>> = Vec::with_capacity(inflow.len());
+                    for &face in inflow {
+                        let src = match mesh.neighbor(e, face) {
+                            NeighborRef::Boundary { domain_face } => UpwindSource::Boundary(
+                                boundaries.face(domain_face).incoming_flux(),
+                            ),
+                            NeighborRef::Interior { cell, face: nf } => UpwindSource::Interior {
+                                neighbor_psi: psi.nodes(cell, g, angle),
+                                neighbor_face_nodes: &face_nodes[nf],
+                            },
+                        };
+                        upwind.push(UpwindFace { face, source: src });
+                    }
+                    let t = assemble_solve(
+                        ints,
+                        omega,
+                        sigma_t,
+                        source_nodes,
+                        &upwind,
+                        solver,
+                        time_solve,
+                        scratch,
+                    );
+                    TaskResult {
+                        element: e,
+                        group: g,
+                        psi: scratch.rhs.clone(),
+                        timing: t,
+                    }
+                };
+
+                match scheme.threaded {
+                    ThreadedLoops::Collapsed => {
+                        // Flattened element × group iteration space, in the
+                        // lexicographic order of the selected loop nest.
+                        let pairs: Vec<(usize, usize)> = match scheme.loop_order {
+                            LoopOrder::ElementThenGroup => bucket
+                                .iter()
+                                .flat_map(|&e| (0..ng).map(move |g| (e, g)))
+                                .collect(),
+                            LoopOrder::GroupThenElement => (0..ng)
+                                .flat_map(|g| bucket.iter().map(move |&e| (e, g)))
+                                .collect(),
+                        };
+                        self.pool.install(|| {
+                            pairs
+                                .par_iter()
+                                .map_init(
+                                    || KernelScratch::new(nodes),
+                                    |scratch, &(e, g)| run_task(scratch, e, g),
+                                )
+                                .collect()
+                        })
+                    }
+                    ThreadedLoops::OuterOnly => match scheme.loop_order {
+                        LoopOrder::ElementThenGroup => self.pool.install(|| {
+                            bucket
+                                .par_iter()
+                                .map_init(
+                                    || KernelScratch::new(nodes),
+                                    |scratch, &e| {
+                                        (0..ng)
+                                            .map(|g| run_task(scratch, e, g))
+                                            .collect::<Vec<_>>()
+                                    },
+                                )
+                                .flatten()
+                                .collect()
+                        }),
+                        LoopOrder::GroupThenElement => self.pool.install(|| {
+                            (0..ng)
+                                .into_par_iter()
+                                .map_init(
+                                    || KernelScratch::new(nodes),
+                                    |scratch, g| {
+                                        bucket
+                                            .iter()
+                                            .map(|&e| run_task(scratch, e, g))
+                                            .collect::<Vec<_>>()
+                                    },
+                                )
+                                .flatten()
+                                .collect()
+                        }),
+                    },
+                    ThreadedLoops::InnerOnly => {
+                        let mut out = Vec::with_capacity(bucket.len() * ng);
+                        match scheme.loop_order {
+                            LoopOrder::ElementThenGroup => {
+                                for &e in bucket.iter() {
+                                    let inner: Vec<TaskResult> = self.pool.install(|| {
+                                        (0..ng)
+                                            .into_par_iter()
+                                            .map_init(
+                                                || KernelScratch::new(nodes),
+                                                |scratch, g| run_task(scratch, e, g),
+                                            )
+                                            .collect()
+                                    });
+                                    out.extend(inner);
+                                }
+                            }
+                            LoopOrder::GroupThenElement => {
+                                for g in 0..ng {
+                                    let inner: Vec<TaskResult> = self.pool.install(|| {
+                                        bucket
+                                            .par_iter()
+                                            .map_init(
+                                                || KernelScratch::new(nodes),
+                                                |scratch, &e| run_task(scratch, e, g),
+                                            )
+                                            .collect()
+                                    });
+                                    out.extend(inner);
+                                }
+                            }
+                        }
+                        out
+                    }
+                    ThreadedLoops::Angles => unreachable!("handled by sweep_octant_angle_threaded"),
+                }
+            };
+
+            // Write-back: store ψ and accumulate the scalar flux.
+            for r in &results {
+                self.psi
+                    .nodes_mut(r.element, r.group, angle)
+                    .copy_from_slice(&r.psi);
+                let phi = self.phi.nodes_mut(r.element, r.group, 0);
+                for (p, &v) in phi.iter_mut().zip(r.psi.iter()) {
+                    *p += weight * v;
+                }
+                timing.accumulate(r.timing);
+                count += 1;
+            }
+        }
+
+        (timing, count)
+    }
+
+    /// The angle-threaded ablation (§IV-A.3): thread over the angles of an
+    /// octant; every scalar-flux update contends on a single lock, which is
+    /// the safe-Rust analogue of the OpenMP `atomic`/`critical` update the
+    /// paper shows does not scale.
+    fn sweep_octant_angle_threaded(&mut self, octant: usize) -> (KernelTiming, u64) {
+        let ng = self.problem.num_groups;
+        let nodes = self.element.nodes_per_element();
+        let ne = self.mesh.num_cells();
+        let time_solve = self.problem.time_solve;
+        let n_angles = self.quadrature.angles_per_octant();
+
+        // Shared scalar-flux accumulator guarded by one lock (deliberately
+        // coarse to model the reduction contention).
+        let phi_acc = Mutex::new(vec![0.0f64; self.phi.as_slice().len()]);
+        let phi_layout = *self.phi.layout();
+
+        let per_angle: Vec<(usize, Vec<f64>, KernelTiming, u64)> = {
+            let mesh = &self.mesh;
+            let element = &self.element;
+            let integrals = self.integrals.as_deref();
+            let data = &self.data;
+            let source = &self.source;
+            let face_nodes = &self.face_nodes;
+            let boundaries = &self.problem.boundaries;
+            let solver = self.solver.as_ref();
+            let quadrature = &self.quadrature;
+            let schedules = &self.schedules;
+            let phi_acc = &phi_acc;
+
+            self.pool.install(|| {
+                (0..n_angles)
+                    .into_par_iter()
+                    .map(|index_in_octant| {
+                        let angle = quadrature.angle_index(octant, index_in_octant);
+                        let direction = quadrature.directions()[angle];
+                        let omega = direction.omega;
+                        let weight = direction.weight;
+                        let schedule = &schedules[angle];
+                        // Local angular flux for this angle only
+                        // (element × group × node, element-then-group order).
+                        let mut psi_local = vec![0.0f64; ne * ng * nodes];
+                        let psi_base = |e: usize, g: usize| (e * ng + g) * nodes;
+                        let mut scratch = KernelScratch::new(nodes);
+                        let mut timing = KernelTiming::default();
+                        let mut count = 0u64;
+
+                        for bucket in &schedule.buckets {
+                            for &e in bucket {
+                                for g in 0..ng {
+                                    let computed;
+                                    let ints: &ElementIntegrals = match integrals {
+                                        Some(list) => &list[e],
+                                        None => {
+                                            let hex = HexVertices {
+                                                corners: *mesh.cell_corners(e),
+                                            };
+                                            computed = ElementIntegrals::compute(element, &hex);
+                                            &computed
+                                        }
+                                    };
+                                    let sigma_t = data.xs.total(data.material(e), g);
+                                    let source_nodes = source.nodes(e, g, 0);
+                                    let inflow = &schedule.inflow_faces[e];
+                                    let mut upwind: Vec<UpwindFace<'_>> =
+                                        Vec::with_capacity(inflow.len());
+                                    for &face in inflow {
+                                        let src = match mesh.neighbor(e, face) {
+                                            NeighborRef::Boundary { domain_face } => {
+                                                UpwindSource::Boundary(
+                                                    boundaries.face(domain_face).incoming_flux(),
+                                                )
+                                            }
+                                            NeighborRef::Interior { cell, face: nf } => {
+                                                let b = psi_base(cell, g);
+                                                UpwindSource::Interior {
+                                                    neighbor_psi: &psi_local[b..b + nodes],
+                                                    neighbor_face_nodes: &face_nodes[nf],
+                                                }
+                                            }
+                                        };
+                                        upwind.push(UpwindFace { face, source: src });
+                                    }
+                                    let t = assemble_solve(
+                                        ints,
+                                        omega,
+                                        sigma_t,
+                                        source_nodes,
+                                        &upwind,
+                                        solver,
+                                        time_solve,
+                                        &mut scratch,
+                                    );
+                                    timing.accumulate(t);
+                                    count += 1;
+                                    let b = psi_base(e, g);
+                                    psi_local[b..b + nodes].copy_from_slice(&scratch.rhs);
+                                    // Contended scalar-flux reduction.
+                                    {
+                                        let mut phi = phi_acc.lock();
+                                        let base = phi_layout.base(e, g, 0);
+                                        for (node, &v) in scratch.rhs.iter().enumerate() {
+                                            phi[base + node] += weight * v;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        (angle, psi_local, timing, count)
+                    })
+                    .collect()
+            })
+        };
+
+        // Write ψ back into the global storage and fold the accumulator
+        // into the scalar flux.
+        let mut timing = KernelTiming::default();
+        let mut count = 0u64;
+        for (angle, psi_local, t, c) in per_angle {
+            for e in 0..ne {
+                for g in 0..ng {
+                    let b = (e * ng + g) * nodes;
+                    self.psi
+                        .nodes_mut(e, g, angle)
+                        .copy_from_slice(&psi_local[b..b + nodes]);
+                }
+            }
+            timing.accumulate(t);
+            count += c;
+        }
+        let acc = phi_acc.into_inner();
+        for (p, a) in self.phi.as_mut_slice().iter_mut().zip(acc.iter()) {
+            *p += a;
+        }
+        (timing, count)
+    }
+}
+
+/// Maximum relative pointwise change between two flux arrays.
+fn relative_change(new: &[f64], old: &[f64]) -> f64 {
+    let floor = 1e-12;
+    new.iter()
+        .zip(old.iter())
+        .fold(0.0, |m, (a, b)| m.max((a - b).abs() / b.abs().max(floor)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SourceOption;
+    use unsnap_linalg::SolverKind;
+    use unsnap_mesh::boundary::DomainBoundaries;
+    use unsnap_sweep::ConcurrencyScheme;
+
+    #[test]
+    fn tiny_problem_runs_and_produces_positive_flux() {
+        let mut solver = TransportSolver::new(&Problem::tiny()).unwrap();
+        let outcome = solver.run().unwrap();
+        assert_eq!(outcome.inner_iterations, 2);
+        assert!(outcome.scalar_flux_total > 0.0);
+        // Small DG undershoots near the vacuum boundary are permitted.
+        assert!(outcome.scalar_flux_min > -1e-6);
+        assert!(outcome.kernel_invocations > 0);
+        assert!(outcome.assemble_solve_seconds > 0.0);
+        // 3³ cells × 2 groups × 16 angles × 2 inners kernel calls.
+        assert_eq!(outcome.kernel_invocations, 27 * 2 * 16 * 2);
+    }
+
+    #[test]
+    fn all_schemes_give_identical_physics() {
+        // The six figure schemes and the angle-threaded ablation must all
+        // produce the same scalar flux (they only change execution order).
+        let base = Problem::tiny().with_threads(2);
+        let mut reference: Option<Vec<f64>> = None;
+        let mut schemes = ConcurrencyScheme::figure_schemes();
+        schemes.push(crate::problem::angle_threaded_scheme());
+        for scheme in schemes {
+            let p = base.clone().with_scheme(scheme);
+            let mut solver = TransportSolver::new(&p).unwrap();
+            solver.run().unwrap();
+            // Compare in a layout-independent way.
+            let nodes = p.nodes_per_element();
+            let mut values = Vec::new();
+            for e in 0..p.num_cells() {
+                for g in 0..p.num_groups {
+                    values.extend_from_slice(solver.scalar_flux().nodes(e, g, 0));
+                    assert_eq!(solver.scalar_flux().nodes(e, g, 0).len(), nodes);
+                }
+            }
+            match &reference {
+                None => reference = Some(values),
+                Some(r) => {
+                    let max_diff = r
+                        .iter()
+                        .zip(values.iter())
+                        .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+                    assert!(
+                        max_diff < 1e-10,
+                        "scheme {scheme} diverges from reference by {max_diff}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_backends_agree() {
+        let mut fluxes = Vec::new();
+        for kind in SolverKind::all() {
+            let p = Problem::tiny().with_solver(kind);
+            let mut solver = TransportSolver::new(&p).unwrap();
+            let outcome = solver.run().unwrap();
+            fluxes.push(outcome.scalar_flux_total);
+        }
+        for pair in fluxes.windows(2) {
+            assert!((pair[0] - pair[1]).abs() < 1e-8 * pair[0].abs());
+        }
+    }
+
+    #[test]
+    fn infinite_medium_limit_is_approached_with_inflow_boundaries() {
+        // With incoming flux equal to the infinite-medium solution
+        // ψ∞ = q / (σ_t − σ_s_total), the converged scalar flux equals ψ∞
+        // everywhere (the problem is effectively an infinite medium).
+        let mut p = Problem::tiny();
+        p.num_groups = 1;
+        p.inner_iterations = 60;
+        p.outer_iterations = 1;
+        p.convergence_tolerance = 1e-10;
+        p.twist = 0.0;
+        let xs = crate::data::CrossSections::generate(1, 1);
+        let sigma_t = xs.total(0, 0);
+        let sigma_s = xs.scatter(0, 0, 0);
+        let psi_inf = 1.0 / (sigma_t - sigma_s);
+        p.boundaries = DomainBoundaries::uniform_inflow(psi_inf);
+        let mut solver = TransportSolver::new(&p).unwrap();
+        let outcome = solver.run().unwrap();
+        assert!(outcome.converged, "history: {:?}", outcome.convergence_history);
+        assert!(
+            (outcome.scalar_flux_max - psi_inf).abs() < 1e-6,
+            "max {} vs ψ∞ {psi_inf}",
+            outcome.scalar_flux_max
+        );
+        assert!(
+            (outcome.scalar_flux_min - psi_inf).abs() < 1e-6,
+            "min {} vs ψ∞ {psi_inf}",
+            outcome.scalar_flux_min
+        );
+    }
+
+    #[test]
+    fn vacuum_problem_flux_is_bounded_by_infinite_medium() {
+        let mut p = Problem::tiny();
+        p.num_groups = 1;
+        p.inner_iterations = 30;
+        p.convergence_tolerance = 1e-8;
+        let mut solver = TransportSolver::new(&p).unwrap();
+        let outcome = solver.run().unwrap();
+        let xs = crate::data::CrossSections::generate(1, 1);
+        let psi_inf = 1.0 / (xs.total(0, 0) - xs.scatter(0, 0, 0));
+        assert!(outcome.scalar_flux_max <= psi_inf + 1e-9);
+        // Small DG undershoots near the vacuum boundary are permitted.
+        assert!(outcome.scalar_flux_min >= -1e-3);
+        // Leakage through vacuum boundaries keeps the flux strictly below
+        // the infinite-medium limit.
+        assert!(outcome.scalar_flux_max < psi_inf);
+    }
+
+    #[test]
+    fn convergence_history_decreases() {
+        let mut p = Problem::tiny();
+        p.inner_iterations = 10;
+        p.convergence_tolerance = 0.0;
+        let mut solver = TransportSolver::new(&p).unwrap();
+        let outcome = solver.run().unwrap();
+        let h = &outcome.convergence_history;
+        assert_eq!(h.len(), 10);
+        // Source iteration converges monotonically for this problem.
+        assert!(h.last().unwrap() < &h[1]);
+    }
+
+    #[test]
+    fn solve_timing_populates_split() {
+        let p = Problem::tiny().with_solve_timing(true);
+        let mut solver = TransportSolver::new(&p).unwrap();
+        let outcome = solver.run().unwrap();
+        assert!(outcome.kernel_solve_seconds > 0.0);
+        assert!(outcome.kernel_assemble_seconds > 0.0);
+        let f = outcome.solve_fraction();
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    fn on_the_fly_integrals_match_precomputed() {
+        let pre = {
+            let mut s =
+                TransportSolver::new(&Problem::tiny().with_precomputed_integrals(true)).unwrap();
+            s.run().unwrap().scalar_flux_total
+        };
+        let fly = {
+            let mut s =
+                TransportSolver::new(&Problem::tiny().with_precomputed_integrals(false)).unwrap();
+            s.run().unwrap().scalar_flux_total
+        };
+        assert!((pre - fly).abs() < 1e-9 * pre.abs());
+    }
+
+    #[test]
+    fn source_option2_concentrates_flux_in_the_centre() {
+        let mut p = Problem::tiny();
+        p.source = SourceOption::Option2;
+        p.nx = 4;
+        p.ny = 4;
+        p.nz = 4;
+        p.inner_iterations = 4;
+        let mut solver = TransportSolver::new(&p).unwrap();
+        solver.run().unwrap();
+        // Mean flux of central cells exceeds mean flux of corner cells.
+        let grid = p.grid();
+        let phi = solver.scalar_flux();
+        let mean_of = |cell: usize| -> f64 {
+            let mut acc = 0.0;
+            for g in 0..p.num_groups {
+                acc += phi.nodes(cell, g, 0).iter().sum::<f64>();
+            }
+            acc
+        };
+        let centre = grid.cell_id(1, 1, 1);
+        let corner = grid.cell_id(0, 0, 0);
+        assert!(mean_of(centre) > mean_of(corner));
+    }
+
+    #[test]
+    fn invalid_problem_is_rejected() {
+        let mut p = Problem::tiny();
+        p.num_groups = 0;
+        assert!(TransportSolver::new(&p).is_err());
+    }
+
+    #[test]
+    fn relative_change_helper() {
+        assert_eq!(relative_change(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((relative_change(&[1.1, 2.0], &[1.0, 2.0]) - 0.1).abs() < 1e-12);
+    }
+}

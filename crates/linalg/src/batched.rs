@@ -1,0 +1,235 @@
+//! Batched solution of many independent small systems.
+//!
+//! §IV-B of the paper discusses batched LAPACK routines: they cannot help
+//! the flat-MPI configuration (each rank solves one matrix at a time and
+//! matrices are built on the fly), but under the threaded sweep schedule
+//! the elements of a wavefront bucket × energy groups form a natural batch.
+//! This module provides that capability: a [`BatchedSolver`] that solves a
+//! slice of `(matrix, rhs)` systems either sequentially or in parallel with
+//! rayon, and reports aggregate statistics so the pre-assembly ablation can
+//! quantify the storage-versus-time trade-off the paper mentions.
+
+use rayon::prelude::*;
+
+use crate::error::LinalgError;
+use crate::matrix::DenseMatrix;
+use crate::solver::{solve_flops, SolverKind};
+use crate::Result;
+
+/// Aggregate report for a batched solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchSolveReport {
+    /// Number of systems solved.
+    pub systems: usize,
+    /// Total matrix entries stored across the batch (FP64 words).
+    pub matrix_words: usize,
+    /// Estimated floating point operations performed.
+    pub flops: f64,
+}
+
+/// Solves batches of independent dense systems with a chosen back end.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedSolver {
+    kind: SolverKind,
+    /// Solve the batch with rayon when `true`; sequentially otherwise.
+    pub parallel: bool,
+}
+
+impl BatchedSolver {
+    /// Create a sequential batched solver of the given kind.
+    pub fn new(kind: SolverKind) -> Self {
+        Self {
+            kind,
+            parallel: false,
+        }
+    }
+
+    /// Enable/disable rayon parallelism over the batch.
+    pub fn with_parallelism(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The solver kind used for each system.
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Solve every `(A_i, b_i)` pair in place: each `b_i` is overwritten
+    /// with the solution and each `A_i` with factorisation data.
+    ///
+    /// All systems must be square and each right-hand side must match its
+    /// matrix; the first offending system aborts the whole batch.
+    pub fn solve_batch_in_place(
+        &self,
+        systems: &mut [(DenseMatrix, Vec<f64>)],
+    ) -> Result<BatchSolveReport> {
+        // Validate up front so a mid-batch error cannot leave half the batch
+        // solved and half untouched without the caller knowing which.
+        for (a, b) in systems.iter() {
+            if !a.is_square() {
+                return Err(LinalgError::NotSquare {
+                    rows: a.rows(),
+                    cols: a.cols(),
+                });
+            }
+            if a.rows() != b.len() {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: a.rows(),
+                    found: b.len(),
+                    what: "batched right-hand side",
+                });
+            }
+        }
+
+        let matrix_words: usize = systems.iter().map(|(a, _)| a.rows() * a.cols()).sum();
+        let flops: f64 = systems.iter().map(|(a, _)| solve_flops(a.rows())).sum();
+        let kind = self.kind;
+
+        if self.parallel {
+            systems
+                .par_iter_mut()
+                .try_for_each(|(a, b)| kind.build().solve_in_place(a, b))?;
+        } else {
+            let solver = kind.build();
+            for (a, b) in systems.iter_mut() {
+                solver.solve_in_place(a, b)?;
+            }
+        }
+
+        Ok(BatchSolveReport {
+            systems: systems.len(),
+            matrix_words,
+            flops,
+        })
+    }
+
+    /// Solve a batch given shared matrices and per-system right-hand sides,
+    /// returning the solutions.  Used by the pre-assembly ablation where a
+    /// single factorised matrix is reused across groups.
+    pub fn solve_many_rhs(&self, a: &DenseMatrix, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        let solver = self.kind.build();
+        if self.parallel {
+            rhs.par_iter().map(|b| solver.solve(a, b)).collect()
+        } else {
+            rhs.iter().map(|b| solver.solve(a, b)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::max_abs_diff;
+
+    fn make_batch(count: usize, n: usize) -> Vec<(DenseMatrix, Vec<f64>)> {
+        (0..count)
+            .map(|s| {
+                let a = DenseMatrix::from_fn(n, n, |i, j| {
+                    if i == j {
+                        10.0 + s as f64
+                    } else {
+                        1.0 / (1.0 + (i + j + s) as f64)
+                    }
+                });
+                let b: Vec<f64> = (0..n).map(|i| (i + s) as f64 + 1.0).collect();
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let originals = make_batch(6, 8);
+        let mut seq = originals.clone();
+        let mut par = originals.clone();
+        let report_seq = BatchedSolver::new(SolverKind::GaussianElimination)
+            .solve_batch_in_place(&mut seq)
+            .unwrap();
+        let report_par = BatchedSolver::new(SolverKind::GaussianElimination)
+            .with_parallelism(true)
+            .solve_batch_in_place(&mut par)
+            .unwrap();
+        assert_eq!(report_seq, report_par);
+        for ((_, xs), (_, xp)) in seq.iter().zip(par.iter()) {
+            assert!(max_abs_diff(xs, xp) < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solutions_satisfy_original_systems() {
+        let originals = make_batch(4, 16);
+        let mut work = originals.clone();
+        BatchedSolver::new(SolverKind::Mkl)
+            .solve_batch_in_place(&mut work)
+            .unwrap();
+        for ((a0, b0), (_, x)) in originals.iter().zip(work.iter()) {
+            let ax = a0.matvec(x).unwrap();
+            assert!(max_abs_diff(&ax, b0) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_counts_words_and_flops() {
+        let mut batch = make_batch(3, 8);
+        let report = BatchedSolver::new(SolverKind::ReferenceLu)
+            .solve_batch_in_place(&mut batch)
+            .unwrap();
+        assert_eq!(report.systems, 3);
+        assert_eq!(report.matrix_words, 3 * 64);
+        assert!(report.flops > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut batch: Vec<(DenseMatrix, Vec<f64>)> = vec![];
+        let report = BatchedSolver::new(SolverKind::GaussianElimination)
+            .solve_batch_in_place(&mut batch)
+            .unwrap();
+        assert_eq!(report.systems, 0);
+        assert_eq!(report.matrix_words, 0);
+    }
+
+    #[test]
+    fn invalid_system_rejected_before_any_solve() {
+        let mut batch = make_batch(2, 4);
+        batch.push((DenseMatrix::zeros(3, 4), vec![0.0; 3]));
+        let before = batch[0].1.clone();
+        let err = BatchedSolver::new(SolverKind::GaussianElimination)
+            .solve_batch_in_place(&mut batch)
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::NotSquare { .. }));
+        // Nothing was modified.
+        assert_eq!(batch[0].1, before);
+    }
+
+    #[test]
+    fn rhs_mismatch_rejected() {
+        let mut batch = vec![(DenseMatrix::identity(3), vec![1.0, 2.0])];
+        assert!(matches!(
+            BatchedSolver::new(SolverKind::GaussianElimination)
+                .solve_batch_in_place(&mut batch),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_matrix_many_rhs() {
+        let a = DenseMatrix::from_fn(8, 8, |i, j| if i == j { 4.0 } else { 0.25 });
+        let rhs: Vec<Vec<f64>> = (0..5).map(|g| vec![g as f64 + 1.0; 8]).collect();
+        let xs = BatchedSolver::new(SolverKind::Mkl)
+            .solve_many_rhs(&a, &rhs)
+            .unwrap();
+        assert_eq!(xs.len(), 5);
+        for (b, x) in rhs.iter().zip(xs.iter()) {
+            let ax = a.matvec(x).unwrap();
+            assert!(max_abs_diff(&ax, b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let s = BatchedSolver::new(SolverKind::Mkl);
+        assert_eq!(s.kind(), SolverKind::Mkl);
+    }
+}

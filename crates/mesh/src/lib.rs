@@ -1,0 +1,57 @@
+//! # unsnap-mesh
+//!
+//! Unstructured hexahedral mesh substrate for the UnSNAP mini-app.
+//!
+//! The paper (§III) builds its unstructured mesh by first constructing the
+//! original SNAP structured Cartesian grid and then *storing it in an
+//! unstructured format*: every cell keeps an explicit list of its
+//! face-neighbours instead of deriving them from `(i, j, k)` arithmetic.
+//! To make sure the code genuinely exercises unstructured behaviour, the
+//! grid can additionally be *twisted* slightly about one axis, so cells are
+//! no longer perfect cubes and per-cell geometry must be honoured.
+//!
+//! This crate provides:
+//!
+//! * [`structured`] — the structured grid description the mesh is derived
+//!   from (extents, cell counts, vertex coordinates);
+//! * [`twist`] — the mesh-twisting transform (a rotation about the z-axis
+//!   whose angle grows linearly with height);
+//! * [`unstructured`] — [`UnstructuredMesh`]: per-cell corner vertices,
+//!   explicit face connectivity, boundary tagging, and cell renumbering
+//!   helpers;
+//! * [`partition`] — the KBA-style 2-D spatial decomposition into rank
+//!   subdomains used by the distributed (block-Jacobi) schedule, with halo
+//!   face descriptions;
+//! * [`boundary`] — boundary-condition tags for the domain faces.
+//!
+//! The face-index convention (0 = x−, 1 = x+, 2 = y−, 3 = y+, 4 = z−,
+//! 5 = z+) matches `unsnap_fem::Face::index()` so the transport kernel can
+//! pair mesh connectivity with reference-element face integrals directly.
+//!
+//! ## Example
+//!
+//! ```
+//! use unsnap_mesh::{StructuredGrid, UnstructuredMesh};
+//!
+//! let grid = StructuredGrid::cube(4, 1.0);
+//! let mesh = UnstructuredMesh::from_structured(&grid, 0.001);
+//! assert_eq!(mesh.num_cells(), 64);
+//! // Every interior face is paired with the opposite face of its neighbour.
+//! let stats = mesh.connectivity_stats();
+//! assert_eq!(stats.boundary_faces, 6 * 16);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boundary;
+pub mod partition;
+pub mod structured;
+pub mod twist;
+pub mod unstructured;
+
+pub use boundary::BoundaryCondition;
+pub use partition::{Decomposition2D, HaloFace, Subdomain};
+pub use structured::StructuredGrid;
+pub use twist::MeshTwist;
+pub use unstructured::{ConnectivityStats, NeighborRef, UnstructuredMesh, NUM_FACES};

@@ -1,0 +1,195 @@
+//! Concurrency-scheme descriptors: which loop nest the assemble/solve
+//! routine uses and which of its loops are threaded.
+//!
+//! Figures 3 and 4 of the paper compare six parallel variants of the sweep.
+//! Each variant is named by its loop order from outermost to innermost —
+//! `angle/element/group` or `angle/group/element` — with bold type marking
+//! the loops that are parallelised with OpenMP (the element-node loop is
+//! always innermost and always vectorised, so it is not part of the name).
+//! The storage layout of the angular flux, scalar flux and source arrays is
+//! changed to *match* the loop order, which is what makes the comparison a
+//! data-layout experiment as much as a scheduling one.
+//!
+//! This module gives those variants a first-class representation that the
+//! solver driver in `unsnap-core` dispatches on and the benchmark binaries
+//! iterate over.
+
+use serde::{Deserialize, Serialize};
+
+/// Order of the two interchangeable middle loops of the sweep
+/// (the angle loop is always outermost; element nodes are always
+/// innermost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopOrder {
+    /// `angle / element / group`: for each element in the bucket, all
+    /// energy groups are processed before moving to the next element.
+    /// Matching data layout: group index is the fastest-moving array
+    /// extent after the node index.
+    ElementThenGroup,
+    /// `angle / group / element`: for each energy group, all elements in
+    /// the bucket are processed.  Matching data layout: element index is
+    /// the fastest-moving extent after the node index.
+    GroupThenElement,
+}
+
+impl LoopOrder {
+    /// Both loop orders, in the order the paper's legends list them.
+    pub fn all() -> [LoopOrder; 2] {
+        [LoopOrder::ElementThenGroup, LoopOrder::GroupThenElement]
+    }
+
+    /// The `outer/inner` name fragment used in figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LoopOrder::ElementThenGroup => "element/group",
+            LoopOrder::GroupThenElement => "group/element",
+        }
+    }
+}
+
+/// Which loops of the nest are executed in parallel (threaded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadedLoops {
+    /// Only the outer of the two middle loops is threaded.
+    OuterOnly,
+    /// Only the inner of the two middle loops is threaded.
+    InnerOnly,
+    /// Both middle loops are threaded together (the OpenMP `collapse(2)`
+    /// variant): the flattened element × group iteration space is divided
+    /// among threads, which is what provides enough parallel work when the
+    /// wavefront bucket is small (§IV-A.1 of the paper).
+    Collapsed,
+    /// Thread over angles within the octant instead (requires an atomic
+    /// scalar-flux reduction; shown by the paper *not* to scale — kept as
+    /// the ablation of §IV-A.3).
+    Angles,
+}
+
+impl ThreadedLoops {
+    /// The three variants that appear in Figures 3 and 4 (angle threading
+    /// is the separate ablation).
+    pub fn figure_variants() -> [ThreadedLoops; 3] {
+        [
+            ThreadedLoops::OuterOnly,
+            ThreadedLoops::InnerOnly,
+            ThreadedLoops::Collapsed,
+        ]
+    }
+}
+
+/// A complete concurrency scheme: loop order plus threading choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConcurrencyScheme {
+    /// Order of the element and group loops.
+    pub loop_order: LoopOrder,
+    /// Which loops are threaded.
+    pub threaded: ThreadedLoops,
+}
+
+impl ConcurrencyScheme {
+    /// Create a scheme.
+    pub fn new(loop_order: LoopOrder, threaded: ThreadedLoops) -> Self {
+        Self {
+            loop_order,
+            threaded,
+        }
+    }
+
+    /// The six schemes of Figures 3 and 4, in legend order.
+    pub fn figure_schemes() -> Vec<ConcurrencyScheme> {
+        let mut out = Vec::with_capacity(6);
+        for order in LoopOrder::all() {
+            for threaded in ThreadedLoops::figure_variants() {
+                out.push(ConcurrencyScheme::new(order, threaded));
+            }
+        }
+        out
+    }
+
+    /// The angle-threaded ablation scheme (§IV-A.3).
+    pub fn angle_threaded(order: LoopOrder) -> Self {
+        Self::new(order, ThreadedLoops::Angles)
+    }
+
+    /// The scheme the paper found fastest at full thread counts:
+    /// `angle/element/group` with both loops collapsed.
+    pub fn best() -> Self {
+        Self::new(LoopOrder::ElementThenGroup, ThreadedLoops::Collapsed)
+    }
+
+    /// A serial scheme (no threading at all is expressed as threading the
+    /// outer loop with one thread; the driver treats a thread count of 1 as
+    /// serial execution regardless).
+    pub fn serial() -> Self {
+        Self::new(LoopOrder::ElementThenGroup, ThreadedLoops::OuterOnly)
+    }
+
+    /// Figure-legend style label, e.g. `"angle/element*/group*"` where a
+    /// `*` marks a threaded loop (the paper uses bold type instead).
+    pub fn label(&self) -> String {
+        let (outer, inner) = match self.loop_order {
+            LoopOrder::ElementThenGroup => ("element", "group"),
+            LoopOrder::GroupThenElement => ("group", "element"),
+        };
+        match self.threaded {
+            ThreadedLoops::OuterOnly => format!("angle/{outer}*/{inner}"),
+            ThreadedLoops::InnerOnly => format!("angle/{outer}/{inner}*"),
+            ThreadedLoops::Collapsed => format!("angle/{outer}*/{inner}*"),
+            ThreadedLoops::Angles => format!("angle*/{outer}/{inner}"),
+        }
+    }
+}
+
+impl std::fmt::Display for ConcurrencyScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_figure_schemes() {
+        let schemes = ConcurrencyScheme::figure_schemes();
+        assert_eq!(schemes.len(), 6);
+        // All distinct.
+        for (i, a) in schemes.iter().enumerate() {
+            for b in schemes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_legend_like() {
+        let s = ConcurrencyScheme::new(LoopOrder::ElementThenGroup, ThreadedLoops::Collapsed);
+        assert_eq!(s.label(), "angle/element*/group*");
+        let s = ConcurrencyScheme::new(LoopOrder::GroupThenElement, ThreadedLoops::OuterOnly);
+        assert_eq!(s.label(), "angle/group*/element");
+        let s = ConcurrencyScheme::angle_threaded(LoopOrder::ElementThenGroup);
+        assert_eq!(s.label(), "angle*/element/group");
+        assert_eq!(format!("{s}"), s.label());
+    }
+
+    #[test]
+    fn best_scheme_matches_paper_conclusion() {
+        let best = ConcurrencyScheme::best();
+        assert_eq!(best.loop_order, LoopOrder::ElementThenGroup);
+        assert_eq!(best.threaded, ThreadedLoops::Collapsed);
+    }
+
+    #[test]
+    fn loop_order_labels() {
+        assert_eq!(LoopOrder::ElementThenGroup.label(), "element/group");
+        assert_eq!(LoopOrder::GroupThenElement.label(), "group/element");
+        assert_eq!(LoopOrder::all().len(), 2);
+    }
+
+    #[test]
+    fn serial_scheme_exists() {
+        let s = ConcurrencyScheme::serial();
+        assert_eq!(s.threaded, ThreadedLoops::OuterOnly);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the sweep scheduler.
+
+use proptest::prelude::*;
+
+use unsnap_mesh::{StructuredGrid, UnstructuredMesh};
+use unsnap_sweep::graph::DependencyGraph;
+use unsnap_sweep::schedule::SweepSchedule;
+
+fn direction() -> impl Strategy<Value = [f64; 3]> {
+    (
+        prop_oneof![-1.0f64..-0.02, 0.02f64..1.0],
+        prop_oneof![-1.0f64..-0.02, 0.02f64..1.0],
+        prop_oneof![-1.0f64..-0.02, 0.02f64..1.0],
+    )
+        .prop_map(|(x, y, z)| {
+            let n = (x * x + y * y + z * z).sqrt();
+            [x / n, y / n, z / n]
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedule_is_a_complete_topological_order(
+        omega in direction(),
+        nx in 1usize..6,
+        ny in 1usize..6,
+        nz in 1usize..6,
+        twist in 0.0f64..0.005,
+    ) {
+        let mesh = UnstructuredMesh::from_structured(
+            &StructuredGrid::new(nx, ny, nz, 1.0, 1.0, 1.0),
+            twist,
+        );
+        let graph = DependencyGraph::build(&mesh, omega);
+        let schedule = SweepSchedule::from_graph(&graph, None).unwrap();
+        prop_assert_eq!(schedule.num_cells_scheduled(), mesh.num_cells());
+        prop_assert_eq!(schedule.validate_against(&graph), 0);
+        // tlevel of a cell is one more than the max tlevel of its upwind
+        // neighbours.
+        for (up, downs) in graph.downwind.iter().enumerate() {
+            for &(down, _) in downs {
+                prop_assert!(schedule.tlevel[down] > schedule.tlevel[up]);
+            }
+        }
+        // Stats consistency.
+        let stats = schedule.stats();
+        prop_assert_eq!(stats.num_cells, mesh.num_cells());
+        prop_assert!(stats.max_bucket >= stats.min_bucket);
+        prop_assert!(stats.min_bucket >= 1);
+    }
+
+    #[test]
+    fn opposite_directions_reverse_the_sweep(
+        omega in direction(),
+        n in 2usize..5,
+    ) {
+        let mesh = UnstructuredMesh::from_structured(&StructuredGrid::cube(n, 1.0), 0.001);
+        let forward = SweepSchedule::build(&mesh, omega).unwrap();
+        let backward =
+            SweepSchedule::build(&mesh, [-omega[0], -omega[1], -omega[2]]).unwrap();
+        prop_assert_eq!(forward.num_buckets(), backward.num_buckets());
+        // The first bucket of the forward sweep is the last of the backward
+        // sweep (as sets).
+        let mut first: Vec<usize> = forward.buckets.first().unwrap().clone();
+        let mut last: Vec<usize> = backward.buckets.last().unwrap().clone();
+        first.sort_unstable();
+        last.sort_unstable();
+        prop_assert_eq!(first, last);
+    }
+
+    #[test]
+    fn masked_schedules_partition_the_full_mesh(
+        omega in direction(),
+        n in 2usize..5,
+        split in 1usize..4,
+    ) {
+        let mesh = UnstructuredMesh::from_structured(&StructuredGrid::cube(n, 1.0), 0.001);
+        let grid = *mesh.origin_grid();
+        let split = split.min(n);
+        // Partition by x slab into `split` pieces; the union of the masked
+        // schedules covers every cell exactly once.
+        let mut covered = vec![0usize; mesh.num_cells()];
+        for part in 0..split {
+            let lo = part * n / split;
+            let hi = (part + 1) * n / split;
+            let owned: Vec<bool> = (0..mesh.num_cells())
+                .map(|id| {
+                    let (i, _, _) = grid.cell_ijk(id);
+                    i >= lo && i < hi
+                })
+                .collect();
+            let schedule = SweepSchedule::build_masked(&mesh, omega, &owned).unwrap();
+            for &cell in schedule.buckets.iter().flatten() {
+                covered[cell] += 1;
+                prop_assert!(owned[cell]);
+            }
+            // Every non-empty subdomain can start immediately (block
+            // Jacobi property).
+            if owned.iter().any(|&o| o) {
+                prop_assert!(!schedule.buckets.is_empty());
+                prop_assert!(!schedule.buckets[0].is_empty());
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+}

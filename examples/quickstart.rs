@@ -1,0 +1,82 @@
+//! Quickstart: build a small UnSNAP problem, run it, and print a summary.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example exercises the whole public API surface: problem definition,
+//! mesh construction, sweep scheduling, the threaded DG assemble/solve
+//! sweep, and the reporting helpers (including Table I of the paper).
+
+use unsnap::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Describe the problem.  `Problem::quickstart()` is a small
+    //    configuration (6^3 cells, 4 angles/octant, 4 groups, linear
+    //    elements) that runs in a few seconds even in debug builds.
+    // ------------------------------------------------------------------
+    let problem = Problem::quickstart();
+    println!("UnSNAP quickstart");
+    println!("=================");
+    println!(
+        "mesh           : {} x {} x {} cells (twist {} rad)",
+        problem.nx, problem.ny, problem.nz, problem.twist
+    );
+    println!(
+        "phase space    : {} angles/octant x {} groups, order-{} elements",
+        problem.angles_per_octant, problem.num_groups, problem.element_order
+    );
+    println!(
+        "angular flux   : {} unknowns ({:.1} MiB)",
+        problem.angular_flux_unknowns(),
+        problem.angular_flux_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    println!("scheme         : {}", problem.scheme);
+    println!("local solver   : {}", problem.solver);
+
+    // ------------------------------------------------------------------
+    // 2. Table I of the paper: local matrix sizes per element order.
+    // ------------------------------------------------------------------
+    println!();
+    println!("Table I — local matrix sizes");
+    print!("{}", report::table1_text(5));
+
+    // ------------------------------------------------------------------
+    // 3. Inspect the sweep schedule of one direction before solving.
+    // ------------------------------------------------------------------
+    let mesh = problem.build_mesh();
+    let schedule = SweepSchedule::build(&mesh, [0.57, 0.57, 0.59]).unwrap();
+    let stats = schedule.stats();
+    println!();
+    println!(
+        "sweep schedule : {} wavefront buckets over {} cells \
+         (mean {:.1} cells/bucket, max {})",
+        stats.num_buckets, stats.num_cells, stats.mean_bucket, stats.max_bucket
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Solve.
+    // ------------------------------------------------------------------
+    let mut solver = TransportSolver::new(&problem).expect("problem should be valid");
+    let outcome = solver.run().expect("solve should succeed");
+
+    println!();
+    println!("solve summary");
+    println!("-------------");
+    println!(
+        "iterations     : {} inner x {} outer (converged: {})",
+        outcome.inner_iterations, outcome.outer_iterations, outcome.converged
+    );
+    println!(
+        "assemble/solve : {:.3} s over {} local systems",
+        outcome.assemble_solve_seconds, outcome.kernel_invocations
+    );
+    println!(
+        "scalar flux    : total {:.4e}, max {:.4e}, min {:.4e}",
+        outcome.scalar_flux_total, outcome.scalar_flux_max, outcome.scalar_flux_min
+    );
+    if let Some(last) = outcome.convergence_history.last() {
+        println!("last change    : {last:.3e}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Local dense-solver comparison (a miniature of Table II of the paper).
+//!
+//! ```text
+//! cargo run --release --example solver_comparison [-- <max_order>]
+//! ```
+//!
+//! For each finite-element order the same transport problem is solved
+//! twice: once with the hand-written Gaussian-elimination routine and once
+//! with the blocked-LU "MKL" stand-in.  The table reports the
+//! assemble/solve time and the fraction of that time spent inside the
+//! linear solve — the two quantities of Table II.
+
+use unsnap::prelude::*;
+
+fn main() {
+    let max_order: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    println!("Local solver comparison (scaled Table II problem)");
+    println!();
+    println!(
+        "{:>5}  {:>12} {:>11}   {:>12} {:>11}",
+        "Order", "GE time (s)", "% in solve", "MKL time (s)", "% in solve"
+    );
+
+    for order in 1..=max_order {
+        let mut row = format!("{order:>5}");
+        for kind in [SolverKind::GaussianElimination, SolverKind::Mkl] {
+            let problem = Problem::table2_scaled(order, kind);
+            let mut solver = TransportSolver::new(&problem).expect("valid problem");
+            let outcome = solver.run().expect("solve");
+            row.push_str(&format!(
+                "  {:>12.3} {:>10.0}%",
+                outcome.assemble_solve_seconds,
+                outcome.solve_fraction() * 100.0
+            ));
+        }
+        println!("{row}");
+    }
+
+    println!();
+    println!(
+        "(Paper shape: the hand-written GE wins for orders <= 3 where the matrix \
+         fits in L1 cache; the blocked library factorisation wins at order 4+, and \
+         the solve share of the runtime grows from ~34% at order 1 to >70% at \
+         order 3-4.)"
+    );
+}

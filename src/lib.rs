@@ -1,0 +1,71 @@
+//! # UnSNAP-rs
+//!
+//! A Rust reproduction of **UnSNAP**, the discontinuous Galerkin
+//! discrete-ordinates neutral-particle transport mini-app for unstructured
+//! hexahedral meshes (Deakin et al., *WRAp @ IEEE CLUSTER 2018*).
+//!
+//! This umbrella crate re-exports the public API of every workspace crate
+//! and hosts the runnable examples (`examples/`) and the workspace-wide
+//! integration tests (`tests/`).
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`mesh`] (`unsnap-mesh`) | structured-derived unstructured hex meshes, twisting, KBA decomposition |
+//! | [`fem`] (`unsnap-fem`) | arbitrary-order Lagrange elements, quadrature, per-element integrals |
+//! | [`linalg`] (`unsnap-linalg`) | small dense solvers: Gaussian elimination, reference LU, blocked LU (MKL stand-in) |
+//! | [`sweep`] (`unsnap-sweep`) | per-angle wavefront (tlevel-bucket) schedules and concurrency schemes |
+//! | [`core`] (`unsnap-core`) | Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, FD baseline |
+//! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use unsnap::prelude::*;
+//!
+//! let problem = Problem::tiny();
+//! let mut solver = TransportSolver::new(&problem).unwrap();
+//! let outcome = solver.run().unwrap();
+//! assert!(outcome.scalar_flux_total > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use unsnap_comm as comm;
+pub use unsnap_core as core;
+pub use unsnap_fem as fem;
+pub use unsnap_linalg as linalg;
+pub use unsnap_mesh as mesh;
+pub use unsnap_sweep as sweep;
+
+/// The most commonly used types, re-exported for convenience.
+pub mod prelude {
+    pub use unsnap_comm::{BlockJacobiSolver, HaloExchange, KbaModel};
+    pub use unsnap_core::angular::AngularQuadrature;
+    pub use unsnap_core::data::{CrossSections, MaterialOption, SourceOption};
+    pub use unsnap_core::fd::DiamondDifferenceSolver;
+    pub use unsnap_core::layout::{FluxLayout, FluxStorage};
+    pub use unsnap_core::problem::Problem;
+    pub use unsnap_core::report;
+    pub use unsnap_core::solver::{SolveOutcome, TransportSolver};
+    pub use unsnap_fem::{ElementIntegrals, HexVertices, ReferenceElement};
+    pub use unsnap_linalg::{DenseMatrix, LinearSolver, SolverKind};
+    pub use unsnap_mesh::{Decomposition2D, StructuredGrid, UnstructuredMesh};
+    pub use unsnap_sweep::{ConcurrencyScheme, LoopOrder, SweepSchedule, ThreadedLoops};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let mesh = UnstructuredMesh::from_structured(&StructuredGrid::cube(3, 1.0), 0.001);
+        let schedule = SweepSchedule::build(&mesh, [0.5, 0.6, 0.62]).unwrap();
+        assert_eq!(schedule.num_cells_scheduled(), mesh.num_cells());
+        let rows = report::table1(3);
+        assert_eq!(rows.len(), 3);
+    }
+}

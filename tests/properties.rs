@@ -1,0 +1,171 @@
+//! Workspace-wide property-based tests.
+//!
+//! These exercise cross-crate invariants with randomised inputs:
+//!
+//! * sweep schedules are valid topological orders of the per-angle
+//!   dependency graph for arbitrary directions, mesh shapes and twists;
+//! * the KBA decomposition partitions any mesh completely and disjointly
+//!   with symmetric halo faces;
+//! * flux-storage layouts are bijective index maps and agree across
+//!   orderings;
+//! * the DG kernel reproduces constant solutions for random cross
+//!   sections, directions and (twisted) cell geometries.
+
+use proptest::prelude::*;
+
+use unsnap::prelude::*;
+use unsnap_core::kernel::{assemble_solve, KernelScratch, UpwindFace, UpwindSource};
+use unsnap_fem::face::FACES;
+use unsnap_sweep::graph::DependencyGraph;
+
+/// Strategy: a unit direction with no vanishing component.
+fn direction() -> impl Strategy<Value = [f64; 3]> {
+    (
+        prop_oneof![-1.0f64..-0.05, 0.05f64..1.0],
+        prop_oneof![-1.0f64..-0.05, 0.05f64..1.0],
+        prop_oneof![-1.0f64..-0.05, 0.05f64..1.0],
+    )
+        .prop_map(|(x, y, z)| {
+            let n = (x * x + y * y + z * z).sqrt();
+            [x / n, y / n, z / n]
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn schedules_are_topological_orders(
+        omega in direction(),
+        nx in 1usize..5,
+        ny in 1usize..5,
+        nz in 1usize..5,
+        twist in 0.0f64..0.002,
+    ) {
+        let mesh = UnstructuredMesh::from_structured(
+            &StructuredGrid::new(nx, ny, nz, 1.0, 1.0, 1.0),
+            twist,
+        );
+        let graph = DependencyGraph::build(&mesh, omega);
+        let schedule = SweepSchedule::build(&mesh, omega).unwrap();
+        prop_assert_eq!(schedule.num_cells_scheduled(), mesh.num_cells());
+        prop_assert_eq!(schedule.validate_against(&graph), 0);
+        // Wavefront count is bounded by the longest possible chain.
+        prop_assert!(schedule.num_buckets() <= nx + ny + nz - 2 || mesh.num_cells() == 1);
+    }
+
+    #[test]
+    fn decomposition_partitions_any_mesh(
+        nx in 2usize..7,
+        ny in 2usize..7,
+        nz in 1usize..4,
+        px in 1usize..3,
+        py in 1usize..3,
+    ) {
+        prop_assume!(px <= nx && py <= ny);
+        let mesh = UnstructuredMesh::from_structured(
+            &StructuredGrid::new(nx, ny, nz, 1.0, 1.0, 1.0),
+            0.001,
+        );
+        let subdomains = Decomposition2D::new(px, py).decompose(&mesh);
+        let mut owner = vec![None; mesh.num_cells()];
+        for sd in &subdomains {
+            for &cell in &sd.global_cells {
+                prop_assert!(owner[cell].is_none(), "cell owned twice");
+                owner[cell] = Some(sd.rank);
+            }
+        }
+        prop_assert!(owner.iter().all(|o| o.is_some()));
+        // Halo symmetry: every halo face has a mirror on the other rank.
+        for sd in &subdomains {
+            for h in &sd.halo_faces {
+                let other = &subdomains[h.neighbor_rank];
+                let mirrored = other.halo_faces.iter().any(|g| {
+                    g.global_cell == h.neighbor_global_cell
+                        && g.neighbor_global_cell == h.global_cell
+                });
+                prop_assert!(mirrored);
+            }
+        }
+    }
+
+    #[test]
+    fn flux_layouts_are_bijective_and_consistent(
+        nodes in 1usize..28,
+        elements in 1usize..20,
+        groups in 1usize..10,
+        angles in 1usize..6,
+    ) {
+        for order in [LoopOrder::ElementThenGroup, LoopOrder::GroupThenElement] {
+            let layout = FluxLayout::angular(nodes, elements, groups, angles, order);
+            prop_assert_eq!(layout.len(), nodes * elements * groups * angles);
+            // Spot-check bijectivity on the extremes.
+            let first = layout.index(0, 0, 0, 0);
+            let last = layout.index(
+                nodes - 1,
+                elements - 1,
+                groups - 1,
+                angles - 1,
+            );
+            prop_assert_eq!(first, 0);
+            prop_assert_eq!(last, layout.len() - 1);
+            // Strides are consistent with the definition.
+            prop_assert_eq!(
+                layout.index(0, 0, 0, 0) + layout.element_stride(),
+                layout.index(0, 1.min(elements - 1), 0, 0).max(layout.element_stride())
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_reproduces_constant_solutions(
+        omega in direction(),
+        sigma_t in 0.5f64..5.0,
+        value in 0.1f64..10.0,
+        twist in 0.0f64..0.3,
+    ) {
+        let element = ReferenceElement::new(1);
+        // A twisted unit cell.
+        let mut hex = HexVertices::unit_cube();
+        let (s, c) = twist.sin_cos();
+        for corner in hex.corners.iter_mut().skip(4) {
+            let x = corner[0] - 0.5;
+            let y = corner[1] - 0.5;
+            corner[0] = 0.5 + c * x - s * y;
+            corner[1] = 0.5 + s * x + c * y;
+        }
+        let ints = ElementIntegrals::compute(&element, &hex);
+        let n = ints.nodes_per_element();
+        let source = vec![sigma_t * value; n];
+        let upwind: Vec<UpwindFace<'_>> = FACES
+            .iter()
+            .filter(|f| ints.face(**f).direction_dot_normal(omega) < 0.0)
+            .map(|f| UpwindFace {
+                face: f.index(),
+                source: UpwindSource::Boundary(value),
+            })
+            .collect();
+        let mut scratch = KernelScratch::new(n);
+        let solver = SolverKind::GaussianElimination.build();
+        assemble_solve(
+            &ints,
+            omega,
+            sigma_t,
+            &source,
+            &upwind,
+            solver.as_ref(),
+            false,
+            &mut scratch,
+        );
+        for &psi in &scratch.rhs {
+            prop_assert!((psi - value).abs() < 1e-8 * value.max(1.0));
+        }
+    }
+
+    #[test]
+    fn quadrature_weights_always_normalised(n in 1usize..40) {
+        let q = AngularQuadrature::product(n);
+        prop_assert!((q.directions().iter().map(|d| d.weight).sum::<f64>() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(q.num_angles(), 8 * n);
+    }
+}
