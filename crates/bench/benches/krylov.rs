@@ -1,0 +1,115 @@
+//! Criterion benchmark of the Krylov acceleration subsystem.
+//!
+//! Two groups:
+//!
+//! * `krylov_kernels` — raw GMRES/CG cost on dense stand-in systems at
+//!   the Table-I matrix sizes, versus the direct LU solve they replace.
+//! * `inner_strategy` — the end-to-end inner solve (source iteration vs
+//!   sweep-preconditioned GMRES) on a scattering-dominated transport
+//!   problem, the configuration where the subsystem earns its keep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use unsnap_core::problem::Problem;
+use unsnap_core::solver::TransportSolver;
+use unsnap_core::strategy::StrategyKind;
+use unsnap_krylov::{CgConfig, ConjugateGradient, Gmres, GmresConfig, MatrixOperator};
+use unsnap_linalg::{DenseMatrix, SolverKind};
+
+fn dominant_system(n: usize) -> (DenseMatrix, Vec<f64>) {
+    let a = DenseMatrix::from_fn(n, n, |i, j| {
+        if i == j {
+            6.0 + (i % 5) as f64
+        } else {
+            0.8 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    (a, b)
+}
+
+fn spd_system(n: usize) -> (DenseMatrix, Vec<f64>) {
+    let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 5) as f64 / 5.0 - 0.3);
+    let mut a = b.transpose().matmul(&b).unwrap();
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    let rhs: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    (a, rhs)
+}
+
+fn bench_krylov_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("krylov_kernels");
+    group.sample_size(20);
+    for n in [8usize, 27, 64] {
+        let (a, b) = dominant_system(n);
+        let lu = SolverKind::ReferenceLu.build();
+        group.bench_with_input(BenchmarkId::new("lu_direct", n), &n, |bench, _| {
+            bench.iter(|| black_box(lu.solve(&a, &b).unwrap()[0]))
+        });
+        let gmres = Gmres::new(GmresConfig {
+            restart: 20,
+            max_iterations: 200,
+            tolerance: 1e-10,
+        });
+        group.bench_with_input(BenchmarkId::new("gmres", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut op = MatrixOperator::new(a.clone());
+                let mut x = vec![0.0; n];
+                gmres.solve(&mut op, &b, &mut x).unwrap();
+                black_box(x[0])
+            })
+        });
+        let (spd, rhs) = spd_system(n);
+        let cg = ConjugateGradient::new(CgConfig {
+            max_iterations: 200,
+            tolerance: 1e-10,
+        });
+        group.bench_with_input(BenchmarkId::new("cg_spd", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut op = MatrixOperator::new(spd.clone());
+                let mut x = vec![0.0; n];
+                cg.solve(&mut op, &rhs, &mut x).unwrap();
+                black_box(x[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inner_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_strategy");
+    group.sample_size(10);
+    let mut base = Problem::tiny();
+    base.num_groups = 1;
+    base.nx = 4;
+    base.ny = 4;
+    base.nz = 4;
+    base.lx = 8.0;
+    base.ly = 8.0;
+    base.lz = 8.0;
+    base.scattering_ratio = Some(0.9);
+    base.convergence_tolerance = 1e-8;
+    base.inner_iterations = 600;
+    base.outer_iterations = 1;
+
+    for strategy in StrategyKind::all() {
+        let p = base.clone().with_strategy(strategy);
+        group.bench_with_input(
+            BenchmarkId::new("c0.9", strategy.label()),
+            &p,
+            |bench, problem| {
+                bench.iter_batched(
+                    || TransportSolver::new(problem).unwrap(),
+                    |mut solver| black_box(solver.run().unwrap().sweep_count),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_krylov_kernels, bench_inner_strategy);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use unsnap_linalg::{DenseMatrix, LinearSolver, SolverKind};
+use unsnap_linalg::{DenseMatrix, SolverKind};
 
 /// Build a representative DG-like system: strongly diagonally dominant
 /// with dense off-diagonal coupling.

@@ -26,16 +26,24 @@ fn bench_mesh_and_partition(c: &mut Criterion) {
     group.sample_size(20);
     for n in [8usize, 16] {
         let grid = StructuredGrid::cube(n, 1.0);
-        group.bench_with_input(BenchmarkId::new("build_twisted", n * n * n), &grid, |b, g| {
-            b.iter(|| black_box(UnstructuredMesh::from_structured(g, 0.001).num_cells()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_twisted", n * n * n),
+            &grid,
+            |b, g| b.iter(|| black_box(UnstructuredMesh::from_structured(g, 0.001).num_cells())),
+        );
         let mesh = UnstructuredMesh::from_structured(&grid, 0.001);
-        group.bench_with_input(BenchmarkId::new("decompose_2x2", n * n * n), &mesh, |b, m| {
-            b.iter(|| black_box(Decomposition2D::new(2, 2).decompose(m).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompose_2x2", n * n * n),
+            &mesh,
+            |b, m| b.iter(|| black_box(Decomposition2D::new(2, 2).decompose(m).len())),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule_construction, bench_mesh_and_partition);
+criterion_group!(
+    benches,
+    bench_schedule_construction,
+    bench_mesh_and_partition
+);
 criterion_main!(benches);

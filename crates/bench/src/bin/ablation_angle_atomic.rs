@@ -10,7 +10,9 @@
 //! against the paper's best scheme (collapsed element × group threading,
 //! contention-free) across the same thread counts.
 
-use unsnap_bench::{print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions};
+use unsnap_bench::{
+    print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions,
+};
 use unsnap_core::problem::{angle_threaded_scheme, Problem};
 use unsnap_sweep::ConcurrencyScheme;
 

@@ -1,0 +1,96 @@
+//! Ablation: source iteration versus sweep-preconditioned GMRES across
+//! scattering ratios c ∈ {0.1, 0.5, 0.9, 0.99}.
+//!
+//! Reports, per scattering ratio, the sweeps each strategy needed to hit
+//! the shared tolerance, the speedup, and the relative flux difference
+//! between the two solutions (the cross-check that acceleration does not
+//! change the physics).
+//!
+//! Environment knobs (parsed via `FromStr`):
+//!
+//! * `UNSNAP_SOLVER`  — `ge`, `lu` or `mkl` (default `ge`).
+//! * `UNSNAP_SCHEME`  — `best`, `serial` or a figure label
+//!   (default `serial`).
+//! * `UNSNAP_RESTART` — GMRES restart length (default 20).
+//! * `UNSNAP_MESH`    — cells per side of the cubic mesh (default 4).
+//! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 600).
+
+use unsnap_core::problem::Problem;
+use unsnap_core::report::{strategy_table_text, StrategyAblationRow};
+use unsnap_core::solver::TransportSolver;
+use unsnap_core::strategy::StrategyKind;
+use unsnap_linalg::SolverKind;
+use unsnap_sweep::ConcurrencyScheme;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse() {
+            Ok(value) => value,
+            Err(e) => {
+                eprintln!("ignoring {name}={raw}: {e}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let solver: SolverKind = env_parse("UNSNAP_SOLVER", SolverKind::GaussianElimination);
+    let scheme: ConcurrencyScheme = env_parse("UNSNAP_SCHEME", ConcurrencyScheme::serial());
+    let restart: usize = env_parse("UNSNAP_RESTART", 20);
+    let mesh: usize = env_parse("UNSNAP_MESH", 4);
+    let budget: usize = env_parse("UNSNAP_BUDGET", 600);
+
+    println!("Krylov ablation: SI vs sweep-preconditioned GMRES");
+    println!(
+        "  mesh {mesh}³ (8 mfp thick), 1 group, 16 angles, tolerance 1e-8, \
+         budget {budget} sweeps"
+    );
+    println!("  dense back end {solver}, scheme {scheme}, GMRES restart {restart}");
+    println!();
+
+    let mut rows = Vec::new();
+    for c in [0.1, 0.5, 0.9, 0.99] {
+        let mut p = Problem::tiny();
+        p.num_groups = 1;
+        p.nx = mesh;
+        p.ny = mesh;
+        p.nz = mesh;
+        p.lx = 8.0;
+        p.ly = 8.0;
+        p.lz = 8.0;
+        p.scattering_ratio = Some(c);
+        p.convergence_tolerance = 1e-8;
+        p.inner_iterations = budget;
+        p.outer_iterations = 1;
+        p.solver = solver;
+        p.scheme = scheme;
+        p.gmres_restart = restart;
+
+        let mut si_solver =
+            TransportSolver::new(&p.clone().with_strategy(StrategyKind::SourceIteration))
+                .expect("SI problem must validate");
+        let si = si_solver.run().expect("SI solve must run");
+        let mut gm_solver =
+            TransportSolver::new(&p.clone().with_strategy(StrategyKind::SweepGmres))
+                .expect("GMRES problem must validate");
+        let gm = gm_solver.run().expect("GMRES solve must run");
+
+        rows.push(StrategyAblationRow {
+            scattering_ratio: c,
+            si_sweeps: si.sweep_count,
+            gmres_sweeps: gm.sweep_count,
+            si_converged: si.converged,
+            gmres_converged: gm.converged,
+            flux_rel_diff: (si.scalar_flux_total - gm.scalar_flux_total).abs()
+                / si.scalar_flux_total.abs().max(1e-300),
+        });
+    }
+
+    println!("{}", strategy_table_text(&rows));
+    println!("('!' marks a strategy that exhausted its budget unconverged)");
+}

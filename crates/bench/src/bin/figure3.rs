@@ -10,7 +10,9 @@
 //! 16³ × 36 angles × 64 groups configuration; pass `--full` on a machine
 //! with enough memory to run the published size.
 
-use unsnap_bench::{print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions};
+use unsnap_bench::{
+    print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions,
+};
 use unsnap_core::problem::Problem;
 use unsnap_sweep::ConcurrencyScheme;
 

@@ -6,7 +6,9 @@
 //! cargo run --release -p unsnap-bench --bin figure4 [-- --threads 1,2,4] [--full] [--csv]
 //! ```
 
-use unsnap_bench::{print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions};
+use unsnap_bench::{
+    print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions,
+};
 use unsnap_core::problem::Problem;
 use unsnap_sweep::ConcurrencyScheme;
 

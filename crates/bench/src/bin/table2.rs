@@ -11,7 +11,10 @@
 //! default here is a single serial rank, which preserves the quantity of
 //! interest (per-core assemble/solve cost and its solve share).
 
-use unsnap_bench::{print_header, run_solver_comparison, solver_comparison_csv, solver_comparison_table, HarnessOptions};
+use unsnap_bench::{
+    print_header, run_solver_comparison, solver_comparison_csv, solver_comparison_table,
+    HarnessOptions,
+};
 use unsnap_core::problem::Problem;
 use unsnap_linalg::SolverKind;
 

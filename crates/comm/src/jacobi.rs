@@ -245,7 +245,9 @@ impl BlockJacobiSolver {
                     .as_slice()
                     .iter()
                     .zip(phi_old.iter())
-                    .fold(0.0f64, |m, (a, b)| m.max((a - b).abs() / b.abs().max(1e-12)));
+                    .fold(0.0f64, |m, (a, b)| {
+                        m.max((a - b).abs() / b.abs().max(1e-12))
+                    });
                 history.push(diff);
                 if self.problem.convergence_tolerance > 0.0
                     && diff < self.problem.convergence_tolerance
@@ -292,8 +294,7 @@ impl BlockJacobiSolver {
                             let sigma_t = self.data.xs.total(self.data.material(e), g);
                             let source_nodes = self.source.nodes(e, g, 0);
                             let inflow = &schedule.inflow_faces[e];
-                            let mut upwind: Vec<UpwindFace<'_>> =
-                                Vec::with_capacity(inflow.len());
+                            let mut upwind: Vec<UpwindFace<'_>> = Vec::with_capacity(inflow.len());
                             for &face in inflow {
                                 let src = match self.mesh.neighbor(e, face) {
                                     NeighborRef::Boundary { domain_face } => {
@@ -336,9 +337,7 @@ impl BlockJacobiSolver {
                     out
                 };
                 for (e, g, psi_nodes) in results {
-                    self.psi
-                        .nodes_mut(e, g, angle)
-                        .copy_from_slice(&psi_nodes);
+                    self.psi.nodes_mut(e, g, angle).copy_from_slice(&psi_nodes);
                     let phi = self.phi.nodes_mut(e, g, 0);
                     for (p, &v) in phi.iter_mut().zip(psi_nodes.iter()) {
                         *p += weight * v;

@@ -66,11 +66,8 @@ impl AngularQuadrature {
         let polar = gauss_legendre(np);
 
         let mut octant0 = Vec::with_capacity(n);
-        for (level, (&xi_ref, &w_polar)) in polar
-            .points
-            .iter()
-            .zip(polar.weights.iter())
-            .enumerate()
+        for (level, (&xi_ref, &w_polar)) in
+            polar.points.iter().zip(polar.weights.iter()).enumerate()
         {
             // Map the reference point from [-1, 1] to (0, 1): ξ = (x+1)/2,
             // weight scales by 1/2 so polar weights sum to 1.
@@ -185,7 +182,11 @@ mod tests {
             let norm: f64 = d.omega.iter().map(|x| x * x).sum::<f64>().sqrt();
             assert!((norm - 1.0).abs() < 1e-12);
             for c in d.omega {
-                assert!(c.abs() > 1e-6, "no grazing ordinates allowed: {:?}", d.omega);
+                assert!(
+                    c.abs() > 1e-6,
+                    "no grazing ordinates allowed: {:?}",
+                    d.omega
+                );
             }
             assert!(d.weight > 0.0);
         }

@@ -91,6 +91,43 @@ impl CrossSections {
         }
     }
 
+    /// Generate cross sections with a prescribed within-group scattering
+    /// ratio `c`.
+    ///
+    /// Totals follow the same recipe as [`CrossSections::generate`], but
+    /// the scattering matrix is purely within-group with
+    /// `σ_s(g → g) = c · σ_t(g)`, so the inner (source) iteration
+    /// contracts at exactly rate `c` in every group.  This is the knob
+    /// for building scattering-dominated scenarios (`c ≥ 0.9`) where
+    /// plain source iteration stalls and the Krylov strategies earn
+    /// their keep.
+    ///
+    /// # Panics
+    /// If `c` is outside `[0, 1)` (the medium must stay sub-critical).
+    pub fn with_scattering_ratio(num_groups: usize, num_materials: usize, c: f64) -> Self {
+        assert!(num_groups > 0 && num_materials > 0);
+        assert!(
+            (0.0..1.0).contains(&c),
+            "scattering ratio must lie in [0, 1), got {c}"
+        );
+        let g = num_groups;
+        let mut total = vec![0.0; num_materials * g];
+        let mut scatter = vec![0.0; num_materials * g * g];
+        for m in 0..num_materials {
+            for gi in 0..g {
+                let sigma_t = 1.0 + 0.5 * m as f64 + 0.01 * gi as f64;
+                total[m * g + gi] = sigma_t;
+                scatter[m * g * g + gi * g + gi] = c * sigma_t;
+            }
+        }
+        Self {
+            num_groups: g,
+            num_materials,
+            total,
+            scatter,
+        }
+    }
+
     /// Number of energy groups.
     pub fn num_groups(&self) -> usize {
         self.num_groups
@@ -275,11 +312,7 @@ mod tests {
     fn option2_marks_central_cells() {
         // Cells along the x axis at y = z = 0.5: only those with
         // 0.25 <= x <= 0.75 are central.
-        let centroids = [
-            [0.1, 0.5, 0.5],
-            [0.5, 0.5, 0.5],
-            [0.9, 0.5, 0.5],
-        ];
+        let centroids = [[0.1, 0.5, 0.5], [0.5, 0.5, 0.5], [0.9, 0.5, 0.5]];
         let data = ProblemData::generate(
             3,
             |c| centroids[c],

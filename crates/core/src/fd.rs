@@ -162,12 +162,7 @@ impl DiamondDifferenceSolver {
                     } else {
                         (0..nz).rev().collect()
                     };
-                    let boundary_in = 0.0_f64.max(
-                        self.problem
-                            .boundaries
-                            .face(0)
-                            .incoming_flux(),
-                    );
+                    let boundary_in = 0.0_f64.max(self.problem.boundaries.face(0).incoming_flux());
 
                     for g in 0..ng {
                         // Incoming-face storage: x faces (ny × nz),
@@ -215,7 +210,9 @@ impl DiamondDifferenceSolver {
                 let diff = phi_new
                     .iter()
                     .zip(phi_old.iter())
-                    .fold(0.0f64, |m, (a, b)| m.max((a - b).abs() / b.abs().max(1e-12)));
+                    .fold(0.0f64, |m, (a, b)| {
+                        m.max((a - b).abs() / b.abs().max(1e-12))
+                    });
                 history.push(diff);
                 if p.convergence_tolerance > 0.0 && diff < p.convergence_tolerance {
                     converged = true;
@@ -330,8 +327,7 @@ mod tests {
 
         let mut fem = crate::solver::TransportSolver::new(&p).unwrap();
         let fem_out = fem.run().unwrap();
-        let fem_mean = fem_out.scalar_flux_total
-            / (p.num_cells() * p.nodes_per_element()) as f64;
+        let fem_mean = fem_out.scalar_flux_total / (p.num_cells() * p.nodes_per_element()) as f64;
 
         let rel = (fd_mean - fem_mean).abs() / fem_mean;
         assert!(

@@ -141,8 +141,8 @@ pub fn assemble(
         let mut b_i = 0.0;
         for j in 0..n {
             let m_ij = row_m[j];
-            out_row[j] = sigma_t * m_ij
-                - (omega[0] * row_x[j] + omega[1] * row_y[j] + omega[2] * row_z[j]);
+            out_row[j] =
+                sigma_t * m_ij - (omega[0] * row_x[j] + omega[1] * row_y[j] + omega[2] * row_z[j]);
             b_i += m_ij * source_nodes[j];
         }
         scratch.rhs[i] = b_i;

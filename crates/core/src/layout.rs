@@ -332,7 +332,13 @@ mod tests {
             for e in 0..4 {
                 for g in 0..2 {
                     for node in 0..3 {
-                        a.set(node, e, g, angle, (1000 * angle + 100 * e + 10 * g + node) as f64);
+                        a.set(
+                            node,
+                            e,
+                            g,
+                            angle,
+                            (1000 * angle + 100 * e + 10 * g + node) as f64,
+                        );
                     }
                 }
             }

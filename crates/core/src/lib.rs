@@ -36,6 +36,8 @@
 //! * [`kernel`] — the per-element/angle/group assemble + solve kernel.
 //! * [`solver`] — the sweep driver: inner/outer iteration structure,
 //!   concurrency schemes, timers and convergence monitoring.
+//! * [`strategy`] — pluggable inner-iteration strategies: classic source
+//!   iteration and sweep-preconditioned GMRES (via `unsnap-krylov`).
 //! * [`fd`] — the structured diamond-difference baseline (the original
 //!   SNAP spatial discretisation) for the FD-versus-FEM comparison.
 //! * [`preassembly`] — the pre-assembled / pre-factorised matrix ablation
@@ -69,9 +71,11 @@ pub mod preassembly;
 pub mod problem;
 pub mod report;
 pub mod solver;
+pub mod strategy;
 
 pub use angular::{AngularQuadrature, Direction};
 pub use data::{CrossSections, MaterialOption, SourceOption};
 pub use layout::{FluxLayout, FluxStorage};
 pub use problem::Problem;
-pub use solver::{SolveOutcome, TransportSolver};
+pub use solver::{RunStats, SolveOutcome, TransportSolver};
+pub use strategy::{IterationStrategy, SourceIteration, StrategyKind, SweepGmres};

@@ -16,6 +16,7 @@ use unsnap_mesh::{StructuredGrid, UnstructuredMesh};
 use unsnap_sweep::{ConcurrencyScheme, LoopOrder, ThreadedLoops};
 
 use crate::data::{MaterialOption, SourceOption};
+use crate::strategy::StrategyKind;
 
 /// Full description of an UnSNAP run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +58,17 @@ pub struct Problem {
     pub convergence_tolerance: f64,
     /// Local dense solver back end (GE, reference LU or the MKL stand-in).
     pub solver: SolverKind,
+    /// Inner-iteration strategy: classic source iteration or the
+    /// sweep-preconditioned Krylov solve.
+    pub strategy: StrategyKind,
+    /// GMRES restart length `m` (only read by the Krylov strategies).
+    pub gmres_restart: usize,
+    /// Optional override of the within-group scattering ratio `c`.
+    /// `None` keeps the SNAP recipe (`c ≈ 0.5–0.7`); `Some(c)` replaces
+    /// the scattering matrix with purely within-group scattering
+    /// `σ_s(g → g) = c · σ_t(g)`, the knob for scattering-dominated
+    /// scenarios where source iteration stalls.
+    pub scattering_ratio: Option<f64>,
     /// Concurrency scheme for the sweep.
     pub scheme: ConcurrencyScheme,
     /// Number of worker threads (`None` = rayon's default).
@@ -90,6 +102,9 @@ impl Problem {
             outer_iterations: 1,
             convergence_tolerance: 0.0,
             solver: SolverKind::GaussianElimination,
+            strategy: StrategyKind::SourceIteration,
+            gmres_restart: 20,
+            scattering_ratio: None,
             scheme: ConcurrencyScheme::serial(),
             num_threads: Some(1),
             precompute_integrals: true,
@@ -235,6 +250,25 @@ impl Problem {
         self
     }
 
+    /// Override the inner-iteration strategy.
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the GMRES restart length.
+    pub fn with_gmres_restart(mut self, restart: usize) -> Self {
+        self.gmres_restart = restart;
+        self
+    }
+
+    /// Override the within-group scattering ratio (see
+    /// [`Problem::scattering_ratio`]).
+    pub fn with_scattering_ratio(mut self, c: f64) -> Self {
+        self.scattering_ratio = Some(c);
+        self
+    }
+
     /// Override the element order.
     pub fn with_order(mut self, order: usize) -> Self {
         self.element_order = order;
@@ -330,6 +364,16 @@ impl Problem {
         }
         if self.twist < 0.0 {
             return Err("twist angle must be non-negative".into());
+        }
+        if self.gmres_restart == 0 {
+            return Err("GMRES restart length must be at least 1".into());
+        }
+        if let Some(c) = self.scattering_ratio {
+            if !(0.0..1.0).contains(&c) {
+                return Err(format!(
+                    "scattering ratio must lie in [0, 1) for a sub-critical medium, got {c}"
+                ));
+            }
         }
         Ok(())
     }
@@ -431,14 +475,54 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_parameters() {
-        assert!(Problem { nx: 0, ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { lx: -1.0, ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { element_order: 0, ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { angles_per_octant: 0, ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { num_groups: 0, ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { inner_iterations: 0, ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { num_threads: Some(0), ..Problem::tiny() }.validate().is_err());
-        assert!(Problem { twist: -0.1, ..Problem::tiny() }.validate().is_err());
+        assert!(Problem {
+            nx: 0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            lx: -1.0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            element_order: 0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            angles_per_octant: 0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            num_groups: 0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            inner_iterations: 0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            num_threads: Some(0),
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            twist: -0.1,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 
 use unsnap_fem::element::{local_matrix_footprint_bytes, nodes_for_order};
 
+use crate::solver::SolveOutcome;
+
 /// One row of Table I of the paper: the size of the local matrix for a
 /// finite-element order and its FP64 footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +37,82 @@ pub fn table1_text(max_order: usize) -> String {
         out.push_str(&format!(
             "{:>5}  {:>4} x {:<4}  {:>10.1}\n",
             row.order, row.matrix_size, row.matrix_size, row.footprint_kb
+        ));
+    }
+    out
+}
+
+/// One-line iteration summary of a solve, including the Krylov counters
+/// when the run used a Krylov strategy.
+pub fn iteration_summary(outcome: &SolveOutcome) -> String {
+    let mut out = format!(
+        "{} in {} sweeps ({} inner iterations)",
+        if outcome.converged {
+            "converged"
+        } else {
+            "NOT converged"
+        },
+        outcome.sweep_count,
+        outcome.inner_iterations,
+    );
+    if outcome.krylov_iterations > 0 {
+        let final_residual = outcome
+            .krylov_residual_history
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            ", {} Krylov iterations, final residual {final_residual:.2e}",
+            outcome.krylov_iterations
+        ));
+    }
+    out
+}
+
+/// One row of the source-iteration-versus-GMRES ablation: how many
+/// sweeps each strategy needed at one scattering ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyAblationRow {
+    /// Within-group scattering ratio `c` of the scenario.
+    pub scattering_ratio: f64,
+    /// Sweeps source iteration needed (its inner-iteration count).
+    pub si_sweeps: usize,
+    /// Sweeps the GMRES strategy needed (including RHS/consistency
+    /// sweeps).
+    pub gmres_sweeps: usize,
+    /// Whether source iteration met the tolerance within its budget.
+    pub si_converged: bool,
+    /// Whether GMRES met the tolerance within its budget.
+    pub gmres_converged: bool,
+    /// Relative difference of the two scalar-flux totals.
+    pub flux_rel_diff: f64,
+}
+
+impl StrategyAblationRow {
+    /// Sweep-count ratio SI / GMRES (the acceleration factor).
+    pub fn speedup(&self) -> f64 {
+        if self.gmres_sweeps == 0 {
+            0.0
+        } else {
+            self.si_sweeps as f64 / self.gmres_sweeps as f64
+        }
+    }
+}
+
+/// Render the SI-versus-GMRES ablation as fixed-width text.
+pub fn strategy_table_text(rows: &[StrategyAblationRow]) -> String {
+    let mut out = String::from("    c   SI sweeps  GMRES sweeps  speedup  flux rel diff\n");
+    for row in rows {
+        let mark = |converged: bool| if converged { ' ' } else { '!' };
+        out.push_str(&format!(
+            "{:>5.2}  {:>9}{} {:>12}{} {:>8.1}  {:>13.2e}\n",
+            row.scattering_ratio,
+            row.si_sweeps,
+            mark(row.si_converged),
+            row.gmres_sweeps,
+            mark(row.gmres_converged),
+            row.speedup(),
+            row.flux_rel_diff,
         ));
     }
     out
@@ -122,6 +200,66 @@ mod tests {
         assert!(text.contains("216 x 216"));
         assert!(text.contains("8 x 8"));
         assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn iteration_summary_mentions_krylov_only_when_used() {
+        let mut outcome = SolveOutcome {
+            inner_iterations: 12,
+            outer_iterations: 1,
+            sweep_count: 12,
+            krylov_iterations: 0,
+            krylov_residual_history: Vec::new(),
+            converged: true,
+            convergence_history: vec![0.1, 0.01],
+            assemble_solve_seconds: 0.0,
+            kernel_assemble_seconds: 0.0,
+            kernel_solve_seconds: 0.0,
+            kernel_invocations: 0,
+            scalar_flux_total: 1.0,
+            scalar_flux_max: 1.0,
+            scalar_flux_min: 0.0,
+        };
+        let text = iteration_summary(&outcome);
+        assert!(text.contains("converged in 12 sweeps"));
+        assert!(!text.contains("Krylov"));
+
+        outcome.krylov_iterations = 9;
+        outcome.krylov_residual_history = vec![1.0, 1e-9];
+        outcome.sweep_count = 12;
+        let text = iteration_summary(&outcome);
+        assert!(text.contains("9 Krylov iterations"));
+        assert!(text.contains("1.00e-9"));
+    }
+
+    #[test]
+    fn strategy_table_lists_all_rows_and_flags_nonconvergence() {
+        let rows = [
+            StrategyAblationRow {
+                scattering_ratio: 0.5,
+                si_sweeps: 40,
+                gmres_sweeps: 10,
+                si_converged: true,
+                gmres_converged: true,
+                flux_rel_diff: 1e-10,
+            },
+            StrategyAblationRow {
+                scattering_ratio: 0.99,
+                si_sweeps: 1000,
+                gmres_sweeps: 25,
+                si_converged: false,
+                gmres_converged: true,
+                flux_rel_diff: 2e-6,
+            },
+        ];
+        assert!((rows[0].speedup() - 4.0).abs() < 1e-12);
+        let text = strategy_table_text(&rows);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("0.99"));
+        assert!(
+            text.contains("1000!"),
+            "non-converged rows are flagged: {text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Pluggable inner-iteration strategies for the transport solver.
+//!
+//! The seed solver resolves the within-group scattering fixed point
+//!
+//! ```text
+//! φ = D L⁻¹ (S_w φ + q_ext)
+//! ```
+//!
+//! by **source iteration** (SI): apply the right-hand side repeatedly and
+//! let the contraction — whose rate is the within-group scattering ratio
+//! `c` — do the work.  That is [`SourceIteration`], reproduced here
+//! bit-for-bit from the original inner loop.  SI needs `O(log tol / log
+//! c)` sweeps, which blows up as `c → 1` (scattering-dominated media).
+//!
+//! [`SweepGmres`] instead treats one full transport sweep `D L⁻¹` as the
+//! preconditioner application and hands the equivalent linear system
+//!
+//! ```text
+//! (I − D L⁻¹ S_w) φ = D L⁻¹ q_ext
+//! ```
+//!
+//! to the matrix-free GMRES(m) solver from `unsnap-krylov`.  Every Krylov
+//! iteration costs exactly one sweep (the same unit of work as one SI
+//! iteration), so sweep counts are directly comparable between the two
+//! strategies — and on high-`c` problems GMRES needs dramatically fewer.
+//!
+//! Strategies are selected per [`Problem`](crate::problem::Problem) via
+//! [`StrategyKind`] and run by
+//! [`TransportSolver::run`](crate::solver::TransportSolver::run); both see
+//! the same convergence tolerance and the same `inner_iterations` budget
+//! per outer iteration.  The group-to-group (outer Jacobi) coupling is
+//! untouched: within one outer iteration the operator is block-diagonal
+//! over groups, so a single Krylov space over the full scalar-flux vector
+//! solves every group's within-group equation simultaneously.
+
+use serde::{Deserialize, Serialize};
+
+use unsnap_krylov::{Gmres, GmresConfig, LinearOperator};
+
+use crate::solver::{relative_change, RunStats, TransportSolver};
+
+/// Which inner-iteration strategy the solver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum StrategyKind {
+    /// Classic lagged source iteration (the SNAP/UnSNAP scheme).
+    #[default]
+    SourceIteration,
+    /// Sweep-preconditioned GMRES(m) on the within-group fixed point.
+    SweepGmres,
+}
+
+impl StrategyKind {
+    /// All selectable strategies, in report order.
+    pub fn all() -> [StrategyKind; 2] {
+        [StrategyKind::SourceIteration, StrategyKind::SweepGmres]
+    }
+
+    /// Instantiate the strategy object.
+    pub fn build(self) -> Box<dyn IterationStrategy> {
+        match self {
+            StrategyKind::SourceIteration => Box::new(SourceIteration),
+            StrategyKind::SweepGmres => Box::new(SweepGmres),
+        }
+    }
+
+    /// Short name used in tables and for CLI/env selection.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::SourceIteration => "SI",
+            StrategyKind::SweepGmres => "GMRES",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "si" | "source" | "source-iteration" => Ok(StrategyKind::SourceIteration),
+            "gmres" | "sweep-gmres" | "krylov" => Ok(StrategyKind::SweepGmres),
+            other => Err(format!("unknown iteration strategy '{other}'")),
+        }
+    }
+}
+
+/// An inner-iteration scheme: given the solver mid-outer-iteration
+/// (`phi_outer` freshly saved), drive the within-group solve.
+///
+/// Implementations report work through `stats` (sweep counts, kernel
+/// timing, convergence history) and return whether the inner solve met
+/// the problem's convergence tolerance.
+pub trait IterationStrategy {
+    /// Short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Run the inner iterations of one outer iteration.
+    fn run_inners(
+        &self,
+        solver: &mut TransportSolver,
+        stats: &mut RunStats,
+    ) -> Result<bool, String>;
+}
+
+/// The seed's lagged source iteration, unchanged.
+pub struct SourceIteration;
+
+impl IterationStrategy for SourceIteration {
+    fn name(&self) -> &'static str {
+        "source iteration"
+    }
+
+    fn run_inners(
+        &self,
+        solver: &mut TransportSolver,
+        stats: &mut RunStats,
+    ) -> Result<bool, String> {
+        let inner_iterations = solver.problem().inner_iterations;
+        let tolerance = solver.problem().convergence_tolerance;
+        for _inner in 0..inner_iterations {
+            stats.inner_iterations += 1;
+            solver.compute_source();
+            solver.save_phi_inner();
+            solver.sweep_once(stats);
+            let diff = relative_change(solver.phi_slice(), solver.phi_inner_slice());
+            stats.convergence_history.push(diff);
+            if tolerance > 0.0 && diff < tolerance {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// The within-group transport operator `v ↦ (I − D L⁻¹ S_w) v`, applied
+/// matrix-free: one scatter-scale plus one full sweep per application.
+struct SweepOperator<'a, 'b> {
+    solver: &'a mut TransportSolver,
+    stats: &'b mut RunStats,
+}
+
+impl LinearOperator for SweepOperator<'_, '_> {
+    fn dim(&self) -> usize {
+        self.solver.phi_slice().len()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.solver.set_source_to_within_group_scatter(x);
+        // Boundary inflow is part of the affine right-hand side, not the
+        // operator: sweep with homogeneous (vacuum) boundaries so the
+        // application stays linear in `x`.
+        self.solver.set_homogeneous_boundaries(true);
+        self.solver.sweep_once(self.stats);
+        self.solver.set_homogeneous_boundaries(false);
+        for ((yi, xi), phi) in y
+            .iter_mut()
+            .zip(x.iter())
+            .zip(self.solver.phi_slice().iter())
+        {
+            *yi = xi - phi;
+        }
+    }
+}
+
+/// Sweep-preconditioned GMRES(m) on the within-group fixed point.
+pub struct SweepGmres;
+
+impl IterationStrategy for SweepGmres {
+    fn name(&self) -> &'static str {
+        "sweep-preconditioned GMRES"
+    }
+
+    fn run_inners(
+        &self,
+        solver: &mut TransportSolver,
+        stats: &mut RunStats,
+    ) -> Result<bool, String> {
+        let problem = solver.problem();
+        let config = GmresConfig {
+            restart: problem.gmres_restart,
+            // One Krylov iteration costs one sweep, so the inner budget
+            // carries over unchanged from source iteration.
+            max_iterations: problem.inner_iterations,
+            tolerance: problem.convergence_tolerance,
+        };
+
+        // Warm-start from the current flux (zero on the first outer,
+        // the previous outer's solution afterwards).
+        let mut x = solver.phi_slice().to_vec();
+
+        // Right-hand side b = D L⁻¹ q_ext: one sweep of the external
+        // (fixed + cross-group) source.
+        solver.compute_external_source();
+        solver.sweep_once(stats);
+        let b = solver.phi_slice().to_vec();
+
+        let outcome = Gmres::new(config)
+            .solve(&mut SweepOperator { solver, stats }, &b, &mut x)
+            .map_err(|e| format!("sweep-GMRES inner solve failed: {e}"))?;
+        stats.inner_iterations += outcome.iterations;
+        stats.krylov_iterations += outcome.iterations;
+        stats
+            .krylov_residual_history
+            .extend_from_slice(&outcome.residual_history);
+
+        // Consistency sweep: regenerate the angular flux (and the final
+        // scalar flux) from the converged iterate with the full source,
+        // so ψ/φ leave the solver physically consistent exactly as a
+        // source-iteration step would.
+        solver.set_phi(&x);
+        solver.save_phi_inner();
+        solver.compute_source();
+        solver.sweep_once(stats);
+        let diff = relative_change(solver.phi_slice(), solver.phi_inner_slice());
+        stats.convergence_history.push(diff);
+
+        Ok(outcome.converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_strings() {
+        for kind in StrategyKind::all() {
+            let parsed: StrategyKind = kind.label().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+        assert_eq!(
+            "si".parse::<StrategyKind>().unwrap(),
+            StrategyKind::SourceIteration
+        );
+        assert_eq!(
+            "krylov".parse::<StrategyKind>().unwrap(),
+            StrategyKind::SweepGmres
+        );
+        assert!("nonsense".parse::<StrategyKind>().is_err());
+    }
+
+    #[test]
+    fn default_is_source_iteration() {
+        assert_eq!(StrategyKind::default(), StrategyKind::SourceIteration);
+    }
+
+    #[test]
+    fn build_produces_named_strategies() {
+        assert_eq!(
+            StrategyKind::SourceIteration.build().name(),
+            "source iteration"
+        );
+        assert_eq!(
+            StrategyKind::SweepGmres.build().name(),
+            "sweep-preconditioned GMRES"
+        );
+    }
+}

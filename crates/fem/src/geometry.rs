@@ -334,10 +334,7 @@ mod tests {
                     face_centre[1] - centroid[1],
                     face_centre[2] - centroid[2],
                 ];
-                assert!(
-                    dot3(face_vec, out) > 0.0,
-                    "face {face} normal not outward"
-                );
+                assert!(dot3(face_vec, out) > 0.0, "face {face} normal not outward");
                 for d in 0..3 {
                     total[d] += face_vec[d];
                 }

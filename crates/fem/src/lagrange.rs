@@ -141,10 +141,7 @@ mod tests {
                 for j in 0..=p {
                     let v = b.value(i, b.nodes()[j]);
                     let expected = if i == j { 1.0 } else { 0.0 };
-                    assert!(
-                        (v - expected).abs() < 1e-12,
-                        "p = {p}, l_{i}(x_{j}) = {v}"
-                    );
+                    assert!((v - expected).abs() < 1e-12, "p = {p}, l_{i}(x_{j}) = {v}");
                 }
             }
         }
@@ -158,7 +155,10 @@ mod tests {
                 let sum: f64 = b.values(x).iter().sum();
                 assert!((sum - 1.0).abs() < 1e-11, "p = {p}, x = {x}: {sum}");
                 let dsum: f64 = b.derivatives(x).iter().sum();
-                assert!(dsum.abs() < 1e-10, "p = {p}, x = {x}: derivative sum {dsum}");
+                assert!(
+                    dsum.abs() < 1e-10,
+                    "p = {p}, x = {x}: derivative sum {dsum}"
+                );
             }
         }
     }

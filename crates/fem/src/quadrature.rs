@@ -202,7 +202,11 @@ mod tests {
         for n in 1..=8 {
             let rule = gauss_legendre(n);
             for k in 0..(2 * n) {
-                let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+                let exact = if k % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (k as f64 + 1.0)
+                };
                 let approx = rule.integrate(|x| x.powi(k as i32));
                 assert!(
                     (approx - exact).abs() < 1e-12,

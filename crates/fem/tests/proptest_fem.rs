@@ -21,23 +21,17 @@ use unsnap_fem::quadrature::gauss_legendre;
 /// Strategy: a mildly deformed hexahedral cell (stretched box with a
 /// rotation of the top face, like the UnSNAP twist but larger).
 fn random_cell() -> impl Strategy<Value = HexVertices> {
-    (
-        0.5f64..2.0,
-        0.5f64..2.0,
-        0.5f64..2.0,
-        0.0f64..0.3,
-    )
-        .prop_map(|(lx, ly, lz, angle)| {
-            let mut hex = HexVertices::axis_aligned([0.0; 3], [lx, ly, lz]);
-            let (s, c) = angle.sin_cos();
-            for corner in hex.corners.iter_mut().skip(4) {
-                let x = corner[0] - lx / 2.0;
-                let y = corner[1] - ly / 2.0;
-                corner[0] = lx / 2.0 + c * x - s * y;
-                corner[1] = ly / 2.0 + s * x + c * y;
-            }
-            hex
-        })
+    (0.5f64..2.0, 0.5f64..2.0, 0.5f64..2.0, 0.0f64..0.3).prop_map(|(lx, ly, lz, angle)| {
+        let mut hex = HexVertices::axis_aligned([0.0; 3], [lx, ly, lz]);
+        let (s, c) = angle.sin_cos();
+        for corner in hex.corners.iter_mut().skip(4) {
+            let x = corner[0] - lx / 2.0;
+            let y = corner[1] - ly / 2.0;
+            corner[0] = lx / 2.0 + c * x - s * y;
+            corner[1] = ly / 2.0 + s * x + c * y;
+        }
+        hex
+    })
 }
 
 proptest! {

@@ -1,0 +1,215 @@
+//! Conjugate gradients over a matrix-free [`LinearOperator`].
+//!
+//! CG is the method of choice when the operator is symmetric positive
+//! definite: it needs only three working vectors (GMRES stores the whole
+//! Krylov basis) and one matrix–vector product per iteration.  The
+//! transport within-group operator `I − L⁻¹S` is *not* symmetric, so the
+//! sweep-preconditioned solver uses GMRES — CG is provided for the
+//! symmetric systems that appear elsewhere (diffusion synthetic
+//! acceleration, mass-matrix solves) and as an independent cross-check in
+//! the property tests.
+
+use unsnap_linalg::vector::{axpy, dot, norm2};
+
+use crate::operator::LinearOperator;
+use crate::{KrylovError, KrylovOutcome};
+
+/// Tuning knobs for [`ConjugateGradient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgConfig {
+    /// Hard cap on iterations (one matvec each).
+    pub max_iterations: usize,
+    /// Relative residual target: converged when
+    /// `‖b − A x‖₂ ≤ tolerance · ‖b‖₂`.
+    pub tolerance: f64,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 500,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Conjugate-gradient solver for symmetric positive definite operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConjugateGradient {
+    config: CgConfig,
+}
+
+impl ConjugateGradient {
+    /// Create a solver with the given configuration.
+    pub fn new(config: CgConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CgConfig {
+        &self.config
+    }
+
+    /// Solve `A x = b` for SPD `A`, using `x` as the initial guess and
+    /// leaving the solution in it.
+    pub fn solve(
+        &self,
+        op: &mut dyn LinearOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<KrylovOutcome, KrylovError> {
+        let n = op.dim();
+        if b.len() != n || x.len() != n {
+            return Err(KrylovError::DimensionMismatch {
+                operator: n,
+                vector: if b.len() != n { b.len() } else { x.len() },
+            });
+        }
+        let b_norm = norm2(b);
+        if b_norm == 0.0 {
+            x.fill(0.0);
+            return Ok(KrylovOutcome::trivial());
+        }
+        let target = self.config.tolerance * b_norm;
+
+        let mut outcome = KrylovOutcome::default();
+        let mut r = vec![0.0f64; n];
+        op.apply(x, &mut r);
+        outcome.matvecs += 1;
+        for (ri, bi) in r.iter_mut().zip(b.iter()) {
+            *ri = bi - *ri;
+        }
+        let mut p = r.clone();
+        let mut ap = vec![0.0f64; n];
+        let mut rho = dot(&r, &r);
+        let mut res_norm = rho.sqrt();
+        outcome.residual_history.push(res_norm / b_norm);
+
+        while res_norm > target && outcome.iterations < self.config.max_iterations {
+            op.apply(&p, &mut ap);
+            outcome.iterations += 1;
+            outcome.matvecs += 1;
+            let p_ap = dot(&p, &ap);
+            if p_ap <= 0.0 {
+                // A direction of non-positive curvature: the operator is
+                // not SPD (or rounding has destroyed it).
+                return Err(KrylovError::NotPositiveDefinite {
+                    at_iteration: outcome.iterations,
+                });
+            }
+            let alpha = rho / p_ap;
+            axpy(alpha, &p, x);
+            axpy(-alpha, &ap, &mut r);
+            let rho_next = dot(&r, &r);
+            let beta = rho_next / rho;
+            for (pi, &ri) in p.iter_mut().zip(r.iter()) {
+                *pi = ri + beta * *pi;
+            }
+            rho = rho_next;
+            res_norm = rho.sqrt();
+            outcome.residual_history.push(res_norm / b_norm);
+        }
+
+        outcome.converged = res_norm <= target;
+        outcome.final_residual = res_norm / b_norm;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MatrixOperator;
+    use unsnap_linalg::vector::max_abs_diff;
+    use unsnap_linalg::{DenseMatrix, LinearSolver, LuSolver};
+
+    /// A symmetric positive definite matrix: Bᵀ B + n·I.
+    fn spd(n: usize) -> DenseMatrix {
+        let b = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 7) as f64 / 7.0 - 0.4);
+        let mut a = b.transpose().matmul(&b).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn matches_lu_on_spd_system() {
+        let n = 20;
+        let a = spd(n);
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let reference = LuSolver::new().solve(&a, &b).unwrap();
+        let mut op = MatrixOperator::new(a);
+        let mut x = vec![0.0; n];
+        let outcome = ConjugateGradient::new(CgConfig {
+            max_iterations: 200,
+            tolerance: 1e-12,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(outcome.converged);
+        assert!(max_abs_diff(&x, &reference) < 1e-8);
+    }
+
+    #[test]
+    fn converges_within_n_iterations_on_identity() {
+        let mut op = MatrixOperator::new(DenseMatrix::identity(8));
+        let b = vec![3.0; 8];
+        let mut x = vec![0.0; 8];
+        let outcome = ConjugateGradient::default()
+            .solve(&mut op, &b, &mut x)
+            .unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.iterations <= 1);
+        assert!(max_abs_diff(&x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite_operator() {
+        // diag(1, -1) has a negative-curvature direction.
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, -1.0]).unwrap();
+        let mut op = MatrixOperator::new(a);
+        let mut x = vec![0.0; 2];
+        let result = ConjugateGradient::default().solve(&mut op, &[0.0, 1.0], &mut x);
+        assert!(matches!(
+            result,
+            Err(KrylovError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let mut op = MatrixOperator::new(spd(4));
+        let mut x = vec![1.0; 4];
+        let outcome = ConjugateGradient::default()
+            .solve(&mut op, &[0.0; 4], &mut x)
+            .unwrap();
+        assert!(outcome.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut op = MatrixOperator::new(spd(4));
+        let mut x = vec![0.0; 4];
+        assert!(ConjugateGradient::default()
+            .solve(&mut op, &[1.0; 5], &mut x)
+            .is_err());
+    }
+
+    #[test]
+    fn iteration_cap_reports_unconverged() {
+        let n = 30;
+        let mut op = MatrixOperator::new(spd(n));
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let outcome = ConjugateGradient::new(CgConfig {
+            max_iterations: 2,
+            tolerance: 1e-15,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations, 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! Restarted GMRES(m) over a matrix-free [`LinearOperator`].
+//!
+//! The implementation is the textbook Saad–Schultz method: an Arnoldi
+//! process with modified Gram–Schmidt builds an orthonormal Krylov basis
+//! `V` and an upper-Hessenberg projection `H`; Givens rotations maintain
+//! the QR factorisation of `H` incrementally, so the least-squares residual
+//! is available after every matrix–vector product without solving
+//! anything.  When the basis reaches the restart length `m` (or the
+//! residual estimate passes the tolerance), the minimiser is recovered by
+//! one small back-substitution and the outer loop restarts from the true
+//! residual.
+//!
+//! The Hessenberg matrix lives in a [`DenseMatrix`] from `unsnap-linalg`
+//! and all vector arithmetic uses that crate's `vector` kernels, keeping
+//! the hot inner products on the same stride-1 primitives as the rest of
+//! the workspace.
+
+use unsnap_linalg::matrix::DenseMatrix;
+use unsnap_linalg::vector::{axpy, dot, norm2, scale};
+
+use crate::operator::LinearOperator;
+use crate::{KrylovError, KrylovOutcome};
+
+/// Tuning knobs for [`Gmres`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmresConfig {
+    /// Restart length `m`: the Krylov basis is rebuilt after this many
+    /// matrix–vector products.  Memory grows as `m` basis vectors.
+    pub restart: usize,
+    /// Hard cap on matrix–vector products across all restart cycles.
+    pub max_iterations: usize,
+    /// Relative residual target: convergence is declared when
+    /// `‖b − A x‖₂ ≤ tolerance · ‖b‖₂`.
+    pub tolerance: f64,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        Self {
+            restart: 30,
+            max_iterations: 500,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Restarted GMRES(m) solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gmres {
+    config: GmresConfig,
+}
+
+impl Gmres {
+    /// Create a solver with the given configuration.
+    pub fn new(config: GmresConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GmresConfig {
+        &self.config
+    }
+
+    /// Solve `A x = b`, using `x` as the initial guess and leaving the
+    /// solution in it.
+    pub fn solve(
+        &self,
+        op: &mut dyn LinearOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<KrylovOutcome, KrylovError> {
+        let n = op.dim();
+        if b.len() != n || x.len() != n {
+            return Err(KrylovError::DimensionMismatch {
+                operator: n,
+                vector: if b.len() != n { b.len() } else { x.len() },
+            });
+        }
+        if self.config.restart == 0 {
+            return Err(KrylovError::InvalidConfig(
+                "GMRES restart length must be at least 1",
+            ));
+        }
+        let m = self.config.restart.min(n.max(1));
+        let b_norm = norm2(b);
+        let target = if b_norm == 0.0 {
+            // A zero right-hand side has the zero solution.
+            x.fill(0.0);
+            return Ok(KrylovOutcome::trivial());
+        } else {
+            self.config.tolerance * b_norm
+        };
+
+        let mut outcome = KrylovOutcome::default();
+        // Arnoldi basis: m + 1 vectors of length n.
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        // Hessenberg projection, (m + 1) × m, reset every cycle.
+        let mut hess = DenseMatrix::zeros(m + 1, m);
+        // Givens cosines/sines and the rotated residual vector g.
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        let mut residual = vec![0.0f64; n];
+        let mut w = vec![0.0f64; n];
+
+        // True residual r = b − A x for the current iterate.
+        let true_residual = |x: &mut [f64],
+                             residual: &mut [f64],
+                             op: &mut dyn LinearOperator,
+                             outcome: &mut KrylovOutcome| {
+            op.apply(x, residual);
+            outcome.matvecs += 1;
+            for (r, bi) in residual.iter_mut().zip(b.iter()) {
+                *r = bi - *r;
+            }
+            norm2(residual)
+        };
+
+        let mut beta = true_residual(x, &mut residual, op, &mut outcome);
+        outcome.residual_history.push(beta / b_norm);
+        if beta <= target {
+            outcome.converged = true;
+            outcome.final_residual = beta / b_norm;
+            return Ok(outcome);
+        }
+
+        while outcome.iterations < self.config.max_iterations {
+            // Start a cycle from the normalised true residual.
+            basis.clear();
+            let mut v0 = residual.clone();
+            scale(1.0 / beta, &mut v0);
+            basis.push(v0);
+            hess.clear();
+            g.fill(0.0);
+            g[0] = beta;
+
+            let mut k = 0; // columns of H filled this cycle
+            while k < m && outcome.iterations < self.config.max_iterations {
+                // Arnoldi step: w = A v_k, orthogonalise against the basis.
+                op.apply(&basis[k], &mut w);
+                outcome.iterations += 1;
+                outcome.matvecs += 1;
+                let w_norm = norm2(&w);
+                for i in 0..=k {
+                    let h = dot(&w, &basis[i]);
+                    hess[(i, k)] = h;
+                    axpy(-h, &basis[i], &mut w);
+                }
+                let h_next = norm2(&w);
+                hess[(k + 1, k)] = h_next;
+
+                // Apply the accumulated Givens rotations to the new column,
+                // then generate the rotation that annihilates h_next.
+                for i in 0..k {
+                    let (hi, hj) = (hess[(i, k)], hess[(i + 1, k)]);
+                    hess[(i, k)] = cs[i] * hi + sn[i] * hj;
+                    hess[(i + 1, k)] = -sn[i] * hi + cs[i] * hj;
+                }
+                let (c, s) = givens(hess[(k, k)], hess[(k + 1, k)]);
+                cs[k] = c;
+                sn[k] = s;
+                hess[(k, k)] = c * hess[(k, k)] + s * hess[(k + 1, k)];
+                hess[(k + 1, k)] = 0.0;
+                g[k + 1] = -s * g[k];
+                g[k] *= c;
+
+                let est = g[k + 1].abs();
+                outcome.residual_history.push(est / b_norm);
+                k += 1;
+
+                // Happy breakdown: A v_k lay (numerically) inside the
+                // span of the basis.  The test is scaled by ‖A v_k‖ —
+                // the basis is orthonormal, so that is the only scale
+                // the subdiagonal can be compared against.
+                if est <= target || h_next <= f64::EPSILON * w_norm.max(f64::MIN_POSITIVE) {
+                    // Converged (or happy breakdown: the Krylov space is
+                    // invariant and the projected solution is exact).
+                    break;
+                }
+                let mut v_next = w.clone();
+                scale(1.0 / h_next, &mut v_next);
+                basis.push(v_next);
+            }
+
+            // Back-substitute R y = g and expand x += V y.
+            let mut y = vec![0.0f64; k];
+            for i in (0..k).rev() {
+                let mut acc = g[i];
+                for j in (i + 1)..k {
+                    acc -= hess[(i, j)] * y[j];
+                }
+                let diag = hess[(i, i)];
+                if diag.abs() <= f64::MIN_POSITIVE {
+                    return Err(KrylovError::Breakdown {
+                        at_iteration: outcome.iterations,
+                    });
+                }
+                y[i] = acc / diag;
+            }
+            for (j, &yj) in y.iter().enumerate() {
+                axpy(yj, &basis[j], x);
+            }
+
+            // Restart from the true residual (guards against drift in the
+            // incremental estimate).
+            beta = true_residual(x, &mut residual, op, &mut outcome);
+            if beta <= target {
+                outcome.converged = true;
+                break;
+            }
+        }
+
+        outcome.final_residual = beta / b_norm;
+        if outcome.converged {
+            *outcome.residual_history.last_mut().expect("non-empty") = outcome.final_residual;
+        }
+        Ok(outcome)
+    }
+}
+
+/// Stable Givens rotation annihilating `b` against `a`:
+/// returns `(c, s)` with `c·a + s·b = r`, `−s·a + c·b = 0`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() > b.abs() {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c.copysign(a.signum()), c * t * a.signum())
+    } else {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t * b.signum(), s.copysign(b.signum()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::MatrixOperator;
+    use unsnap_linalg::vector::max_abs_diff;
+    use unsnap_linalg::{LinearSolver, LuSolver};
+
+    fn dominant(n: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 + (i % 3) as f64
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        })
+    }
+
+    #[test]
+    fn givens_annihilates() {
+        for (a, b) in [
+            (3.0, 4.0),
+            (-2.0, 1.0),
+            (5.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, -7.0),
+        ] {
+            let (c, s) = givens(a, b);
+            assert!((-s * a + c * b).abs() < 1e-12, "({a}, {b})");
+            assert!((c * c + s * s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solves_small_dominant_system_to_lu_accuracy() {
+        let n = 12;
+        let a = dominant(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let reference = LuSolver::new().solve(&a, &b).unwrap();
+
+        let mut op = MatrixOperator::new(a);
+        let mut x = vec![0.0; n];
+        let outcome = Gmres::new(GmresConfig {
+            restart: n,
+            max_iterations: 100,
+            tolerance: 1e-12,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(outcome.converged, "history {:?}", outcome.residual_history);
+        assert!(max_abs_diff(&x, &reference) < 1e-9);
+        assert!(outcome.iterations <= n + 1);
+    }
+
+    #[test]
+    fn full_memory_gmres_is_exact_in_n_steps() {
+        // Unrestarted GMRES on an n-dimensional system converges in at
+        // most n matvecs (exact arithmetic); allow slack for rounding.
+        let n = 6;
+        let a = dominant(n);
+        let b = vec![1.0; n];
+        let mut op = MatrixOperator::new(a);
+        let mut x = vec![0.0; n];
+        let outcome = Gmres::new(GmresConfig {
+            restart: n,
+            max_iterations: 4 * n,
+            tolerance: 1e-11,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.iterations <= n + 1);
+    }
+
+    #[test]
+    fn restarting_still_converges() {
+        let n = 24;
+        let a = dominant(n);
+        let b = vec![1.0; n];
+        let reference = LuSolver::new().solve(&a, &b).unwrap();
+        let mut op = MatrixOperator::new(a);
+        let mut x = vec![0.0; n];
+        let outcome = Gmres::new(GmresConfig {
+            restart: 4,
+            max_iterations: 400,
+            tolerance: 1e-11,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(outcome.converged);
+        assert!(max_abs_diff(&x, &reference) < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_reduces_work() {
+        let n = 16;
+        let a = dominant(n);
+        let b = vec![2.0; n];
+        let solver = Gmres::new(GmresConfig::default());
+
+        let mut op = MatrixOperator::new(a);
+        let mut cold = vec![0.0; n];
+        let cold_out = solver.solve(&mut op, &b, &mut cold).unwrap();
+
+        // Start from the converged answer: zero additional iterations.
+        let mut warm = cold.clone();
+        let warm_out = solver.solve(&mut op, &b, &mut warm).unwrap();
+        assert!(warm_out.converged);
+        assert_eq!(warm_out.iterations, 0);
+        assert!(cold_out.iterations > 0);
+    }
+
+    #[test]
+    fn huge_rhs_norm_does_not_trigger_false_breakdown() {
+        // Regression: the happy-breakdown test was scaled by ‖b‖, so a
+        // large right-hand side on a well-scaled operator collapsed
+        // every cycle after one iteration.  The test must scale with
+        // ‖A v‖ instead.
+        let n = 24;
+        let a = dominant(n);
+        let b: Vec<f64> = (0..n).map(|i| 1e16 * (1.0 + (i % 3) as f64)).collect();
+        let reference = LuSolver::new().solve(&a, &b).unwrap();
+        let mut op = MatrixOperator::new(a);
+        let mut x = vec![0.0; n];
+        let outcome = Gmres::new(GmresConfig {
+            restart: 8,
+            max_iterations: 200,
+            tolerance: 1e-11,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(outcome.converged, "history {:?}", outcome.residual_history);
+        let scale = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(max_abs_diff(&x, &reference) < 1e-8 * scale);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let mut op = MatrixOperator::new(dominant(5));
+        let mut x = vec![3.0; 5];
+        let outcome = Gmres::default().solve(&mut op, &[0.0; 5], &mut x).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn residual_history_is_monotone_within_a_cycle() {
+        let n = 10;
+        let mut op = MatrixOperator::new(dominant(n));
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let outcome = Gmres::new(GmresConfig {
+            restart: n,
+            max_iterations: 50,
+            tolerance: 1e-12,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        // GMRES minimises the residual over a growing space: within the
+        // (single) cycle the estimates never increase.
+        for pair in outcome.residual_history.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-14,
+                "history {:?}",
+                outcome.residual_history
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut op = MatrixOperator::new(dominant(4));
+        let mut x = vec![0.0; 4];
+        let err = Gmres::default().solve(&mut op, &[1.0; 3], &mut x);
+        assert!(matches!(err, Err(KrylovError::DimensionMismatch { .. })));
+        let mut x_bad = vec![0.0; 2];
+        assert!(Gmres::default()
+            .solve(&mut op, &[1.0; 4], &mut x_bad)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_restart_is_rejected() {
+        let mut op = MatrixOperator::new(dominant(4));
+        let mut x = vec![0.0; 4];
+        let cfg = GmresConfig {
+            restart: 0,
+            ..GmresConfig::default()
+        };
+        assert!(matches!(
+            Gmres::new(cfg).solve(&mut op, &[1.0; 4], &mut x),
+            Err(KrylovError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn iteration_cap_reports_unconverged() {
+        let n = 32;
+        let mut op = MatrixOperator::new(dominant(n));
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let outcome = Gmres::new(GmresConfig {
+            restart: 2,
+            max_iterations: 2,
+            tolerance: 1e-14,
+        })
+        .solve(&mut op, &b, &mut x)
+        .unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations, 2);
+        assert!(outcome.final_residual > 0.0);
+    }
+}

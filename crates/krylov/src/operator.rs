@@ -1,0 +1,122 @@
+//! The matrix-free [`LinearOperator`] abstraction.
+//!
+//! Krylov methods only ever touch the system matrix through its action on
+//! a vector, which is exactly what a transport sweep provides: one sweep
+//! applies `L⁻¹` (the streaming-collision inverse) without `L` ever being
+//! formed.  The trait therefore exposes a single `apply` and takes `&mut
+//! self` so implementations may keep scratch state (sweep buffers, flux
+//! storage) without interior mutability.
+
+use unsnap_linalg::DenseMatrix;
+
+/// A linear map `y = A x` on flat `f64` vectors.
+///
+/// `apply` must be *linear* in `x` for the Krylov solvers built on top of
+/// it to converge; nothing checks this at run time.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Compute `y = A x`.  Both slices have length [`LinearOperator::dim`].
+    fn apply(&mut self, x: &[f64], y: &mut [f64]);
+}
+
+/// A dense matrix viewed as a [`LinearOperator`] (used by tests and by
+/// callers that assemble small systems explicitly).
+pub struct MatrixOperator {
+    matrix: DenseMatrix,
+}
+
+impl MatrixOperator {
+    /// Wrap a square dense matrix.
+    ///
+    /// # Panics
+    /// If the matrix is not square.
+    pub fn new(matrix: DenseMatrix) -> Self {
+        assert!(matrix.is_square(), "MatrixOperator needs a square matrix");
+        Self { matrix }
+    }
+
+    /// Borrow the wrapped matrix.
+    pub fn matrix(&self) -> &DenseMatrix {
+        &self.matrix
+    }
+}
+
+impl LinearOperator for MatrixOperator {
+    fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.matrix
+            .matvec_into(x, y)
+            .expect("MatrixOperator dimension mismatch");
+    }
+}
+
+/// A closure viewed as a [`LinearOperator`].
+///
+/// This is the adapter the transport solver uses: the closure captures
+/// whatever sweep machinery it needs and the Krylov solver stays oblivious.
+pub struct FnOperator<F: FnMut(&[f64], &mut [f64])> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: FnMut(&[f64], &mut [f64])> FnOperator<F> {
+    /// Wrap `f` as an operator of dimension `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        Self { dim, f }
+    }
+}
+
+impl<F: FnMut(&[f64], &mut [f64])> LinearOperator for FnOperator<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        (self.f)(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_operator_applies_matvec() {
+        let m = DenseMatrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 3.0]).unwrap();
+        let mut op = MatrixOperator::new(m);
+        assert_eq!(op.dim(), 2);
+        let mut y = [0.0; 2];
+        op.apply(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [2.0, 3.0]);
+        assert_eq!(op.matrix().rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_matrix_rejected() {
+        let _ = MatrixOperator::new(DenseMatrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn fn_operator_captures_state() {
+        let mut calls = 0usize;
+        {
+            let mut op = FnOperator::new(3, |x, y| {
+                calls += 1;
+                for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                    *yi = 2.0 * xi;
+                }
+            });
+            let mut y = [0.0; 3];
+            op.apply(&[1.0, 2.0, 3.0], &mut y);
+            assert_eq!(y, [2.0, 4.0, 6.0]);
+            op.apply(&[1.0, 0.0, 0.0], &mut y);
+        }
+        assert_eq!(calls, 2);
+    }
+}

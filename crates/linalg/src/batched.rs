@@ -207,8 +207,7 @@ mod tests {
     fn rhs_mismatch_rejected() {
         let mut batch = vec![(DenseMatrix::identity(3), vec![1.0, 2.0])];
         assert!(matches!(
-            BatchedSolver::new(SolverKind::GaussianElimination)
-                .solve_batch_in_place(&mut batch),
+            BatchedSolver::new(SolverKind::GaussianElimination).solve_batch_in_place(&mut batch),
             Err(LinalgError::DimensionMismatch { .. })
         ));
     }

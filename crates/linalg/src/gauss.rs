@@ -196,8 +196,8 @@ mod tests {
 
     #[test]
     fn detects_singular_matrix() {
-        let a = DenseMatrix::from_vec(3, 3, vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 1.0, 0.0, 1.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_vec(3, 3, vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 1.0, 0.0, 1.0]).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let err = GaussSolver::new().solve(&a, &b).unwrap_err();
         assert!(matches!(err, LinalgError::Singular { .. }));

@@ -85,7 +85,11 @@ impl LuFactors {
     /// Determinant of the original matrix, computed from the factors.
     pub fn determinant(&self) -> f64 {
         let n = self.n();
-        let mut det = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let mut det = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..n {
             det *= self.lu[(i, i)];
         }
@@ -444,8 +448,8 @@ mod tests {
 
     #[test]
     fn pivoting_handles_zero_leading_entry() {
-        let a = DenseMatrix::from_vec(3, 3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 3.0, 4.0, 5.0, 6.0])
-            .unwrap();
+        let a =
+            DenseMatrix::from_vec(3, 3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let x = LuSolver::new().solve(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -466,7 +470,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(LuSolver::new().name(), "reference-lu");
-        assert_eq!(BlockedLuSolver::default().name(), "blocked-lu (mkl stand-in)");
+        assert_eq!(
+            BlockedLuSolver::default().name(),
+            "blocked-lu (mkl stand-in)"
+        );
     }
 
     #[test]

@@ -162,7 +162,10 @@ mod tests {
     fn flops_match_paper_example() {
         // §II-C: "in 3D where N = 8 this is over 300 FLOPS".
         let n8 = solve_flops(8);
-        assert!(n8 > 300.0, "dgesv flops for N=8 should exceed 300, got {n8}");
+        assert!(
+            n8 > 300.0,
+            "dgesv flops for N=8 should exceed 300, got {n8}"
+        );
         // Cubic growth: doubling n should roughly multiply by 8 for large n.
         let r = solve_flops(256) / solve_flops(128);
         assert!((r - 8.0).abs() < 0.2);

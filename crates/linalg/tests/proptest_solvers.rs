@@ -15,7 +15,7 @@ use proptest::prelude::*;
 use unsnap_linalg::{
     lu::{factor_blocked, factor_unblocked},
     matrix::DenseMatrix,
-    solver::{LinearSolver, SolverKind},
+    solver::SolverKind,
     vector::{max_abs_diff, norm_inf},
 };
 

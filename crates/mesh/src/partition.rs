@@ -243,7 +243,10 @@ mod tests {
             for &g in &sd.global_cells {
                 assert!(!seen[g], "cell {g} owned twice");
                 seen[g] = true;
-                assert_eq!(sd.local_of(g), Some(sd.global_cells.iter().position(|&x| x == g).unwrap()));
+                assert_eq!(
+                    sd.local_of(g),
+                    Some(sd.global_cells.iter().position(|&x| x == g).unwrap())
+                );
             }
         }
         assert!(seen.iter().all(|&s| s), "every cell must be owned");

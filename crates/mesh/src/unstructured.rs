@@ -115,8 +115,7 @@ impl UnstructuredMesh {
                 if c[axis] < 0 || c[axis] >= extents[axis] {
                     nb[face] = NeighborRef::Boundary { domain_face: face };
                 } else {
-                    let ncell =
-                        grid.cell_id(c[0] as usize, c[1] as usize, c[2] as usize);
+                    let ncell = grid.cell_id(c[0] as usize, c[1] as usize, c[2] as usize);
                     // The neighbour sees us through its opposite face.
                     let opposite = if face % 2 == 0 { face + 1 } else { face - 1 };
                     nb[face] = NeighborRef::Interior {
@@ -284,10 +283,8 @@ mod tests {
             let mesh = UnstructuredMesh::from_structured(&StructuredGrid::cube(n, 1.0), 0.001);
             assert_eq!(mesh.validate_connectivity(), 0, "n = {n}");
         }
-        let mesh = UnstructuredMesh::from_structured(
-            &StructuredGrid::new(3, 4, 5, 1.0, 2.0, 3.0),
-            0.0005,
-        );
+        let mesh =
+            UnstructuredMesh::from_structured(&StructuredGrid::new(3, 4, 5, 1.0, 2.0, 3.0), 0.0005);
         assert_eq!(mesh.validate_connectivity(), 0);
     }
 
@@ -376,9 +373,7 @@ mod tests {
         let moved = (0..8).any(|c| cts[c] != ctt[c]);
         assert!(moved);
         // Centroid height unchanged by the twist.
-        assert!(
-            (straight.cell_centroid(top)[2] - twisted.cell_centroid(top)[2]).abs() < 1e-15
-        );
+        assert!((straight.cell_centroid(top)[2] - twisted.cell_centroid(top)[2]).abs() < 1e-15);
     }
 
     #[test]

@@ -41,16 +41,12 @@ impl DependencyGraph {
     /// `owned[cell]` is `true` (cells outside the mask contribute no local
     /// dependencies — their data arrives through the halo).  `None` means
     /// all cells are owned.
-    pub fn build_masked(
-        mesh: &UnstructuredMesh,
-        omega: [f64; 3],
-        owned: Option<&[bool]>,
-    ) -> Self {
+    pub fn build_masked(mesh: &UnstructuredMesh, omega: [f64; 3], owned: Option<&[bool]>) -> Self {
         let n = mesh.num_cells();
         if let Some(mask) = owned {
             assert_eq!(mask.len(), n, "ownership mask length mismatch");
         }
-        let is_owned = |cell: usize| owned.map_or(true, |m| m[cell]);
+        let is_owned = |cell: usize| owned.is_none_or(|m| m[cell]);
 
         let mut inflow_faces = vec![Vec::new(); n];
         let mut outflow_faces = vec![Vec::new(); n];

@@ -101,7 +101,7 @@ impl SweepSchedule {
         owned: Option<&[bool]>,
     ) -> Result<Self, ScheduleError> {
         let n = graph.num_cells();
-        let is_owned = |cell: usize| owned.map_or(true, |m| m[cell]);
+        let is_owned = |cell: usize| owned.is_none_or(|m| m[cell]);
         let owned_cells = (0..n).filter(|&c| is_owned(c)).count();
 
         let mut remaining = graph.upwind_count.clone();

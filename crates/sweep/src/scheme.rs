@@ -146,6 +146,62 @@ impl std::fmt::Display for ConcurrencyScheme {
     }
 }
 
+impl std::str::FromStr for ConcurrencyScheme {
+    type Err = String;
+
+    /// Parse either a figure-legend label (`angle/element*/group*`,
+    /// `angle*/group/element`, …) — the exact strings [`Display`] emits,
+    /// so schemes round-trip through strings — or one of the friendly
+    /// aliases `best` and `serial`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        match trimmed.to_ascii_lowercase().as_str() {
+            "best" => return Ok(ConcurrencyScheme::best()),
+            "serial" => return Ok(ConcurrencyScheme::serial()),
+            _ => {}
+        }
+
+        let parts: Vec<&str> = trimmed.split('/').collect();
+        let [angle, outer, inner] = parts.as_slice() else {
+            return Err(format!(
+                "expected 'angle/<outer>/<inner>' with optional '*' marks, got '{s}'"
+            ));
+        };
+        let strip = |part: &str| -> (String, bool) {
+            let starred = part.ends_with('*');
+            (part.trim_end_matches('*').to_ascii_lowercase(), starred)
+        };
+        let (angle_name, angle_starred) = strip(angle);
+        let (outer_name, outer_starred) = strip(outer);
+        let (inner_name, inner_starred) = strip(inner);
+        if angle_name != "angle" {
+            return Err(format!("scheme must start with 'angle', got '{s}'"));
+        }
+        let loop_order = match (outer_name.as_str(), inner_name.as_str()) {
+            ("element", "group") => LoopOrder::ElementThenGroup,
+            ("group", "element") => LoopOrder::GroupThenElement,
+            _ => {
+                return Err(format!(
+                    "middle loops must be element/group in either order, got '{s}'"
+                ))
+            }
+        };
+        let threaded = match (angle_starred, outer_starred, inner_starred) {
+            (true, false, false) => ThreadedLoops::Angles,
+            (false, true, false) => ThreadedLoops::OuterOnly,
+            (false, false, true) => ThreadedLoops::InnerOnly,
+            (false, true, true) => ThreadedLoops::Collapsed,
+            _ => {
+                return Err(format!(
+                    "unsupported '*' combination in '{s}': thread the angle loop, one \
+                     middle loop, or both middle loops"
+                ))
+            }
+        };
+        Ok(ConcurrencyScheme::new(loop_order, threaded))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +247,49 @@ mod tests {
     fn serial_scheme_exists() {
         let s = ConcurrencyScheme::serial();
         assert_eq!(s.threaded, ThreadedLoops::OuterOnly);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        let mut schemes = ConcurrencyScheme::figure_schemes();
+        schemes.push(ConcurrencyScheme::angle_threaded(
+            LoopOrder::ElementThenGroup,
+        ));
+        schemes.push(ConcurrencyScheme::angle_threaded(
+            LoopOrder::GroupThenElement,
+        ));
+        for scheme in schemes {
+            let parsed: ConcurrencyScheme = scheme.label().parse().unwrap();
+            assert_eq!(parsed, scheme, "round-tripping '{}'", scheme.label());
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_aliases_and_rejects_garbage() {
+        assert_eq!(
+            "best".parse::<ConcurrencyScheme>().unwrap(),
+            ConcurrencyScheme::best()
+        );
+        assert_eq!(
+            "serial".parse::<ConcurrencyScheme>().unwrap(),
+            ConcurrencyScheme::serial()
+        );
+        assert_eq!(
+            "ANGLE/GROUP*/ELEMENT".parse::<ConcurrencyScheme>().unwrap(),
+            ConcurrencyScheme::new(LoopOrder::GroupThenElement, ThreadedLoops::OuterOnly)
+        );
+        for bad in [
+            "",
+            "element/group",
+            "angle/element/group/extra",
+            "angle/foo*/bar",
+            "angle*/element*/group*",
+            "angle/element/group", // no loop threaded at all
+        ] {
+            assert!(
+                bad.parse::<ConcurrencyScheme>().is_err(),
+                "'{bad}' should fail"
+            );
+        }
     }
 }

@@ -165,8 +165,10 @@ mod tests {
         let m = mesh(3, 0.001);
         for cell in 0..m.num_cells() {
             for face in 0..6 {
-                if let unsnap_mesh::NeighborRef::Interior { cell: other, face: of } =
-                    m.neighbor(cell, face)
+                if let unsnap_mesh::NeighborRef::Interior {
+                    cell: other,
+                    face: of,
+                } = m.neighbor(cell, face)
                 {
                     let n1 = face_outward_normal(&m, cell, face);
                     let n2 = face_outward_normal(&m, other, of);

@@ -1,0 +1,87 @@
+//! Krylov acceleration demo: sweep-preconditioned GMRES versus classic
+//! source iteration as the scattering ratio climbs toward one.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example krylov_acceleration
+//! ```
+//!
+//! Environment knobs (all optional, parsed via `FromStr`):
+//!
+//! * `UNSNAP_STRATEGY`  — `si` or `gmres`: run only that strategy.
+//! * `UNSNAP_SOLVER`    — `ge`, `lu` or `mkl`: local dense back end.
+//! * `UNSNAP_SCHEME`    — `best`, `serial` or a figure label like
+//!   `angle/element*/group*`.
+//! * `UNSNAP_RESTART`   — GMRES restart length (default 20).
+
+use unsnap::prelude::*;
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(value) => Some(value),
+        Err(e) => {
+            eprintln!("ignoring {name}={raw}: {e}");
+            None
+        }
+    }
+}
+
+fn main() {
+    let only_strategy: Option<StrategyKind> = env_parse("UNSNAP_STRATEGY");
+    let solver: SolverKind = env_parse("UNSNAP_SOLVER").unwrap_or_default();
+    let scheme: ConcurrencyScheme =
+        env_parse("UNSNAP_SCHEME").unwrap_or_else(ConcurrencyScheme::serial);
+    let restart: usize = env_parse("UNSNAP_RESTART").unwrap_or(20);
+
+    println!("UnSNAP Krylov acceleration demo");
+    println!("  dense back end: {solver}, scheme: {scheme}, GMRES restart: {restart}");
+    println!();
+    println!("  c = within-group scattering ratio; sweeps = full transport sweeps");
+    println!("  to reach a 1e-8 relative tolerance (budget 600 per strategy)");
+    println!();
+
+    for c in [0.1, 0.5, 0.9, 0.99] {
+        let mut p = Problem::tiny();
+        p.num_groups = 1;
+        p.nx = 4;
+        p.ny = 4;
+        p.nz = 4;
+        p.lx = 8.0;
+        p.ly = 8.0;
+        p.lz = 8.0;
+        p.scattering_ratio = Some(c);
+        p.convergence_tolerance = 1e-8;
+        p.inner_iterations = 600;
+        p.outer_iterations = 1;
+        p.solver = solver;
+        p.scheme = scheme;
+        p.gmres_restart = restart;
+
+        println!("c = {c}");
+        for strategy in StrategyKind::all() {
+            if let Some(only) = only_strategy {
+                if only != strategy {
+                    continue;
+                }
+            }
+            let problem = p.clone().with_strategy(strategy);
+            let mut solver = TransportSolver::new(&problem).expect("problem must validate");
+            let outcome = solver.run().expect("solve must run");
+            println!(
+                "  {:>5}: {}  (flux total {:.9e})",
+                strategy.label(),
+                report::iteration_summary(&outcome),
+                outcome.scalar_flux_total
+            );
+        }
+        println!();
+    }
+
+    println!("Sweep-preconditioned GMRES pulls further ahead as c → 1, where");
+    println!("source iteration's error contracts by only a factor c per sweep.");
+}

@@ -34,7 +34,7 @@ fn main() {
         base.nx, base.angles_per_octant, base.num_groups, base.element_order
     );
     println!();
-    println!("{:<28} {}", "scheme", "assemble/solve seconds per thread count");
+    println!("{:<28} assemble/solve seconds per thread count", "scheme");
     print!("{:<28}", "");
     for t in &threads {
         print!(" {t:>9}");

@@ -15,8 +15,9 @@
 //! | [`mesh`] (`unsnap-mesh`) | structured-derived unstructured hex meshes, twisting, KBA decomposition |
 //! | [`fem`] (`unsnap-fem`) | arbitrary-order Lagrange elements, quadrature, per-element integrals |
 //! | [`linalg`] (`unsnap-linalg`) | small dense solvers: Gaussian elimination, reference LU, blocked LU (MKL stand-in) |
+//! | [`krylov`] (`unsnap-krylov`) | matrix-free Krylov solvers (restarted GMRES, CG) over an abstract `LinearOperator` |
 //! | [`sweep`] (`unsnap-sweep`) | per-angle wavefront (tlevel-bucket) schedules and concurrency schemes |
-//! | [`core`] (`unsnap-core`) | Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, FD baseline |
+//! | [`core`] (`unsnap-core`) | Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
 //! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model |
 //!
 //! ## Quickstart
@@ -36,6 +37,7 @@
 pub use unsnap_comm as comm;
 pub use unsnap_core as core;
 pub use unsnap_fem as fem;
+pub use unsnap_krylov as krylov;
 pub use unsnap_linalg as linalg;
 pub use unsnap_mesh as mesh;
 pub use unsnap_sweep as sweep;
@@ -49,8 +51,12 @@ pub mod prelude {
     pub use unsnap_core::layout::{FluxLayout, FluxStorage};
     pub use unsnap_core::problem::Problem;
     pub use unsnap_core::report;
-    pub use unsnap_core::solver::{SolveOutcome, TransportSolver};
+    pub use unsnap_core::solver::{RunStats, SolveOutcome, TransportSolver};
+    pub use unsnap_core::strategy::{IterationStrategy, StrategyKind};
     pub use unsnap_fem::{ElementIntegrals, HexVertices, ReferenceElement};
+    pub use unsnap_krylov::{
+        CgConfig, ConjugateGradient, Gmres, GmresConfig, LinearOperator, MatrixOperator,
+    };
     pub use unsnap_linalg::{DenseMatrix, LinearSolver, SolverKind};
     pub use unsnap_mesh::{Decomposition2D, StructuredGrid, UnstructuredMesh};
     pub use unsnap_sweep::{ConcurrencyScheme, LoopOrder, SweepSchedule, ThreadedLoops};

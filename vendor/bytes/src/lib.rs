@@ -1,0 +1,185 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the byte-buffer API slice used by the halo-exchange wire
+//! format: `BytesMut` as an append-only build buffer, `Bytes` as a
+//! cheaply cloneable read cursor, and the little-endian [`Buf`]/[`BufMut`]
+//! accessors for `u64` and `f64`.
+
+use std::sync::Arc;
+
+/// Read-side accessors (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Remaining bytes in the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return the next `n` bytes.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take_bytes(8));
+        u64::from_le_bytes(raw)
+    }
+
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write-side accessors (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, value: f64) {
+        self.put_u64_le(value.to_bits());
+    }
+}
+
+/// Immutable, cheaply cloneable byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    cursor: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: Arc::new(data.to_vec()),
+            cursor: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let start = self.cursor;
+        self.cursor += n;
+        &self.data[start..self.cursor]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+}
+
+/// Growable byte buffer for building messages.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer with `capacity` reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Shorten to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.data),
+            cursor: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self { data: src.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u64_f64() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u64_le(42);
+        buf.put_f64_le(-1.5);
+        let mut frozen = buf.freeze();
+        assert_eq!(frozen.len(), 16);
+        assert_eq!(frozen.get_u64_le(), 42);
+        assert_eq!(frozen.get_f64_le(), -1.5);
+        assert!(frozen.is_empty());
+    }
+
+    #[test]
+    fn deref_exposes_unread_tail() {
+        let mut buf = BytesMut::default();
+        buf.put_u64_le(7);
+        let frozen = buf.freeze();
+        assert_eq!(frozen[..].len(), 8);
+        let rebuilt = BytesMut::from(&frozen[..]);
+        assert_eq!(rebuilt.len(), 8);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut buf = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        buf.truncate(2);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(&buf.freeze()[..], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1, 2, 3]);
+        let _ = b.get_u64_le();
+    }
+}

@@ -1,0 +1,256 @@
+//! Offline miniature of the `criterion` benchmark harness.
+//!
+//! Mirrors the slice of criterion's API the workspace benches use —
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_with_input` /
+//! `bench_function` / `finish`, `BenchmarkId`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `criterion_group!` and `criterion_main!` —
+//! with a deliberately simple measurement loop: a short warm-up, then the
+//! configured number of timed samples, reporting the median per-iteration
+//! time as text.  No statistics, plots or saved baselines; point the
+//! workspace `criterion` entry back at crates.io for real measurements.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted, not acted on, by the
+/// miniature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last measurement.
+    last_nanos: f64,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut one_iteration: impl FnMut() -> Duration) {
+        // Warm-up.
+        let _ = one_iteration();
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| one_iteration().as_nanos() as f64)
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.last_nanos = times[times.len() / 2];
+    }
+
+    /// Time `routine`, called once per sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.measure(|| {
+            let t0 = Instant::now();
+            let out = routine();
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            dt
+        });
+    }
+
+    /// Time `routine` on inputs built by `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        self.measure(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            dt
+        });
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last_nanos: 0.0,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{id}: median {} over {} samples",
+            self.name,
+            format_nanos(bencher.last_nanos),
+            self.samples
+        );
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("bench", f);
+        group.finish();
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("ge", "n8").to_string(), "ge/n8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert_eq!(format_nanos(500.0), "500 ns");
+        assert_eq!(format_nanos(2_500.0), "2.500 µs");
+        assert_eq!(format_nanos(3_000_000.0), "3.000 ms");
+        assert_eq!(format_nanos(4.2e9), "4.200 s");
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the unbounded MPMC channel API the halo-exchange layer uses.
+//! Unlike `std::sync::mpsc`, both endpoints are `Send + Sync + Clone`
+//! (matching crossbeam), which the rank-mailbox pattern relies on.
+
+/// Unbounded MPMC channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned when sending fails (never happens for the
+    /// always-connected stand-in, but part of the API).
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`] on an empty channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was waiting.
+        Empty,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty channel")
+        }
+    }
+
+    type Queue<T> = Arc<Mutex<VecDeque<T>>>;
+
+    /// Sending endpoint.
+    pub struct Sender<T>(Queue<T>);
+
+    /// Receiving endpoint.
+    pub struct Receiver<T>(Queue<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.lock().expect("channel poisoned").push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message if one is waiting.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0
+                .lock()
+                .expect("channel poisoned")
+                .pop_front()
+                .ok_or(TryRecvError::Empty)
+        }
+    }
+
+    /// Create a connected unbounded channel pair.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let queue: Queue<T> = Arc::new(Mutex::new(VecDeque::new()));
+        (Sender(queue.clone()), Receiver(queue))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fifo_order_and_empty() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn endpoints_are_send_sync_clone() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let (tx, rx) = unbounded::<u64>();
+        assert_send_sync(&tx);
+        assert_send_sync(&rx);
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(9).unwrap())
+            .join()
+            .unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate mirrors
+//! the slice of rayon's API the workspace uses — `par_iter`,
+//! `into_par_iter`, `par_iter_mut`, `map`, `map_init`, `flatten`,
+//! `collect`, `try_for_each`, and the `ThreadPool`/`ThreadPoolBuilder`
+//! pair — but executes everything **sequentially** on the calling thread.
+//!
+//! Correctness-wise this is a legal rayon schedule (rayon never promises a
+//! particular interleaving), so every test that checks physics or
+//! iteration counts behaves identically.  Wall-clock scaling studies are
+//! obviously degenerate until the workspace entry for `rayon` is pointed
+//! back at crates.io; the concurrency schemes remain exercised as
+//! *orderings* (which is what the figure tests assert).
+
+/// Sequential stand-in for a rayon parallel iterator.
+///
+/// Wraps an ordinary [`Iterator`] and exposes the subset of the
+/// `ParallelIterator` combinators used by the workspace.
+pub struct SeqParIter<I>(I);
+
+impl<I: Iterator> SeqParIter<I> {
+    /// Map every item (rayon `ParallelIterator::map`).
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> SeqParIter<std::iter::Map<I, F>> {
+        SeqParIter(self.0.map(f))
+    }
+
+    /// Map with per-"thread" scratch state (rayon `map_init`).  The
+    /// sequential stand-in creates the state exactly once.
+    pub fn map_init<T, U, INIT, F>(
+        self,
+        mut init: INIT,
+        mut f: F,
+    ) -> SeqParIter<impl Iterator<Item = U>>
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item) -> U,
+    {
+        let mut state = init();
+        SeqParIter(self.0.map(move |item| f(&mut state, item)))
+    }
+
+    /// Flatten nested iterables (rayon `flatten`).
+    pub fn flatten(self) -> SeqParIter<std::iter::Flatten<I>>
+    where
+        I::Item: IntoIterator,
+    {
+        SeqParIter(self.0.flatten())
+    }
+
+    /// Collect into any `FromIterator` target, including
+    /// `Result<Vec<_>, E>` (rayon `collect`).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Apply `f` to every item (rayon `for_each`).
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Fallible `for_each`, stopping at the first error
+    /// (rayon `try_for_each`).
+    pub fn try_for_each<E, F: FnMut(I::Item) -> Result<(), E>>(mut self, f: F) -> Result<(), E> {
+        self.0.try_for_each(f)
+    }
+
+    /// Sum the items (rayon `sum`).
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// Conversion into a (sequential) "parallel" iterator by value
+/// (rayon `IntoParallelIterator`).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Consume `self` and iterate it.
+    fn into_par_iter(self) -> SeqParIter<Self::IntoIter> {
+        SeqParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// Conversion into a (sequential) "parallel" iterator over references
+/// (rayon `IntoParallelRefIterator` / `IntoParallelRefMutIterator`).
+pub trait IntoParallelRefIterator {
+    /// Iterate shared references (rayon `par_iter`).
+    fn par_iter<'a>(&'a self) -> SeqParIter<<&'a Self as IntoIterator>::IntoIter>
+    where
+        &'a Self: IntoIterator;
+
+    /// Iterate exclusive references (rayon `par_iter_mut`).
+    fn par_iter_mut<'a>(&'a mut self) -> SeqParIter<<&'a mut Self as IntoIterator>::IntoIter>
+    where
+        &'a mut Self: IntoIterator;
+}
+
+impl<C: ?Sized> IntoParallelRefIterator for C {
+    fn par_iter<'a>(&'a self) -> SeqParIter<<&'a Self as IntoIterator>::IntoIter>
+    where
+        &'a Self: IntoIterator,
+    {
+        SeqParIter(self.into_iter())
+    }
+
+    fn par_iter_mut<'a>(&'a mut self) -> SeqParIter<<&'a mut Self as IntoIterator>::IntoIter>
+    where
+        &'a mut Self: IntoIterator,
+    {
+        SeqParIter(self.into_iter())
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] — never actually
+/// produced by the stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Stand-in for `rayon::ThreadPool`: remembers the requested width but
+/// runs everything on the calling thread.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (sequentially, on the calling thread).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+
+    /// The thread count the pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Stand-in for `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded, not acted on).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool; the stand-in cannot fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// The rayon prelude: the traits that put `par_iter`-style methods in
+/// scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, SeqParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let doubled: Vec<i32> = (0..5).into_par_iter().map(|x| 2 * x).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_and_mut_work_on_slices() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(sum, 6);
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let mut inits = 0;
+        let out: Vec<usize> = (0..4usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits += 1;
+                    Vec::<usize>::new()
+                },
+                |scratch, x| {
+                    scratch.push(x);
+                    scratch.len()
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let ok: Result<Vec<i32>, String> = (0..3).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![0, 1, 2]);
+        let err: Result<Vec<i32>, String> = (0..3)
+            .into_par_iter()
+            .map(|x| {
+                if x == 1 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn flatten_and_try_for_each() {
+        let nested: Vec<Vec<i32>> = vec![vec![1], vec![2, 3]];
+        let flat: Vec<i32> = nested.into_par_iter().flatten().collect();
+        assert_eq!(flat, vec![1, 2, 3]);
+        let r: Result<(), &str> =
+            flat.par_iter()
+                .try_for_each(|&x| if x < 4 { Ok(()) } else { Err("big") });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn thread_pool_installs() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 42), 42);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, and nothing in the
+//! workspace actually serialises data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes on the domain types only declare intent.  This
+//! crate keeps those derives compiling by providing the two marker traits
+//! and re-exporting no-op derive macros.  When a real serialisation
+//! consumer lands (JSON result dumps, checkpointing), point the workspace
+//! `serde` entry back at crates.io; every `#[derive]` in the tree is
+//! already in place.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
