@@ -6,6 +6,10 @@
 //! between the two solutions (the cross-check that acceleration does not
 //! change the physics).
 //!
+//! Pass `--json` to emit a machine-readable dump instead: one object per
+//! scattering ratio with the full `SolveOutcome` of both strategies
+//! (via `SolveOutcome::to_json`), ready for plotting tools.
+//!
 //! Environment knobs (parsed via `FromStr`):
 //!
 //! * `UNSNAP_SOLVER`  — `ge`, `lu` or `mkl` (default `ge`).
@@ -15,9 +19,10 @@
 //! * `UNSNAP_MESH`    — cells per side of the cubic mesh (default 4).
 //! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 600).
 
-use unsnap_core::problem::Problem;
+use unsnap_core::builder::ProblemBuilder;
+use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::report::{strategy_table_text, StrategyAblationRow};
-use unsnap_core::solver::TransportSolver;
+use unsnap_core::solver::SolveOutcome;
 use unsnap_core::strategy::StrategyKind;
 use unsnap_linalg::SolverKind;
 use unsnap_sweep::ConcurrencyScheme;
@@ -38,49 +43,51 @@ where
     }
 }
 
+fn run_strategy(base: &ProblemBuilder, strategy: StrategyKind) -> SolveOutcome {
+    let mut session = base
+        .clone()
+        .strategy(strategy)
+        .session()
+        .expect("ablation problem must validate");
+    session.run().expect("ablation solve must run")
+}
+
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let solver: SolverKind = env_parse("UNSNAP_SOLVER", SolverKind::GaussianElimination);
     let scheme: ConcurrencyScheme = env_parse("UNSNAP_SCHEME", ConcurrencyScheme::serial());
     let restart: usize = env_parse("UNSNAP_RESTART", 20);
     let mesh: usize = env_parse("UNSNAP_MESH", 4);
     let budget: usize = env_parse("UNSNAP_BUDGET", 600);
 
-    println!("Krylov ablation: SI vs sweep-preconditioned GMRES");
-    println!(
-        "  mesh {mesh}³ (8 mfp thick), 1 group, 16 angles, tolerance 1e-8, \
-         budget {budget} sweeps"
-    );
-    println!("  dense back end {solver}, scheme {scheme}, GMRES restart {restart}");
-    println!();
+    if !json {
+        println!("Krylov ablation: SI vs sweep-preconditioned GMRES");
+        println!(
+            "  mesh {mesh}³ (8 mfp thick), 1 group, 16 angles, tolerance 1e-8, \
+             budget {budget} sweeps"
+        );
+        println!("  dense back end {solver}, scheme {scheme}, GMRES restart {restart}");
+        println!();
+    }
 
     let mut rows = Vec::new();
+    let mut dumps = Vec::new();
     for c in [0.1, 0.5, 0.9, 0.99] {
-        let mut p = Problem::tiny();
-        p.num_groups = 1;
-        p.nx = mesh;
-        p.ny = mesh;
-        p.nz = mesh;
-        p.lx = 8.0;
-        p.ly = 8.0;
-        p.lz = 8.0;
-        p.scattering_ratio = Some(c);
-        p.convergence_tolerance = 1e-8;
-        p.inner_iterations = budget;
-        p.outer_iterations = 1;
-        p.solver = solver;
-        p.scheme = scheme;
-        p.gmres_restart = restart;
+        let base = ProblemBuilder::tiny()
+            .mesh(mesh)
+            .extents(8.0, 8.0, 8.0)
+            .phase_space(2, 1)
+            .scattering_ratio(c)
+            .tolerance(1e-8)
+            .iterations(budget, 1)
+            .solver(solver)
+            .scheme(scheme)
+            .gmres_restart(restart);
 
-        let mut si_solver =
-            TransportSolver::new(&p.clone().with_strategy(StrategyKind::SourceIteration))
-                .expect("SI problem must validate");
-        let si = si_solver.run().expect("SI solve must run");
-        let mut gm_solver =
-            TransportSolver::new(&p.clone().with_strategy(StrategyKind::SweepGmres))
-                .expect("GMRES problem must validate");
-        let gm = gm_solver.run().expect("GMRES solve must run");
+        let si = run_strategy(&base, StrategyKind::SourceIteration);
+        let gm = run_strategy(&base, StrategyKind::SweepGmres);
 
-        rows.push(StrategyAblationRow {
+        let row = StrategyAblationRow {
             scattering_ratio: c,
             si_sweeps: si.sweep_count,
             gmres_sweeps: gm.sweep_count,
@@ -88,9 +95,25 @@ fn main() {
             gmres_converged: gm.converged,
             flux_rel_diff: (si.scalar_flux_total - gm.scalar_flux_total).abs()
                 / si.scalar_flux_total.abs().max(1e-300),
-        });
+        };
+        if json {
+            dumps.push(
+                JsonObject::new()
+                    .field_f64("scattering_ratio", c)
+                    .field_f64("speedup", row.speedup())
+                    .field_f64("flux_rel_diff", row.flux_rel_diff)
+                    .field_raw("source_iteration", &si.to_json())
+                    .field_raw("sweep_gmres", &gm.to_json())
+                    .finish(),
+            );
+        }
+        rows.push(row);
     }
 
-    println!("{}", strategy_table_text(&rows));
-    println!("('!' marks a strategy that exhausted its budget unconverged)");
+    if json {
+        println!("{}", array_raw(dumps));
+    } else {
+        println!("{}", strategy_table_text(&rows));
+        println!("('!' marks a strategy that exhausted its budget unconverged)");
+    }
 }

@@ -4,7 +4,7 @@
 //! 1 to 4.
 //!
 //! ```text
-//! cargo run --release -p unsnap-bench --bin table2 [-- --max-order 4] [--full] [--csv]
+//! cargo run --release -p unsnap-bench --bin table2 [-- --max-order 4] [--full] [--csv | --json]
 //! ```
 //!
 //! The paper runs this experiment flat-MPI (one rank per core); the
@@ -12,8 +12,8 @@
 //! interest (per-core assemble/solve cost and its solve share).
 
 use unsnap_bench::{
-    print_header, run_solver_comparison, solver_comparison_csv, solver_comparison_table,
-    HarnessOptions,
+    print_header, run_solver_comparison, solver_comparison_csv, solver_comparison_json,
+    solver_comparison_table, HarnessOptions,
 };
 use unsnap_core::problem::Problem;
 use unsnap_linalg::SolverKind;
@@ -27,7 +27,7 @@ fn main() {
         Problem::table2_scaled(1, SolverKind::GaussianElimination)
     };
 
-    if !opts.csv {
+    if !opts.csv && !opts.json {
         print_header(
             "Table II — assemble/solve time for different finite element orders",
             &header_problem,
@@ -43,7 +43,9 @@ fn main() {
         }
     });
 
-    if opts.csv {
+    if opts.json {
+        println!("{}", solver_comparison_json(&rows));
+    } else if opts.csv {
         print!("{}", solver_comparison_csv(&rows));
     } else {
         print!("{}", solver_comparison_table(&rows));

@@ -37,6 +37,8 @@ pub struct HarnessOptions {
     pub full: bool,
     /// Emit CSV instead of a human-readable table.
     pub csv: bool,
+    /// Emit JSON instead of a human-readable table (`--json`).
+    pub json: bool,
     /// Thread counts to sweep (`--threads 1,2,4`).
     pub threads: Option<Vec<usize>>,
     /// Maximum element order for the solver comparison (`--max-order 4`).
@@ -54,6 +56,7 @@ impl HarnessOptions {
         let mut opts = Self {
             full: false,
             csv: false,
+            json: false,
             threads: None,
             max_order: None,
         };
@@ -62,6 +65,7 @@ impl HarnessOptions {
             match arg.as_str() {
                 "--full" => opts.full = true,
                 "--csv" => opts.csv = true,
+                "--json" => opts.json = true,
                 "--threads" => {
                     if let Some(list) = iter.next() {
                         let parsed: Vec<usize> =
@@ -237,6 +241,20 @@ pub fn solver_comparison_csv(rows: &[SolverComparisonRow]) -> String {
     out
 }
 
+/// Render the solver comparison as a JSON array (via the workspace's
+/// hand-rolled writer — the vendored `serde` is a no-op stand-in).
+pub fn solver_comparison_json(rows: &[SolverComparisonRow]) -> String {
+    unsnap_core::json::array_raw(rows.iter().map(|r| {
+        unsnap_core::json::JsonObject::new()
+            .field_usize("order", r.order)
+            .field_f64("ge_seconds", r.ge_seconds)
+            .field_f64("ge_solve_fraction", r.ge_solve_fraction)
+            .field_f64("mkl_seconds", r.mkl_seconds)
+            .field_f64("mkl_solve_fraction", r.mkl_solve_fraction)
+            .finish()
+    }))
+}
+
 /// Print a standard experiment header (machine info, problem shape).
 pub fn print_header(title: &str, problem: &Problem, full: bool) {
     let machine = MachineInfo::detect();
@@ -285,6 +303,11 @@ mod tests {
         );
         assert!(o.full);
         assert!(o.csv);
+        assert!(!o.json);
+        assert!(
+            HarnessOptions::parse(["--json".to_string()].into_iter()).json,
+            "--json must parse"
+        );
         assert_eq!(o.threads, Some(vec![1, 2, 4]));
         assert_eq!(o.max_order, Some(3));
         assert_eq!(o.thread_sweep(), vec![1, 2, 4]);
@@ -340,6 +363,10 @@ mod tests {
         assert!(table.contains("% in solve"));
         let csv = solver_comparison_csv(&rows);
         assert_eq!(csv.lines().count(), 3);
+        let json = solver_comparison_json(&rows);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"order\":1"));
+        assert!(json.contains("\"mkl_solve_fraction\":"));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Typed failure modes of the simulated communication layer.
+//!
+//! `unsnap-comm` sits *above* `unsnap-core` in the dependency graph, so
+//! the conversion into the workspace-wide error type lives here: a
+//! [`CommError`] turns into
+//! [`unsnap_core::error::Error::Comm`] via `From`, which lets `?`
+//! propagate communication failures out of the distributed solvers.
+
+use std::fmt;
+
+use unsnap_core::error::Error;
+
+/// Errors produced by the halo-exchange and distributed-solver layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank id outside the exchange's rank count.
+    RankOutOfRange {
+        /// The offending rank id.
+        rank: usize,
+        /// Number of ranks in the exchange.
+        num_ranks: usize,
+    },
+    /// A wire buffer too short to hold a halo-message header.
+    TruncatedMessage {
+        /// Bytes present in the buffer.
+        bytes: usize,
+        /// Minimum bytes a header needs.
+        minimum: usize,
+    },
+    /// A halo payload whose length disagrees with its header.
+    PayloadLengthMismatch {
+        /// Values the header promised.
+        expected_values: usize,
+        /// Bytes actually present after the header.
+        payload_bytes: usize,
+    },
+    /// The receiving mailbox was disconnected.
+    ChannelClosed {
+        /// Rank whose mailbox went away.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankOutOfRange { rank, num_ranks } => {
+                write!(f, "rank {rank} out of range for {num_ranks} ranks")
+            }
+            CommError::TruncatedMessage { bytes, minimum } => write!(
+                f,
+                "halo message too short: {bytes} bytes, header needs {minimum}"
+            ),
+            CommError::PayloadLengthMismatch {
+                expected_values,
+                payload_bytes,
+            } => write!(
+                f,
+                "halo payload length mismatch: expected {expected_values} values, \
+                 have {payload_bytes} bytes"
+            ),
+            CommError::ChannelClosed { rank } => {
+                write!(f, "mailbox of rank {rank} is disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<CommError> for Error {
+    fn from(e: CommError) -> Self {
+        Error::Comm {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = CommError::RankOutOfRange {
+            rank: 7,
+            num_ranks: 4,
+        };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+        let e = CommError::PayloadLengthMismatch {
+            expected_values: 8,
+            payload_bytes: 40,
+        };
+        assert!(e.to_string().contains("8 values"));
+    }
+
+    #[test]
+    fn converts_into_the_workspace_error() {
+        let e: Error = CommError::ChannelClosed { rank: 2 }.into();
+        assert!(matches!(e, Error::Comm { .. }));
+        assert!(e.to_string().contains("rank 2"));
+    }
+}

@@ -18,6 +18,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use crate::error::CommError;
+
 /// One packed halo message: the flux node values of one face of one cell
 /// for one (angle, group) pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,9 +55,12 @@ impl HaloMessage {
     }
 
     /// Deserialise from a wire buffer.
-    pub fn unpack(mut buf: Bytes) -> Result<Self, String> {
+    pub fn unpack(mut buf: Bytes) -> Result<Self, CommError> {
         if buf.len() < 48 {
-            return Err("halo message too short".into());
+            return Err(CommError::TruncatedMessage {
+                bytes: buf.len(),
+                minimum: 48,
+            });
         }
         let from_rank = buf.get_u64_le() as usize;
         let cell = buf.get_u64_le() as usize;
@@ -64,11 +69,10 @@ impl HaloMessage {
         let group = buf.get_u64_le() as usize;
         let len = buf.get_u64_le() as usize;
         if buf.len() != len * 8 {
-            return Err(format!(
-                "halo payload length mismatch: expected {} values, have {} bytes",
-                len,
-                buf.len()
-            ));
+            return Err(CommError::PayloadLengthMismatch {
+                expected_values: len,
+                payload_bytes: buf.len(),
+            });
         }
         let mut values = Vec::with_capacity(len);
         for _ in 0..len {
@@ -110,20 +114,23 @@ impl HaloExchange {
     }
 
     /// Send a packed halo message to `to_rank`.
-    pub fn send(&self, to_rank: usize, message: &HaloMessage) -> Result<(), String> {
+    pub fn send(&self, to_rank: usize, message: &HaloMessage) -> Result<(), CommError> {
         self.senders
             .get(to_rank)
-            .ok_or_else(|| format!("rank {to_rank} out of range"))?
+            .ok_or(CommError::RankOutOfRange {
+                rank: to_rank,
+                num_ranks: self.num_ranks(),
+            })?
             .send(message.pack())
-            .map_err(|e| format!("send failed: {e}"))
+            .map_err(|_| CommError::ChannelClosed { rank: to_rank })
     }
 
     /// Drain every message waiting in `rank`'s mailbox.
-    pub fn drain(&self, rank: usize) -> Result<Vec<HaloMessage>, String> {
-        let rx = self
-            .receivers
-            .get(rank)
-            .ok_or_else(|| format!("rank {rank} out of range"))?;
+    pub fn drain(&self, rank: usize) -> Result<Vec<HaloMessage>, CommError> {
+        let rx = self.receivers.get(rank).ok_or(CommError::RankOutOfRange {
+            rank,
+            num_ranks: self.num_ranks(),
+        })?;
         let mut out = Vec::new();
         while let Ok(buf) = rx.try_recv() {
             out.push(HaloMessage::unpack(buf)?);

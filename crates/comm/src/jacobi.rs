@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use unsnap_core::angular::AngularQuadrature;
 use unsnap_core::data::ProblemData;
+use unsnap_core::error::{Error, Result};
 use unsnap_core::kernel::{assemble_solve, KernelScratch, UpwindFace, UpwindSource};
 use unsnap_core::layout::{FluxLayout, FluxStorage};
 use unsnap_core::problem::Problem;
@@ -75,7 +76,12 @@ pub struct BlockJacobiSolver {
 
 impl BlockJacobiSolver {
     /// Build the distributed solver for a problem and a 2-D decomposition.
-    pub fn new(problem: &Problem, decomposition: Decomposition2D) -> Result<Self, String> {
+    ///
+    /// Fails with [`Error::InvalidProblem`] on a bad problem,
+    /// [`Error::Mesh`] when the decomposition does not fit the mesh, and
+    /// [`Error::Schedule`] when a rank's masked wavefront schedule cannot
+    /// be built.
+    pub fn new(problem: &Problem, decomposition: Decomposition2D) -> Result<Self> {
         problem.validate()?;
         let mesh = problem.build_mesh();
         let element = ReferenceElement::new(problem.element_order);
@@ -102,7 +108,7 @@ impl BlockJacobiSolver {
             })
             .collect();
 
-        let subdomains = decomposition.decompose(&mesh);
+        let subdomains = decomposition.try_decompose(&mesh)?;
         let mut owner_of_cell = vec![0usize; mesh.num_cells()];
         for sd in &subdomains {
             for &g in &sd.global_cells {
@@ -117,7 +123,7 @@ impl BlockJacobiSolver {
             let mut per_angle = Vec::with_capacity(quadrature.num_angles());
             for d in quadrature.directions() {
                 let s = SweepSchedule::build_masked(&mesh, d.omega, &owned)
-                    .map_err(|e| format!("rank {}: {e}", sd.rank))?;
+                    .map_err(|e| Error::schedule(format!("rank {}", sd.rank), e))?;
                 per_angle.push(s);
             }
             schedules.push(per_angle);
@@ -203,7 +209,7 @@ impl BlockJacobiSolver {
 
     /// Run the block-Jacobi iteration to the requested iteration counts (or
     /// until the tolerance is met).
-    pub fn run(&mut self) -> Result<BlockJacobiOutcome, String> {
+    pub fn run(&mut self) -> Result<BlockJacobiOutcome> {
         let ng = self.problem.num_groups;
         let nodes = self.element.nodes_per_element();
         let mut history = Vec::new();

@@ -31,14 +31,18 @@
 //! * [`kba`] — an analytic model of the KBA pipelined sweep (stage counts,
 //!   pipeline fill/drain efficiency) used to contrast the idle-time
 //!   behaviour of the two global schedules.
+//! * [`error`] — [`CommError`], the layer's typed failure modes,
+//!   convertible into the workspace-wide `unsnap_core::error::Error`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod halo;
 pub mod jacobi;
 pub mod kba;
 
+pub use error::CommError;
 pub use halo::{HaloExchange, HaloMessage};
 pub use jacobi::{BlockJacobiOutcome, BlockJacobiSolver};
 pub use kba::{kba_stage_count, pipeline_efficiency, KbaModel};

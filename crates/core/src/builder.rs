@@ -1,0 +1,728 @@
+//! [`ProblemBuilder`]: validating, grouped construction of [`Problem`]s.
+//!
+//! A [`Problem`] is a flat 24-field struct; filling it by hand is
+//! error-prone and its `validate()` only runs deep inside
+//! `TransportSolver::new`.  The builder groups the fields into four
+//! sub-configurations that mirror how runs are actually specified —
+//!
+//! * [`GridConfig`] — mesh extents and twist;
+//! * [`PhysicsConfig`] — discretisation and data (element order, phase
+//!   space, materials, boundaries, scattering ratio);
+//! * [`IterationConfig`] — iteration counts, tolerance and the inner
+//!   strategy;
+//! * [`ExecutionConfig`] — dense back end, concurrency scheme, threads,
+//!   precomputation and timing knobs —
+//!
+//! and validates everything (including cross-field invariants no single
+//! setter can check) *up front* in [`ProblemBuilder::build`], reporting
+//! failures as [`Error::InvalidProblem`] with the offending field named.
+//!
+//! Every paper preset is available as a builder shorthand
+//! ([`ProblemBuilder::tiny`], [`ProblemBuilder::quickstart`],
+//! [`ProblemBuilder::figure3_full`], …), and building an untouched preset
+//! reproduces the corresponding `Problem::*` constructor exactly, so
+//! existing callers migrate without behaviour change:
+//!
+//! ```
+//! use unsnap_core::builder::ProblemBuilder;
+//! use unsnap_core::problem::Problem;
+//!
+//! let built = ProblemBuilder::quickstart().build().unwrap();
+//! assert_eq!(built, Problem::quickstart());
+//!
+//! let custom = ProblemBuilder::tiny()
+//!     .mesh(4)
+//!     .scattering_ratio(0.9)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(custom.num_cells(), 64);
+//! ```
+
+use unsnap_linalg::SolverKind;
+use unsnap_mesh::boundary::DomainBoundaries;
+use unsnap_sweep::{ConcurrencyScheme, ThreadedLoops};
+
+use crate::data::{MaterialOption, SourceOption};
+use crate::error::{Error, Result};
+use crate::problem::Problem;
+use crate::session::Session;
+use crate::solver::TransportSolver;
+use crate::strategy::StrategyKind;
+
+/// Mesh extents and twist (the spatial half of a [`Problem`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Cells along z.
+    pub nz: usize,
+    /// Domain length along x.
+    pub lx: f64,
+    /// Domain length along y.
+    pub ly: f64,
+    /// Domain length along z.
+    pub lz: f64,
+    /// Maximum mesh twist angle in radians.
+    pub twist: f64,
+}
+
+impl Default for GridConfig {
+    /// The `tiny` preset's grid: a unit cube of 3³ cells, twisted by the
+    /// paper's 0.001 rad.
+    fn default() -> Self {
+        Self {
+            nx: 3,
+            ny: 3,
+            nz: 3,
+            lx: 1.0,
+            ly: 1.0,
+            lz: 1.0,
+            twist: 0.001,
+        }
+    }
+}
+
+/// Discretisation and physical data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicsConfig {
+    /// Lagrange element order (1 = linear).
+    pub element_order: usize,
+    /// Angles per octant of the Sn quadrature.
+    pub angles_per_octant: usize,
+    /// Number of energy groups.
+    pub num_groups: usize,
+    /// Artificial material layout.
+    pub material: MaterialOption,
+    /// Artificial fixed-source layout.
+    pub source: SourceOption,
+    /// Boundary conditions on the six domain faces.
+    pub boundaries: DomainBoundaries,
+    /// Optional within-group scattering-ratio override (see
+    /// [`Problem::scattering_ratio`]).
+    pub scattering_ratio: Option<f64>,
+}
+
+impl Default for PhysicsConfig {
+    /// The `tiny` preset's physics: linear elements, 2 angles/octant,
+    /// 2 groups, Option-1 data, vacuum boundaries.
+    fn default() -> Self {
+        Self {
+            element_order: 1,
+            angles_per_octant: 2,
+            num_groups: 2,
+            material: MaterialOption::Option1,
+            source: SourceOption::Option1,
+            boundaries: DomainBoundaries::vacuum(),
+            scattering_ratio: None,
+        }
+    }
+}
+
+/// Iteration structure and inner-solve strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationConfig {
+    /// Inner (source) iterations per outer iteration.
+    pub inner_iterations: usize,
+    /// Outer (group-coupling) iterations.
+    pub outer_iterations: usize,
+    /// Pointwise convergence tolerance (0 = run every iteration).
+    pub convergence_tolerance: f64,
+    /// Inner-iteration strategy.
+    pub strategy: StrategyKind,
+    /// GMRES restart length (read by the Krylov strategies).
+    pub gmres_restart: usize,
+}
+
+impl Default for IterationConfig {
+    /// The `tiny` preset's iteration structure: 2 inners × 1 outer, no
+    /// tolerance, source iteration.
+    fn default() -> Self {
+        Self {
+            inner_iterations: 2,
+            outer_iterations: 1,
+            convergence_tolerance: 0.0,
+            strategy: StrategyKind::SourceIteration,
+            gmres_restart: 20,
+        }
+    }
+}
+
+/// Execution environment: back end, concurrency and instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionConfig {
+    /// Local dense solver back end.
+    pub solver: SolverKind,
+    /// Concurrency scheme for the sweep.
+    pub scheme: ConcurrencyScheme,
+    /// Worker threads (`None` = the machine default).
+    pub num_threads: Option<usize>,
+    /// Precompute per-element integrals.
+    pub precompute_integrals: bool,
+    /// Time the linear solve separately.
+    pub time_solve: bool,
+}
+
+impl Default for ExecutionConfig {
+    /// The `tiny` preset's execution: Gaussian elimination, serial
+    /// scheme, one thread, precomputed integrals, no solve timer.
+    fn default() -> Self {
+        Self {
+            solver: SolverKind::GaussianElimination,
+            scheme: ConcurrencyScheme::serial(),
+            num_threads: Some(1),
+            precompute_integrals: true,
+            time_solve: false,
+        }
+    }
+}
+
+/// A validating builder for [`Problem`]s.
+///
+/// Defaults to the `tiny` preset; see the [module docs](self) for the
+/// grouping rationale and examples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProblemBuilder {
+    /// Mesh extents and twist.
+    pub grid: GridConfig,
+    /// Discretisation and physical data.
+    pub physics: PhysicsConfig,
+    /// Iteration structure and strategy.
+    pub iteration: IterationConfig,
+    /// Execution environment.
+    pub execution: ExecutionConfig,
+}
+
+impl ProblemBuilder {
+    /// A builder preloaded with the defaults (the `tiny` preset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decompose an existing [`Problem`] into a builder, so presets and
+    /// externally-constructed problems can be tweaked field-by-field.
+    pub fn from_problem(p: &Problem) -> Self {
+        Self {
+            grid: GridConfig {
+                nx: p.nx,
+                ny: p.ny,
+                nz: p.nz,
+                lx: p.lx,
+                ly: p.ly,
+                lz: p.lz,
+                twist: p.twist,
+            },
+            physics: PhysicsConfig {
+                element_order: p.element_order,
+                angles_per_octant: p.angles_per_octant,
+                num_groups: p.num_groups,
+                material: p.material,
+                source: p.source,
+                boundaries: p.boundaries,
+                scattering_ratio: p.scattering_ratio,
+            },
+            iteration: IterationConfig {
+                inner_iterations: p.inner_iterations,
+                outer_iterations: p.outer_iterations,
+                convergence_tolerance: p.convergence_tolerance,
+                strategy: p.strategy,
+                gmres_restart: p.gmres_restart,
+            },
+            execution: ExecutionConfig {
+                solver: p.solver,
+                scheme: p.scheme,
+                num_threads: p.num_threads,
+                precompute_integrals: p.precompute_integrals,
+                time_solve: p.time_solve,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Preset shorthands (each reproduces the matching `Problem::*`).
+    // ------------------------------------------------------------------
+
+    /// The `tiny` smoke-test preset.
+    pub fn tiny() -> Self {
+        Self::from_problem(&Problem::tiny())
+    }
+
+    /// The `quickstart` preset.
+    pub fn quickstart() -> Self {
+        Self::from_problem(&Problem::quickstart())
+    }
+
+    /// The full-size Figure 3 preset.
+    pub fn figure3_full() -> Self {
+        Self::from_problem(&Problem::figure3_full())
+    }
+
+    /// The scaled-down Figure 3 preset.
+    pub fn figure3_scaled() -> Self {
+        Self::from_problem(&Problem::figure3_scaled())
+    }
+
+    /// The full-size Figure 4 preset.
+    pub fn figure4_full() -> Self {
+        Self::from_problem(&Problem::figure4_full())
+    }
+
+    /// The scaled-down Figure 4 preset.
+    pub fn figure4_scaled() -> Self {
+        Self::from_problem(&Problem::figure4_scaled())
+    }
+
+    /// The full-size Table II preset.
+    pub fn table2_full(element_order: usize, solver: SolverKind) -> Self {
+        Self::from_problem(&Problem::table2_full(element_order, solver))
+    }
+
+    /// The scaled-down Table II preset.
+    pub fn table2_scaled(element_order: usize, solver: SolverKind) -> Self {
+        Self::from_problem(&Problem::table2_scaled(element_order, solver))
+    }
+
+    // ------------------------------------------------------------------
+    // Grouped setters.
+    // ------------------------------------------------------------------
+
+    /// Replace the whole grid configuration.
+    pub fn grid(mut self, grid: GridConfig) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Replace the whole physics configuration.
+    pub fn physics(mut self, physics: PhysicsConfig) -> Self {
+        self.physics = physics;
+        self
+    }
+
+    /// Replace the whole iteration configuration.
+    pub fn iteration(mut self, iteration: IterationConfig) -> Self {
+        self.iteration = iteration;
+        self
+    }
+
+    /// Replace the whole execution configuration.
+    pub fn execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Fluent per-field setters.
+    // ------------------------------------------------------------------
+
+    /// Cubic mesh with `n` cells per side.
+    pub fn mesh(mut self, n: usize) -> Self {
+        self.grid.nx = n;
+        self.grid.ny = n;
+        self.grid.nz = n;
+        self
+    }
+
+    /// Mesh cell counts per axis.
+    pub fn cells(mut self, nx: usize, ny: usize, nz: usize) -> Self {
+        self.grid.nx = nx;
+        self.grid.ny = ny;
+        self.grid.nz = nz;
+        self
+    }
+
+    /// Domain extents per axis.
+    pub fn extents(mut self, lx: f64, ly: f64, lz: f64) -> Self {
+        self.grid.lx = lx;
+        self.grid.ly = ly;
+        self.grid.lz = lz;
+        self
+    }
+
+    /// Maximum mesh twist angle in radians.
+    pub fn twist(mut self, twist: f64) -> Self {
+        self.grid.twist = twist;
+        self
+    }
+
+    /// Lagrange element order.
+    pub fn order(mut self, order: usize) -> Self {
+        self.physics.element_order = order;
+        self
+    }
+
+    /// Angles per octant and energy groups.
+    pub fn phase_space(mut self, angles_per_octant: usize, num_groups: usize) -> Self {
+        self.physics.angles_per_octant = angles_per_octant;
+        self.physics.num_groups = num_groups;
+        self
+    }
+
+    /// Boundary conditions on the six domain faces.
+    pub fn boundaries(mut self, boundaries: DomainBoundaries) -> Self {
+        self.physics.boundaries = boundaries;
+        self
+    }
+
+    /// Within-group scattering-ratio override.
+    pub fn scattering_ratio(mut self, c: f64) -> Self {
+        self.physics.scattering_ratio = Some(c);
+        self
+    }
+
+    /// Inner and outer iteration counts.
+    pub fn iterations(mut self, inner: usize, outer: usize) -> Self {
+        self.iteration.inner_iterations = inner;
+        self.iteration.outer_iterations = outer;
+        self
+    }
+
+    /// Pointwise convergence tolerance.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.iteration.convergence_tolerance = tolerance;
+        self
+    }
+
+    /// Inner-iteration strategy.
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.iteration.strategy = strategy;
+        self
+    }
+
+    /// GMRES restart length.
+    pub fn gmres_restart(mut self, restart: usize) -> Self {
+        self.iteration.gmres_restart = restart;
+        self
+    }
+
+    /// Local dense solver back end.
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.execution.solver = solver;
+        self
+    }
+
+    /// Concurrency scheme for the sweep.
+    pub fn scheme(mut self, scheme: ConcurrencyScheme) -> Self {
+        self.execution.scheme = scheme;
+        self
+    }
+
+    /// Worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.execution.num_threads = Some(threads);
+        self
+    }
+
+    /// Precompute per-element integrals.
+    pub fn precompute_integrals(mut self, on: bool) -> Self {
+        self.execution.precompute_integrals = on;
+        self
+    }
+
+    /// Time the linear solve separately.
+    pub fn time_solve(mut self, on: bool) -> Self {
+        self.execution.time_solve = on;
+        self
+    }
+
+    /// Apply the `UNSNAP_STRATEGY`, `UNSNAP_SOLVER` and `UNSNAP_SCHEME`
+    /// environment overrides (all three backend knobs round-trip through
+    /// `FromStr`/`Display`, so any label the workspace prints is
+    /// accepted).  Unset variables leave the builder unchanged; a set but
+    /// unparsable variable is an [`Error::InvalidProblem`] naming the
+    /// knob.
+    pub fn env_overrides(mut self) -> Result<Self> {
+        fn parse_env<T: std::str::FromStr<Err = String>>(
+            var: &str,
+            field: &'static str,
+        ) -> Result<Option<T>> {
+            match std::env::var(var) {
+                Ok(raw) => raw
+                    .parse()
+                    .map(Some)
+                    .map_err(|e: String| Error::invalid_problem(field, format!("{var}: {e}"))),
+                Err(_) => Ok(None),
+            }
+        }
+        if let Some(strategy) = parse_env::<StrategyKind>("UNSNAP_STRATEGY", "strategy")? {
+            self.iteration.strategy = strategy;
+        }
+        if let Some(solver) = parse_env::<SolverKind>("UNSNAP_SOLVER", "solver")? {
+            self.execution.solver = solver;
+        }
+        if let Some(scheme) = parse_env::<ConcurrencyScheme>("UNSNAP_SCHEME", "scheme")? {
+            self.execution.scheme = scheme;
+        }
+        Ok(self)
+    }
+
+    /// Assemble the flat [`Problem`] without validating (used by `build`
+    /// and by tests that target `Problem::validate` directly).
+    pub fn assemble(&self) -> Problem {
+        Problem {
+            nx: self.grid.nx,
+            ny: self.grid.ny,
+            nz: self.grid.nz,
+            lx: self.grid.lx,
+            ly: self.grid.ly,
+            lz: self.grid.lz,
+            twist: self.grid.twist,
+            element_order: self.physics.element_order,
+            angles_per_octant: self.physics.angles_per_octant,
+            num_groups: self.physics.num_groups,
+            material: self.physics.material,
+            source: self.physics.source,
+            boundaries: self.physics.boundaries,
+            inner_iterations: self.iteration.inner_iterations,
+            outer_iterations: self.iteration.outer_iterations,
+            convergence_tolerance: self.iteration.convergence_tolerance,
+            solver: self.execution.solver,
+            strategy: self.iteration.strategy,
+            gmres_restart: self.iteration.gmres_restart,
+            scattering_ratio: self.physics.scattering_ratio,
+            scheme: self.execution.scheme,
+            num_threads: self.execution.num_threads,
+            precompute_integrals: self.execution.precompute_integrals,
+            time_solve: self.execution.time_solve,
+        }
+    }
+
+    /// Validate every field and cross-field invariant, returning the
+    /// assembled [`Problem`] or the first [`Error::InvalidProblem`].
+    ///
+    /// On top of [`Problem::validate`]'s per-field checks, the builder
+    /// enforces the invariants only a construction-time view can see:
+    ///
+    /// * the angular-flux size `(p+1)³ · cells · groups · angles` must
+    ///   not overflow `usize` (element order versus mesh size);
+    /// * the convergence tolerance must be finite and non-negative;
+    /// * the angle-threaded scheme cannot use more threads than there are
+    ///   angles in an octant (the extra threads could never be assigned
+    ///   work).
+    pub fn build(&self) -> Result<Problem> {
+        let problem = self.assemble();
+        problem.validate()?;
+
+        if !(problem.convergence_tolerance >= 0.0 && problem.convergence_tolerance.is_finite()) {
+            return Err(Error::invalid_problem(
+                "convergence_tolerance",
+                format!(
+                    "tolerance must be finite and non-negative, got {}",
+                    problem.convergence_tolerance
+                ),
+            ));
+        }
+
+        // Element order versus mesh size: the angular flux must be
+        // addressable.  `(p+1)³` nodes per element times cells, groups
+        // and angles overflows usize long before it allocates.
+        let unknowns = (problem.element_order + 1)
+            .checked_pow(3)
+            .and_then(|nodes| nodes.checked_mul(problem.num_cells()))
+            .and_then(|n| n.checked_mul(problem.num_groups))
+            .and_then(|n| n.checked_mul(problem.num_angles()));
+        if unknowns.is_none() {
+            return Err(Error::invalid_problem(
+                "element_order",
+                format!(
+                    "order-{} elements on a {}x{}x{} mesh with {} groups and {} angles \
+                     overflow the addressable angular-flux size",
+                    problem.element_order,
+                    problem.nx,
+                    problem.ny,
+                    problem.nz,
+                    problem.num_groups,
+                    problem.num_angles(),
+                ),
+            ));
+        }
+
+        if problem.scheme.threaded == ThreadedLoops::Angles {
+            if let Some(threads) = problem.num_threads {
+                if threads > problem.angles_per_octant {
+                    return Err(Error::invalid_problem(
+                        "num_threads",
+                        format!(
+                            "the angle-threaded scheme parallelises over the {} angles of one \
+                             octant; {} threads cannot all be assigned work",
+                            problem.angles_per_octant, threads
+                        ),
+                    ));
+                }
+            }
+        }
+
+        Ok(problem)
+    }
+
+    /// Build the problem and a [`TransportSolver`] for it in one step.
+    pub fn solver_for(&self) -> Result<TransportSolver> {
+        TransportSolver::new(&self.build()?)
+    }
+
+    /// Build the problem and open a [`Session`] on it in one step.
+    pub fn session(&self) -> Result<Session> {
+        Session::new(&self.build()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_the_tiny_preset() {
+        assert_eq!(ProblemBuilder::new().build().unwrap(), Problem::tiny());
+        assert_eq!(ProblemBuilder::tiny(), ProblemBuilder::default());
+    }
+
+    #[test]
+    fn presets_round_trip() {
+        assert_eq!(
+            ProblemBuilder::quickstart().build().unwrap(),
+            Problem::quickstart()
+        );
+        assert_eq!(
+            ProblemBuilder::figure3_full().build().unwrap(),
+            Problem::figure3_full()
+        );
+        assert_eq!(
+            ProblemBuilder::figure4_scaled().build().unwrap(),
+            Problem::figure4_scaled()
+        );
+        assert_eq!(
+            ProblemBuilder::table2_scaled(2, SolverKind::Mkl)
+                .build()
+                .unwrap(),
+            Problem::table2_scaled(2, SolverKind::Mkl)
+        );
+    }
+
+    #[test]
+    fn fluent_setters_apply() {
+        let p = ProblemBuilder::tiny()
+            .mesh(5)
+            .order(2)
+            .phase_space(3, 7)
+            .threads(2)
+            .solver(SolverKind::Mkl)
+            .strategy(StrategyKind::SweepGmres)
+            .gmres_restart(11)
+            .tolerance(1e-7)
+            .iterations(9, 2)
+            .time_solve(true)
+            .build()
+            .unwrap();
+        assert_eq!(p.num_cells(), 125);
+        assert_eq!(p.nodes_per_element(), 27);
+        assert_eq!((p.angles_per_octant, p.num_groups), (3, 7));
+        assert_eq!(p.num_threads, Some(2));
+        assert_eq!(p.solver, SolverKind::Mkl);
+        assert_eq!(p.strategy, StrategyKind::SweepGmres);
+        assert_eq!(p.gmres_restart, 11);
+        assert_eq!(p.convergence_tolerance, 1e-7);
+        assert_eq!((p.inner_iterations, p.outer_iterations), (9, 2));
+        assert!(p.time_solve);
+    }
+
+    #[test]
+    fn invalid_fields_name_themselves() {
+        let err = ProblemBuilder::tiny().mesh(0).build().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("nx"));
+        let err = ProblemBuilder::tiny().order(0).build().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("element_order"));
+        let err = ProblemBuilder::tiny()
+            .scattering_ratio(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("scattering_ratio"));
+        let err = ProblemBuilder::tiny()
+            .scattering_ratio(1.5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("scattering_ratio"));
+    }
+
+    #[test]
+    fn cross_field_overflow_is_rejected() {
+        let err = ProblemBuilder::tiny()
+            .mesh(1 << 21)
+            .order(7)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("element_order"));
+    }
+
+    #[test]
+    fn cross_field_tolerance_must_be_finite() {
+        let err = ProblemBuilder::tiny()
+            .tolerance(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("convergence_tolerance"));
+        let err = ProblemBuilder::tiny().tolerance(-1e-6).build().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("convergence_tolerance"));
+    }
+
+    #[test]
+    fn cross_field_angle_threads_are_bounded() {
+        let scheme = crate::problem::angle_threaded_scheme();
+        let err = ProblemBuilder::tiny()
+            .scheme(scheme)
+            .threads(16)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("num_threads"));
+        // Within the angle budget the same scheme is fine.
+        assert!(ProblemBuilder::tiny()
+            .scheme(scheme)
+            .threads(2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn scattering_ratio_of_one_is_now_expressible() {
+        // The conservative-medium limit c = 1 is a valid (if slowly
+        // converging) configuration; the seed rejected it and instead
+        // accepted the meaningless c = 0.  The whole path must agree:
+        // build, cross-section generation and solver construction.
+        let problem = ProblemBuilder::tiny()
+            .scattering_ratio(1.0)
+            .build()
+            .unwrap();
+        assert!(TransportSolver::new(&problem).is_ok());
+    }
+
+    #[test]
+    fn builder_solver_and_session_shortcuts_work() {
+        let mut solver = ProblemBuilder::tiny().solver_for().unwrap();
+        let direct = solver.run().unwrap();
+        let mut session = ProblemBuilder::tiny().session().unwrap();
+        let via_session = session.run().unwrap();
+        assert_eq!(direct.scalar_flux_total, via_session.scalar_flux_total);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_reject_garbage() {
+        // Env vars are process-global; this is the only test that touches
+        // the UNSNAP_* names, and it removes them before returning.
+        std::env::set_var("UNSNAP_STRATEGY", "gmres");
+        std::env::set_var("UNSNAP_SOLVER", "mkl");
+        std::env::set_var("UNSNAP_SCHEME", "best");
+        let b = ProblemBuilder::tiny().env_overrides().unwrap();
+        assert_eq!(b.iteration.strategy, StrategyKind::SweepGmres);
+        assert_eq!(b.execution.solver, SolverKind::Mkl);
+        assert_eq!(b.execution.scheme, ConcurrencyScheme::best());
+
+        std::env::set_var("UNSNAP_STRATEGY", "nonsense");
+        let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("strategy"));
+
+        std::env::remove_var("UNSNAP_STRATEGY");
+        std::env::remove_var("UNSNAP_SOLVER");
+        std::env::remove_var("UNSNAP_SCHEME");
+        let b = ProblemBuilder::tiny().env_overrides().unwrap();
+        assert_eq!(b, ProblemBuilder::tiny());
+    }
+}

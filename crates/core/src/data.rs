@@ -103,12 +103,13 @@ impl CrossSections {
     /// their keep.
     ///
     /// # Panics
-    /// If `c` is outside `[0, 1)` (the medium must stay sub-critical).
+    /// If `c` is outside `(0, 1]` (matching `Problem::validate`: `c = 1`
+    /// is the conservative-medium limit, `c ≤ 0` is not scattering).
     pub fn with_scattering_ratio(num_groups: usize, num_materials: usize, c: f64) -> Self {
         assert!(num_groups > 0 && num_materials > 0);
         assert!(
-            (0.0..1.0).contains(&c),
-            "scattering ratio must lie in [0, 1), got {c}"
+            c > 0.0 && c <= 1.0,
+            "scattering ratio must lie in (0, 1], got {c}"
         );
         let g = num_groups;
         let mut total = vec![0.0; num_materials * g];

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::angular::AngularQuadrature;
 use crate::data::ProblemData;
+use crate::error::Result;
 use crate::problem::Problem;
 
 /// Outcome of a diamond-difference solve.
@@ -56,7 +57,7 @@ pub struct DiamondDifferenceSolver {
 impl DiamondDifferenceSolver {
     /// Build the FD solver for a problem (uses the problem's structured
     /// grid, angular quadrature, cross sections and iteration counts).
-    pub fn new(problem: &Problem) -> Result<Self, String> {
+    pub fn new(problem: &Problem) -> Result<Self> {
         problem.validate()?;
         let grid = problem.grid();
         let quadrature = AngularQuadrature::product(problem.angles_per_octant);
@@ -97,7 +98,7 @@ impl DiamondDifferenceSolver {
     }
 
     /// Run the source iteration with diamond-difference sweeps.
-    pub fn run(&mut self) -> Result<FdOutcome, String> {
+    pub fn run(&mut self) -> Result<FdOutcome> {
         let p = &self.problem;
         let grid = p.grid();
         let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);

@@ -27,6 +27,16 @@
 //!
 //! ## Module map
 //!
+//! * [`error`] — the workspace-wide typed [`enum@Error`]/[`Result`]: one
+//!   variant per failure domain, `From` conversions from every crate's
+//!   local error type.
+//! * [`builder`] — [`ProblemBuilder`]: validating, grouped construction
+//!   of [`Problem`]s with cross-field invariants checked up front.
+//! * [`session`] — the observable solve API: [`Session`],
+//!   [`RunObserver`] and [`RecordingObserver`] stream per-iteration
+//!   progress instead of returning a black-box summary.
+//! * [`json`] — a minimal hand-rolled JSON writer (the vendored `serde`
+//!   is a no-op stand-in) backing [`SolveOutcome::to_json`].
 //! * [`angular`] — Sn product quadrature over the unit sphere (angles per
 //!   octant, direction cosines, weights, octant bookkeeping).
 //! * [`data`] — artificial multigroup cross sections, materials and fixed
@@ -49,13 +59,12 @@
 //! ## Quickstart
 //!
 //! ```
-//! use unsnap_core::problem::Problem;
-//! use unsnap_core::solver::TransportSolver;
+//! use unsnap_core::builder::ProblemBuilder;
 //!
-//! // A tiny problem that runs in well under a second.
-//! let problem = Problem::tiny();
-//! let mut solver = TransportSolver::new(&problem).unwrap();
-//! let outcome = solver.run().unwrap();
+//! // A tiny problem that runs in well under a second: validate it up
+//! // front, open a session, run it.
+//! let mut session = ProblemBuilder::tiny().session().unwrap();
+//! let outcome = session.run().unwrap();
 //! assert!(outcome.scalar_flux_total() > 0.0);
 //! ```
 
@@ -63,19 +72,26 @@
 #![forbid(unsafe_code)]
 
 pub mod angular;
+pub mod builder;
 pub mod data;
+pub mod error;
 pub mod fd;
+pub mod json;
 pub mod kernel;
 pub mod layout;
 pub mod preassembly;
 pub mod problem;
 pub mod report;
+pub mod session;
 pub mod solver;
 pub mod strategy;
 
 pub use angular::{AngularQuadrature, Direction};
+pub use builder::{ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder};
 pub use data::{CrossSections, MaterialOption, SourceOption};
+pub use error::{Error, Result};
 pub use layout::{FluxLayout, FluxStorage};
 pub use problem::Problem;
+pub use session::{NoopObserver, RecordingObserver, RunObserver, Session};
 pub use solver::{RunStats, SolveOutcome, TransportSolver};
 pub use strategy::{IterationStrategy, SourceIteration, StrategyKind, SweepGmres};

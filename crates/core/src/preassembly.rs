@@ -28,6 +28,7 @@ use unsnap_mesh::UnstructuredMesh;
 
 use crate::angular::AngularQuadrature;
 use crate::data::ProblemData;
+use crate::error::Result;
 use crate::kernel::KernelScratch;
 use crate::problem::Problem;
 
@@ -75,7 +76,7 @@ impl PreassembledMatrices {
         mesh: &UnstructuredMesh,
         quadrature: &AngularQuadrature,
         data: &ProblemData,
-    ) -> Result<Self, String> {
+    ) -> Result<Self> {
         let element = ReferenceElement::new(problem.element_order);
         let nodes = element.nodes_per_element();
         let ne = mesh.num_cells();
@@ -95,8 +96,9 @@ impl PreassembledMatrices {
                 for g in 0..ng {
                     let sigma_t = data.xs.total(mat, g);
                     assemble_matrix_only(&ints, d.omega, sigma_t, &mut scratch.matrix);
-                    let f = factor_blocked(&scratch.matrix, 32)
-                        .map_err(|e| format!("cell {cell}, group {g}: {e}"))?;
+                    // A singular local matrix surfaces as
+                    // `Error::Singular` with its pivot magnitude.
+                    let f = factor_blocked(&scratch.matrix, 32)?;
                     factors.push(f);
                 }
             }
@@ -123,10 +125,8 @@ impl PreassembledMatrices {
         angle: usize,
         group: usize,
         b: &mut [f64],
-    ) -> Result<(), String> {
-        self.factors(element, angle, group)
-            .solve_in_place(b)
-            .map_err(|e| e.to_string())
+    ) -> Result<()> {
+        Ok(self.factors(element, angle, group).solve_in_place(b)?)
     }
 
     /// Total number of stored matrices.

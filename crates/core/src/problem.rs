@@ -16,6 +16,7 @@ use unsnap_mesh::{StructuredGrid, UnstructuredMesh};
 use unsnap_sweep::{ConcurrencyScheme, LoopOrder, ThreadedLoops};
 
 use crate::data::{MaterialOption, SourceOption};
+use crate::error::{Error, Result};
 use crate::strategy::StrategyKind;
 
 /// Full description of an UnSNAP run.
@@ -340,38 +341,89 @@ impl Problem {
     }
 
     /// Basic sanity checks on the parameters.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
-            return Err("mesh must have at least one cell in every direction".into());
+    ///
+    /// Each failed check reports the offending field through
+    /// [`Error::InvalidProblem`], so callers (and tests) can match on the
+    /// rejection class instead of parsing a message.  Cross-field
+    /// invariants that only a construction-time check can enforce live in
+    /// [`ProblemBuilder::build`](crate::builder::ProblemBuilder::build),
+    /// which also runs these checks.
+    pub fn validate(&self) -> Result<()> {
+        for (field, n) in [("nx", self.nx), ("ny", self.ny), ("nz", self.nz)] {
+            if n == 0 {
+                return Err(Error::invalid_problem(
+                    field,
+                    format!(
+                        "mesh must have at least one cell in every direction, got {}x{}x{}",
+                        self.nx, self.ny, self.nz
+                    ),
+                ));
+            }
         }
-        if self.lx <= 0.0 || self.ly <= 0.0 || self.lz <= 0.0 {
-            return Err("domain extents must be positive".into());
+        for (field, l) in [("lx", self.lx), ("ly", self.ly), ("lz", self.lz)] {
+            if l <= 0.0 {
+                return Err(Error::invalid_problem(
+                    field,
+                    format!(
+                        "domain extents must be positive, got {}x{}x{}",
+                        self.lx, self.ly, self.lz
+                    ),
+                ));
+            }
         }
         if self.element_order == 0 {
-            return Err("element order must be at least 1".into());
+            return Err(Error::invalid_problem(
+                "element_order",
+                "element order must be at least 1",
+            ));
         }
         if self.angles_per_octant == 0 {
-            return Err("need at least one angle per octant".into());
+            return Err(Error::invalid_problem(
+                "angles_per_octant",
+                "need at least one angle per octant",
+            ));
         }
         if self.num_groups == 0 {
-            return Err("need at least one energy group".into());
+            return Err(Error::invalid_problem(
+                "num_groups",
+                "need at least one energy group",
+            ));
         }
-        if self.inner_iterations == 0 || self.outer_iterations == 0 {
-            return Err("iteration counts must be at least 1".into());
+        if self.inner_iterations == 0 {
+            return Err(Error::invalid_problem(
+                "inner_iterations",
+                "iteration counts must be at least 1",
+            ));
+        }
+        if self.outer_iterations == 0 {
+            return Err(Error::invalid_problem(
+                "outer_iterations",
+                "iteration counts must be at least 1",
+            ));
         }
         if let Some(0) = self.num_threads {
-            return Err("thread count must be at least 1".into());
+            return Err(Error::invalid_problem(
+                "num_threads",
+                "thread count must be at least 1",
+            ));
         }
         if self.twist < 0.0 {
-            return Err("twist angle must be non-negative".into());
+            return Err(Error::invalid_problem(
+                "twist",
+                "twist angle must be non-negative",
+            ));
         }
         if self.gmres_restart == 0 {
-            return Err("GMRES restart length must be at least 1".into());
+            return Err(Error::invalid_problem(
+                "gmres_restart",
+                "GMRES restart length must be at least 1",
+            ));
         }
         if let Some(c) = self.scattering_ratio {
-            if !(0.0..1.0).contains(&c) {
-                return Err(format!(
-                    "scattering ratio must lie in [0, 1) for a sub-critical medium, got {c}"
+            if !(c > 0.0 && c <= 1.0) {
+                return Err(Error::invalid_problem(
+                    "scattering_ratio",
+                    format!("scattering ratio must lie in (0, 1], got {c}"),
                 ));
             }
         }

@@ -1,0 +1,273 @@
+//! The observable solve session: [`Session`], [`RunObserver`] and the
+//! built-in observers.
+//!
+//! The seed's `TransportSolver::run()` was a black box: it emitted nothing
+//! until it returned a finished [`SolveOutcome`], so drivers that wanted
+//! per-iteration residuals (ablation harnesses, progress displays, the
+//! planned distributed drivers) had to parse the outcome's history vectors
+//! after the fact.  This module splits that monolith:
+//!
+//! * [`RunObserver`] is the streaming interface — a trait with no-op
+//!   defaults whose hooks fire at every outer iteration boundary, every
+//!   inner iteration, every transport sweep and every Krylov residual;
+//! * [`Session`] owns the solver state across runs and drives it under an
+//!   observer, so callers hold one object instead of a `Problem` plus a
+//!   `TransportSolver` plus an outcome;
+//! * [`RecordingObserver`] records the stream and reconstructs exactly the
+//!   history vectors a [`SolveOutcome`] reports — the equivalence the
+//!   integration tests pin down bit-for-bit.
+//!
+//! ```
+//! use unsnap_core::builder::ProblemBuilder;
+//! use unsnap_core::session::{RecordingObserver, Session};
+//!
+//! let mut session = Session::new(&ProblemBuilder::tiny().build().unwrap()).unwrap();
+//! let mut recorder = RecordingObserver::default();
+//! let outcome = session.run_observed(&mut recorder).unwrap();
+//! assert_eq!(recorder.sweep_count, outcome.sweep_count);
+//! assert_eq!(recorder.convergence_history, outcome.convergence_history);
+//! ```
+
+use crate::error::Result;
+use crate::layout::FluxStorage;
+use crate::problem::Problem;
+use crate::solver::{SolveOutcome, TransportSolver};
+
+/// Streaming hooks into a running transport solve.
+///
+/// Every method has a no-op default, so observers implement only the
+/// events they care about.  Hooks are called synchronously from the solver
+/// thread between numerical steps; heavy work in a hook slows the solve
+/// but cannot corrupt it.
+pub trait RunObserver {
+    /// An outer (group-coupling Jacobi) iteration is starting.
+    fn on_outer_start(&mut self, outer: usize) {
+        let _ = outer;
+    }
+
+    /// An outer iteration finished; `converged` reports whether the inner
+    /// solve met the problem's tolerance within this outer.
+    fn on_outer_end(&mut self, outer: usize, converged: bool) {
+        let _ = (outer, converged);
+    }
+
+    /// An inner iterate completed with the given maximum relative
+    /// scalar-flux change (one event per entry of
+    /// [`SolveOutcome::convergence_history`]).
+    fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        let _ = (inner, relative_change);
+    }
+
+    /// A full transport sweep completed.  `sweep` is the running sweep
+    /// count (1-based) and `seconds` the wall-clock time of this sweep.
+    fn on_sweep(&mut self, sweep: usize, seconds: f64) {
+        let _ = (sweep, seconds);
+    }
+
+    /// A Krylov iteration reported a relative residual (one event per
+    /// entry of [`SolveOutcome::krylov_residual_history`]; never fires
+    /// under plain source iteration).
+    fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        let _ = (iteration, relative_residual);
+    }
+}
+
+/// The silent observer used when nobody is watching.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl RunObserver for NoopObserver {}
+
+/// An observer that records the event stream and reconstructs the history
+/// vectors of a [`SolveOutcome`].
+///
+/// After a run, [`RecordingObserver::convergence_history`] and
+/// [`RecordingObserver::krylov_residual_history`] equal the outcome's
+/// fields element-for-element, and [`RecordingObserver::sweep_count`]
+/// equals [`SolveOutcome::sweep_count`] — streaming loses nothing relative
+/// to the post-hoc summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingObserver {
+    /// Outer iterations started.
+    pub outers_started: usize,
+    /// Outer iterations completed.
+    pub outers_completed: usize,
+    /// Inner iterations observed (entries of `convergence_history`).
+    pub convergence_history: Vec<f64>,
+    /// Krylov residuals observed, concatenated across outer iterations.
+    pub krylov_residual_history: Vec<f64>,
+    /// Transport sweeps observed.
+    pub sweep_count: usize,
+    /// Wall-clock seconds summed over the observed sweeps.
+    pub sweep_seconds: f64,
+    /// Whether any outer iteration reported inner convergence.
+    pub converged: bool,
+}
+
+impl RecordingObserver {
+    /// Reset the recording so the observer can watch another run.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl RunObserver for RecordingObserver {
+    fn on_outer_start(&mut self, _outer: usize) {
+        self.outers_started += 1;
+    }
+
+    fn on_outer_end(&mut self, _outer: usize, converged: bool) {
+        self.outers_completed += 1;
+        self.converged |= converged;
+    }
+
+    fn on_inner_iteration(&mut self, _inner: usize, relative_change: f64) {
+        self.convergence_history.push(relative_change);
+    }
+
+    fn on_sweep(&mut self, sweep: usize, seconds: f64) {
+        self.sweep_count = sweep;
+        self.sweep_seconds += seconds;
+    }
+
+    fn on_krylov_residual(&mut self, _iteration: usize, relative_residual: f64) {
+        self.krylov_residual_history.push(relative_residual);
+    }
+}
+
+/// An owned, observable transport solve.
+///
+/// A `Session` wraps a [`TransportSolver`] and keeps the outcome of every
+/// run, so drivers hold a single object across repeated (warm-started)
+/// solves.  Running the same session twice continues from the flux state
+/// the previous run left behind — the behaviour a restart/continuation
+/// driver wants; build a fresh session for an independent solve.
+pub struct Session {
+    solver: TransportSolver,
+    outcomes: Vec<SolveOutcome>,
+}
+
+impl Session {
+    /// Build a session for a validated problem.
+    pub fn new(problem: &Problem) -> Result<Self> {
+        Ok(Self {
+            solver: TransportSolver::new(problem)?,
+            outcomes: Vec::new(),
+        })
+    }
+
+    /// The problem this session solves.
+    pub fn problem(&self) -> &Problem {
+        self.solver.problem()
+    }
+
+    /// The underlying solver (schedules, quadrature, flux state).
+    pub fn solver(&self) -> &TransportSolver {
+        &self.solver
+    }
+
+    /// Mutable access to the underlying solver for advanced drivers.
+    pub fn solver_mut(&mut self) -> &mut TransportSolver {
+        &mut self.solver
+    }
+
+    /// Run the full outer/inner iteration structure silently.
+    pub fn run(&mut self) -> Result<SolveOutcome> {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// Run the full outer/inner iteration structure, streaming events to
+    /// `observer` as they happen.
+    pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
+        let outcome = self.solver.run_observed(observer)?;
+        self.outcomes.push(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// The outcome of the most recent run, if any.
+    pub fn last_outcome(&self) -> Option<&SolveOutcome> {
+        self.outcomes.last()
+    }
+
+    /// The outcomes of every run of this session, in order.
+    pub fn outcomes(&self) -> &[SolveOutcome] {
+        &self.outcomes
+    }
+
+    /// The scalar flux after the most recent run.
+    pub fn scalar_flux(&self) -> &FluxStorage {
+        self.solver.scalar_flux()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+
+    #[test]
+    fn session_runs_and_keeps_outcomes() {
+        let mut session = Session::new(&Problem::tiny()).unwrap();
+        assert!(session.last_outcome().is_none());
+        let outcome = session.run().unwrap();
+        assert!(outcome.scalar_flux_total > 0.0);
+        assert_eq!(session.outcomes().len(), 1);
+        assert_eq!(session.last_outcome(), Some(&outcome));
+        assert_eq!(session.problem(), &Problem::tiny());
+    }
+
+    #[test]
+    fn recording_observer_matches_outcome_for_source_iteration() {
+        let mut session = Session::new(&Problem::tiny()).unwrap();
+        let mut recorder = RecordingObserver::default();
+        let outcome = session.run_observed(&mut recorder).unwrap();
+        assert_eq!(recorder.sweep_count, outcome.sweep_count);
+        assert_eq!(recorder.convergence_history, outcome.convergence_history);
+        assert_eq!(
+            recorder.krylov_residual_history,
+            outcome.krylov_residual_history
+        );
+        assert_eq!(recorder.outers_started, outcome.outer_iterations);
+        assert_eq!(recorder.outers_completed, outcome.outer_iterations);
+        assert_eq!(recorder.converged, outcome.converged);
+    }
+
+    #[test]
+    fn recording_observer_matches_outcome_for_sweep_gmres() {
+        let problem = Problem::tiny().with_strategy(StrategyKind::SweepGmres);
+        let mut session = Session::new(&problem).unwrap();
+        let mut recorder = RecordingObserver::default();
+        let outcome = session.run_observed(&mut recorder).unwrap();
+        assert!(!recorder.krylov_residual_history.is_empty());
+        assert_eq!(recorder.sweep_count, outcome.sweep_count);
+        assert_eq!(recorder.convergence_history, outcome.convergence_history);
+        assert_eq!(
+            recorder.krylov_residual_history,
+            outcome.krylov_residual_history
+        );
+    }
+
+    #[test]
+    fn rerunning_a_session_warm_starts() {
+        let mut p = Problem::tiny();
+        p.convergence_tolerance = 1e-12;
+        p.inner_iterations = 4;
+        let mut session = Session::new(&p).unwrap();
+        let first = session.run().unwrap();
+        let second = session.run().unwrap();
+        // The second run starts from the first run's flux, so its first
+        // iterate moves far less.
+        assert!(second.convergence_history[0] < first.convergence_history[0]);
+        assert_eq!(session.outcomes().len(), 2);
+    }
+
+    #[test]
+    fn recorder_clear_resets() {
+        let mut r = RecordingObserver {
+            sweep_count: 3,
+            ..Default::default()
+        };
+        r.clear();
+        assert_eq!(r, RecordingObserver::default());
+    }
+}

@@ -11,7 +11,8 @@
 //!   for every angle in the octant, the wavefront buckets of that angle's
 //!   schedule are processed in order, and inside a bucket the
 //!   element × group work is executed according to the selected
-//!   [`ConcurrencyScheme`] (the six variants of Figures 3/4 plus the
+//!   [`ConcurrencyScheme`](unsnap_sweep::ConcurrencyScheme) (the six
+//!   variants of Figures 3/4 plus the
 //!   angle-threaded ablation of §IV-A.3).
 //!
 //! The assemble/solve region is timed as a whole (the quantity plotted in
@@ -35,9 +36,11 @@ use unsnap_sweep::{LoopOrder, SweepSchedule, ThreadedLoops};
 
 use crate::angular::AngularQuadrature;
 use crate::data::ProblemData;
+use crate::error::{Error, Result};
 use crate::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
 use crate::layout::{FluxLayout, FluxStorage};
 use crate::problem::Problem;
+use crate::session::{NoopObserver, RunObserver};
 
 /// Result of one kernel task (one element × group for one angle).
 struct TaskResult {
@@ -105,6 +108,32 @@ impl SolveOutcome {
     pub fn scalar_flux_total(&self) -> f64 {
         self.scalar_flux_total
     }
+
+    /// Serialise the outcome as a JSON object (via the workspace's
+    /// hand-rolled [`json`](crate::json) writer — the vendored `serde` is
+    /// a no-op stand-in).
+    ///
+    /// Doubles are written in shortest-round-trip form, so tooling that
+    /// parses the dump recovers the exact values; non-finite entries
+    /// become `null`.
+    pub fn to_json(&self) -> String {
+        crate::json::JsonObject::new()
+            .field_usize("inner_iterations", self.inner_iterations)
+            .field_usize("outer_iterations", self.outer_iterations)
+            .field_usize("sweep_count", self.sweep_count)
+            .field_usize("krylov_iterations", self.krylov_iterations)
+            .field_f64_array("krylov_residual_history", &self.krylov_residual_history)
+            .field_bool("converged", self.converged)
+            .field_f64_array("convergence_history", &self.convergence_history)
+            .field_f64("assemble_solve_seconds", self.assemble_solve_seconds)
+            .field_f64("kernel_assemble_seconds", self.kernel_assemble_seconds)
+            .field_f64("kernel_solve_seconds", self.kernel_solve_seconds)
+            .field_u64("kernel_invocations", self.kernel_invocations)
+            .field_f64("scalar_flux_total", self.scalar_flux_total)
+            .field_f64("scalar_flux_max", self.scalar_flux_max)
+            .field_f64("scalar_flux_min", self.scalar_flux_min)
+            .finish()
+    }
 }
 
 /// Work and convergence accounting shared between the solver driver and
@@ -168,7 +197,7 @@ pub struct TransportSolver {
 
 impl TransportSolver {
     /// Build a solver for the given problem.
-    pub fn new(problem: &Problem) -> Result<Self, String> {
+    pub fn new(problem: &Problem) -> Result<Self> {
         problem.validate()?;
         let mesh = problem.build_mesh();
         let element = ReferenceElement::new(problem.element_order);
@@ -201,7 +230,9 @@ impl TransportSolver {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(num_threads)
             .build()
-            .map_err(|e| format!("failed to build thread pool: {e}"))?;
+            .map_err(|e| Error::Execution {
+                reason: format!("failed to build thread pool: {e}"),
+            })?;
 
         // Per-element integrals (the paper's precomputed basis-pair
         // integrals) — built in parallel, they are embarrassingly
@@ -231,9 +262,9 @@ impl TransportSolver {
                 .par_iter()
                 .map(|d| {
                     SweepSchedule::build(&mesh, d.omega)
-                        .map_err(|e| format!("angle {:?}: {e}", d.omega))
+                        .map_err(|e| Error::schedule(format!("angle {:?}", d.omega), e))
                 })
-                .collect::<Result<Vec<_>, _>>()
+                .collect::<Result<Vec<_>>>()
         })?;
 
         let order = problem.scheme.loop_order;
@@ -302,20 +333,34 @@ impl TransportSolver {
 
     /// Run the full outer/inner iteration structure and return a summary.
     ///
+    /// Equivalent to [`TransportSolver::run_observed`] with a silent
+    /// observer.  Most callers should prefer a
+    /// [`Session`](crate::session::Session), which owns the solver state
+    /// and exposes both entry points.
+    pub fn run(&mut self) -> Result<SolveOutcome> {
+        self.run_observed(&mut NoopObserver)
+    }
+
+    /// Run the full outer/inner iteration structure, streaming progress
+    /// events to `observer`, and return a summary.
+    ///
     /// The outer (Jacobi group-coupling) loop lives here; each outer
     /// iteration hands the within-group solve to the
     /// [`IterationStrategy`](crate::strategy::IterationStrategy) selected
     /// by [`Problem::strategy`](crate::problem::Problem).
-    pub fn run(&mut self) -> Result<SolveOutcome, String> {
+    pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
         let strategy = self.problem.strategy.build();
         let mut stats = RunStats::default();
         let mut converged = false;
 
-        for _outer in 0..self.problem.outer_iterations {
+        for outer in 0..self.problem.outer_iterations {
+            observer.on_outer_start(outer);
             self.phi_outer
                 .as_mut_slice()
                 .copy_from_slice(self.phi.as_slice());
-            if strategy.run_inners(self, &mut stats)? {
+            let inner_converged = strategy.run_inners(self, &mut stats, observer)?;
+            observer.on_outer_end(outer, inner_converged);
+            if inner_converged {
                 converged = true;
                 break;
             }
@@ -416,15 +461,18 @@ impl TransportSolver {
     }
 
     /// Zero the scalar flux and run one full sweep of the current source
-    /// (`φ ← D L⁻¹ q`), accounting the work in `stats`.
-    pub fn sweep_once(&mut self, stats: &mut RunStats) {
+    /// (`φ ← D L⁻¹ q`), accounting the work in `stats` and notifying
+    /// `observer` when the sweep completes.
+    pub fn sweep_once(&mut self, stats: &mut RunStats, observer: &mut dyn RunObserver) {
         self.phi.fill(0.0);
         let t0 = Instant::now();
         let (timing, count) = self.sweep_all();
-        stats.sweep_seconds += t0.elapsed().as_secs_f64();
+        let seconds = t0.elapsed().as_secs_f64();
+        stats.sweep_seconds += seconds;
         stats.kernel_timing.accumulate(timing);
         stats.kernel_invocations += count;
         stats.sweeps += 1;
+        observer.on_sweep(stats.sweeps, seconds);
     }
 
     /// Enable/disable homogeneous (zero-inflow) boundary treatment for
@@ -821,11 +869,30 @@ impl TransportSolver {
 
 /// Maximum relative pointwise change between two flux arrays — the
 /// convergence measure of the SNAP-style iteration drivers.
+///
+/// The result is always a defined, non-NaN value:
+///
+/// * when the reference (`old`) vector is all zeros and `new` is too —
+///   including the empty-slice case — every term is `0 / 1e-12` and the
+///   change is `0.0` (nothing moved);
+/// * zero reference entries with nonzero new entries are measured against
+///   the `1e-12` floor, yielding a large but finite change (returning 0
+///   here would falsely report convergence of the very first iterate,
+///   which always starts from a zero flux);
+/// * a non-finite difference (NaN/∞ anywhere in the inputs) reports
+///   `f64::INFINITY`, so a poisoned flux can never pass a `< tolerance`
+///   convergence test.  (The previous `fold(max)` silently *ignored* NaN
+///   entries.)
 pub fn relative_change(new: &[f64], old: &[f64]) -> f64 {
     let floor = 1e-12;
-    new.iter()
-        .zip(old.iter())
-        .fold(0.0, |m, (a, b)| m.max((a - b).abs() / b.abs().max(floor)))
+    new.iter().zip(old.iter()).fold(0.0, |m, (a, b)| {
+        let d = (a - b).abs() / b.abs().max(floor);
+        if d.is_nan() {
+            f64::INFINITY
+        } else {
+            m.max(d)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -1194,5 +1261,28 @@ mod tests {
     fn relative_change_helper() {
         assert_eq!(relative_change(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
         assert!((relative_change(&[1.1, 2.0], &[1.0, 2.0]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_change_is_defined_for_zero_reference() {
+        // All-zero reference and all-zero new: nothing moved.
+        assert_eq!(relative_change(&[0.0; 4], &[0.0; 4]), 0.0);
+        assert_eq!(relative_change(&[], &[]), 0.0);
+        // Zero reference with nonzero new: large but finite (a zero
+        // would falsely pass the convergence test on the first iterate).
+        let d = relative_change(&[1.0, 0.0], &[0.0, 0.0]);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn relative_change_never_returns_nan() {
+        assert!(!relative_change(&[f64::NAN], &[1.0]).is_nan());
+        assert_eq!(relative_change(&[f64::NAN], &[1.0]), f64::INFINITY);
+        assert_eq!(relative_change(&[1.0], &[f64::NAN]), f64::INFINITY);
+        // A NaN must not be masked by a larger finite entry elsewhere.
+        assert_eq!(
+            relative_change(&[5.0, f64::NAN], &[1.0, 1.0]),
+            f64::INFINITY
+        );
     }
 }

@@ -35,8 +35,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use unsnap_krylov::{Gmres, GmresConfig, LinearOperator};
+use unsnap_krylov::{Gmres, GmresConfig, LinearOperator, ObservedOperator};
 
+use crate::error::Result;
+use crate::session::RunObserver;
 use crate::solver::{relative_change, RunStats, TransportSolver};
 
 /// Which inner-iteration strategy the solver runs.
@@ -81,7 +83,7 @@ impl std::fmt::Display for StrategyKind {
 impl std::str::FromStr for StrategyKind {
     type Err = String;
 
-    fn from_str(s: &str) -> Result<Self, Self::Err> {
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "si" | "source" | "source-iteration" => Ok(StrategyKind::SourceIteration),
             "gmres" | "sweep-gmres" | "krylov" => Ok(StrategyKind::SweepGmres),
@@ -100,12 +102,14 @@ pub trait IterationStrategy {
     /// Short human-readable name.
     fn name(&self) -> &'static str;
 
-    /// Run the inner iterations of one outer iteration.
+    /// Run the inner iterations of one outer iteration, streaming
+    /// progress (inner iterates, sweeps, Krylov residuals) to `observer`.
     fn run_inners(
         &self,
         solver: &mut TransportSolver,
         stats: &mut RunStats,
-    ) -> Result<bool, String>;
+        observer: &mut dyn RunObserver,
+    ) -> Result<bool>;
 }
 
 /// The seed's lagged source iteration, unchanged.
@@ -120,16 +124,18 @@ impl IterationStrategy for SourceIteration {
         &self,
         solver: &mut TransportSolver,
         stats: &mut RunStats,
-    ) -> Result<bool, String> {
+        observer: &mut dyn RunObserver,
+    ) -> Result<bool> {
         let inner_iterations = solver.problem().inner_iterations;
         let tolerance = solver.problem().convergence_tolerance;
         for _inner in 0..inner_iterations {
             stats.inner_iterations += 1;
             solver.compute_source();
             solver.save_phi_inner();
-            solver.sweep_once(stats);
+            solver.sweep_once(stats, observer);
             let diff = relative_change(solver.phi_slice(), solver.phi_inner_slice());
             stats.convergence_history.push(diff);
+            observer.on_inner_iteration(stats.inner_iterations, diff);
             if tolerance > 0.0 && diff < tolerance {
                 return Ok(true);
             }
@@ -140,12 +146,18 @@ impl IterationStrategy for SourceIteration {
 
 /// The within-group transport operator `v ↦ (I − D L⁻¹ S_w) v`, applied
 /// matrix-free: one scatter-scale plus one full sweep per application.
-struct SweepOperator<'a, 'b> {
+///
+/// The operator also carries the run's observer: every sweep it performs
+/// fires `on_sweep`, and the GMRES driver's residual notifications are
+/// forwarded as `on_krylov_residual` through the
+/// [`ObservedOperator`] hook.
+struct SweepOperator<'a, 'b, 'c> {
     solver: &'a mut TransportSolver,
     stats: &'b mut RunStats,
+    observer: &'c mut dyn RunObserver,
 }
 
-impl LinearOperator for SweepOperator<'_, '_> {
+impl LinearOperator for SweepOperator<'_, '_, '_> {
     fn dim(&self) -> usize {
         self.solver.phi_slice().len()
     }
@@ -156,7 +168,7 @@ impl LinearOperator for SweepOperator<'_, '_> {
         // operator: sweep with homogeneous (vacuum) boundaries so the
         // application stays linear in `x`.
         self.solver.set_homogeneous_boundaries(true);
-        self.solver.sweep_once(self.stats);
+        self.solver.sweep_once(self.stats, self.observer);
         self.solver.set_homogeneous_boundaries(false);
         for ((yi, xi), phi) in y
             .iter_mut()
@@ -165,6 +177,13 @@ impl LinearOperator for SweepOperator<'_, '_> {
         {
             *yi = xi - phi;
         }
+    }
+}
+
+impl ObservedOperator for SweepOperator<'_, '_, '_> {
+    fn on_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.observer
+            .on_krylov_residual(iteration, relative_residual);
     }
 }
 
@@ -180,7 +199,8 @@ impl IterationStrategy for SweepGmres {
         &self,
         solver: &mut TransportSolver,
         stats: &mut RunStats,
-    ) -> Result<bool, String> {
+        observer: &mut dyn RunObserver,
+    ) -> Result<bool> {
         let problem = solver.problem();
         let config = GmresConfig {
             restart: problem.gmres_restart,
@@ -197,12 +217,18 @@ impl IterationStrategy for SweepGmres {
         // Right-hand side b = D L⁻¹ q_ext: one sweep of the external
         // (fixed + cross-group) source.
         solver.compute_external_source();
-        solver.sweep_once(stats);
+        solver.sweep_once(stats, observer);
         let b = solver.phi_slice().to_vec();
 
-        let outcome = Gmres::new(config)
-            .solve(&mut SweepOperator { solver, stats }, &b, &mut x)
-            .map_err(|e| format!("sweep-GMRES inner solve failed: {e}"))?;
+        let outcome = Gmres::new(config).solve_observed(
+            &mut SweepOperator {
+                solver,
+                stats,
+                observer,
+            },
+            &b,
+            &mut x,
+        )?;
         stats.inner_iterations += outcome.iterations;
         stats.krylov_iterations += outcome.iterations;
         stats
@@ -216,9 +242,10 @@ impl IterationStrategy for SweepGmres {
         solver.set_phi(&x);
         solver.save_phi_inner();
         solver.compute_source();
-        solver.sweep_once(stats);
+        solver.sweep_once(stats, observer);
         let diff = relative_change(solver.phi_slice(), solver.phi_inner_slice());
         stats.convergence_history.push(diff);
+        observer.on_inner_iteration(stats.inner_iterations, diff);
 
         Ok(outcome.converged)
     }

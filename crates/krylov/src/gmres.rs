@@ -18,7 +18,7 @@
 use unsnap_linalg::matrix::DenseMatrix;
 use unsnap_linalg::vector::{axpy, dot, norm2, scale};
 
-use crate::operator::LinearOperator;
+use crate::operator::{LinearOperator, ObservedOperator, SilentOperator};
 use crate::{KrylovError, KrylovOutcome};
 
 /// Tuning knobs for [`Gmres`].
@@ -69,6 +69,21 @@ impl Gmres {
         b: &[f64],
         x: &mut [f64],
     ) -> Result<KrylovOutcome, KrylovError> {
+        self.solve_observed(&mut SilentOperator(op), b, x)
+    }
+
+    /// Solve `A x = b` while streaming every residual-history entry to the
+    /// operator's [`ObservedOperator::on_residual`] hook.
+    ///
+    /// The notifications mirror [`KrylovOutcome::residual_history`]
+    /// entry-for-entry, so an observer that records them reconstructs the
+    /// history exactly.
+    pub fn solve_observed(
+        &self,
+        op: &mut dyn ObservedOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<KrylovOutcome, KrylovError> {
         let n = op.dim();
         if b.len() != n || x.len() != n {
             return Err(KrylovError::DimensionMismatch {
@@ -106,7 +121,7 @@ impl Gmres {
         // True residual r = b − A x for the current iterate.
         let true_residual = |x: &mut [f64],
                              residual: &mut [f64],
-                             op: &mut dyn LinearOperator,
+                             op: &mut dyn ObservedOperator,
                              outcome: &mut KrylovOutcome| {
             op.apply(x, residual);
             outcome.matvecs += 1;
@@ -118,6 +133,7 @@ impl Gmres {
 
         let mut beta = true_residual(x, &mut residual, op, &mut outcome);
         outcome.residual_history.push(beta / b_norm);
+        op.on_residual(outcome.iterations, beta / b_norm);
         if beta <= target {
             outcome.converged = true;
             outcome.final_residual = beta / b_norm;
@@ -166,6 +182,7 @@ impl Gmres {
 
                 let est = g[k + 1].abs();
                 outcome.residual_history.push(est / b_norm);
+                op.on_residual(outcome.iterations, est / b_norm);
                 k += 1;
 
                 // Happy breakdown: A v_k lay (numerically) inside the
@@ -193,6 +210,7 @@ impl Gmres {
                 if diag.abs() <= f64::MIN_POSITIVE {
                     return Err(KrylovError::Breakdown {
                         at_iteration: outcome.iterations,
+                        residual: outcome.residual_history.last().copied().unwrap_or(1.0),
                     });
                 }
                 y[i] = acc / diag;
@@ -210,10 +228,10 @@ impl Gmres {
             }
         }
 
+        // `residual_history` keeps the incremental estimates exactly as
+        // they were streamed to `on_residual`; the *true* relative
+        // residual of the returned iterate is reported separately here.
         outcome.final_residual = beta / b_norm;
-        if outcome.converged {
-            *outcome.residual_history.last_mut().expect("non-empty") = outcome.final_residual;
-        }
         Ok(outcome)
     }
 }

@@ -70,7 +70,7 @@ pub mod operator;
 
 pub use cg::{CgConfig, ConjugateGradient};
 pub use gmres::{Gmres, GmresConfig};
-pub use operator::{FnOperator, LinearOperator, MatrixOperator};
+pub use operator::{FnOperator, LinearOperator, MatrixOperator, ObservedOperator, SilentOperator};
 
 /// What a Krylov solve did: iteration counts and the residual trajectory.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -101,7 +101,7 @@ impl KrylovOutcome {
 }
 
 /// Failure modes of the Krylov solvers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum KrylovError {
     /// Operand length does not match the operator dimension.
     DimensionMismatch {
@@ -116,6 +116,8 @@ pub enum KrylovError {
     Breakdown {
         /// Iteration at which the breakdown occurred.
         at_iteration: usize,
+        /// Relative residual estimate at the point of breakdown.
+        residual: f64,
     },
     /// CG observed a direction of non-positive curvature: the operator is
     /// not symmetric positive definite.
@@ -133,8 +135,15 @@ impl std::fmt::Display for KrylovError {
                 "vector length {vector} does not match operator dimension {operator}"
             ),
             KrylovError::InvalidConfig(message) => f.write_str(message),
-            KrylovError::Breakdown { at_iteration } => {
-                write!(f, "Krylov breakdown at iteration {at_iteration}")
+            KrylovError::Breakdown {
+                at_iteration,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "Krylov breakdown at iteration {at_iteration} \
+                     (relative residual {residual:.3e})"
+                )
             }
             KrylovError::NotPositiveDefinite { at_iteration } => write!(
                 f,
@@ -167,9 +176,12 @@ mod tests {
         };
         assert!(e.to_string().contains('8'));
         assert!(e.to_string().contains('7'));
-        assert!(KrylovError::Breakdown { at_iteration: 3 }
-            .to_string()
-            .contains('3'));
+        assert!(KrylovError::Breakdown {
+            at_iteration: 3,
+            residual: 0.5
+        }
+        .to_string()
+        .contains('3'));
         assert!(KrylovError::NotPositiveDefinite { at_iteration: 2 }
             .to_string()
             .contains("positive definite"));

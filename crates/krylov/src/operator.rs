@@ -21,6 +21,41 @@ pub trait LinearOperator {
     fn apply(&mut self, x: &[f64], y: &mut [f64]);
 }
 
+/// A [`LinearOperator`] that also wants to watch the solver's progress.
+///
+/// [`Gmres::solve_observed`](crate::Gmres::solve_observed) notifies the
+/// operator every time it appends to the residual history, so callers that
+/// drive expensive operator applications (a transport sweep per matvec)
+/// can stream per-iteration residuals to a logger, a progress bar or an
+/// observer instead of parsing the history after the fact.  The default
+/// implementation ignores the notification, so any quiet operator can opt
+/// in with an empty `impl` block.
+pub trait ObservedOperator: LinearOperator {
+    /// Called after every residual-history entry: `iteration` is the
+    /// number of Krylov iterations completed (0 for the initial-guess
+    /// residual) and `relative_residual` is `‖b − A x‖₂ / ‖b‖₂` (for
+    /// iterations after the first, the incremental Givens estimate of it).
+    fn on_residual(&mut self, iteration: usize, relative_residual: f64) {
+        let _ = (iteration, relative_residual);
+    }
+}
+
+/// Adapter running any [`LinearOperator`] through the observed entry
+/// points without emitting notifications.
+pub struct SilentOperator<'a>(pub &'a mut dyn LinearOperator);
+
+impl LinearOperator for SilentOperator<'_> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.0.apply(x, y)
+    }
+}
+
+impl ObservedOperator for SilentOperator<'_> {}
+
 /// A dense matrix viewed as a [`LinearOperator`] (used by tests and by
 /// callers that assemble small systems explicitly).
 pub struct MatrixOperator {

@@ -1,0 +1,98 @@
+//! Typed failure modes of mesh construction and decomposition.
+//!
+//! The workspace-wide error type (`unsnap_core::error::Error`) wraps
+//! [`MeshError`] in its `Mesh` variant, so every mesh failure surfaces to
+//! callers with its structured payload intact instead of as a formatted
+//! string.
+
+use std::fmt;
+
+/// Errors produced while building or decomposing a mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A structured grid with zero cells along some axis.
+    EmptyGrid {
+        /// Cells along x.
+        nx: usize,
+        /// Cells along y.
+        ny: usize,
+        /// Cells along z.
+        nz: usize,
+    },
+    /// A decomposition with zero ranks along some axis.
+    EmptyDecomposition {
+        /// Ranks along x.
+        npx: usize,
+        /// Ranks along y.
+        npy: usize,
+    },
+    /// More ranks than cells along a decomposed axis: at least one rank
+    /// would own an empty subdomain.
+    DecompositionTooCoarse {
+        /// Ranks along x.
+        npx: usize,
+        /// Ranks along y.
+        npy: usize,
+        /// Mesh cells along x.
+        nx: usize,
+        /// Mesh cells along y.
+        ny: usize,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::EmptyGrid { nx, ny, nz } => {
+                write!(
+                    f,
+                    "grid must have at least one cell per axis, got {nx}x{ny}x{nz}"
+                )
+            }
+            MeshError::EmptyDecomposition { npx, npy } => {
+                write!(
+                    f,
+                    "decomposition must have at least one rank per axis, got {npx}x{npy}"
+                )
+            }
+            MeshError::DecompositionTooCoarse { npx, npy, nx, ny } => write!(
+                f,
+                "decomposition {npx}x{npy} has more ranks than cells along an axis of the \
+                 {nx}x{ny} mesh footprint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_shapes() {
+        let e = MeshError::DecompositionTooCoarse {
+            npx: 8,
+            npy: 2,
+            nx: 4,
+            ny: 4,
+        };
+        assert!(e.to_string().contains("8x2"));
+        assert!(e.to_string().contains("4x4"));
+        let e = MeshError::EmptyGrid {
+            nx: 0,
+            ny: 3,
+            nz: 3,
+        };
+        assert!(e.to_string().contains("0x3x3"));
+        let e = MeshError::EmptyDecomposition { npx: 0, npy: 1 };
+        assert!(e.to_string().contains("0x1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MeshError>();
+    }
+}

@@ -22,7 +22,9 @@
 //! * [`partition`] — the KBA-style 2-D spatial decomposition into rank
 //!   subdomains used by the distributed (block-Jacobi) schedule, with halo
 //!   face descriptions;
-//! * [`boundary`] — boundary-condition tags for the domain faces.
+//! * [`boundary`] — boundary-condition tags for the domain faces;
+//! * [`error`] — [`MeshError`], the crate's typed failure modes, wrapped
+//!   by the workspace-wide `unsnap_core::error::Error`.
 //!
 //! The face-index convention (0 = x−, 1 = x+, 2 = y−, 3 = y+, 4 = z−,
 //! 5 = z+) matches `unsnap_fem::Face::index()` so the transport kernel can
@@ -45,12 +47,14 @@
 #![forbid(unsafe_code)]
 
 pub mod boundary;
+pub mod error;
 pub mod partition;
 pub mod structured;
 pub mod twist;
 pub mod unstructured;
 
 pub use boundary::BoundaryCondition;
+pub use error::MeshError;
 pub use partition::{Decomposition2D, HaloFace, Subdomain};
 pub use structured::StructuredGrid;
 pub use twist::MeshTwist;

@@ -16,6 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::MeshError;
 use crate::unstructured::{NeighborRef, UnstructuredMesh, NUM_FACES};
 
 /// A 2-D processor grid over the x–y plane.
@@ -29,9 +30,19 @@ pub struct Decomposition2D {
 
 impl Decomposition2D {
     /// A decomposition into `npx × npy` ranks.
+    ///
+    /// Panics on an empty axis; use [`Decomposition2D::try_new`] for a
+    /// recoverable error.
     pub fn new(npx: usize, npy: usize) -> Self {
-        assert!(npx > 0 && npy > 0, "decomposition needs at least one rank");
-        Self { npx, npy }
+        Self::try_new(npx, npy).expect("decomposition needs at least one rank")
+    }
+
+    /// A decomposition into `npx × npy` ranks, rejecting empty axes.
+    pub fn try_new(npx: usize, npy: usize) -> Result<Self, MeshError> {
+        if npx == 0 || npy == 0 {
+            return Err(MeshError::EmptyDecomposition { npx, npy });
+        }
+        Ok(Self { npx, npy })
     }
 
     /// A single-rank decomposition.
@@ -73,11 +84,24 @@ impl Decomposition2D {
     /// from the structured grid), but the resulting [`Subdomain`]s only
     /// reference unstructured cell ids.
     pub fn decompose(&self, mesh: &UnstructuredMesh) -> Vec<Subdomain> {
+        self.try_decompose(mesh)
+            .expect("more ranks than cells along a decomposed axis")
+    }
+
+    /// Decompose a mesh into per-rank subdomains, rejecting decompositions
+    /// that would leave a rank with an empty subdomain.
+    ///
+    /// This is the recoverable form of [`Decomposition2D::decompose`].
+    pub fn try_decompose(&self, mesh: &UnstructuredMesh) -> Result<Vec<Subdomain>, MeshError> {
         let grid = mesh.origin_grid();
-        assert!(
-            self.npx <= grid.nx && self.npy <= grid.ny,
-            "more ranks than cells along a decomposed axis"
-        );
+        if self.npx > grid.nx || self.npy > grid.ny {
+            return Err(MeshError::DecompositionTooCoarse {
+                npx: self.npx,
+                npy: self.npy,
+                nx: grid.nx,
+                ny: grid.ny,
+            });
+        }
 
         // Owner rank of every global cell.
         let mut owner = vec![0usize; mesh.num_cells()];
@@ -135,7 +159,7 @@ impl Decomposition2D {
             }
         }
 
-        subdomains
+        Ok(subdomains)
     }
 }
 

@@ -150,7 +150,8 @@ impl std::str::FromStr for ConcurrencyScheme {
     type Err = String;
 
     /// Parse either a figure-legend label (`angle/element*/group*`,
-    /// `angle*/group/element`, …) — the exact strings [`Display`] emits,
+    /// `angle*/group/element`, …) — the exact strings
+    /// [`Display`](std::fmt::Display) emits,
     /// so schemes round-trip through strings — or one of the friendly
     /// aliases `best` and `serial`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {

@@ -14,15 +14,13 @@
 use unsnap::prelude::*;
 
 fn main() {
-    let mut problem = Problem::tiny();
-    problem.nx = 6;
-    problem.ny = 6;
-    problem.nz = 4;
-    problem.num_groups = 2;
-    problem.angles_per_octant = 2;
-    problem.inner_iterations = 100;
-    problem.outer_iterations = 1;
-    problem.convergence_tolerance = 1e-7;
+    let problem = ProblemBuilder::tiny()
+        .cells(6, 6, 4)
+        .phase_space(2, 2)
+        .iterations(100, 1)
+        .tolerance(1e-7)
+        .build()
+        .expect("valid problem");
 
     println!("Block-Jacobi rank study");
     println!(

@@ -14,16 +14,14 @@
 use unsnap::prelude::*;
 
 fn main() {
-    let mut problem = Problem::tiny();
-    problem.nx = 6;
-    problem.ny = 6;
-    problem.nz = 6;
-    problem.num_groups = 1;
-    problem.angles_per_octant = 4;
-    problem.inner_iterations = 80;
-    problem.outer_iterations = 1;
-    problem.convergence_tolerance = 1e-8;
-    problem.twist = 0.0;
+    let problem = ProblemBuilder::tiny()
+        .mesh(6)
+        .phase_space(4, 1)
+        .iterations(80, 1)
+        .tolerance(1e-8)
+        .twist(0.0)
+        .build()
+        .expect("valid problem");
 
     println!("Finite difference (SNAP) vs finite element (UnSNAP)");
     println!(

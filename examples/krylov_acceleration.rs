@@ -46,21 +46,16 @@ fn main() {
     println!();
 
     for c in [0.1, 0.5, 0.9, 0.99] {
-        let mut p = Problem::tiny();
-        p.num_groups = 1;
-        p.nx = 4;
-        p.ny = 4;
-        p.nz = 4;
-        p.lx = 8.0;
-        p.ly = 8.0;
-        p.lz = 8.0;
-        p.scattering_ratio = Some(c);
-        p.convergence_tolerance = 1e-8;
-        p.inner_iterations = 600;
-        p.outer_iterations = 1;
-        p.solver = solver;
-        p.scheme = scheme;
-        p.gmres_restart = restart;
+        let base = ProblemBuilder::tiny()
+            .mesh(4)
+            .extents(8.0, 8.0, 8.0)
+            .phase_space(2, 1)
+            .scattering_ratio(c)
+            .tolerance(1e-8)
+            .iterations(600, 1)
+            .solver(solver)
+            .scheme(scheme)
+            .gmres_restart(restart);
 
         println!("c = {c}");
         for strategy in StrategyKind::all() {
@@ -69,15 +64,38 @@ fn main() {
                     continue;
                 }
             }
-            let problem = p.clone().with_strategy(strategy);
-            let mut solver = TransportSolver::new(&problem).expect("problem must validate");
-            let outcome = solver.run().expect("solve must run");
+            let mut session = base
+                .clone()
+                .strategy(strategy)
+                .session()
+                .expect("problem must validate");
+            // Stream the residual trajectory while it happens (the
+            // RecordingObserver doubles as a live residual tap).
+            let mut recorder = RecordingObserver::default();
+            let outcome = session.run_observed(&mut recorder).expect("solve must run");
             println!(
                 "  {:>5}: {}  (flux total {:.9e})",
                 strategy.label(),
                 report::iteration_summary(&outcome),
                 outcome.scalar_flux_total
             );
+            if !recorder.krylov_residual_history.is_empty() {
+                let shown: Vec<String> = recorder
+                    .krylov_residual_history
+                    .iter()
+                    .take(6)
+                    .map(|r| format!("{r:.1e}"))
+                    .collect();
+                println!(
+                    "         residual trajectory: {}{}",
+                    shown.join(" → "),
+                    if recorder.krylov_residual_history.len() > 6 {
+                        " → …"
+                    } else {
+                        ""
+                    }
+                );
+            }
         }
         println!();
     }

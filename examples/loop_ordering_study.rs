@@ -44,9 +44,12 @@ fn main() {
     for scheme in ConcurrencyScheme::figure_schemes() {
         print!("{:<28}", scheme.label());
         for &t in &threads {
-            let problem = base.clone().with_scheme(scheme).with_threads(t);
-            let mut solver = TransportSolver::new(&problem).expect("valid problem");
-            let outcome = solver.run().expect("solve");
+            let mut session = ProblemBuilder::from_problem(&base)
+                .scheme(scheme)
+                .threads(t)
+                .session()
+                .expect("valid problem");
+            let outcome = session.run().expect("solve");
             print!(" {:>9.3}", outcome.assemble_solve_seconds);
         }
         println!();

@@ -1,22 +1,64 @@
-//! Quickstart: build a small UnSNAP problem, run it, and print a summary.
+//! Quickstart: build a small UnSNAP problem with the validating
+//! [`ProblemBuilder`], open an observable [`Session`], and stream the
+//! solve's progress while it runs.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The example exercises the whole public API surface: problem definition,
-//! mesh construction, sweep scheduling, the threaded DG assemble/solve
-//! sweep, and the reporting helpers (including Table I of the paper).
+//! The example exercises the whole public API surface: grouped problem
+//! construction with up-front validation, mesh construction, sweep
+//! scheduling, the observable session with a custom [`RunObserver`], and
+//! the reporting helpers (including Table I of the paper and the JSON
+//! outcome dump).
+//!
+//! The three backend knobs are environment-selectable (all round-trip
+//! through `FromStr`/`Display`):
+//!
+//! * `UNSNAP_STRATEGY` — `si` or `gmres`;
+//! * `UNSNAP_SOLVER`   — `ge`, `lu` or `mkl`;
+//! * `UNSNAP_SCHEME`   — `best`, `serial` or a figure label like
+//!   `angle/element*/group*`.
 
 use unsnap::prelude::*;
 
-fn main() {
+/// A tiny observer that narrates the solve as it happens — the streaming
+/// the pre-Session API could not offer.
+#[derive(Default)]
+struct Narrator {
+    sweeps: usize,
+}
+
+impl RunObserver for Narrator {
+    fn on_outer_start(&mut self, outer: usize) {
+        println!("  outer {outer} started");
+    }
+
+    fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        println!("    inner {inner:>3}: max relative change {relative_change:.3e}");
+    }
+
+    fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        println!("    krylov {iteration:>3}: relative residual {relative_residual:.3e}");
+    }
+
+    fn on_sweep(&mut self, sweep: usize, _seconds: f64) {
+        self.sweeps = sweep;
+    }
+
+    fn on_outer_end(&mut self, outer: usize, converged: bool) {
+        println!("  outer {outer} finished (inner converged: {converged})");
+    }
+}
+
+fn main() -> Result<()> {
     // ------------------------------------------------------------------
-    // 1. Describe the problem.  `Problem::quickstart()` is a small
-    //    configuration (6^3 cells, 4 angles/octant, 4 groups, linear
-    //    elements) that runs in a few seconds even in debug builds.
+    // 1. Describe the problem.  The builder starts from the `quickstart`
+    //    preset (6^3 cells, 4 angles/octant, 4 groups, linear elements),
+    //    applies any UNSNAP_* environment overrides, and validates every
+    //    field — including cross-field invariants — up front.
     // ------------------------------------------------------------------
-    let problem = Problem::quickstart();
+    let problem = ProblemBuilder::quickstart().env_overrides()?.build()?;
     println!("UnSNAP quickstart");
     println!("=================");
     println!(
@@ -34,6 +76,7 @@ fn main() {
     );
     println!("scheme         : {}", problem.scheme);
     println!("local solver   : {}", problem.solver);
+    println!("strategy       : {}", problem.strategy);
 
     // ------------------------------------------------------------------
     // 2. Table I of the paper: local matrix sizes per element order.
@@ -46,7 +89,8 @@ fn main() {
     // 3. Inspect the sweep schedule of one direction before solving.
     // ------------------------------------------------------------------
     let mesh = problem.build_mesh();
-    let schedule = SweepSchedule::build(&mesh, [0.57, 0.57, 0.59]).unwrap();
+    let schedule = SweepSchedule::build(&mesh, [0.57, 0.57, 0.59])
+        .map_err(|e| Error::schedule("quickstart demo angle", e))?;
     let stats = schedule.stats();
     println!();
     println!(
@@ -56,10 +100,13 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 4. Solve.
+    // 4. Solve inside a Session, streaming progress through an observer.
     // ------------------------------------------------------------------
-    let mut solver = TransportSolver::new(&problem).expect("problem should be valid");
-    let outcome = solver.run().expect("solve should succeed");
+    println!();
+    println!("solving (streamed)");
+    let mut session = Session::new(&problem)?;
+    let mut narrator = Narrator::default();
+    let outcome = session.run_observed(&mut narrator)?;
 
     println!();
     println!("solve summary");
@@ -67,6 +114,10 @@ fn main() {
     println!(
         "iterations     : {} inner x {} outer (converged: {})",
         outcome.inner_iterations, outcome.outer_iterations, outcome.converged
+    );
+    println!(
+        "sweeps         : {} observed live, {} reported",
+        narrator.sweeps, outcome.sweep_count
     );
     println!(
         "assemble/solve : {:.3} s over {} local systems",
@@ -79,4 +130,11 @@ fn main() {
     if let Some(last) = outcome.convergence_history.last() {
         println!("last change    : {last:.3e}");
     }
+
+    // ------------------------------------------------------------------
+    // 5. Machine-readable dump for external tooling.
+    // ------------------------------------------------------------------
+    println!();
+    println!("outcome as JSON: {}", outcome.to_json());
+    Ok(())
 }

@@ -28,9 +28,10 @@ fn main() {
     for order in 1..=max_order {
         let mut row = format!("{order:>5}");
         for kind in [SolverKind::GaussianElimination, SolverKind::Mkl] {
-            let problem = Problem::table2_scaled(order, kind);
-            let mut solver = TransportSolver::new(&problem).expect("valid problem");
-            let outcome = solver.run().expect("solve");
+            let mut session = ProblemBuilder::table2_scaled(order, kind)
+                .session()
+                .expect("valid problem");
+            let outcome = session.run().expect("solve");
             row.push_str(&format!(
                 "  {:>12.3} {:>10.0}%",
                 outcome.assemble_solve_seconds,

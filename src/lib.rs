@@ -12,24 +12,56 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`mesh`] (`unsnap-mesh`) | structured-derived unstructured hex meshes, twisting, KBA decomposition |
+//! | [`mesh`] (`unsnap-mesh`) | structured-derived unstructured hex meshes, twisting, KBA decomposition, `MeshError` |
 //! | [`fem`] (`unsnap-fem`) | arbitrary-order Lagrange elements, quadrature, per-element integrals |
 //! | [`linalg`] (`unsnap-linalg`) | small dense solvers: Gaussian elimination, reference LU, blocked LU (MKL stand-in) |
-//! | [`krylov`] (`unsnap-krylov`) | matrix-free Krylov solvers (restarted GMRES, CG) over an abstract `LinearOperator` |
+//! | [`krylov`] (`unsnap-krylov`) | matrix-free Krylov solvers (restarted GMRES, CG) over an abstract `LinearOperator`, with observed solves |
 //! | [`sweep`] (`unsnap-sweep`) | per-angle wavefront (tlevel-bucket) schedules and concurrency schemes |
-//! | [`core`] (`unsnap-core`) | Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
-//! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model |
+//! | [`core`] (`unsnap-core`) | typed errors, `ProblemBuilder`, the observable `Session` API, Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
+//! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model, `CommError` |
 //!
 //! ## Quickstart
+//!
+//! Describe a problem with the validating
+//! [`ProblemBuilder`](prelude::ProblemBuilder), open a
+//! [`Session`](prelude::Session) on it, and run — optionally under a
+//! [`RunObserver`](prelude::RunObserver) that streams per-iteration
+//! progress:
 //!
 //! ```
 //! use unsnap::prelude::*;
 //!
-//! let problem = Problem::tiny();
-//! let mut solver = TransportSolver::new(&problem).unwrap();
-//! let outcome = solver.run().unwrap();
+//! let mut session = ProblemBuilder::tiny()
+//!     .strategy(StrategyKind::SweepGmres)
+//!     .session()
+//!     .unwrap();
+//! let mut recorder = RecordingObserver::default();
+//! let outcome = session.run_observed(&mut recorder).unwrap();
 //! assert!(outcome.scalar_flux_total > 0.0);
+//! assert_eq!(recorder.sweep_count, outcome.sweep_count);
 //! ```
+//!
+//! Every fallible call returns the workspace-wide typed
+//! [`Error`](unsnap_core::error::Error) (re-exported in the prelude), so
+//! callers can match on the failure domain — `InvalidProblem { field, .. }`,
+//! `Mesh(..)`, `Singular { pivot, .. }`, `KrylovBreakdown { .. }`,
+//! `Schedule { .. }`, `Comm { .. }` — instead of parsing strings.
+//!
+//! ## Migrating from the pre-Session API
+//!
+//! The old entry points still exist (with the error type upgraded from
+//! `String` to [`Error`](unsnap_core::error::Error)); the new surface is
+//! a superset:
+//!
+//! | old call | new call |
+//! |----------|----------|
+//! | `Problem::tiny()` (then mutate fields) | `ProblemBuilder::tiny().mesh(..).order(..).build()?` |
+//! | `Problem { nx: 0, .. }` → error deep in `TransportSolver::new` | `ProblemBuilder::build()` → `Error::InvalidProblem { field: "nx", .. }` up front |
+//! | `TransportSolver::new(&p)?` + `solver.run()?` | `Session::new(&p)?` + `session.run()?` (or `ProblemBuilder::session()?`) |
+//! | parse `outcome.krylov_residual_history` after the run | implement `RunObserver::on_krylov_residual` and pass it to `session.run_observed(..)` |
+//! | re-derive sweep counts from the outcome | `RecordingObserver` reconstructs them from the event stream |
+//! | `Err(String)` everywhere | typed [`Error`](unsnap_core::error::Error) with `From` conversions from every crate's local error type |
+//! | hand-format outcome fields for tooling | `SolveOutcome::to_json()` (plus `--json` on the `table2`/`ablation_krylov` bins) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,21 +76,27 @@ pub use unsnap_sweep as sweep;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use unsnap_comm::{BlockJacobiSolver, HaloExchange, KbaModel};
+    pub use unsnap_comm::{BlockJacobiSolver, CommError, HaloExchange, KbaModel};
     pub use unsnap_core::angular::AngularQuadrature;
+    pub use unsnap_core::builder::{
+        ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder,
+    };
     pub use unsnap_core::data::{CrossSections, MaterialOption, SourceOption};
+    pub use unsnap_core::error::{Error, Result};
     pub use unsnap_core::fd::DiamondDifferenceSolver;
     pub use unsnap_core::layout::{FluxLayout, FluxStorage};
     pub use unsnap_core::problem::Problem;
     pub use unsnap_core::report;
+    pub use unsnap_core::session::{NoopObserver, RecordingObserver, RunObserver, Session};
     pub use unsnap_core::solver::{RunStats, SolveOutcome, TransportSolver};
     pub use unsnap_core::strategy::{IterationStrategy, StrategyKind};
     pub use unsnap_fem::{ElementIntegrals, HexVertices, ReferenceElement};
     pub use unsnap_krylov::{
         CgConfig, ConjugateGradient, Gmres, GmresConfig, LinearOperator, MatrixOperator,
+        ObservedOperator,
     };
     pub use unsnap_linalg::{DenseMatrix, LinearSolver, SolverKind};
-    pub use unsnap_mesh::{Decomposition2D, StructuredGrid, UnstructuredMesh};
+    pub use unsnap_mesh::{Decomposition2D, MeshError, StructuredGrid, UnstructuredMesh};
     pub use unsnap_sweep::{ConcurrencyScheme, LoopOrder, SweepSchedule, ThreadedLoops};
 }
 
@@ -73,5 +111,15 @@ mod tests {
         assert_eq!(schedule.num_cells_scheduled(), mesh.num_cells());
         let rows = report::table1(3);
         assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn prelude_exposes_the_session_api() {
+        let mut session = ProblemBuilder::tiny().session().unwrap();
+        let outcome = session.run().unwrap();
+        assert!(outcome.converged || outcome.sweep_count > 0);
+        // The typed error surfaces through the prelude too.
+        let err = ProblemBuilder::tiny().mesh(0).build().unwrap_err();
+        assert!(matches!(err, Error::InvalidProblem { field: "nx", .. }));
     }
 }

@@ -169,3 +169,181 @@ proptest! {
         prop_assert_eq!(q.num_angles(), 8 * n);
     }
 }
+
+/// A random paper preset, as (builder shorthand, direct constructor).
+fn preset_pair(index: usize, order: usize) -> (ProblemBuilder, Problem) {
+    match index {
+        0 => (ProblemBuilder::tiny(), Problem::tiny()),
+        1 => (ProblemBuilder::quickstart(), Problem::quickstart()),
+        2 => (ProblemBuilder::figure3_full(), Problem::figure3_full()),
+        3 => (ProblemBuilder::figure3_scaled(), Problem::figure3_scaled()),
+        4 => (ProblemBuilder::figure4_full(), Problem::figure4_full()),
+        5 => (ProblemBuilder::figure4_scaled(), Problem::figure4_scaled()),
+        6 => (
+            ProblemBuilder::table2_full(order, SolverKind::Mkl),
+            Problem::table2_full(order, SolverKind::Mkl),
+        ),
+        _ => (
+            ProblemBuilder::table2_scaled(order, SolverKind::GaussianElimination),
+            Problem::table2_scaled(order, SolverKind::GaussianElimination),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_presets_round_trip_every_preset(index in 0usize..8, order in 1usize..5) {
+        let (builder, problem) = preset_pair(index, order);
+        let built = builder.build();
+        prop_assert!(built.is_ok(), "{:?}", built.err());
+        prop_assert_eq!(built.unwrap(), problem);
+    }
+
+    #[test]
+    fn builder_rejects_empty_mesh_axes(index in 0usize..8, axis in 0usize..3) {
+        let (builder, _) = preset_pair(index, 1);
+        let mut builder = builder;
+        let expected = match axis {
+            0 => {
+                builder.grid.nx = 0;
+                "nx"
+            }
+            1 => {
+                builder.grid.ny = 0;
+                "ny"
+            }
+            _ => {
+                builder.grid.nz = 0;
+                "nz"
+            }
+        };
+        let err = builder.build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some(expected));
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_extents(extent in -8.0f64..0.0, axis in 0usize..3) {
+        let mut builder = ProblemBuilder::tiny();
+        let expected = match axis {
+            0 => {
+                builder.grid.lx = extent;
+                "lx"
+            }
+            1 => {
+                builder.grid.ly = extent;
+                "ly"
+            }
+            _ => {
+                builder.grid.lz = extent;
+                "lz"
+            }
+        };
+        let err = builder.build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some(expected));
+        // The boundary itself (a zero extent) is rejected too.
+        let err = ProblemBuilder::tiny().extents(0.0, 1.0, 1.0).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("lx"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_discretisation_knobs(index in 0usize..8, knob in 0usize..5) {
+        let (builder, _) = preset_pair(index, 2);
+        let mut builder = builder;
+        let expected = match knob {
+            0 => { builder.physics.element_order = 0; "element_order" }
+            1 => { builder.physics.angles_per_octant = 0; "angles_per_octant" }
+            2 => { builder.physics.num_groups = 0; "num_groups" }
+            3 => { builder.iteration.inner_iterations = 0; "inner_iterations" }
+            _ => { builder.iteration.gmres_restart = 0; "gmres_restart" }
+        };
+        let err = builder.build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some(expected));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_scattering_ratio(
+        c in prop_oneof![-4.0f64..0.0, 1.0001f64..5.0],
+    ) {
+        let err = ProblemBuilder::tiny().scattering_ratio(c).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("scattering_ratio"));
+        // The open lower boundary: exactly zero scattering is rejected.
+        let err = ProblemBuilder::tiny().scattering_ratio(0.0).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("scattering_ratio"));
+    }
+
+    #[test]
+    fn builder_accepts_in_range_scattering_ratio(c in 0.0001f64..1.0) {
+        let built = ProblemBuilder::tiny().scattering_ratio(c).build();
+        prop_assert!(built.is_ok());
+        prop_assert_eq!(built.unwrap().scattering_ratio, Some(c));
+    }
+
+    #[test]
+    fn builder_rejects_negative_twist(twist in -2.0f64..-1e-9) {
+        let err = ProblemBuilder::tiny().twist(twist).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("twist"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_tolerance(tolerance in -10.0f64..-1e-12) {
+        let err = ProblemBuilder::tiny().tolerance(tolerance).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("convergence_tolerance"));
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads(index in 0usize..8) {
+        let (builder, _) = preset_pair(index, 3);
+        let err = builder.threads(0).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("num_threads"));
+    }
+
+    #[test]
+    fn builder_rejects_oversubscribed_angle_threading(
+        angles in 1usize..6,
+        extra in 1usize..8,
+    ) {
+        let scheme: ConcurrencyScheme = "angle*/element/group".parse().unwrap();
+        let err = ProblemBuilder::tiny()
+            .phase_space(angles, 1)
+            .scheme(scheme)
+            .threads(angles + extra)
+            .build()
+            .unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("num_threads"));
+        // The same thread count on a non-angle-threaded scheme is fine.
+        prop_assert!(ProblemBuilder::tiny()
+            .phase_space(angles, 1)
+            .threads(angles + extra)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn random_valid_builders_produce_consistent_problems(
+        n in 1usize..5,
+        order in 1usize..4,
+        angles in 1usize..4,
+        groups in 1usize..4,
+        inners in 1usize..6,
+        outers in 1usize..3,
+    ) {
+        let problem = ProblemBuilder::tiny()
+            .mesh(n)
+            .order(order)
+            .phase_space(angles, groups)
+            .iterations(inners, outers)
+            .build()
+            .unwrap();
+        prop_assert_eq!(problem.num_cells(), n * n * n);
+        prop_assert_eq!(problem.nodes_per_element(), (order + 1).pow(3));
+        prop_assert_eq!(problem.num_angles(), 8 * angles);
+        prop_assert!(problem.validate().is_ok());
+        // Builder → Problem → builder is the identity.
+        prop_assert_eq!(
+            ProblemBuilder::from_problem(&problem).build().unwrap(),
+            problem
+        );
+    }
+}

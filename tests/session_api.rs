@@ -1,0 +1,146 @@
+//! Acceptance tests for the observable Session API redesign.
+//!
+//! The redesign must be a pure re-plumbing: an observed [`Session`] run
+//! reproduces the monolithic `TransportSolver::run` outcome **bit for
+//! bit** (flux totals, sweep counts, residual histories) for both
+//! iteration strategies on both small presets, and the
+//! [`RecordingObserver`]'s event stream reconstructs the outcome's
+//! history vectors exactly.
+
+use unsnap::prelude::*;
+
+/// Everything a `SolveOutcome` reports except wall-clock timing, which
+/// legitimately differs between two runs.
+fn non_timing_fields(o: &SolveOutcome) -> SolveOutcome {
+    SolveOutcome {
+        assemble_solve_seconds: 0.0,
+        kernel_assemble_seconds: 0.0,
+        kernel_solve_seconds: 0.0,
+        ..o.clone()
+    }
+}
+
+fn assert_session_reproduces_run(problem: &Problem) {
+    // The seed path: a bare solver, run as a black box.
+    let mut solver = TransportSolver::new(problem).unwrap();
+    let direct = solver.run().unwrap();
+
+    // The redesigned path: a session streaming into a recorder.
+    let mut session = Session::new(problem).unwrap();
+    let mut recorder = RecordingObserver::default();
+    let observed = session.run_observed(&mut recorder).unwrap();
+
+    // Bit-for-bit equivalence of every non-timing field.
+    assert_eq!(
+        non_timing_fields(&direct),
+        non_timing_fields(&observed),
+        "session run diverged from direct run for {:?}/{:?}",
+        problem.strategy,
+        (problem.nx, problem.ny, problem.nz),
+    );
+
+    // The event stream must reconstruct the outcome's histories exactly.
+    assert_eq!(recorder.sweep_count, observed.sweep_count);
+    assert_eq!(recorder.convergence_history, observed.convergence_history);
+    assert_eq!(
+        recorder.krylov_residual_history,
+        observed.krylov_residual_history
+    );
+    assert_eq!(recorder.outers_started, recorder.outers_completed);
+    assert_eq!(recorder.converged, observed.converged);
+
+    // And the flux state the two paths leave behind is identical.
+    let a = solver.scalar_flux().as_slice();
+    let b = session.scalar_flux().as_slice();
+    assert_eq!(a, b, "scalar flux state diverged");
+}
+
+#[test]
+fn session_reproduces_source_iteration_on_tiny() {
+    assert_session_reproduces_run(&Problem::tiny());
+}
+
+#[test]
+fn session_reproduces_source_iteration_on_quickstart() {
+    assert_session_reproduces_run(&Problem::quickstart());
+}
+
+#[test]
+fn session_reproduces_sweep_gmres_on_tiny() {
+    assert_session_reproduces_run(&Problem::tiny().with_strategy(StrategyKind::SweepGmres));
+}
+
+#[test]
+fn session_reproduces_sweep_gmres_on_quickstart() {
+    assert_session_reproduces_run(&Problem::quickstart().with_strategy(StrategyKind::SweepGmres));
+}
+
+#[test]
+fn builder_presets_feed_sessions_without_behaviour_change() {
+    // Builder shorthand → session == hand-built Problem → solver.
+    let mut via_builder = ProblemBuilder::quickstart().session().unwrap();
+    let b = via_builder.run().unwrap();
+    let mut via_preset = TransportSolver::new(&Problem::quickstart()).unwrap();
+    let p = via_preset.run().unwrap();
+    assert_eq!(b.scalar_flux_total, p.scalar_flux_total);
+    assert_eq!(b.sweep_count, p.sweep_count);
+}
+
+#[test]
+fn observer_sees_krylov_residuals_only_under_gmres() {
+    let mut recorder = RecordingObserver::default();
+    ProblemBuilder::tiny()
+        .session()
+        .unwrap()
+        .run_observed(&mut recorder)
+        .unwrap();
+    assert!(recorder.krylov_residual_history.is_empty());
+    assert!(recorder.sweep_count > 0);
+
+    recorder.clear();
+    ProblemBuilder::tiny()
+        .strategy(StrategyKind::SweepGmres)
+        .session()
+        .unwrap()
+        .run_observed(&mut recorder)
+        .unwrap();
+    assert!(!recorder.krylov_residual_history.is_empty());
+}
+
+#[test]
+fn typed_errors_surface_from_every_layer() {
+    // Problem validation.
+    let err = match TransportSolver::new(&Problem {
+        num_groups: 0,
+        ..Problem::tiny()
+    }) {
+        Err(e) => e,
+        Ok(_) => panic!("zero groups must be rejected"),
+    };
+    assert_eq!(err.invalid_field(), Some("num_groups"));
+
+    // Builder cross-field validation.
+    let err = ProblemBuilder::tiny()
+        .scattering_ratio(2.0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        unsnap::core::error::Error::InvalidProblem {
+            field: "scattering_ratio",
+            ..
+        }
+    ));
+
+    // Mesh decomposition (through the distributed solver).
+    let err = match BlockJacobiSolver::new(&Problem::tiny(), Decomposition2D::new(64, 1)) {
+        Err(e) => e,
+        Ok(_) => panic!("too-coarse decomposition must be rejected"),
+    };
+    assert!(matches!(err, unsnap::core::error::Error::Mesh(_)));
+
+    // Communication layer.
+    let exchange = HaloExchange::new(1);
+    let err = exchange.drain(5).unwrap_err();
+    assert!(err.to_string().contains("out of range"));
+}

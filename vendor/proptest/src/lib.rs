@@ -250,7 +250,7 @@ impl<T> Strategy for Union<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Requested length range for [`vec`].
+    /// Requested length range for [`vec()`](vec()).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -294,7 +294,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](vec()).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
