@@ -12,9 +12,17 @@
 //! solver reproduces `unsnap_core::TransportSolver` exactly; with more
 //! ranks the converged answer is the same but the convergence *rate*
 //! degrades — the trade-off the `ablation_jacobi_ranks` benchmark measures.
+//!
+//! Ranks genuinely sweep **concurrently** on the worker pool (sized by
+//! [`Problem::num_threads`], overridable with `RAYON_NUM_THREADS`): each
+//! rank writes into a private, compactly-indexed angular-flux buffer and
+//! reads remote cells only from the shared previous-iteration array, so
+//! the per-iteration results are bit-for-bit identical at every thread
+//! and rank-execution ordering.
 
 use std::time::Instant;
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use unsnap_core::angular::AngularQuadrature;
@@ -64,6 +72,9 @@ pub struct BlockJacobiSolver {
     data: ProblemData,
     subdomains: Vec<Subdomain>,
     owner_of_cell: Vec<usize>,
+    /// `local_of_cell[rank][cell]`: dense per-rank slot of a global cell
+    /// in that rank's private sweep buffer (`usize::MAX` = not owned).
+    local_of_cell: Vec<Vec<usize>>,
     /// `schedules[rank][angle]`: the masked wavefront schedule.
     schedules: Vec<Vec<SweepSchedule>>,
     psi: FluxStorage,
@@ -72,6 +83,8 @@ pub struct BlockJacobiSolver {
     phi_outer: FluxStorage,
     source: FluxStorage,
     solver: Box<dyn LinearSolver>,
+    /// Worker pool the rank sweeps fan out on.
+    pool: rayon::ThreadPool,
 }
 
 impl BlockJacobiSolver {
@@ -115,6 +128,29 @@ impl BlockJacobiSolver {
                 owner_of_cell[g] = sd.rank;
             }
         }
+        let local_of_cell: Vec<Vec<usize>> = subdomains
+            .iter()
+            .map(|sd| {
+                let mut map = vec![usize::MAX; mesh.num_cells()];
+                for (local, &g) in sd.global_cells.iter().enumerate() {
+                    map[g] = local;
+                }
+                map
+            })
+            .collect();
+
+        // The only parallel axis here is the rank loop, so threads beyond
+        // the rank count could never receive work — cap the pool width.
+        let num_threads = problem
+            .num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .min(subdomains.len().max(1));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(num_threads)
+            .build()
+            .map_err(|e| Error::Execution {
+                reason: format!("failed to build thread pool: {e}"),
+            })?;
 
         // Masked schedules: one per rank per angle.
         let mut schedules = Vec::with_capacity(subdomains.len());
@@ -150,6 +186,7 @@ impl BlockJacobiSolver {
             data,
             subdomains,
             owner_of_cell,
+            local_of_cell,
             schedules,
             psi: FluxStorage::zeros(psi_layout),
             psi_prev: FluxStorage::zeros(psi_layout),
@@ -157,6 +194,7 @@ impl BlockJacobiSolver {
             phi_outer: FluxStorage::zeros(scalar_layout),
             source: FluxStorage::zeros(scalar_layout),
             solver: problem.solver.build(),
+            pool,
         })
     }
 
@@ -235,14 +273,42 @@ impl BlockJacobiSolver {
                     .copy_from_slice(self.psi.as_slice());
 
                 let t0 = Instant::now();
-                // Every rank sweeps its own subdomain.  Ranks are processed
-                // one after another here, but nothing a rank reads is
-                // written by another rank within the same iteration (own
-                // cells come from `psi`, remote cells from `psi_prev`), so
-                // the loop is embarrassingly parallel across ranks — the
-                // property the paper's schedule is designed around.
-                for rank in 0..self.subdomains.len() {
-                    self.sweep_rank(rank, ng, nodes);
+                // Every rank sweeps its own subdomain concurrently on the
+                // worker pool — the property the paper's schedule is
+                // designed around ("each process can begin computation on
+                // its own subdomain concurrently").  Nothing a rank reads
+                // is written by another rank within the same iteration:
+                // own cells come from the rank's private buffer, remote
+                // cells from the shared `psi_prev`.  Results are merged in
+                // rank order and ranks own disjoint cells, so the outcome
+                // is bit-for-bit independent of the execution interleaving.
+                let results: Vec<(Vec<f64>, Vec<f64>)> = {
+                    let this: &Self = self;
+                    self.pool.install(|| {
+                        (0..this.subdomains.len())
+                            .into_par_iter()
+                            .map(|rank| this.sweep_rank_collect(rank, ng, nodes))
+                            .collect()
+                    })
+                };
+                let n_angles = self.quadrature.num_angles();
+                for (rank, (psi_local, phi_local)) in results.into_iter().enumerate() {
+                    for (local, &cell) in self.subdomains[rank].global_cells.iter().enumerate() {
+                        for g in 0..ng {
+                            for angle in 0..n_angles {
+                                let base = ((local * ng + g) * n_angles + angle) * nodes;
+                                self.psi
+                                    .nodes_mut(cell, g, angle)
+                                    .copy_from_slice(&psi_local[base..base + nodes]);
+                            }
+                            let base = (local * ng + g) * nodes;
+                            let src = &phi_local[base..base + nodes];
+                            for (p, &v) in self.phi.nodes_mut(cell, g, 0).iter_mut().zip(src.iter())
+                            {
+                                *p += v;
+                            }
+                        }
+                    }
                 }
                 sweep_seconds += t0.elapsed().as_secs_f64();
 
@@ -280,77 +346,84 @@ impl BlockJacobiSolver {
         })
     }
 
-    /// Sweep all angles of one rank's subdomain.
-    fn sweep_rank(&mut self, rank: usize, ng: usize, nodes: usize) {
+    /// Sweep all angles of one rank's subdomain into private buffers.
+    ///
+    /// Returns the rank's angular flux — compactly indexed as
+    /// `((local_cell · ng + g) · num_angles + angle) · nodes` — and its
+    /// scalar-flux contribution, compactly indexed as
+    /// `(local_cell · ng + g) · nodes`, so per-rank memory is the rank's
+    /// share of the mesh, not a full-mesh copy.
+    /// Takes `&self` so ranks can sweep concurrently: own-rank upwind
+    /// reads come from the private buffer (the masked wavefront schedule
+    /// guarantees they were written earlier in the same sweep), remote
+    /// reads from the shared previous-iteration `psi_prev`.
+    fn sweep_rank_collect(&self, rank: usize, ng: usize, nodes: usize) -> (Vec<f64>, Vec<f64>) {
+        let n_angles = self.quadrature.num_angles();
+        let owned = self.subdomains[rank].global_cells.len();
+        let local_of_cell = &self.local_of_cell[rank];
+        let psi_base =
+            |local: usize, g: usize, angle: usize| ((local * ng + g) * n_angles + angle) * nodes;
+        let mut psi_local = vec![0.0f64; owned * ng * n_angles * nodes];
+        let mut phi_local = vec![0.0f64; owned * ng * nodes];
         let mut scratch = KernelScratch::new(nodes);
-        for angle in 0..self.quadrature.num_angles() {
+
+        for angle in 0..n_angles {
             let direction = self.quadrature.directions()[angle];
             let omega = direction.omega;
             let weight = direction.weight;
-            let num_buckets = self.schedules[rank][angle].num_buckets();
-            for bucket_index in 0..num_buckets {
-                // Collect results first (immutable borrows), then write.
-                let results: Vec<(usize, usize, Vec<f64>)> = {
-                    let schedule = &self.schedules[rank][angle];
-                    let bucket = &schedule.buckets[bucket_index];
-                    let mut out = Vec::with_capacity(bucket.len() * ng);
-                    for &e in bucket {
-                        for g in 0..ng {
-                            let ints = &self.integrals[e];
-                            let sigma_t = self.data.xs.total(self.data.material(e), g);
-                            let source_nodes = self.source.nodes(e, g, 0);
-                            let inflow = &schedule.inflow_faces[e];
-                            let mut upwind: Vec<UpwindFace<'_>> = Vec::with_capacity(inflow.len());
-                            for &face in inflow {
-                                let src = match self.mesh.neighbor(e, face) {
-                                    NeighborRef::Boundary { domain_face } => {
-                                        UpwindSource::Boundary(
-                                            self.problem
-                                                .boundaries
-                                                .face(domain_face)
-                                                .incoming_flux(),
-                                        )
+            let schedule = &self.schedules[rank][angle];
+            for bucket in &schedule.buckets {
+                for &e in bucket {
+                    for g in 0..ng {
+                        let ints = &self.integrals[e];
+                        let sigma_t = self.data.xs.total(self.data.material(e), g);
+                        let source_nodes = self.source.nodes(e, g, 0);
+                        let inflow = &schedule.inflow_faces[e];
+                        let mut upwind: Vec<UpwindFace<'_>> = Vec::with_capacity(inflow.len());
+                        for &face in inflow {
+                            let src = match self.mesh.neighbor(e, face) {
+                                NeighborRef::Boundary { domain_face } => UpwindSource::Boundary(
+                                    self.problem.boundaries.face(domain_face).incoming_flux(),
+                                ),
+                                NeighborRef::Interior { cell, face: nf } => {
+                                    // Same rank: current iteration, from
+                                    // the private buffer.  Other rank:
+                                    // lagged halo data.
+                                    let psi_src = if self.owner_of_cell[cell] == rank {
+                                        let b = psi_base(local_of_cell[cell], g, angle);
+                                        &psi_local[b..b + nodes]
+                                    } else {
+                                        self.psi_prev.nodes(cell, g, angle)
+                                    };
+                                    UpwindSource::Interior {
+                                        neighbor_psi: psi_src,
+                                        neighbor_face_nodes: &self.face_nodes[nf],
                                     }
-                                    NeighborRef::Interior { cell, face: nf } => {
-                                        // Same rank: current iteration.
-                                        // Other rank: lagged halo data.
-                                        let psi_src = if self.owner_of_cell[cell] == rank {
-                                            self.psi.nodes(cell, g, angle)
-                                        } else {
-                                            self.psi_prev.nodes(cell, g, angle)
-                                        };
-                                        UpwindSource::Interior {
-                                            neighbor_psi: psi_src,
-                                            neighbor_face_nodes: &self.face_nodes[nf],
-                                        }
-                                    }
-                                };
-                                upwind.push(UpwindFace { face, source: src });
-                            }
-                            assemble_solve(
-                                ints,
-                                omega,
-                                sigma_t,
-                                source_nodes,
-                                &upwind,
-                                self.solver.as_ref(),
-                                false,
-                                &mut scratch,
-                            );
-                            out.push((e, g, scratch.rhs.clone()));
+                                }
+                            };
+                            upwind.push(UpwindFace { face, source: src });
                         }
-                    }
-                    out
-                };
-                for (e, g, psi_nodes) in results {
-                    self.psi.nodes_mut(e, g, angle).copy_from_slice(&psi_nodes);
-                    let phi = self.phi.nodes_mut(e, g, 0);
-                    for (p, &v) in phi.iter_mut().zip(psi_nodes.iter()) {
-                        *p += weight * v;
+                        assemble_solve(
+                            ints,
+                            omega,
+                            sigma_t,
+                            source_nodes,
+                            &upwind,
+                            self.solver.as_ref(),
+                            false,
+                            &mut scratch,
+                        );
+                        let b = psi_base(local_of_cell[e], g, angle);
+                        psi_local[b..b + nodes].copy_from_slice(&scratch.rhs);
+                        let base = (local_of_cell[e] * ng + g) * nodes;
+                        for (node, &v) in scratch.rhs.iter().enumerate() {
+                            phi_local[base + node] += weight * v;
+                        }
                     }
                 }
             }
         }
+        (psi_local, phi_local)
     }
 }
 

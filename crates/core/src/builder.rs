@@ -156,7 +156,8 @@ pub struct ExecutionConfig {
     pub solver: SolverKind,
     /// Concurrency scheme for the sweep.
     pub scheme: ConcurrencyScheme,
-    /// Worker threads (`None` = the machine default).
+    /// Worker threads for the solver's pool (`None` = the machine
+    /// default; force-overridable with `RAYON_NUM_THREADS`).
     pub num_threads: Option<usize>,
     /// Precompute per-element integrals.
     pub precompute_integrals: bool,
@@ -425,12 +426,20 @@ impl ProblemBuilder {
         self
     }
 
-    /// Apply the `UNSNAP_STRATEGY`, `UNSNAP_SOLVER` and `UNSNAP_SCHEME`
-    /// environment overrides (all three backend knobs round-trip through
-    /// `FromStr`/`Display`, so any label the workspace prints is
-    /// accepted).  Unset variables leave the builder unchanged; a set but
-    /// unparsable variable is an [`Error::InvalidProblem`] naming the
-    /// knob.
+    /// Apply the `UNSNAP_STRATEGY`, `UNSNAP_SOLVER`, `UNSNAP_SCHEME` and
+    /// `UNSNAP_THREADS` environment overrides (the three backend knobs
+    /// round-trip through `FromStr`/`Display`, so any label the workspace
+    /// prints is accepted; `UNSNAP_THREADS` is a positive worker-thread
+    /// count for the solver's pool).  Unset variables leave the builder
+    /// unchanged; a set but unparsable variable is an
+    /// [`Error::InvalidProblem`] naming the knob.
+    ///
+    /// `UNSNAP_THREADS` sizes the pool *request* like
+    /// [`ProblemBuilder::threads`] and is subject to builder validation
+    /// (e.g. the angle-threaded scheme's thread bound).  The lower-level
+    /// `RAYON_NUM_THREADS` variable instead force-overrides every pool at
+    /// construction time, bypassing problem validation — that is the CI
+    /// determinism-matrix knob, not a configuration surface.
     pub fn env_overrides(mut self) -> Result<Self> {
         fn parse_env<T: std::str::FromStr<Err = String>>(
             var: &str,
@@ -452,6 +461,18 @@ impl ProblemBuilder {
         }
         if let Some(scheme) = parse_env::<ConcurrencyScheme>("UNSNAP_SCHEME", "scheme")? {
             self.execution.scheme = scheme;
+        }
+        if let Ok(raw) = std::env::var("UNSNAP_THREADS") {
+            let threads: usize = raw.trim().parse().map_err(|e| {
+                Error::invalid_problem("num_threads", format!("UNSNAP_THREADS: {e}"))
+            })?;
+            if threads == 0 {
+                return Err(Error::invalid_problem(
+                    "num_threads",
+                    "UNSNAP_THREADS: thread count must be at least 1",
+                ));
+            }
+            self.execution.num_threads = Some(threads);
         }
         Ok(self)
     }
@@ -710,18 +731,28 @@ mod tests {
         std::env::set_var("UNSNAP_STRATEGY", "gmres");
         std::env::set_var("UNSNAP_SOLVER", "mkl");
         std::env::set_var("UNSNAP_SCHEME", "best");
+        std::env::set_var("UNSNAP_THREADS", "3");
         let b = ProblemBuilder::tiny().env_overrides().unwrap();
         assert_eq!(b.iteration.strategy, StrategyKind::SweepGmres);
         assert_eq!(b.execution.solver, SolverKind::Mkl);
         assert_eq!(b.execution.scheme, ConcurrencyScheme::best());
+        assert_eq!(b.execution.num_threads, Some(3));
 
         std::env::set_var("UNSNAP_STRATEGY", "nonsense");
         let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
         assert_eq!(err.invalid_field(), Some("strategy"));
+        std::env::set_var("UNSNAP_STRATEGY", "gmres");
+
+        for bad in ["0", "-2", "many"] {
+            std::env::set_var("UNSNAP_THREADS", bad);
+            let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+            assert_eq!(err.invalid_field(), Some("num_threads"), "'{bad}'");
+        }
 
         std::env::remove_var("UNSNAP_STRATEGY");
         std::env::remove_var("UNSNAP_SOLVER");
         std::env::remove_var("UNSNAP_SCHEME");
+        std::env::remove_var("UNSNAP_THREADS");
         let b = ProblemBuilder::tiny().env_overrides().unwrap();
         assert_eq!(b, ProblemBuilder::tiny());
     }

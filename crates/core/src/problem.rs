@@ -72,7 +72,13 @@ pub struct Problem {
     pub scattering_ratio: Option<f64>,
     /// Concurrency scheme for the sweep.
     pub scheme: ConcurrencyScheme,
-    /// Number of worker threads (`None` = rayon's default).
+    /// Number of worker threads for the solver's pool (`None` = the
+    /// machine's available parallelism).  A width of 1 runs the sweep
+    /// inline on the calling thread.  The `RAYON_NUM_THREADS` environment
+    /// variable force-overrides whatever is requested here — the knob CI
+    /// uses to replay the whole test suite at several widths — and every
+    /// scheme except the angle-threaded ablation produces bit-for-bit
+    /// identical physics regardless of the effective width.
     pub num_threads: Option<usize>,
     /// Precompute and store the per-element integrals (the paper's
     /// approach) or recompute them on the fly inside the kernel.

@@ -19,6 +19,14 @@
 //! Figures 3 and 4 and tabulated in Table II), and — when
 //! `Problem::time_solve` is set — the linear-solve share is accumulated
 //! separately so the "% in solve" column of Table II can be reproduced.
+//!
+//! The element × group (and angle-threaded) fan-out executes on a **real
+//! worker pool** sized by `Problem::num_threads` (force-overridable with
+//! `RAYON_NUM_THREADS`).  Bucket tasks are split into index-ordered
+//! chunks whose results are written back in input order, so every scheme
+//! except the deliberately-contended angle-threaded ablation produces
+//! bit-for-bit identical fluxes at any thread count — the invariant
+//! `tests/parallel_determinism.rs` enforces.
 
 use std::time::Instant;
 
@@ -185,7 +193,8 @@ pub struct TransportSolver {
     source: FluxStorage,
     /// Dense solver back end.
     solver: Box<dyn LinearSolver>,
-    /// Worker pool sized according to `Problem::num_threads`.
+    /// Worker pool the sweep fans out on, sized according to
+    /// `Problem::num_threads` (a width of 1 runs inline on this thread).
     pool: rayon::ThreadPool,
     /// When set, sweeps treat every domain boundary as vacuum (zero
     /// incoming flux) regardless of the problem's boundary conditions.
@@ -725,7 +734,11 @@ impl TransportSolver {
     /// The angle-threaded ablation (§IV-A.3): thread over the angles of an
     /// octant; every scalar-flux update contends on a single lock, which is
     /// the safe-Rust analogue of the OpenMP `atomic`/`critical` update the
-    /// paper shows does not scale.
+    /// paper shows does not scale.  Now that the pool is real this lock is
+    /// *genuinely* contended, and the scalar-flux reduction order depends
+    /// on the interleaving — this is the one scheme whose flux is only
+    /// reproducible to floating-point reduction accuracy, not bitwise
+    /// (the angular flux, which needs no reduction, stays exact).
     fn sweep_octant_angle_threaded(&mut self, octant: usize) -> (KernelTiming, u64) {
         let ng = self.problem.num_groups;
         let nodes = self.element.nodes_per_element();

@@ -5,9 +5,13 @@
 //! matrices are built on the fly), but under the threaded sweep schedule
 //! the elements of a wavefront bucket × energy groups form a natural batch.
 //! This module provides that capability: a [`BatchedSolver`] that solves a
-//! slice of `(matrix, rhs)` systems either sequentially or in parallel with
-//! rayon, and reports aggregate statistics so the pre-assembly ablation can
-//! quantify the storage-versus-time trade-off the paper mentions.
+//! slice of `(matrix, rhs)` systems either sequentially or on the shared
+//! worker pool, and reports aggregate statistics so the pre-assembly
+//! ablation can quantify the storage-versus-time trade-off the paper
+//! mentions.  The parallel path is deterministic: systems are processed
+//! in index-ordered chunks, each solved independently in place with one
+//! solver instance per worker, and an error aborts with the
+//! earliest-index failure exactly as the sequential loop would report it.
 
 use rayon::prelude::*;
 
@@ -59,7 +63,14 @@ impl BatchedSolver {
     /// with the solution and each `A_i` with factorisation data.
     ///
     /// All systems must be square and each right-hand side must match its
-    /// matrix; the first offending system aborts the whole batch.
+    /// matrix; a shape violation is rejected up front with **nothing**
+    /// mutated.  A *runtime* failure (a singular system) deterministically
+    /// reports the earliest-index error in both execution modes, but the
+    /// set of other systems already overwritten by then differs: the
+    /// sequential path has solved exactly the prefix, while the parallel
+    /// path may have solved a schedule-dependent subset of later systems
+    /// before observing the cancellation.  Treat the batch contents as
+    /// consumed whenever this returns an error.
     pub fn solve_batch_in_place(
         &self,
         systems: &mut [(DenseMatrix, Vec<f64>)],
@@ -87,9 +98,14 @@ impl BatchedSolver {
         let kind = self.kind;
 
         if self.parallel {
-            systems
-                .par_iter_mut()
-                .try_for_each(|(a, b)| kind.build().solve_in_place(a, b))?;
+            // One solver per worker (not per system): `try_for_each_init`
+            // creates the back end at most once per pool thread, and the
+            // earliest-index error wins deterministically — matching the
+            // sequential path, which also stops at the first failure.
+            systems.par_iter_mut().try_for_each_init(
+                || kind.build(),
+                |solver, (a, b)| solver.solve_in_place(a, b),
+            )?;
         } else {
             let solver = kind.build();
             for (a, b) in systems.iter_mut() {
@@ -224,6 +240,37 @@ mod tests {
             let ax = a.matvec(x).unwrap();
             assert!(max_abs_diff(&ax, b) < 1e-10);
         }
+    }
+
+    #[test]
+    fn parallel_shared_matrix_many_rhs_matches_sequential_bitwise() {
+        let a = DenseMatrix::from_fn(8, 8, |i, j| if i == j { 4.0 } else { 0.25 });
+        let rhs: Vec<Vec<f64>> = (0..12).map(|g| vec![g as f64 + 1.0; 8]).collect();
+        let seq = BatchedSolver::new(SolverKind::ReferenceLu)
+            .solve_many_rhs(&a, &rhs)
+            .unwrap();
+        let par = BatchedSolver::new(SolverKind::ReferenceLu)
+            .with_parallelism(true)
+            .solve_many_rhs(&a, &rhs)
+            .unwrap();
+        assert_eq!(seq, par, "parallel rhs fan-out must be bit-for-bit");
+    }
+
+    #[test]
+    fn parallel_batch_reports_the_same_error_as_sequential() {
+        // Singular systems at indices 1 and 3: both paths must surface
+        // the earliest one (deterministic first-error-wins).
+        let mut batch = make_batch(5, 4);
+        batch[1].0 = DenseMatrix::zeros(4, 4);
+        batch[3].0 = DenseMatrix::from_fn(4, 4, |i, _| i as f64);
+        let seq_err = BatchedSolver::new(SolverKind::GaussianElimination)
+            .solve_batch_in_place(&mut batch.clone())
+            .unwrap_err();
+        let par_err = BatchedSolver::new(SolverKind::GaussianElimination)
+            .with_parallelism(true)
+            .solve_batch_in_place(&mut batch)
+            .unwrap_err();
+        assert_eq!(format!("{seq_err:?}"), format!("{par_err:?}"));
     }
 
     #[test]

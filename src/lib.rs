@@ -62,6 +62,20 @@
 //! | re-derive sweep counts from the outcome | `RecordingObserver` reconstructs them from the event stream |
 //! | `Err(String)` everywhere | typed [`Error`](unsnap_core::error::Error) with `From` conversions from every crate's local error type |
 //! | hand-format outcome fields for tooling | `SolveOutcome::to_json()` (plus `--json` on the `table2`/`ablation_krylov` bins) |
+//!
+//! ## Execution model
+//!
+//! Sweeps fan out on a real shared worker pool (sized by
+//! `Problem::num_threads` / `ProblemBuilder::threads`, force-overridable
+//! with `RAYON_NUM_THREADS`).  Work is split into index-ordered chunks
+//! and reassembled in input order, so the physics is **bit-for-bit
+//! identical at every thread count** — the invariant
+//! `tests/parallel_determinism.rs` pins for both iteration strategies
+//! and the CI matrix enforces at widths 1, 2 and 8.  The only exception
+//! is the angle-threaded ablation scheme, whose deliberately contended
+//! scalar-flux reduction (the paper's non-scaling OpenMP atomic) is
+//! reproducible to floating-point reduction accuracy rather than
+//! bitwise.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,187 +1,353 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline, genuinely multi-threaded stand-in for the `rayon` crate.
 //!
 //! The build environment has no access to crates.io, so this crate mirrors
 //! the slice of rayon's API the workspace uses — `par_iter`,
 //! `into_par_iter`, `par_iter_mut`, `map`, `map_init`, `flatten`,
-//! `collect`, `try_for_each`, and the `ThreadPool`/`ThreadPoolBuilder`
-//! pair — but executes everything **sequentially** on the calling thread.
+//! `collect`, `for_each`, `try_for_each`, `try_for_each_init`, `sum`, and
+//! the [`ThreadPool`]/[`ThreadPoolBuilder`] pair — and executes it on a
+//! real shared worker pool (the private `pool` module).
 //!
-//! Correctness-wise this is a legal rayon schedule (rayon never promises a
-//! particular interleaving), so every test that checks physics or
-//! iteration counts behaves identically.  Wall-clock scaling studies are
-//! obviously degenerate until the workspace entry for `rayon` is pointed
-//! back at crates.io; the concurrency schemes remain exercised as
-//! *orderings* (which is what the figure tests assert).
+//! # Execution model and determinism
+//!
+//! Unlike real rayon's work-stealing deques, this engine trades dynamic
+//! load balancing for *reproducibility*:
+//!
+//! * the driving item sequence is materialised up front and split into at
+//!   most `width` contiguous, **index-ordered chunks** (`width` = the
+//!   pool's thread count);
+//! * chunks execute concurrently on the worker threads, and their outputs
+//!   are reassembled **in input order**, so [`ParIter::collect`] returns
+//!   exactly what a sequential run would;
+//! * order-sensitive reductions ([`ParIter::sum`], `collect` into
+//!   `Result`) fold the already-computed per-item results sequentially in
+//!   input order — floating-point reductions are therefore bit-for-bit
+//!   identical at *every* thread count, which is the property the
+//!   workspace's cross-thread-count determinism suite pins down;
+//! * [`ParIter::map_init`] creates one scratch state per chunk, and there
+//!   is at most one chunk per worker, so at most `width` states exist;
+//! * [`ParIter::try_for_each`] returns the error of the **earliest**
+//!   input index that failed (strictly stronger than rayon's "some
+//!   error"), and items at later indices than a known error are skipped;
+//! * a panic inside a worker closure is caught, forwarded, and re-thrown
+//!   on the calling thread once every in-flight chunk has drained — never
+//!   a hang, never a dead worker thread.
+//!
+//! Parallel calls made on a thread that is itself a worker of the target
+//! pool run inline (sequentially) instead of enqueueing, so nested
+//! parallelism cannot deadlock.
+//!
+//! The [`NUM_THREADS_ENV`] environment variable (`RAYON_NUM_THREADS`)
+//! overrides the width of every pool — the CI knob that forces the whole
+//! test suite onto 1, 2 and 8 threads.
 
-/// Sequential stand-in for a rayon parallel iterator.
+mod pool;
+
+pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, NUM_THREADS_ENV};
+
+/// A parallel iterator over an in-order, materialised item sequence.
 ///
-/// Wraps an ordinary [`Iterator`] and exposes the subset of the
-/// `ParallelIterator` combinators used by the workspace.
-pub struct SeqParIter<I>(I);
+/// Produced by [`IntoParallelIterator::into_par_iter`],
+/// [`IntoParallelRefIterator::par_iter`] and
+/// [`IntoParallelRefIterator::par_iter_mut`]; consumed by the combinators
+/// below.  `map`/`map_init`/`for_each`/`try_for_each` fan their closure
+/// out across the current pool (the innermost [`ThreadPool::install`], or
+/// the global pool); `flatten`, `collect` and `sum` are in-order
+/// reassembly steps and run on the calling thread.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
 
-impl<I: Iterator> SeqParIter<I> {
-    /// Map every item (rayon `ParallelIterator::map`).
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> SeqParIter<std::iter::Map<I, F>> {
-        SeqParIter(self.0.map(f))
+impl<T: Send> ParIter<T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        Self { items }
     }
 
-    /// Map with per-"thread" scratch state (rayon `map_init`).  The
-    /// sequential stand-in creates the state exactly once.
-    pub fn map_init<T, U, INIT, F>(
-        self,
-        mut init: INIT,
-        mut f: F,
-    ) -> SeqParIter<impl Iterator<Item = U>>
+    /// Map every item on the pool (rayon `ParallelIterator::map`).
+    ///
+    /// Outputs are reassembled in input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
     where
-        INIT: FnMut() -> T,
-        F: FnMut(&mut T, I::Item) -> U,
+        U: Send,
+        F: Fn(T) -> U + Sync,
     {
-        let mut state = init();
-        SeqParIter(self.0.map(move |item| f(&mut state, item)))
+        ParIter::from_vec(parallel_map_init(
+            self.items,
+            || (),
+            move |(), item| f(item),
+        ))
     }
 
-    /// Flatten nested iterables (rayon `flatten`).
-    pub fn flatten(self) -> SeqParIter<std::iter::Flatten<I>>
+    /// Map with per-worker scratch state (rayon `map_init`): `init` runs
+    /// once per chunk — hence at most once per worker — and the state is
+    /// threaded through that chunk's items in index order.
+    pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParIter<U>
     where
-        I::Item: IntoIterator,
+        U: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
     {
-        SeqParIter(self.0.flatten())
+        ParIter::from_vec(parallel_map_init(self.items, init, f))
+    }
+
+    /// Flatten nested iterables (rayon `flatten`), preserving order.
+    pub fn flatten(self) -> ParIter<<T as IntoIterator>::Item>
+    where
+        T: IntoIterator,
+        <T as IntoIterator>::Item: Send,
+    {
+        ParIter::from_vec(self.items.into_iter().flatten().collect())
     }
 
     /// Collect into any `FromIterator` target, including
-    /// `Result<Vec<_>, E>` (rayon `collect`).
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// `Result<Vec<_>, E>` (rayon `collect`).  Items are consumed in
+    /// input order, so a `Result` target reports the earliest error.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
     }
 
-    /// Apply `f` to every item (rayon `for_each`).
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    /// Apply `f` to every item on the pool (rayon `for_each`).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_init(self.items, || (), move |(), item| f(item));
     }
 
-    /// Fallible `for_each`, stopping at the first error
-    /// (rayon `try_for_each`).
-    pub fn try_for_each<E, F: FnMut(I::Item) -> Result<(), E>>(mut self, f: F) -> Result<(), E> {
-        self.0.try_for_each(f)
+    /// Fallible `for_each` (rayon `try_for_each`): the error at the
+    /// **earliest** input index wins, and items at later indices than a
+    /// known error are cancelled.
+    pub fn try_for_each<E, F>(self, f: F) -> Result<(), E>
+    where
+        E: Send,
+        F: Fn(T) -> Result<(), E> + Sync,
+    {
+        parallel_try_for_each_init(self.items, || (), move |(), item| f(item))
+    }
+
+    /// [`ParIter::try_for_each`] with per-worker scratch state created as
+    /// in [`ParIter::map_init`] (rayon `try_for_each_init`).
+    pub fn try_for_each_init<S, E, INIT, F>(self, init: INIT, f: F) -> Result<(), E>
+    where
+        E: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> Result<(), E> + Sync,
+    {
+        parallel_try_for_each_init(self.items, init, f)
     }
 
     /// Sum the items (rayon `sum`).
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    ///
+    /// Deliberately folded sequentially in input order: a chunked
+    /// tree-reduction would make floating-point sums depend on the thread
+    /// count, breaking the crate's bit-for-bit determinism guarantee.
+    /// The parallel work belongs in the `map` that produced the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
     }
 }
 
-/// Conversion into a (sequential) "parallel" iterator by value
+/// Split `items` into at most `width` contiguous chunks whose
+/// concatenation is the original sequence.  Chunk sizes differ by at most
+/// one, with the longer chunks first — a pure function of `(len, width)`,
+/// so the decomposition (and thus `map_init` state lineage) is
+/// reproducible.
+fn split_in_order<T>(mut items: Vec<T>, width: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let w = width.min(n).max(1);
+    let base = n / w;
+    let extra = n % w;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(w);
+    // Peel chunks off the back so each split is O(chunk).
+    for index in (1..w).rev() {
+        let start = index * base + extra.min(index);
+        chunks.push(items.split_off(start));
+    }
+    chunks.push(items);
+    chunks.reverse();
+    chunks
+}
+
+/// The engine behind `map`/`map_init`/`for_each`: run `f` over every item
+/// with per-chunk state, returning outputs in input order.
+fn parallel_map_init<T, S, U, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let registry = pool::current_registry();
+    if n == 1 || registry.width() <= 1 || registry.on_worker_thread() {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let chunks = split_in_order(items, registry.width());
+    let mut slots: Vec<Option<Vec<U>>> = Vec::new();
+    slots.resize_with(chunks.len(), || None);
+    {
+        let init = &init;
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .zip(slots.iter_mut())
+            .map(|(chunk, slot)| {
+                Box::new(move || {
+                    let mut state = init();
+                    *slot = Some(chunk.into_iter().map(|item| f(&mut state, item)).collect());
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        registry.run_scoped(jobs);
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.expect("completed chunk left its result slot empty"));
+    }
+    out
+}
+
+/// The engine behind `try_for_each`/`try_for_each_init`: first-error-wins
+/// by input index, with work at later indices cancelled once an error is
+/// known.
+fn parallel_try_for_each_init<T, S, E, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> Result<(), E> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let registry = pool::current_registry();
+    if n == 1 || registry.width() <= 1 || registry.on_worker_thread() {
+        let mut state = init();
+        return items.into_iter().try_for_each(|item| f(&mut state, item));
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    // Global input index of the earliest known error; `usize::MAX` while
+    // everything has succeeded.  Chunks poll it to cancel work that an
+    // earlier error has already doomed, and can never be cancelled by an
+    // error at a *later* index — which is what makes the returned error
+    // deterministic.
+    let earliest = AtomicUsize::new(usize::MAX);
+    let chunks = split_in_order(items, registry.width());
+    let mut slots: Vec<Option<(usize, E)>> = Vec::new();
+    slots.resize_with(chunks.len(), || None);
+    {
+        let init = &init;
+        let f = &f;
+        let earliest = &earliest;
+        let mut offset = 0usize;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .zip(slots.iter_mut())
+            .map(|(chunk, slot)| {
+                let start = offset;
+                offset += chunk.len();
+                Box::new(move || {
+                    let mut state = init();
+                    for (k, item) in chunk.into_iter().enumerate() {
+                        let index = start + k;
+                        if earliest.load(Ordering::Relaxed) < index {
+                            return;
+                        }
+                        if let Err(error) = f(&mut state, item) {
+                            earliest.fetch_min(index, Ordering::Relaxed);
+                            *slot = Some((index, error));
+                            return;
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        registry.run_scoped(jobs);
+    }
+    match slots.into_iter().flatten().min_by_key(|(index, _)| *index) {
+        Some((_, error)) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// Conversion into a parallel iterator by value
 /// (rayon `IntoParallelIterator`).
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Consume `self` and iterate it.
-    fn into_par_iter(self) -> SeqParIter<Self::IntoIter> {
-        SeqParIter(self.into_iter())
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    /// Consume `self` and iterate it in parallel.
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
     }
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {}
+impl<T: IntoIterator> IntoParallelIterator for T where T::Item: Send {}
 
-/// Conversion into a (sequential) "parallel" iterator over references
+/// Conversion into a parallel iterator over references
 /// (rayon `IntoParallelRefIterator` / `IntoParallelRefMutIterator`).
 pub trait IntoParallelRefIterator {
-    /// Iterate shared references (rayon `par_iter`).
-    fn par_iter<'a>(&'a self) -> SeqParIter<<&'a Self as IntoIterator>::IntoIter>
+    /// Iterate shared references in parallel (rayon `par_iter`).
+    fn par_iter<'a>(&'a self) -> ParIter<<&'a Self as IntoIterator>::Item>
     where
-        &'a Self: IntoIterator;
+        &'a Self: IntoIterator,
+        <&'a Self as IntoIterator>::Item: Send;
 
-    /// Iterate exclusive references (rayon `par_iter_mut`).
-    fn par_iter_mut<'a>(&'a mut self) -> SeqParIter<<&'a mut Self as IntoIterator>::IntoIter>
+    /// Iterate exclusive references in parallel (rayon `par_iter_mut`).
+    fn par_iter_mut<'a>(&'a mut self) -> ParIter<<&'a mut Self as IntoIterator>::Item>
     where
-        &'a mut Self: IntoIterator;
+        &'a mut Self: IntoIterator,
+        <&'a mut Self as IntoIterator>::Item: Send;
 }
 
 impl<C: ?Sized> IntoParallelRefIterator for C {
-    fn par_iter<'a>(&'a self) -> SeqParIter<<&'a Self as IntoIterator>::IntoIter>
+    fn par_iter<'a>(&'a self) -> ParIter<<&'a Self as IntoIterator>::Item>
     where
         &'a Self: IntoIterator,
+        <&'a Self as IntoIterator>::Item: Send,
     {
-        SeqParIter(self.into_iter())
+        ParIter::from_vec(self.into_iter().collect())
     }
 
-    fn par_iter_mut<'a>(&'a mut self) -> SeqParIter<<&'a mut Self as IntoIterator>::IntoIter>
+    fn par_iter_mut<'a>(&'a mut self) -> ParIter<<&'a mut Self as IntoIterator>::Item>
     where
         &'a mut Self: IntoIterator,
+        <&'a mut Self as IntoIterator>::Item: Send,
     {
-        SeqParIter(self.into_iter())
-    }
-}
-
-/// Error returned by [`ThreadPoolBuilder::build`] — never actually
-/// produced by the stand-in.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool construction failed")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Stand-in for `rayon::ThreadPool`: remembers the requested width but
-/// runs everything on the calling thread.
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Run `op` "inside" the pool (sequentially, on the calling thread).
-    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
-        op()
-    }
-
-    /// The thread count the pool was built with.
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-}
-
-/// Stand-in for `rayon::ThreadPoolBuilder`.
-#[derive(Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Start building a pool.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Request a thread count (recorded, not acted on).
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    /// Build the pool; the stand-in cannot fail.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let num_threads = if self.num_threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.num_threads
-        };
-        Ok(ThreadPool { num_threads })
+        ParIter::from_vec(self.into_iter().collect())
     }
 }
 
 /// The rayon prelude: the traits that put `par_iter`-style methods in
 /// scope.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, SeqParIter};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Serialises the tests that assert exact pool widths, so the env
+    /// override test cannot race them.
+    static WIDTH_TESTS: Mutex<()> = Mutex::new(());
+
+    /// The width a pool built with `num_threads(requested)` actually gets
+    /// under the ambient environment (the CI matrix exports
+    /// `RAYON_NUM_THREADS` for whole test runs).
+    fn effective_width(requested: usize) -> usize {
+        std::env::var(NUM_THREADS_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(requested)
+    }
 
     #[test]
     fn map_collect_matches_sequential() {
@@ -200,22 +366,33 @@ mod tests {
     }
 
     #[test]
-    fn map_init_reuses_state() {
-        let mut inits = 0;
-        let out: Vec<usize> = (0..4usize)
-            .into_par_iter()
-            .map_init(
-                || {
-                    inits += 1;
-                    Vec::<usize>::new()
-                },
-                |scratch, x| {
-                    scratch.push(x);
-                    scratch.len()
-                },
-            )
-            .collect();
-        assert_eq!(out, vec![1, 2, 3, 4]);
+    fn map_init_creates_at_most_one_state_per_worker() {
+        let _guard = WIDTH_TESTS.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        Vec::<usize>::new()
+                    },
+                    |scratch, x| {
+                        scratch.push(x);
+                        x
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        let created = inits.load(Ordering::Relaxed);
+        assert!(created >= 1);
+        assert!(
+            created <= pool.current_num_threads(),
+            "{created} states for {} workers",
+            pool.current_num_threads()
+        );
     }
 
     #[test]
@@ -248,8 +425,87 @@ mod tests {
 
     #[test]
     fn thread_pool_installs() {
+        let _guard = WIDTH_TESTS.lock().unwrap();
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.current_num_threads(), effective_width(4));
         assert_eq!(pool.install(|| 42), 42);
+    }
+
+    #[test]
+    fn work_actually_runs_on_pool_threads() {
+        let _guard = WIDTH_TESTS.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        if pool.current_num_threads() <= 1 {
+            return; // forced serial by the env override: nothing to see
+        }
+        let caller = std::thread::current().id();
+        let off_caller = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..256usize).into_par_iter().for_each(|_| {
+                if std::thread::current().id() != caller {
+                    off_caller.fetch_add(1, Ordering::Relaxed);
+                }
+                // Enough work that the caller's help loop cannot finish
+                // every chunk before a worker wakes up.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            })
+        });
+        assert!(
+            off_caller.load(Ordering::Relaxed) > 0,
+            "no item ever executed on a worker thread"
+        );
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let totals: Vec<usize> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|i| (0..10usize).into_par_iter().map(|j| i * 10 + j).sum())
+                .collect()
+        });
+        assert_eq!(totals, vec![45, 145, 245, 345]);
+    }
+
+    #[test]
+    fn width_parsing_rules() {
+        // The parsing rules are pure — garbage, zero and whitespace are
+        // exercised here without mutating the process environment.
+        assert_eq!(crate::pool::parse_width("3"), Some(3));
+        assert_eq!(crate::pool::parse_width(" 8 "), Some(8));
+        assert_eq!(crate::pool::parse_width("0"), None);
+        assert_eq!(crate::pool::parse_width("-2"), None);
+        assert_eq!(crate::pool::parse_width("zero"), None);
+        assert_eq!(crate::pool::parse_width(""), None);
+    }
+
+    #[test]
+    fn env_override_wins_over_explicit_width() {
+        // One set/restore cycle only (env mutation is process-global);
+        // the width-asserting tests serialise on WIDTH_TESTS so a
+        // transiently-overridden pool width cannot fail them.
+        let _guard = WIDTH_TESTS.lock().unwrap();
+        let previous = std::env::var(NUM_THREADS_ENV).ok();
+        std::env::set_var(NUM_THREADS_ENV, "3");
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        match previous {
+            Some(value) => std::env::set_var(NUM_THREADS_ENV, value),
+            None => std::env::remove_var(NUM_THREADS_ENV),
+        }
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn split_in_order_concatenates_back() {
+        for n in [0usize, 1, 2, 7, 64, 65] {
+            for w in [1usize, 2, 3, 8, 100] {
+                let chunks = split_in_order((0..n).collect::<Vec<_>>(), w);
+                assert!(chunks.len() <= w.max(1));
+                assert!(chunks.len() <= n.max(1));
+                let glued: Vec<usize> = chunks.concat();
+                assert_eq!(glued, (0..n).collect::<Vec<_>>(), "n={n} w={w}");
+            }
+        }
     }
 }

@@ -1,0 +1,398 @@
+//! The worker-pool engine behind the parallel iterators.
+//!
+//! A [`ThreadPool`] owns a set of OS worker threads draining a shared FIFO
+//! job queue.  Parallel-iterator terminals package their work as
+//! index-ordered chunk jobs, enqueue them, and block until a *scope latch*
+//! reports every chunk finished; because the caller never returns while
+//! its chunks are in flight, chunk closures may safely borrow from the
+//! caller's stack even though the queue itself stores `'static` jobs (the
+//! lifetime is erased with `transmute` and re-established by the latch —
+//! the same soundness argument real rayon's `scope` makes).
+//!
+//! Two properties keep the pool deadlock-free without work stealing:
+//!
+//! * a blocked scope owner *helps*: while waiting for its latch it pops
+//!   and executes jobs from the same queue, so a pool whose workers are
+//!   all blocked inside nested waits still makes progress;
+//! * a parallel call issued *from a worker thread of the same pool* is
+//!   executed inline instead of enqueued (see
+//!   [`Registry::on_worker_thread`]), so nested parallelism cannot wait
+//!   on a queue nobody is free to drain.
+//!
+//! Worker panics never kill a worker: every chunk job runs under
+//! `catch_unwind` and the payload of the lowest-indexed panicking chunk is
+//! re-thrown on the scope owner's thread once the scope completes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Environment variable overriding the width of **every** pool built after
+/// it is set (the global pool and explicit [`ThreadPoolBuilder`] pools
+/// alike).
+///
+/// This is deliberately stronger than real rayon, where the variable only
+/// sizes the global pool: the CI determinism matrix relies on forcing the
+/// whole workspace — including solvers that size their own pools from
+/// `Problem::num_threads` — to 1, 2 and 8 threads and observing bit-for-bit
+/// identical physics.  Values that are empty, non-numeric or zero are
+/// ignored.
+pub const NUM_THREADS_ENV: &str = "RAYON_NUM_THREADS";
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Shared state of one pool: the job queue plus identity and width.
+pub(crate) struct Registry {
+    /// Process-unique id used to recognise "am I already a worker of this
+    /// pool" for the inline nested-parallelism path.
+    id: usize,
+    /// Effective thread count (after the env override).
+    width: usize,
+    state: Mutex<QueueState>,
+    job_ready: Condvar,
+}
+
+thread_local! {
+    /// Set on worker threads to the id of the registry they serve.
+    static WORKER_OF: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+    /// Stack of pools entered via [`ThreadPool::install`] on this thread.
+    static INSTALLED: std::cell::RefCell<Vec<Arc<Registry>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+static NEXT_REGISTRY_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Bookkeeping for one batch of chunk jobs: how many are still running and
+/// the panic payload (if any) of the lowest-indexed chunk that panicked.
+struct ScopeSync {
+    state: Mutex<ScopeState>,
+    done: Condvar,
+}
+
+struct ScopeState {
+    remaining: usize,
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
+}
+
+impl Registry {
+    fn new(width: usize) -> Arc<Self> {
+        Arc::new(Self {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            width,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        })
+    }
+
+    /// Effective thread count of this pool.
+    pub(crate) fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` when the calling thread is one of this pool's workers — the
+    /// signal to run nested parallel calls inline.
+    pub(crate) fn on_worker_thread(&self) -> bool {
+        WORKER_OF.with(|w| w.get()) == Some(self.id)
+    }
+
+    /// Pop one job if any is queued.
+    fn try_pop(&self) -> Option<Job> {
+        self.state
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .pop_front()
+    }
+
+    /// Main loop of a worker thread: execute jobs until shutdown.
+    fn worker_loop(self: Arc<Self>) {
+        WORKER_OF.with(|w| w.set(Some(self.id)));
+        loop {
+            let job = {
+                let mut st = self.state.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(job) = st.jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if st.shutdown {
+                        break None;
+                    }
+                    st = self.job_ready.wait(st).expect("pool queue poisoned");
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => return,
+            }
+        }
+    }
+
+    /// Run `chunks` to completion on the pool, blocking until every chunk
+    /// finished and re-throwing the panic of the lowest-indexed chunk that
+    /// panicked.
+    ///
+    /// Chunk closures may borrow from the caller's stack: this function
+    /// does not return while any of them can still run.  The caller helps
+    /// drain the queue while it waits, so it acts as one extra worker for
+    /// the duration of the scope.
+    pub(crate) fn run_scoped<'scope>(&self, chunks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if chunks.is_empty() {
+            return;
+        }
+        // Defensive inline path: a zero/one-width pool has no workers, and
+        // a worker of this very pool must never block on its own queue.
+        if self.width <= 1 || self.on_worker_thread() {
+            for chunk in chunks {
+                chunk();
+            }
+            return;
+        }
+
+        let sync = Arc::new(ScopeSync {
+            state: Mutex::new(ScopeState {
+                remaining: chunks.len(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+
+        {
+            let mut st = self.state.lock().expect("pool queue poisoned");
+            for (index, chunk) in chunks.into_iter().enumerate() {
+                let sync = Arc::clone(&sync);
+                let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(chunk));
+                    let mut scope = sync.state.lock().expect("scope latch poisoned");
+                    if let Err(payload) = result {
+                        match &scope.panic {
+                            Some((winner, _)) if *winner <= index => {}
+                            _ => scope.panic = Some((index, payload)),
+                        }
+                    }
+                    scope.remaining -= 1;
+                    if scope.remaining == 0 {
+                        sync.done.notify_all();
+                    }
+                });
+                // SAFETY: only the lifetime is transmuted.  The job cannot
+                // outlive the `'scope` borrows it captures because this
+                // function blocks on the scope latch below until
+                // `remaining == 0`, i.e. until the job either ran to
+                // completion or was dropped — and the queue is drained by
+                // this loop or the workers, never leaked.
+                let job: Job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'scope>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(job)
+                };
+                st.jobs.push_back(job);
+            }
+        }
+        self.job_ready.notify_all();
+
+        // Help while waiting: execute queued jobs (ours or another
+        // scope's) until our latch opens.
+        loop {
+            if let Some(job) = self.try_pop() {
+                job();
+                continue;
+            }
+            let mut scope = sync.state.lock().expect("scope latch poisoned");
+            while scope.remaining > 0 {
+                // Wake up periodically to re-check the queue: another
+                // scope may have enqueued work this thread could be
+                // helping with (completion itself notifies `done`).
+                let (guard, timeout) = sync
+                    .done
+                    .wait_timeout(scope, std::time::Duration::from_millis(1))
+                    .expect("scope latch poisoned");
+                scope = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if scope.remaining == 0 {
+                if let Some((_, payload)) = scope.panic.take() {
+                    drop(scope);
+                    std::panic::resume_unwind(payload);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] when the operating
+/// system refuses to spawn a worker thread (resource exhaustion).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    reason: String,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A shared worker pool executing the parallel-iterator combinators.
+///
+/// Built by [`ThreadPoolBuilder`]; [`ThreadPool::install`] makes the pool
+/// the target of every `par_iter` call issued (on this thread) inside the
+/// closure.  Parallel calls outside any `install` use the lazily-created
+/// global pool.  Dropping the pool joins its workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn build_with_width(width: usize) -> Result<Self, ThreadPoolBuildError> {
+        let registry = Registry::new(width);
+        // A one-wide pool runs everything inline on the caller; spawning
+        // its single worker would only add handoff latency.
+        let mut workers = Vec::new();
+        if width > 1 {
+            workers.reserve(width);
+            for index in 0..width {
+                let worker_registry = Arc::clone(&registry);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("rayon-worker-{}-{index}", registry.id))
+                    .spawn(move || worker_registry.worker_loop());
+                match spawned {
+                    Ok(handle) => workers.push(handle),
+                    Err(error) => {
+                        // Wind down whatever did spawn before reporting.
+                        {
+                            let mut st = registry.state.lock().expect("pool queue poisoned");
+                            st.shutdown = true;
+                        }
+                        registry.job_ready.notify_all();
+                        for handle in workers {
+                            let _ = handle.join();
+                        }
+                        return Err(ThreadPoolBuildError {
+                            reason: format!("spawning worker {index} of {width}: {error}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Self { registry, workers })
+    }
+
+    /// Run `op` with this pool installed as the target of every parallel
+    /// call `op` issues on the calling thread.  `op` itself runs on the
+    /// calling thread; the pool's workers execute the chunks.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        struct Uninstall;
+        impl Drop for Uninstall {
+            fn drop(&mut self) {
+                INSTALLED.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        INSTALLED.with(|stack| stack.borrow_mut().push(Arc::clone(&self.registry)));
+        let _guard = Uninstall;
+        op()
+    }
+
+    /// The effective thread count the pool was built with (after the
+    /// [`NUM_THREADS_ENV`] override).
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.width()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.registry.state.lock().expect("pool queue poisoned");
+            st.shutdown = true;
+        }
+        self.registry.job_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Builder for [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count; `0` (the default) means the machine's
+    /// available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.  Width resolution order: the [`NUM_THREADS_ENV`]
+    /// override, then the explicit [`ThreadPoolBuilder::num_threads`]
+    /// request, then the machine default.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = env_num_threads()
+            .or(if self.num_threads > 0 {
+                Some(self.num_threads)
+            } else {
+                None
+            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        ThreadPool::build_with_width(width)
+    }
+}
+
+/// Parse a [`NUM_THREADS_ENV`]-style value; `None` when unparsable or
+/// zero (pure, so the parsing rules are testable without touching the
+/// process environment).
+pub(crate) fn parse_width(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Read and parse the env override; `None` when unset or invalid.
+fn env_num_threads() -> Option<usize> {
+    std::env::var(NUM_THREADS_ENV)
+        .ok()
+        .and_then(|raw| parse_width(&raw))
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The shared global pool, created on first use.
+fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        ThreadPoolBuilder::new()
+            .build()
+            .expect("failed to build the global thread pool")
+    })
+}
+
+/// The pool a parallel call issued on this thread should run on: the
+/// innermost [`ThreadPool::install`] if any, else the global pool.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    INSTALLED
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(&global_pool().registry))
+}

@@ -1,0 +1,223 @@
+//! Property and stress tests for the worker-pool parallel-iterator engine.
+//!
+//! These pin the contracts the workspace's cross-thread-count determinism
+//! suite relies on: order-preserving `collect` at every pool width,
+//! bounded `map_init` state creation, earliest-index `try_for_each`
+//! errors, and panic propagation (rather than a hang or a dead worker).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+fn pool_of(threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn collect_preserves_input_order(len in 0usize..400, threads in 1usize..=8) {
+        let pool = pool_of(threads);
+        let out: Vec<usize> = pool.install(|| {
+            (0..len).into_par_iter().map(|i| i.wrapping_mul(7)).collect()
+        });
+        let expected: Vec<usize> = (0..len).map(|i| i.wrapping_mul(7)).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn flatten_preserves_input_order(lens in collection::vec(0usize..9, 0..24), threads in 1usize..=8) {
+        let pool = pool_of(threads);
+        let out: Vec<usize> = pool.install(|| {
+            lens.clone()
+                .into_par_iter()
+                .map(|len| (0..len).collect::<Vec<_>>())
+                .flatten()
+                .collect()
+        });
+        let expected: Vec<usize> = lens.iter().flat_map(|&len| 0..len).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_init_state_count_is_bounded_by_width(len in 1usize..300, threads in 1usize..=8) {
+        let pool = pool_of(threads);
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = pool.install(|| {
+            (0..len)
+                .into_par_iter()
+                .map_init(
+                    || inits.fetch_add(1, Ordering::Relaxed),
+                    |_, x| x,
+                )
+                .collect()
+        });
+        prop_assert_eq!(out, (0..len).collect::<Vec<_>>());
+        let created = inits.load(Ordering::Relaxed);
+        prop_assert!(created >= 1);
+        prop_assert!(
+            created <= pool.current_num_threads().min(len),
+            "{} states, width {}, {} items",
+            created,
+            pool.current_num_threads(),
+            len
+        );
+    }
+
+    #[test]
+    fn try_for_each_reports_the_earliest_error(
+        flags in collection::vec(0u32..6, 1..200),
+        threads in 1usize..=8,
+    ) {
+        // An item "fails" when its flag is 0; the error carries the index.
+        let pool = pool_of(threads);
+        let indexed: Vec<(usize, u32)> = flags.iter().copied().enumerate().collect();
+        let result: Result<(), usize> = pool.install(|| {
+            indexed
+                .into_par_iter()
+                .try_for_each(|(index, flag)| if flag == 0 { Err(index) } else { Ok(()) })
+        });
+        let expected = flags.iter().position(|&flag| flag == 0);
+        match expected {
+            None => prop_assert_eq!(result, Ok(())),
+            Some(first) => prop_assert_eq!(result, Err(first)),
+        }
+    }
+
+    #[test]
+    fn sums_are_identical_at_every_width(values in collection::vec(-1.0f64..1.0, 0..200)) {
+        // Floating-point reduction must not depend on the thread count.
+        let mut totals = Vec::new();
+        for threads in [1usize, 2, 5, 8] {
+            let pool = pool_of(threads);
+            let total: f64 = pool.install(|| values.clone().into_par_iter().sum());
+            totals.push(total.to_bits());
+        }
+        for pair in totals.windows(2) {
+            prop_assert_eq!(pair[0], pair[1]);
+        }
+    }
+}
+
+#[test]
+fn try_for_each_cancels_work_after_an_error() {
+    // With the error at index 0, items far behind it should mostly be
+    // skipped; all we *guarantee* is the earliest error and completion.
+    let pool = pool_of(4);
+    let visited = AtomicUsize::new(0);
+    let result: Result<(), usize> = pool.install(|| {
+        (0..100_000usize).into_par_iter().try_for_each(|i| {
+            visited.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                // Give other chunks a moment to observe the cancellation.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Err(i)
+            } else {
+                Ok(())
+            }
+        })
+    });
+    assert_eq!(result, Err(0));
+    assert!(visited.load(Ordering::Relaxed) <= 100_000);
+}
+
+#[test]
+fn closure_panic_propagates_to_the_caller() {
+    let pool = pool_of(4);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            (0..128usize).into_par_iter().for_each(|i| {
+                if i == 37 {
+                    panic!("kernel exploded at {i}");
+                }
+            })
+        })
+    }));
+    let payload = result.expect_err("panic must cross the pool boundary");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("kernel exploded at 37"),
+        "unexpected payload: {message}"
+    );
+
+    // The pool survives a worker panic: workers catch and keep serving.
+    let doubled: Vec<usize> =
+        pool.install(|| (0..16usize).into_par_iter().map(|x| 2 * x).collect());
+    assert_eq!(doubled, (0..16).map(|x| 2 * x).collect::<Vec<_>>());
+}
+
+#[test]
+fn earliest_panic_wins_when_several_chunks_panic() {
+    let pool = pool_of(8);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .for_each(|i| panic!("chunk payload {}", i / 8))
+        })
+    }));
+    let payload = result.expect_err("panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert_eq!(message, "chunk payload 0");
+}
+
+#[test]
+fn map_init_threads_state_through_a_chunk_in_order() {
+    // Within one chunk the state sees items in index order; outputs glued
+    // across chunks reproduce the input order.
+    let pool = pool_of(3);
+    let out: Vec<(usize, usize)> = pool.install(|| {
+        (0..40usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |seen, x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+            )
+            .collect()
+    });
+    assert_eq!(out.len(), 40);
+    for (k, (x, seen)) in out.iter().enumerate() {
+        assert_eq!(*x, k);
+        assert!(*seen >= 1);
+    }
+    // Per-chunk counters restart at 1 and increase by one.
+    let mut previous = 0usize;
+    for (_, seen) in out {
+        assert!(seen == previous + 1 || seen == 1);
+        previous = seen;
+    }
+}
+
+#[test]
+fn many_concurrent_installs_share_the_pool() {
+    let pool = std::sync::Arc::new(pool_of(4));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let pool = std::sync::Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let out: Vec<usize> =
+                    pool.install(|| (0..200usize).into_par_iter().map(|i| i + t).collect());
+                assert_eq!(out, (0..200).map(|i| i + t).collect::<Vec<_>>());
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
