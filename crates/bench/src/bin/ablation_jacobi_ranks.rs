@@ -9,6 +9,7 @@
 use unsnap_bench::HarnessOptions;
 use unsnap_comm::{BlockJacobiSolver, KbaModel};
 use unsnap_core::problem::Problem;
+use unsnap_core::report::iteration_summary;
 use unsnap_mesh::Decomposition2D;
 
 fn main() {
@@ -46,7 +47,7 @@ fn main() {
         );
         println!();
         println!(
-            "{:>6} {:>12} {:>12} {:>16} {:>17}",
+            "{:>6} {:>12} {:>12} {:>16} {:>17}   summary",
             "ranks", "iterations", "halo faces", "scalar flux", "KBA efficiency"
         );
     }
@@ -71,13 +72,17 @@ fn main() {
                 kba.efficiency
             );
         } else {
+            // The shared report path (`iteration_summary` via the
+            // outcome's `IterationSummary` impl) formats the iteration
+            // story; only the KBA contrast column is local to this bin.
             println!(
-                "{:>6} {:>12} {:>12} {:>16.6e} {:>16.1}%",
+                "{:>6} {:>12} {:>12} {:>16.6e} {:>16.1}%   {}",
                 outcome.num_ranks,
                 iterations,
                 outcome.halo_faces,
                 outcome.scalar_flux_total,
-                kba.efficiency * 100.0
+                kba.efficiency * 100.0,
+                iteration_summary(&outcome),
             );
         }
     }

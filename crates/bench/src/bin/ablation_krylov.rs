@@ -19,6 +19,7 @@
 //! * `UNSNAP_MESH`    — cells per side of the cubic mesh (default 4).
 //! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 600).
 
+use unsnap_bench::env_parse;
 use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::report::{strategy_table_text, StrategyAblationRow};
@@ -26,22 +27,6 @@ use unsnap_core::solver::SolveOutcome;
 use unsnap_core::strategy::StrategyKind;
 use unsnap_linalg::SolverKind;
 use unsnap_sweep::ConcurrencyScheme;
-
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T
-where
-    T::Err: std::fmt::Display,
-{
-    match std::env::var(name) {
-        Ok(raw) => match raw.parse() {
-            Ok(value) => value,
-            Err(e) => {
-                eprintln!("ignoring {name}={raw}: {e}");
-                default
-            }
-        },
-        Err(_) => default,
-    }
-}
 
 fn run_strategy(base: &ProblemBuilder, strategy: StrategyKind) -> SolveOutcome {
     let mut session = base

@@ -20,9 +20,8 @@ use unsnap_sweep::{ConcurrencyScheme, LoopOrder};
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let quick = std::env::args().any(|a| a == "--quick");
     let cubic = std::env::args().any(|a| a == "--figure4");
-    let base = match (quick, cubic, opts.full) {
+    let base = match (opts.quick, cubic, opts.full) {
         (true, false, _) => Problem::figure3_scaled()
             .with_mesh(4)
             .with_phase_space(4, 8),

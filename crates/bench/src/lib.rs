@@ -1,7 +1,10 @@
 //! # unsnap-bench
 //!
 //! The benchmark harness that regenerates every table and figure of the
-//! UnSNAP paper, plus the ablations its text discusses.
+//! UnSNAP paper, plus the ablations its text discusses.  See the
+//! repository's `docs/ARCHITECTURE.md` for where each binary sits in
+//! the crate stack and the README's "Reproducing the paper" matrix for
+//! the exact command lines.
 //!
 //! | experiment | paper artefact | binary |
 //! |------------|----------------|--------|
@@ -12,12 +15,20 @@
 //! | §IV-A.3    | angle-threaded atomic scalar-flux reduction does not scale | `ablation_angle_atomic` |
 //! | §IV-B.1    | pre-assembled/pre-factorised matrices vs on-the-fly assembly | `ablation_preassembly` |
 //! | §III-A.1   | block-Jacobi convergence penalty vs rank count, KBA idle model | `ablation_jacobi_ranks` |
+//! | —          | SI vs GMRES subdomain solves in the block-Jacobi schedule | `ablation_jacobi_krylov` |
+//! | —          | SI vs sweep-preconditioned GMRES across scattering ratios | `ablation_krylov` |
+//! | —          | worker-pool wall-clock scaling across thread counts | `scaling_threads` |
 //!
-//! Every binary accepts `--full` to run the problem at the paper's
-//! published size (which needs a large-memory node, as the original did)
-//! and `--csv` to emit machine-readable output; the default sizes are
-//! scaled down so the whole suite completes on a laptop.  Criterion micro
-//! benchmarks of the underlying kernels live in `benches/`.
+//! Every binary parses the shared [`HarnessOptions`] flags: `--full`
+//! runs the problem at the paper's published size (which needs a
+//! large-memory node, as the original did), `--quick` shrinks it for CI
+//! smoke runs, and `--csv`/`--json` emit machine-readable output; the
+//! default sizes are scaled down so the whole suite completes on a
+//! laptop.  The harness helpers — [`run_scaling_experiment`],
+//! [`run_solver_comparison`], [`scaling_table`]/[`scaling_csv`],
+//! [`print_header`] and [`time_it`] — are exported so new experiment
+//! binaries compose the same pieces.  Criterion micro benchmarks of the
+//! underlying kernels live in `benches/`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +50,8 @@ pub struct HarnessOptions {
     pub csv: bool,
     /// Emit JSON instead of a human-readable table (`--json`).
     pub json: bool,
+    /// Shrink the problem for CI smoke runs (`--quick`).
+    pub quick: bool,
     /// Thread counts to sweep (`--threads 1,2,4`).
     pub threads: Option<Vec<usize>>,
     /// Maximum element order for the solver comparison (`--max-order 4`).
@@ -57,6 +70,7 @@ impl HarnessOptions {
             full: false,
             csv: false,
             json: false,
+            quick: false,
             threads: None,
             max_order: None,
         };
@@ -66,6 +80,7 @@ impl HarnessOptions {
                 "--full" => opts.full = true,
                 "--csv" => opts.csv = true,
                 "--json" => opts.json = true,
+                "--quick" => opts.quick = true,
                 "--threads" => {
                     if let Some(list) = iter.next() {
                         let parsed: Vec<usize> =
@@ -89,6 +104,25 @@ impl HarnessOptions {
         self.threads
             .clone()
             .unwrap_or_else(|| MachineInfo::detect().thread_sweep())
+    }
+}
+
+/// Parse an environment knob via `FromStr`, falling back to `default`
+/// (with a note on stderr) when the variable is set but unparsable.
+/// Shared by the benchmark binaries for their `UNSNAP_*` knobs.
+pub fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(raw) => match raw.parse() {
+            Ok(value) => value,
+            Err(e) => {
+                eprintln!("ignoring {name}={raw}: {e}");
+                default
+            }
+        },
+        Err(_) => default,
     }
 }
 
@@ -304,9 +338,14 @@ mod tests {
         assert!(o.full);
         assert!(o.csv);
         assert!(!o.json);
+        assert!(!o.quick);
         assert!(
             HarnessOptions::parse(["--json".to_string()].into_iter()).json,
             "--json must parse"
+        );
+        assert!(
+            HarnessOptions::parse(["--quick".to_string()].into_iter()).quick,
+            "--quick must parse"
         );
         assert_eq!(o.threads, Some(vec![1, 2, 4]));
         assert_eq!(o.max_order, Some(3));

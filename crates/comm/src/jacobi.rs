@@ -8,17 +8,47 @@
 //! concurrently, unlike with the KBA schedule in the SNAP mini-app where
 //! processors must wait to begin work." (§III-A.1.)
 //!
+//! # Strategy-dispatched inner solves
+//!
+//! Each rank's within-group solve runs through the *same*
+//! [`IterationStrategy`](unsnap_core::strategy::IterationStrategy)
+//! dispatch as the single-domain `TransportSolver`: the per-rank
+//! context implements [`InnerSolveContext`], so [`Problem::strategy`]
+//! (including the `UNSNAP_STRATEGY` builder override) selects the
+//! subdomain solver:
+//!
+//! * **Source iteration** — one masked sweep per rank per halo
+//!   iteration, reproducing the seed's lagged block-Jacobi schedule
+//!   exactly;
+//! * **Sweep-preconditioned GMRES** — per halo iteration each rank
+//!   solves its local within-group system `(I − D L_r⁻¹ S_w) φ_r =
+//!   D L_r⁻¹ q_ext,r` to tolerance with a matrix-free GMRES(m) whose
+//!   Krylov space is reused across halo iterations
+//!   ([`GmresWorkspace`]).  The lagged halo data is *affine*
+//!   right-hand-side inflow, so operator applications sweep with
+//!   homogeneous boundary **and** halo inflow (the halo-aware residual
+//!   assembly), and a consistency sweep with real inflow regenerates the
+//!   rank's angular flux for the next halo exchange.  This is the
+//!   additive-Schwarz-style scale-out of the Krylov acceleration.
+//!
 //! With a single rank the schedule degenerates to the full sweep and the
-//! solver reproduces `unsnap_core::TransportSolver` exactly; with more
-//! ranks the converged answer is the same but the convergence *rate*
-//! degrades — the trade-off the `ablation_jacobi_ranks` benchmark measures.
+//! solver reproduces `unsnap_core::TransportSolver`; with more ranks the
+//! converged answer is the same but the convergence *rate* degrades —
+//! the trade-off the `ablation_jacobi_ranks` and `ablation_jacobi_krylov`
+//! benchmarks measure.
+//!
+//! # Observer streaming
 //!
 //! Ranks genuinely sweep **concurrently** on the worker pool (sized by
 //! [`Problem::num_threads`], overridable with `RAYON_NUM_THREADS`): each
 //! rank writes into a private, compactly-indexed angular-flux buffer and
 //! reads remote cells only from the shared previous-iteration array, so
 //! the per-iteration results are bit-for-bit identical at every thread
-//! and rank-execution ordering.
+//! and rank-execution ordering.  Each rank's solve events are buffered
+//! in an [`EventLog`] and replayed through the rank-tagged
+//! [`RunObserver`] hooks (`on_rank_sweep`, `on_rank_krylov_residual`,
+//! …) in rank order after every halo iteration — the observer stream is
+//! therefore also bit-for-bit identical at every thread count.
 
 use std::time::Instant;
 
@@ -28,13 +58,18 @@ use serde::{Deserialize, Serialize};
 use unsnap_core::angular::AngularQuadrature;
 use unsnap_core::data::ProblemData;
 use unsnap_core::error::{Error, Result};
-use unsnap_core::kernel::{assemble_solve, KernelScratch, UpwindFace, UpwindSource};
+use unsnap_core::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
 use unsnap_core::layout::{FluxLayout, FluxStorage};
 use unsnap_core::problem::Problem;
+use unsnap_core::report::IterationSummary;
+use unsnap_core::session::{EventLog, NoopObserver, RunObserver};
+use unsnap_core::solver::{relative_change, RunStats};
+use unsnap_core::strategy::{InnerSolveContext, StrategyKind};
 use unsnap_fem::element::ReferenceElement;
 use unsnap_fem::face::{face_node_indices, FACES};
 use unsnap_fem::geometry::HexVertices;
 use unsnap_fem::integrals::ElementIntegrals;
+use unsnap_krylov::GmresWorkspace;
 use unsnap_linalg::LinearSolver;
 use unsnap_mesh::{Decomposition2D, NeighborRef, Subdomain, UnstructuredMesh};
 use unsnap_sweep::SweepSchedule;
@@ -44,7 +79,9 @@ use unsnap_sweep::SweepSchedule;
 pub struct BlockJacobiOutcome {
     /// Number of ranks (Jacobi blocks).
     pub num_ranks: usize,
-    /// Inner iterations executed.
+    /// Inner-iteration strategy the ranks dispatched to.
+    pub strategy: StrategyKind,
+    /// Halo (block-Jacobi) iterations executed.
     pub inner_iterations: usize,
     /// Whether the convergence tolerance was met.
     pub converged: bool,
@@ -58,6 +95,363 @@ pub struct BlockJacobiOutcome {
     pub scalar_flux_total: f64,
     /// Total halo faces across all ranks (faces refreshed per iteration).
     pub halo_faces: usize,
+    /// Subdomain sweeps executed, summed over ranks.
+    pub sweep_count: usize,
+    /// Krylov iterations executed, summed over ranks (zero under plain
+    /// source iteration).
+    pub krylov_iterations: usize,
+    /// Sweeps executed by each rank, indexed by rank id.
+    pub rank_sweep_counts: Vec<usize>,
+    /// Krylov iterations executed by each rank, indexed by rank id.
+    pub rank_krylov_iterations: Vec<usize>,
+}
+
+impl BlockJacobiOutcome {
+    /// Serialise the outcome as a JSON object (via the workspace's
+    /// hand-rolled [`json`](unsnap_core::json) writer — the vendored
+    /// `serde` is a no-op stand-in).
+    pub fn to_json(&self) -> String {
+        unsnap_core::json::JsonObject::new()
+            .field_usize("num_ranks", self.num_ranks)
+            .field_str("strategy", self.strategy.label())
+            .field_usize("inner_iterations", self.inner_iterations)
+            .field_bool("converged", self.converged)
+            .field_raw(
+                "iterations_to_tolerance",
+                &self
+                    .iterations_to_tolerance
+                    .map_or_else(|| "null".to_string(), |i| i.to_string()),
+            )
+            .field_f64_array("convergence_history", &self.convergence_history)
+            .field_f64("assemble_solve_seconds", self.assemble_solve_seconds)
+            .field_f64("scalar_flux_total", self.scalar_flux_total)
+            .field_usize("halo_faces", self.halo_faces)
+            .field_usize("sweep_count", self.sweep_count)
+            .field_usize("krylov_iterations", self.krylov_iterations)
+            .field_usize_array("rank_sweep_counts", &self.rank_sweep_counts)
+            .field_usize_array("rank_krylov_iterations", &self.rank_krylov_iterations)
+            .finish()
+    }
+}
+
+impl IterationSummary for BlockJacobiOutcome {
+    fn summary_converged(&self) -> bool {
+        self.converged
+    }
+
+    fn summary_sweeps(&self) -> usize {
+        self.sweep_count
+    }
+
+    fn summary_inner_iterations(&self) -> usize {
+        self.inner_iterations
+    }
+
+    fn summary_krylov_iterations(&self) -> usize {
+        self.krylov_iterations
+    }
+
+    fn summary_final_krylov_residual(&self) -> Option<f64> {
+        // Per-rank residual trajectories stream through the observer;
+        // the outcome keeps counters only.
+        None
+    }
+}
+
+impl std::fmt::Display for BlockJacobiOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ranks ({}): {}, {} halo faces",
+            self.num_ranks,
+            self.strategy,
+            unsnap_core::report::iteration_summary(self),
+            self.halo_faces,
+        )
+    }
+}
+
+/// The mutable per-rank solve state: compact flux/source buffers, the
+/// rank's accumulated work statistics and its reusable Krylov space.
+///
+/// Buffers use the rank-compact indexing
+/// `((local_cell · ng + g) · num_angles + angle) · nodes` (angular) and
+/// `(local_cell · ng + g) · nodes` (scalar), so per-rank memory is the
+/// rank's share of the mesh, not a full-mesh copy.
+struct RankState {
+    /// Angular flux of the current iteration (compact).
+    psi: Vec<f64>,
+    /// Scalar flux (compact).
+    phi: Vec<f64>,
+    /// Previous inner iterate of the scalar flux (compact).
+    phi_inner: Vec<f64>,
+    /// Total source (compact).
+    source: Vec<f64>,
+    /// When set, sweeps treat the domain boundary *and* the cross-rank
+    /// halo as vacuum — the affine inflow belongs to the right-hand
+    /// side during Krylov operator applications.
+    homogeneous: bool,
+    /// Accumulated work statistics (sweeps, Krylov counters, histories).
+    stats: RunStats,
+    /// Reusable per-rank Krylov space.
+    krylov: Option<GmresWorkspace>,
+    /// Reusable kernel scratch.
+    scratch: KernelScratch,
+}
+
+impl RankState {
+    fn new(owned: usize, ng: usize, n_angles: usize, nodes: usize) -> Self {
+        Self {
+            psi: vec![0.0; owned * ng * n_angles * nodes],
+            phi: vec![0.0; owned * ng * nodes],
+            phi_inner: vec![0.0; owned * ng * nodes],
+            source: vec![0.0; owned * ng * nodes],
+            homogeneous: false,
+            stats: RunStats::default(),
+            krylov: None,
+            scratch: KernelScratch::new(nodes),
+        }
+    }
+}
+
+/// One rank's view of the distributed solve: shared read-only problem
+/// state plus the rank's private buffers.  Implements
+/// [`InnerSolveContext`], so the single-domain iteration strategies run
+/// unchanged against a subdomain whose sweeps are masked to the rank's
+/// cells and whose cross-rank upwind reads come from the lagged halo.
+struct RankContext<'a> {
+    shared: &'a BlockJacobiSolver,
+    rank: usize,
+    /// Inner budget per strategy invocation: 1 for stationary (source)
+    /// iteration — one relaxation sweep per halo exchange, the seed
+    /// schedule — and the problem's full inner budget for the Krylov
+    /// strategies, which solve the local system per halo exchange.
+    inner_budget: usize,
+    state: &'a mut RankState,
+}
+
+impl RankContext<'_> {
+    /// Assemble the rank-local source: fixed + cross-group scattering
+    /// from the outer iterate (+ within-group scattering from the rank's
+    /// current flux unless `external` only).
+    fn assemble_rank_source(&mut self, include_within_group: bool) {
+        let s = self.shared;
+        let ng = s.problem.num_groups;
+        let nodes = s.element.nodes_per_element();
+        let sd = &s.subdomains[self.rank];
+        for (local, &global) in sd.global_cells.iter().enumerate() {
+            let mat = s.data.material(global);
+            let q_fixed = s.data.fixed_source(global);
+            for g in 0..ng {
+                let mut acc = vec![q_fixed; nodes];
+                for g_from in 0..ng {
+                    if g_from == g && !include_within_group {
+                        continue;
+                    }
+                    let sigma_s = s.data.xs.scatter(mat, g_from, g);
+                    if sigma_s == 0.0 {
+                        continue;
+                    }
+                    if g_from == g {
+                        let base = (local * ng + g_from) * nodes;
+                        let phi = &self.state.phi[base..base + nodes];
+                        for (a, &p) in acc.iter_mut().zip(phi.iter()) {
+                            *a += sigma_s * p;
+                        }
+                    } else {
+                        let phi = s.phi_outer.nodes(global, g_from, 0);
+                        for (a, &p) in acc.iter_mut().zip(phi.iter()) {
+                            *a += sigma_s * p;
+                        }
+                    }
+                }
+                let base = (local * ng + g) * nodes;
+                self.state.source[base..base + nodes].copy_from_slice(&acc);
+            }
+        }
+    }
+
+    /// Sweep every angle of the rank's subdomain following its masked
+    /// wavefront schedules, writing ψ into the rank's private buffer and
+    /// accumulating the rank's scalar flux.
+    ///
+    /// Own-rank upwind reads come from the private buffer (the masked
+    /// schedule guarantees they were written earlier in the same sweep);
+    /// cross-rank reads come from the shared previous-iteration halo —
+    /// or from zero when `homogeneous` is set, which is what keeps the
+    /// Krylov operator application linear.
+    fn sweep_rank(&mut self) -> (KernelTiming, u64) {
+        let s = self.shared;
+        let rank = self.rank;
+        let ng = s.problem.num_groups;
+        let nodes = s.element.nodes_per_element();
+        let n_angles = s.quadrature.num_angles();
+        let local_of_cell = &s.local_of_cell[rank];
+        let time_solve = s.problem.time_solve;
+        let psi_base =
+            |local: usize, g: usize, angle: usize| ((local * ng + g) * n_angles + angle) * nodes;
+        let zeros = vec![0.0f64; nodes];
+
+        let state = &mut *self.state;
+        let homogeneous = state.homogeneous;
+        let boundary_scale = if homogeneous { 0.0 } else { 1.0 };
+        let psi = &mut state.psi;
+        let phi = &mut state.phi;
+        let source = &state.source;
+        let scratch = &mut state.scratch;
+
+        let mut timing = KernelTiming::default();
+        let mut count = 0u64;
+
+        for angle in 0..n_angles {
+            let direction = s.quadrature.directions()[angle];
+            let omega = direction.omega;
+            let weight = direction.weight;
+            let schedule = &s.schedules[rank][angle];
+            for bucket in &schedule.buckets {
+                for &e in bucket {
+                    for g in 0..ng {
+                        let ints = &s.integrals[e];
+                        let sigma_t = s.data.xs.total(s.data.material(e), g);
+                        let source_base = (local_of_cell[e] * ng + g) * nodes;
+                        let source_nodes = &source[source_base..source_base + nodes];
+                        let inflow = &schedule.inflow_faces[e];
+                        let mut upwind: Vec<UpwindFace<'_>> = Vec::with_capacity(inflow.len());
+                        for &face in inflow {
+                            let src = match s.mesh.neighbor(e, face) {
+                                NeighborRef::Boundary { domain_face } => UpwindSource::Boundary(
+                                    boundary_scale
+                                        * s.problem.boundaries.face(domain_face).incoming_flux(),
+                                ),
+                                NeighborRef::Interior { cell, face: nf } => {
+                                    // Same rank: current iteration, from
+                                    // the private buffer.  Other rank:
+                                    // lagged halo data — or zero during
+                                    // homogeneous (operator) sweeps.
+                                    let psi_src = if s.owner_of_cell[cell] == rank {
+                                        let b = psi_base(local_of_cell[cell], g, angle);
+                                        &psi[b..b + nodes]
+                                    } else if homogeneous {
+                                        &zeros[..]
+                                    } else {
+                                        s.psi_prev.nodes(cell, g, angle)
+                                    };
+                                    UpwindSource::Interior {
+                                        neighbor_psi: psi_src,
+                                        neighbor_face_nodes: &s.face_nodes[nf],
+                                    }
+                                }
+                            };
+                            upwind.push(UpwindFace { face, source: src });
+                        }
+                        let t = assemble_solve(
+                            ints,
+                            omega,
+                            sigma_t,
+                            source_nodes,
+                            &upwind,
+                            s.solver.as_ref(),
+                            time_solve,
+                            scratch,
+                        );
+                        timing.accumulate(t);
+                        count += 1;
+                        let b = psi_base(local_of_cell[e], g, angle);
+                        psi[b..b + nodes].copy_from_slice(&scratch.rhs);
+                        let base = (local_of_cell[e] * ng + g) * nodes;
+                        for (node, &v) in scratch.rhs.iter().enumerate() {
+                            phi[base + node] += weight * v;
+                        }
+                    }
+                }
+            }
+        }
+        (timing, count)
+    }
+}
+
+impl InnerSolveContext for RankContext<'_> {
+    fn inner_iteration_budget(&self) -> usize {
+        self.inner_budget
+    }
+
+    fn convergence_tolerance(&self) -> f64 {
+        self.shared.problem.convergence_tolerance
+    }
+
+    fn gmres_restart(&self) -> usize {
+        self.shared.problem.gmres_restart
+    }
+
+    fn compute_source(&mut self) {
+        self.assemble_rank_source(true);
+    }
+
+    fn compute_external_source(&mut self) {
+        self.assemble_rank_source(false);
+    }
+
+    fn set_source_to_within_group_scatter(&mut self, v: &[f64]) {
+        let s = self.shared;
+        let ng = s.problem.num_groups;
+        let nodes = s.element.nodes_per_element();
+        let sd = &s.subdomains[self.rank];
+        debug_assert_eq!(v.len(), self.state.source.len());
+        for (local, &global) in sd.global_cells.iter().enumerate() {
+            let mat = s.data.material(global);
+            for g in 0..ng {
+                let sigma_s = s.data.xs.scatter(mat, g, g);
+                let base = (local * ng + g) * nodes;
+                for (src, &value) in self.state.source[base..base + nodes]
+                    .iter_mut()
+                    .zip(v[base..base + nodes].iter())
+                {
+                    *src = sigma_s * value;
+                }
+            }
+        }
+    }
+
+    fn set_homogeneous_boundaries(&mut self, on: bool) {
+        self.state.homogeneous = on;
+    }
+
+    fn sweep_once(&mut self, stats: &mut RunStats, observer: &mut dyn RunObserver) {
+        self.state.phi.iter_mut().for_each(|x| *x = 0.0);
+        let t0 = Instant::now();
+        let (timing, count) = self.sweep_rank();
+        let seconds = t0.elapsed().as_secs_f64();
+        stats.sweep_seconds += seconds;
+        stats.kernel_timing.accumulate(timing);
+        stats.kernel_invocations += count;
+        stats.sweeps += 1;
+        observer.on_sweep(stats.sweeps, seconds);
+    }
+
+    fn save_phi_inner(&mut self) {
+        let state = &mut *self.state;
+        state.phi_inner.copy_from_slice(&state.phi);
+    }
+
+    fn set_phi(&mut self, v: &[f64]) {
+        self.state.phi.copy_from_slice(v);
+    }
+
+    fn phi_slice(&self) -> &[f64] {
+        &self.state.phi
+    }
+
+    fn phi_inner_slice(&self) -> &[f64] {
+        &self.state.phi_inner
+    }
+
+    fn take_krylov_workspace(&mut self) -> GmresWorkspace {
+        self.state.krylov.take().unwrap_or_default()
+    }
+
+    fn put_krylov_workspace(&mut self, workspace: GmresWorkspace) {
+        self.state.krylov = Some(workspace);
+    }
 }
 
 /// Block-Jacobi distributed transport solver (simulated ranks).
@@ -77,18 +471,28 @@ pub struct BlockJacobiSolver {
     local_of_cell: Vec<Vec<usize>>,
     /// `schedules[rank][angle]`: the masked wavefront schedule.
     schedules: Vec<Vec<SweepSchedule>>,
+    /// Global angular flux, rebuilt from the rank buffers every halo
+    /// iteration (the "exchanged" array the next iteration reads).
     psi: FluxStorage,
     psi_prev: FluxStorage,
     phi: FluxStorage,
     phi_outer: FluxStorage,
-    source: FluxStorage,
+    /// Per-rank mutable solve state, moved through the worker pool every
+    /// halo iteration and restored in rank order.
+    ranks: Vec<RankState>,
     solver: Box<dyn LinearSolver>,
-    /// Worker pool the rank sweeps fan out on.
+    /// Worker pool the rank solves fan out on.
     pool: rayon::ThreadPool,
 }
 
 impl BlockJacobiSolver {
     /// Build the distributed solver for a problem and a 2-D decomposition.
+    ///
+    /// Every [`Problem`]/`ProblemBuilder` knob flows through: the
+    /// iteration strategy ([`Problem::strategy`], selectable via the
+    /// `UNSNAP_STRATEGY` builder override), the GMRES restart length, the
+    /// dense-solver back end, the scattering-ratio override and the
+    /// thread count.
     ///
     /// Fails with [`Error::InvalidProblem`] on a bad problem,
     /// [`Error::Mesh`] when the decomposition does not fit the mesh, and
@@ -103,7 +507,7 @@ impl BlockJacobiSolver {
             std::array::from_fn(|f| face_node_indices(FACES[f], problem.element_order));
         let quadrature = AngularQuadrature::product(problem.angles_per_octant);
         let grid = problem.grid();
-        let data = ProblemData::generate(
+        let mut data = ProblemData::generate(
             mesh.num_cells(),
             |cell| mesh.cell_centroid(cell),
             [grid.lx, grid.ly, grid.lz],
@@ -111,6 +515,16 @@ impl BlockJacobiSolver {
             problem.material,
             problem.source,
         );
+        // The scattering-ratio override must reach the distributed path
+        // too, or the single-domain and block-Jacobi solvers would solve
+        // different physics for the same Problem.
+        if let Some(c) = problem.scattering_ratio {
+            data.xs = unsnap_core::data::CrossSections::with_scattering_ratio(
+                problem.num_groups,
+                data.xs.num_materials(),
+                c,
+            );
+        }
 
         let integrals: Vec<ElementIntegrals> = (0..mesh.num_cells())
             .map(|cell| {
@@ -165,6 +579,18 @@ impl BlockJacobiSolver {
             schedules.push(per_angle);
         }
 
+        let ranks: Vec<RankState> = subdomains
+            .iter()
+            .map(|sd| {
+                RankState::new(
+                    sd.num_cells(),
+                    problem.num_groups,
+                    quadrature.num_angles(),
+                    nodes,
+                )
+            })
+            .collect();
+
         let order = problem.scheme.loop_order;
         let psi_layout = FluxLayout::angular(
             nodes,
@@ -192,7 +618,7 @@ impl BlockJacobiSolver {
             psi_prev: FluxStorage::zeros(psi_layout),
             phi: FluxStorage::zeros(scalar_layout),
             phi_outer: FluxStorage::zeros(scalar_layout),
-            source: FluxStorage::zeros(scalar_layout),
+            ranks,
             solver: problem.solver.build(),
             pool,
         })
@@ -218,53 +644,77 @@ impl BlockJacobiSolver {
         self.subdomains.iter().map(|s| s.halo_faces.len()).sum()
     }
 
-    fn compute_source(&mut self) {
-        let ng = self.problem.num_groups;
-        let nodes = self.element.nodes_per_element();
-        for element in 0..self.mesh.num_cells() {
-            let mat = self.data.material(element);
-            let q_fixed = self.data.fixed_source(element);
-            for g in 0..ng {
-                let mut acc = vec![q_fixed; nodes];
-                for g_from in 0..ng {
-                    let sigma_s = self.data.xs.scatter(mat, g_from, g);
-                    if sigma_s == 0.0 {
-                        continue;
-                    }
-                    let phi_ref = if g_from == g {
-                        self.phi.nodes(element, g_from, 0)
-                    } else {
-                        self.phi_outer.nodes(element, g_from, 0)
-                    };
-                    for (a, &p) in acc.iter_mut().zip(phi_ref.iter()) {
-                        *a += sigma_s * p;
-                    }
-                }
-                self.source.nodes_mut(element, g, 0).copy_from_slice(&acc);
-            }
-        }
+    /// Run the block-Jacobi iteration silently.
+    ///
+    /// Equivalent to [`BlockJacobiSolver::run_observed`] with the silent
+    /// observer.
+    pub fn run(&mut self) -> Result<BlockJacobiOutcome> {
+        self.run_observed(&mut NoopObserver)
     }
 
-    /// Run the block-Jacobi iteration to the requested iteration counts (or
-    /// until the tolerance is met).
-    pub fn run(&mut self) -> Result<BlockJacobiOutcome> {
-        let ng = self.problem.num_groups;
-        let nodes = self.element.nodes_per_element();
+    /// Run the block-Jacobi iteration to the requested iteration counts
+    /// (or until the tolerance is met), streaming per-rank progress to
+    /// `observer`.
+    ///
+    /// Every halo iteration fires, for each rank in rank order:
+    /// `on_rank_outer_start`, the rank's buffered solve events
+    /// (`on_rank_sweep`, `on_rank_inner_iteration`,
+    /// `on_rank_krylov_residual`) and `on_rank_outer_end`; the merged
+    /// global change then fires through the untagged
+    /// `on_inner_iteration`.  Because the buffered logs replay in rank
+    /// order, the stream is identical at every thread count.
+    pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<BlockJacobiOutcome> {
+        // A failed iteration consumes the per-rank states (they travel
+        // through the worker pool by value); refuse to "run" the husk
+        // rather than converge instantly on an all-zero flux.
+        if self.ranks.len() != self.subdomains.len() {
+            return Err(Error::Execution {
+                reason: "block-Jacobi solver is not reusable after a failed run; build a new one"
+                    .to_string(),
+            });
+        }
+        // Counters and histories are per run (matching TransportSolver,
+        // which builds fresh RunStats every run); the flux state and the
+        // Krylov workspaces warm-start the next run as before.
+        for rank in &mut self.ranks {
+            rank.stats = RunStats::default();
+        }
+        let kind = self.problem.strategy;
+        // Stationary (source) iteration relaxes once per halo exchange —
+        // the seed's lagged block-Jacobi schedule, bit-for-bit.  The
+        // Krylov strategies solve each rank's local system per halo
+        // exchange (additive-Schwarz-style subdomain solves).
+        //
+        // `inner_iterations` caps both the halo loop and (for Krylov)
+        // each rank's per-exchange solve, mirroring the single-domain
+        // `outer_iterations × inner_iterations` product; both levels
+        // exit early at the tolerance, so the multiplicative worst case
+        // is only reached by runs that never converge.  A dedicated
+        // subdomain-solve budget knob is a ROADMAP follow-up.
+        let inner_budget = match kind {
+            StrategyKind::SourceIteration => 1,
+            StrategyKind::SweepGmres => self.problem.inner_iterations,
+        };
+
         let mut history = Vec::new();
         let mut converged = false;
         let mut iterations_to_tolerance = None;
         let mut inners_run = 0usize;
         let mut sweep_seconds = 0.0;
+        let ng = self.problem.num_groups;
+        let nodes = self.element.nodes_per_element();
+        let n_angles = self.quadrature.num_angles();
 
-        for _outer in 0..self.problem.outer_iterations {
+        for outer in 0..self.problem.outer_iterations {
+            observer.on_outer_start(outer);
             self.phi_outer
                 .as_mut_slice()
                 .copy_from_slice(self.phi.as_slice());
+            let mut outer_converged = false;
             for _inner in 0..self.problem.inner_iterations {
                 inners_run += 1;
-                self.compute_source();
+                let halo_iteration = inners_run - 1;
                 let phi_old: Vec<f64> = self.phi.as_slice().to_vec();
-                self.phi.fill(0.0);
 
                 // Halo "exchange": expose the previous iteration's angular
                 // flux to cross-rank upwind reads.
@@ -273,62 +723,88 @@ impl BlockJacobiSolver {
                     .copy_from_slice(self.psi.as_slice());
 
                 let t0 = Instant::now();
-                // Every rank sweeps its own subdomain concurrently on the
-                // worker pool — the property the paper's schedule is
-                // designed around ("each process can begin computation on
-                // its own subdomain concurrently").  Nothing a rank reads
+                // Every rank runs its strategy-dispatched inner solve
+                // concurrently on the worker pool.  Nothing a rank reads
                 // is written by another rank within the same iteration:
-                // own cells come from the rank's private buffer, remote
-                // cells from the shared `psi_prev`.  Results are merged in
-                // rank order and ranks own disjoint cells, so the outcome
-                // is bit-for-bit independent of the execution interleaving.
-                let results: Vec<(Vec<f64>, Vec<f64>)> = {
+                // own cells come from the rank's private buffers, remote
+                // cells from the shared `psi_prev`.  Results and event
+                // logs come back in rank order (the pool reassembles in
+                // input order), so the outcome and the observer stream
+                // are bit-for-bit independent of the interleaving.
+                let states = std::mem::take(&mut self.ranks);
+                let solves: Vec<Result<(RankState, EventLog, bool)>> = {
                     let this: &Self = self;
                     self.pool.install(|| {
-                        (0..this.subdomains.len())
+                        states
+                            .into_iter()
+                            .enumerate()
                             .into_par_iter()
-                            .map(|rank| this.sweep_rank_collect(rank, ng, nodes))
+                            .map(|(rank, mut state)| {
+                                let strategy = kind.build();
+                                let mut log = EventLog::default();
+                                let mut stats = std::mem::take(&mut state.stats);
+                                let solved = strategy.run_inners(
+                                    &mut RankContext {
+                                        shared: this,
+                                        rank,
+                                        inner_budget,
+                                        state: &mut state,
+                                    },
+                                    &mut stats,
+                                    &mut log,
+                                );
+                                state.stats = stats;
+                                solved.map(|rank_converged| (state, log, rank_converged))
+                            })
                             .collect()
                     })
                 };
-                let n_angles = self.quadrature.num_angles();
-                for (rank, (psi_local, phi_local)) in results.into_iter().enumerate() {
+                sweep_seconds += t0.elapsed().as_secs_f64();
+
+                // Surface the earliest rank's error; the solver state is
+                // not reusable after a failed iteration.
+                let mut merged = Vec::with_capacity(solves.len());
+                for solved in solves {
+                    merged.push(solved?);
+                }
+
+                // Merge the rank fluxes into the global arrays and replay
+                // the buffered event streams, both in rank order.
+                self.phi.fill(0.0);
+                for (rank, (state, log, rank_converged)) in merged.iter().enumerate() {
                     for (local, &cell) in self.subdomains[rank].global_cells.iter().enumerate() {
                         for g in 0..ng {
                             for angle in 0..n_angles {
                                 let base = ((local * ng + g) * n_angles + angle) * nodes;
                                 self.psi
                                     .nodes_mut(cell, g, angle)
-                                    .copy_from_slice(&psi_local[base..base + nodes]);
+                                    .copy_from_slice(&state.psi[base..base + nodes]);
                             }
                             let base = (local * ng + g) * nodes;
-                            let src = &phi_local[base..base + nodes];
-                            for (p, &v) in self.phi.nodes_mut(cell, g, 0).iter_mut().zip(src.iter())
-                            {
-                                *p += v;
-                            }
+                            self.phi
+                                .nodes_mut(cell, g, 0)
+                                .copy_from_slice(&state.phi[base..base + nodes]);
                         }
                     }
+                    observer.on_rank_outer_start(rank, halo_iteration);
+                    log.replay_as_rank(rank, observer);
+                    observer.on_rank_outer_end(rank, halo_iteration, *rank_converged);
                 }
-                sweep_seconds += t0.elapsed().as_secs_f64();
+                self.ranks = merged.into_iter().map(|(state, _, _)| state).collect();
 
-                let diff = self
-                    .phi
-                    .as_slice()
-                    .iter()
-                    .zip(phi_old.iter())
-                    .fold(0.0f64, |m, (a, b)| {
-                        m.max((a - b).abs() / b.abs().max(1e-12))
-                    });
+                let diff = relative_change(self.phi.as_slice(), &phi_old);
                 history.push(diff);
+                observer.on_inner_iteration(inners_run, diff);
                 if self.problem.convergence_tolerance > 0.0
                     && diff < self.problem.convergence_tolerance
                 {
                     converged = true;
+                    outer_converged = true;
                     iterations_to_tolerance = Some(inners_run);
                     break;
                 }
             }
+            observer.on_outer_end(outer, outer_converged);
             if converged {
                 break;
             }
@@ -336,6 +812,7 @@ impl BlockJacobiSolver {
 
         Ok(BlockJacobiOutcome {
             num_ranks: self.decomposition.num_ranks(),
+            strategy: kind,
             inner_iterations: inners_run,
             converged,
             iterations_to_tolerance,
@@ -343,93 +820,22 @@ impl BlockJacobiSolver {
             assemble_solve_seconds: sweep_seconds,
             scalar_flux_total: self.phi.as_slice().iter().sum(),
             halo_faces: self.total_halo_faces(),
+            sweep_count: self.ranks.iter().map(|r| r.stats.sweeps).sum(),
+            krylov_iterations: self.ranks.iter().map(|r| r.stats.krylov_iterations).sum(),
+            rank_sweep_counts: self.ranks.iter().map(|r| r.stats.sweeps).collect(),
+            rank_krylov_iterations: self
+                .ranks
+                .iter()
+                .map(|r| r.stats.krylov_iterations)
+                .collect(),
         })
-    }
-
-    /// Sweep all angles of one rank's subdomain into private buffers.
-    ///
-    /// Returns the rank's angular flux — compactly indexed as
-    /// `((local_cell · ng + g) · num_angles + angle) · nodes` — and its
-    /// scalar-flux contribution, compactly indexed as
-    /// `(local_cell · ng + g) · nodes`, so per-rank memory is the rank's
-    /// share of the mesh, not a full-mesh copy.
-    /// Takes `&self` so ranks can sweep concurrently: own-rank upwind
-    /// reads come from the private buffer (the masked wavefront schedule
-    /// guarantees they were written earlier in the same sweep), remote
-    /// reads from the shared previous-iteration `psi_prev`.
-    fn sweep_rank_collect(&self, rank: usize, ng: usize, nodes: usize) -> (Vec<f64>, Vec<f64>) {
-        let n_angles = self.quadrature.num_angles();
-        let owned = self.subdomains[rank].global_cells.len();
-        let local_of_cell = &self.local_of_cell[rank];
-        let psi_base =
-            |local: usize, g: usize, angle: usize| ((local * ng + g) * n_angles + angle) * nodes;
-        let mut psi_local = vec![0.0f64; owned * ng * n_angles * nodes];
-        let mut phi_local = vec![0.0f64; owned * ng * nodes];
-        let mut scratch = KernelScratch::new(nodes);
-
-        for angle in 0..n_angles {
-            let direction = self.quadrature.directions()[angle];
-            let omega = direction.omega;
-            let weight = direction.weight;
-            let schedule = &self.schedules[rank][angle];
-            for bucket in &schedule.buckets {
-                for &e in bucket {
-                    for g in 0..ng {
-                        let ints = &self.integrals[e];
-                        let sigma_t = self.data.xs.total(self.data.material(e), g);
-                        let source_nodes = self.source.nodes(e, g, 0);
-                        let inflow = &schedule.inflow_faces[e];
-                        let mut upwind: Vec<UpwindFace<'_>> = Vec::with_capacity(inflow.len());
-                        for &face in inflow {
-                            let src = match self.mesh.neighbor(e, face) {
-                                NeighborRef::Boundary { domain_face } => UpwindSource::Boundary(
-                                    self.problem.boundaries.face(domain_face).incoming_flux(),
-                                ),
-                                NeighborRef::Interior { cell, face: nf } => {
-                                    // Same rank: current iteration, from
-                                    // the private buffer.  Other rank:
-                                    // lagged halo data.
-                                    let psi_src = if self.owner_of_cell[cell] == rank {
-                                        let b = psi_base(local_of_cell[cell], g, angle);
-                                        &psi_local[b..b + nodes]
-                                    } else {
-                                        self.psi_prev.nodes(cell, g, angle)
-                                    };
-                                    UpwindSource::Interior {
-                                        neighbor_psi: psi_src,
-                                        neighbor_face_nodes: &self.face_nodes[nf],
-                                    }
-                                }
-                            };
-                            upwind.push(UpwindFace { face, source: src });
-                        }
-                        assemble_solve(
-                            ints,
-                            omega,
-                            sigma_t,
-                            source_nodes,
-                            &upwind,
-                            self.solver.as_ref(),
-                            false,
-                            &mut scratch,
-                        );
-                        let b = psi_base(local_of_cell[e], g, angle);
-                        psi_local[b..b + nodes].copy_from_slice(&scratch.rhs);
-                        let base = (local_of_cell[e] * ng + g) * nodes;
-                        for (node, &v) in scratch.rhs.iter().enumerate() {
-                            phi_local[base + node] += weight * v;
-                        }
-                    }
-                }
-            }
-        }
-        (psi_local, phi_local)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unsnap_core::session::RecordingObserver;
     use unsnap_core::solver::TransportSolver;
 
     fn base_problem() -> Problem {
@@ -459,6 +865,10 @@ mod tests {
         assert!(rel < 1e-10, "single-rank Jacobi must equal the full sweep");
         assert_eq!(jacobi_out.halo_faces, 0);
         assert_eq!(jacobi_out.num_ranks, 1);
+        assert_eq!(jacobi_out.strategy, StrategyKind::SourceIteration);
+        assert_eq!(jacobi_out.sweep_count, 3);
+        assert_eq!(jacobi_out.rank_sweep_counts, vec![3]);
+        assert_eq!(jacobi_out.krylov_iterations, 0);
     }
 
     #[test]
@@ -533,5 +943,86 @@ mod tests {
         assert_eq!(out.inner_iterations, 3);
         assert!(!out.converged);
         assert!(out.assemble_solve_seconds > 0.0);
+    }
+
+    #[test]
+    fn gmres_inner_solves_reach_the_same_fixed_point() {
+        let mut p = base_problem();
+        p.inner_iterations = 60;
+        p.convergence_tolerance = 1e-9;
+        let mut si = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let si_out = si.run().unwrap();
+
+        p.strategy = StrategyKind::SweepGmres;
+        let mut gm = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let gm_out = gm.run().unwrap();
+
+        assert!(si_out.converged && gm_out.converged);
+        assert_eq!(gm_out.strategy, StrategyKind::SweepGmres);
+        assert!(gm_out.krylov_iterations > 0);
+        assert_eq!(gm_out.rank_krylov_iterations.len(), 2);
+        // Krylov subdomain solves converge the halo iteration in far
+        // fewer halo exchanges than one-sweep relaxation.
+        assert!(
+            gm_out.inner_iterations <= si_out.inner_iterations,
+            "GMRES {} vs SI {} halo iterations",
+            gm_out.inner_iterations,
+            si_out.inner_iterations
+        );
+        let rel = (si_out.scalar_flux_total - gm_out.scalar_flux_total).abs()
+            / si_out.scalar_flux_total.abs();
+        assert!(rel < 1e-6, "SI and GMRES fixed points differ: {rel}");
+    }
+
+    #[test]
+    fn outcome_serialises_and_displays() {
+        let p = base_problem();
+        let mut s = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let out = s.run().unwrap();
+
+        let json = out.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"num_ranks\":2"));
+        assert!(json.contains("\"strategy\":\"SI\""));
+        assert!(json.contains("\"rank_sweep_counts\":[3,3]"));
+        assert!(json.contains("\"iterations_to_tolerance\":null"));
+
+        let text = format!("{out}");
+        assert!(text.contains("2 ranks (SI)"));
+        assert!(text.contains("NOT converged in 6 sweeps"));
+    }
+
+    #[test]
+    fn rerunning_reports_per_run_counters() {
+        // Counters are per run: a second run on the same solver (which
+        // warm-starts from the converged flux) must not inherit the
+        // first run's sweep/Krylov work.
+        let p = base_problem();
+        let mut s = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let first = s.run().unwrap();
+        let second = s.run().unwrap();
+        assert_eq!(first.sweep_count, 6);
+        assert_eq!(second.sweep_count, 6, "counters leaked across runs");
+        assert_eq!(second.rank_sweep_counts, vec![3, 3]);
+        assert_eq!(second.inner_iterations, 3);
+    }
+
+    #[test]
+    fn observer_counts_match_rank_counters() {
+        let mut p = base_problem();
+        p.inner_iterations = 4;
+        let mut s = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 2)).unwrap();
+        let mut recorder = RecordingObserver::default();
+        let out = s.run_observed(&mut recorder).unwrap();
+
+        assert_eq!(recorder.rank_records.len(), 4);
+        for (rank, record) in recorder.rank_records.iter().enumerate() {
+            assert_eq!(record.sweep_count, out.rank_sweep_counts[rank]);
+            assert_eq!(record.outers_started, out.inner_iterations);
+            assert_eq!(record.outers_completed, out.inner_iterations);
+        }
+        // The global stream reports the merged convergence history.
+        assert_eq!(recorder.convergence_history, out.convergence_history);
+        assert_eq!(recorder.outers_started, 1);
     }
 }

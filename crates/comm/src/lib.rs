@@ -22,7 +22,18 @@
 //!   wavefront schedules, and reads cross-rank upwind data from the
 //!   previous iteration (the algorithmic content of the halo exchange; the
 //!   physical message passing is replaced by reading the lagged array,
-//!   which is exactly what arrives in the halo of a real run).
+//!   which is exactly what arrives in the halo of a real run).  Each
+//!   rank's within-group solve dispatches through the single-domain
+//!   [`IterationStrategy`](unsnap_core::strategy::IterationStrategy)
+//!   machinery via a per-rank
+//!   [`InnerSolveContext`](unsnap_core::strategy::InnerSolveContext), so
+//!   plain source iteration *and* sweep-preconditioned GMRES (with a
+//!   reused per-rank [`GmresWorkspace`](unsnap_krylov::GmresWorkspace))
+//!   both scale out, and per-rank progress streams through the
+//!   rank-tagged [`RunObserver`](unsnap_core::session::RunObserver)
+//!   hooks in deterministic rank order.  [`BlockJacobiOutcome`] carries
+//!   per-rank sweep/Krylov counters and serialises via
+//!   [`BlockJacobiOutcome::to_json`].
 //! * [`halo`] — an explicit halo-exchange implementation over crossbeam
 //!   channels with `bytes`-packed face payloads, demonstrating the
 //!   communication layer a real distributed run would use and used by the
@@ -33,6 +44,9 @@
 //!   behaviour of the two global schedules.
 //! * [`error`] — [`CommError`], the layer's typed failure modes,
 //!   convertible into the workspace-wide `unsnap_core::error::Error`.
+//!
+//! The repository's `docs/ARCHITECTURE.md` shows where this crate sits
+//! in the stack and how a distributed solve flows through it.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -132,6 +132,13 @@ impl JsonObject {
         self
     }
 
+    /// Append an array-of-usize field.
+    pub fn field_usize_array(mut self, key: &str, values: &[usize]) -> Self {
+        self.key(key);
+        self.buf.push_str(&array_usize(values));
+        self
+    }
+
     /// Append a field whose value is already-serialised JSON (a nested
     /// object or array).
     pub fn field_raw(mut self, key: &str, raw: &str) -> Self {
@@ -155,6 +162,19 @@ pub fn array_f64(values: &[f64]) -> String {
             buf.push(',');
         }
         buf.push_str(&number(v));
+    }
+    buf.push(']');
+    buf
+}
+
+/// Serialise a slice of usize as a JSON array.
+pub fn array_usize(values: &[usize]) -> String {
+    let mut buf = String::from("[");
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&v.to_string());
     }
     buf.push(']');
     buf
@@ -209,5 +229,11 @@ mod tests {
         assert_eq!(array_raw(vec!["1".to_string(), "{}".to_string()]), "[1,{}]");
         assert_eq!(JsonObject::new().finish(), "{}");
         assert_eq!(array_f64(&[]), "[]");
+        assert_eq!(array_usize(&[]), "[]");
+        assert_eq!(array_usize(&[3, 1, 4]), "[3,1,4]");
+        assert_eq!(
+            JsonObject::new().field_usize_array("r", &[2, 5]).finish(),
+            r#"{"r":[2,5]}"#
+        );
     }
 }

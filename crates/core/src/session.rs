@@ -70,6 +70,177 @@ pub trait RunObserver {
     fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
         let _ = (iteration, relative_residual);
     }
+
+    // ------------------------------------------------------------------
+    // Rank-tagged events, fired by distributed drivers (the block-Jacobi
+    // multi-rank path in `unsnap-comm`).  Ranks solve concurrently, so
+    // drivers buffer each rank's stream in an [`EventLog`] and replay the
+    // logs in rank order once the parallel region ends — the streams a
+    // single observer sees are therefore bit-for-bit identical at every
+    // thread count.  Single-domain solves never fire these.
+    // ------------------------------------------------------------------
+
+    /// Rank `rank` started its inner solve for one distributed (halo)
+    /// iteration; `outer` is the global halo-iteration index.
+    fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
+        let _ = (rank, outer);
+    }
+
+    /// Rank `rank` finished its inner solve; `converged` reports whether
+    /// the rank's *local* solve met the tolerance (global convergence is
+    /// still reported through [`RunObserver::on_inner_iteration`]).
+    fn on_rank_outer_end(&mut self, rank: usize, outer: usize, converged: bool) {
+        let _ = (rank, outer, converged);
+    }
+
+    /// Rank-local inner iterate: the rank's maximum relative scalar-flux
+    /// change over its own subdomain.
+    fn on_rank_inner_iteration(&mut self, rank: usize, inner: usize, relative_change: f64) {
+        let _ = (rank, inner, relative_change);
+    }
+
+    /// Rank `rank` completed a subdomain sweep (`sweep` is that rank's
+    /// running count).
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, seconds: f64) {
+        let _ = (rank, sweep, seconds);
+    }
+
+    /// Rank `rank`'s subdomain Krylov solve reported a relative residual.
+    fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        let _ = (rank, iteration, relative_residual);
+    }
+}
+
+/// One buffered solve event (the payload of an [`EventLog`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveEvent {
+    /// [`RunObserver::on_outer_start`].
+    OuterStart {
+        /// Outer-iteration index.
+        outer: usize,
+    },
+    /// [`RunObserver::on_outer_end`].
+    OuterEnd {
+        /// Outer-iteration index.
+        outer: usize,
+        /// Whether the inner solve met the tolerance.
+        converged: bool,
+    },
+    /// [`RunObserver::on_inner_iteration`].
+    InnerIteration {
+        /// Inner-iteration count.
+        inner: usize,
+        /// Maximum relative scalar-flux change.
+        relative_change: f64,
+    },
+    /// [`RunObserver::on_sweep`].
+    Sweep {
+        /// Running sweep count.
+        sweep: usize,
+        /// Wall-clock seconds of this sweep.
+        seconds: f64,
+    },
+    /// [`RunObserver::on_krylov_residual`].
+    KrylovResidual {
+        /// Krylov iterations completed.
+        iteration: usize,
+        /// Relative residual estimate.
+        relative_residual: f64,
+    },
+}
+
+/// An observer that buffers the event stream verbatim.
+///
+/// Distributed drivers hand one `EventLog` to each concurrently-solving
+/// rank, then call [`EventLog::replay_as_rank`] in rank order after the
+/// parallel region: the destination observer receives every rank's
+/// stream through the rank-tagged [`RunObserver`] hooks in a
+/// deterministic order regardless of how the ranks interleaved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    /// The buffered events, in emission order.
+    pub events: Vec<SolveEvent>,
+}
+
+impl EventLog {
+    /// Drop all buffered events so the log can record another solve.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Replay the buffered stream into `observer` through the untagged
+    /// hooks, in emission order.
+    pub fn replay(&self, observer: &mut dyn RunObserver) {
+        for event in &self.events {
+            match *event {
+                SolveEvent::OuterStart { outer } => observer.on_outer_start(outer),
+                SolveEvent::OuterEnd { outer, converged } => {
+                    observer.on_outer_end(outer, converged)
+                }
+                SolveEvent::InnerIteration {
+                    inner,
+                    relative_change,
+                } => observer.on_inner_iteration(inner, relative_change),
+                SolveEvent::Sweep { sweep, seconds } => observer.on_sweep(sweep, seconds),
+                SolveEvent::KrylovResidual {
+                    iteration,
+                    relative_residual,
+                } => observer.on_krylov_residual(iteration, relative_residual),
+            }
+        }
+    }
+
+    /// Replay the buffered stream into `observer` through the
+    /// rank-tagged hooks, tagging every event with `rank`.
+    pub fn replay_as_rank(&self, rank: usize, observer: &mut dyn RunObserver) {
+        for event in &self.events {
+            match *event {
+                SolveEvent::OuterStart { outer } => observer.on_rank_outer_start(rank, outer),
+                SolveEvent::OuterEnd { outer, converged } => {
+                    observer.on_rank_outer_end(rank, outer, converged)
+                }
+                SolveEvent::InnerIteration {
+                    inner,
+                    relative_change,
+                } => observer.on_rank_inner_iteration(rank, inner, relative_change),
+                SolveEvent::Sweep { sweep, seconds } => {
+                    observer.on_rank_sweep(rank, sweep, seconds)
+                }
+                SolveEvent::KrylovResidual {
+                    iteration,
+                    relative_residual,
+                } => observer.on_rank_krylov_residual(rank, iteration, relative_residual),
+            }
+        }
+    }
+}
+
+impl RunObserver for EventLog {
+    fn on_outer_start(&mut self, outer: usize) {
+        self.events.push(SolveEvent::OuterStart { outer });
+    }
+
+    fn on_outer_end(&mut self, outer: usize, converged: bool) {
+        self.events.push(SolveEvent::OuterEnd { outer, converged });
+    }
+
+    fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        self.events.push(SolveEvent::InnerIteration {
+            inner,
+            relative_change,
+        });
+    }
+
+    fn on_sweep(&mut self, sweep: usize, seconds: f64) {
+        self.events.push(SolveEvent::Sweep { sweep, seconds });
+    }
+
+    fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.events.push(SolveEvent::KrylovResidual {
+            iteration,
+            relative_residual,
+        });
+    }
 }
 
 /// The silent observer used when nobody is watching.
@@ -102,12 +273,30 @@ pub struct RecordingObserver {
     pub sweep_seconds: f64,
     /// Whether any outer iteration reported inner convergence.
     pub converged: bool,
+    /// Per-rank recordings built from the rank-tagged hooks (empty for
+    /// single-domain solves).  Entry `r` records rank `r`'s stream with
+    /// the same field semantics as the top-level recorder.
+    pub rank_records: Vec<RecordingObserver>,
 }
 
 impl RecordingObserver {
     /// Reset the recording so the observer can watch another run.
     pub fn clear(&mut self) {
         *self = Self::default();
+    }
+
+    /// The recording of one rank's stream, if any events arrived for it.
+    pub fn rank(&self, rank: usize) -> Option<&RecordingObserver> {
+        self.rank_records.get(rank)
+    }
+
+    /// Mutable per-rank recording, growing the table on demand.
+    fn rank_mut(&mut self, rank: usize) -> &mut RecordingObserver {
+        if self.rank_records.len() <= rank {
+            self.rank_records
+                .resize_with(rank + 1, RecordingObserver::default);
+        }
+        &mut self.rank_records[rank]
     }
 }
 
@@ -132,6 +321,28 @@ impl RunObserver for RecordingObserver {
 
     fn on_krylov_residual(&mut self, _iteration: usize, relative_residual: f64) {
         self.krylov_residual_history.push(relative_residual);
+    }
+
+    fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
+        self.rank_mut(rank).on_outer_start(outer);
+    }
+
+    fn on_rank_outer_end(&mut self, rank: usize, outer: usize, converged: bool) {
+        self.rank_mut(rank).on_outer_end(outer, converged);
+    }
+
+    fn on_rank_inner_iteration(&mut self, rank: usize, inner: usize, relative_change: f64) {
+        self.rank_mut(rank)
+            .on_inner_iteration(inner, relative_change);
+    }
+
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, seconds: f64) {
+        self.rank_mut(rank).on_sweep(sweep, seconds);
+    }
+
+    fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.rank_mut(rank)
+            .on_krylov_residual(iteration, relative_residual);
     }
 }
 
@@ -259,6 +470,49 @@ mod tests {
         // iterate moves far less.
         assert!(second.convergence_history[0] < first.convergence_history[0]);
         assert_eq!(session.outcomes().len(), 2);
+    }
+
+    #[test]
+    fn event_log_buffers_and_replays_both_ways() {
+        let problem = Problem::tiny().with_strategy(StrategyKind::SweepGmres);
+
+        // Record directly and via an EventLog replay: identical.
+        let mut direct = RecordingObserver::default();
+        Session::new(&problem)
+            .unwrap()
+            .run_observed(&mut direct)
+            .unwrap();
+
+        let mut log = EventLog::default();
+        Session::new(&problem)
+            .unwrap()
+            .run_observed(&mut log)
+            .unwrap();
+        assert!(!log.events.is_empty());
+
+        let mut replayed = RecordingObserver::default();
+        log.replay(&mut replayed);
+        // Wall-clock sweep timing legitimately differs between the two
+        // runs; every other recorded quantity must match exactly.
+        direct.sweep_seconds = 0.0;
+        let mut normalised = replayed.clone();
+        normalised.sweep_seconds = 0.0;
+        assert_eq!(direct, normalised);
+
+        // Rank-tagged replay lands the same stream in a rank record.
+        let mut tagged = RecordingObserver::default();
+        log.replay_as_rank(2, &mut tagged);
+        assert_eq!(tagged.rank_records.len(), 3);
+        assert_eq!(tagged.rank(2), Some(&replayed));
+        assert_eq!(tagged.rank(0), Some(&RecordingObserver::default()));
+        assert_eq!(tagged.rank(3), None);
+        // Untagged fields stay untouched by rank-tagged events.
+        assert_eq!(tagged.sweep_count, 0);
+        assert!(tagged.convergence_history.is_empty());
+
+        let mut cleared = log.clone();
+        cleared.clear();
+        assert!(cleared.events.is_empty());
     }
 
     #[test]

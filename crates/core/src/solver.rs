@@ -202,6 +202,10 @@ pub struct TransportSolver {
     /// the boundary source is part of the affine right-hand side, and
     /// including it in `apply` would make the "linear" operator affine.
     homogeneous_boundaries: bool,
+    /// Reusable Krylov scratch handed to the iteration strategies, so
+    /// repeated outer iterations (and repeated session runs) reuse the
+    /// Arnoldi basis allocation instead of rebuilding it per solve.
+    krylov_workspace: Option<unsnap_krylov::GmresWorkspace>,
 }
 
 impl TransportSolver {
@@ -307,6 +311,7 @@ impl TransportSolver {
             solver: problem.solver.build(),
             pool,
             homogeneous_boundaries: false,
+            krylov_workspace: None,
         })
     }
 
@@ -877,6 +882,70 @@ impl TransportSolver {
             *p += a;
         }
         (timing, count)
+    }
+}
+
+/// The single-domain solver *is* an inner-solve context: the iteration
+/// strategies drive it directly, and the distributed block-Jacobi driver
+/// in `unsnap-comm` runs the very same strategy objects against its
+/// per-rank subdomain contexts.  Every method delegates to the inherent
+/// implementation above, so this impl changes nothing about the seed
+/// iteration path.
+impl crate::strategy::InnerSolveContext for TransportSolver {
+    fn inner_iteration_budget(&self) -> usize {
+        self.problem.inner_iterations
+    }
+
+    fn convergence_tolerance(&self) -> f64 {
+        self.problem.convergence_tolerance
+    }
+
+    fn gmres_restart(&self) -> usize {
+        self.problem.gmres_restart
+    }
+
+    fn compute_source(&mut self) {
+        TransportSolver::compute_source(self);
+    }
+
+    fn compute_external_source(&mut self) {
+        TransportSolver::compute_external_source(self);
+    }
+
+    fn set_source_to_within_group_scatter(&mut self, v: &[f64]) {
+        TransportSolver::set_source_to_within_group_scatter(self, v);
+    }
+
+    fn set_homogeneous_boundaries(&mut self, on: bool) {
+        TransportSolver::set_homogeneous_boundaries(self, on);
+    }
+
+    fn sweep_once(&mut self, stats: &mut RunStats, observer: &mut dyn RunObserver) {
+        TransportSolver::sweep_once(self, stats, observer);
+    }
+
+    fn save_phi_inner(&mut self) {
+        TransportSolver::save_phi_inner(self);
+    }
+
+    fn set_phi(&mut self, v: &[f64]) {
+        TransportSolver::set_phi(self, v);
+    }
+
+    fn phi_slice(&self) -> &[f64] {
+        TransportSolver::phi_slice(self)
+    }
+
+    fn phi_inner_slice(&self) -> &[f64] {
+        TransportSolver::phi_inner_slice(self)
+    }
+
+    fn take_krylov_workspace(&mut self) -> unsnap_krylov::GmresWorkspace {
+        self.krylov_workspace.take().unwrap_or_default()
+    }
+
+    fn put_krylov_workspace(&mut self, workspace: unsnap_krylov::GmresWorkspace) {
+        self.krylov_workspace = Some(workspace);
     }
 }
 

@@ -32,14 +32,21 @@
 //! untouched: within one outer iteration the operator is block-diagonal
 //! over groups, so a single Krylov space over the full scalar-flux vector
 //! solves every group's within-group equation simultaneously.
+//!
+//! Strategies do not touch the solver type directly: they drive the
+//! [`InnerSolveContext`] trait, which both the single-domain
+//! [`TransportSolver`](crate::solver::TransportSolver) and the per-rank
+//! subdomain contexts of the distributed block-Jacobi driver
+//! (`unsnap-comm`) implement — the same SI/GMRES objects therefore run
+//! whole-domain and rank-decomposed solves alike.
 
 use serde::{Deserialize, Serialize};
 
-use unsnap_krylov::{Gmres, GmresConfig, LinearOperator, ObservedOperator};
+use unsnap_krylov::{Gmres, GmresConfig, GmresWorkspace, LinearOperator, ObservedOperator};
 
 use crate::error::Result;
 use crate::session::RunObserver;
-use crate::solver::{relative_change, RunStats, TransportSolver};
+use crate::solver::{relative_change, RunStats};
 
 /// Which inner-iteration strategy the solver runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -92,12 +99,90 @@ impl std::str::FromStr for StrategyKind {
     }
 }
 
-/// An inner-iteration scheme: given the solver mid-outer-iteration
+/// The solve surface an [`IterationStrategy`] drives: a within-group
+/// transport problem mid-outer-iteration (`phi_outer` freshly saved),
+/// exposing exactly the operations the strategies need — source
+/// assembly, one-sweep preconditioner applications, and the scalar-flux
+/// state vector.
+///
+/// Two implementations exist: the single-domain
+/// [`TransportSolver`](crate::solver::TransportSolver) (the seed path,
+/// bit-for-bit unchanged), and the per-rank subdomain context of the
+/// distributed block-Jacobi driver in `unsnap-comm`, whose sweeps are
+/// masked to the rank's cells and read cross-rank upwind data from the
+/// lagged halo.  Both run the *same* strategy objects, so SI and
+/// sweep-preconditioned GMRES behave identically whether the domain is
+/// whole or decomposed.
+pub trait InnerSolveContext {
+    /// Maximum inner iterations (sweeps or Krylov steps) per invocation.
+    fn inner_iteration_budget(&self) -> usize;
+
+    /// Pointwise convergence tolerance (0 = run every iteration).
+    fn convergence_tolerance(&self) -> f64;
+
+    /// GMRES restart length for the Krylov strategies.
+    fn gmres_restart(&self) -> usize;
+
+    /// Assemble the full source: fixed + cross-group scattering from the
+    /// previous outer iterate + within-group scattering from the current
+    /// scalar flux.
+    fn compute_source(&mut self);
+
+    /// Assemble the *external* source only (within-group term omitted) —
+    /// the `q_ext` of the within-group system the Krylov strategies solve.
+    fn compute_external_source(&mut self);
+
+    /// Overwrite the source with the within-group scatter of `v`
+    /// (`q(e, g) = σ_s(g → g) · v(e, g)`), the `S_w v` half of the
+    /// matrix-free operator.
+    fn set_source_to_within_group_scatter(&mut self, v: &[f64]);
+
+    /// Enable/disable homogeneous (zero-inflow) treatment of *affine*
+    /// inflow for subsequent sweeps.  For a whole domain that is the
+    /// boundary condition; for a rank subdomain it is the boundary
+    /// condition *and* the lagged halo data — both belong to the
+    /// right-hand side, and a sweep that re-injects them during operator
+    /// applications is affine rather than linear.
+    fn set_homogeneous_boundaries(&mut self, on: bool);
+
+    /// Zero the scalar flux and run one full sweep of the current source
+    /// (`φ ← D L⁻¹ q`), accounting the work in `stats` and notifying
+    /// `observer` when the sweep completes.
+    fn sweep_once(&mut self, stats: &mut RunStats, observer: &mut dyn RunObserver);
+
+    /// Snapshot the scalar flux into the previous-inner-iterate buffer.
+    fn save_phi_inner(&mut self);
+
+    /// Overwrite the scalar flux with `v`.
+    fn set_phi(&mut self, v: &[f64]);
+
+    /// The scalar flux as a flat slice.
+    fn phi_slice(&self) -> &[f64];
+
+    /// The previous inner iterate as a flat slice.
+    fn phi_inner_slice(&self) -> &[f64];
+
+    /// Hand out the context's reusable Krylov workspace (a fresh one by
+    /// default).  Contexts that are invoked repeatedly — one per rank per
+    /// halo iteration — override this together with
+    /// [`InnerSolveContext::put_krylov_workspace`] so the Krylov basis is
+    /// allocated once per rank.
+    fn take_krylov_workspace(&mut self) -> GmresWorkspace {
+        GmresWorkspace::new()
+    }
+
+    /// Return the workspace after the solve (dropped by default).
+    fn put_krylov_workspace(&mut self, workspace: GmresWorkspace) {
+        let _ = workspace;
+    }
+}
+
+/// An inner-iteration scheme: given a solve context mid-outer-iteration
 /// (`phi_outer` freshly saved), drive the within-group solve.
 ///
 /// Implementations report work through `stats` (sweep counts, kernel
 /// timing, convergence history) and return whether the inner solve met
-/// the problem's convergence tolerance.
+/// the context's convergence tolerance.
 pub trait IterationStrategy {
     /// Short human-readable name.
     fn name(&self) -> &'static str;
@@ -106,7 +191,7 @@ pub trait IterationStrategy {
     /// progress (inner iterates, sweeps, Krylov residuals) to `observer`.
     fn run_inners(
         &self,
-        solver: &mut TransportSolver,
+        context: &mut dyn InnerSolveContext,
         stats: &mut RunStats,
         observer: &mut dyn RunObserver,
     ) -> Result<bool>;
@@ -122,18 +207,18 @@ impl IterationStrategy for SourceIteration {
 
     fn run_inners(
         &self,
-        solver: &mut TransportSolver,
+        context: &mut dyn InnerSolveContext,
         stats: &mut RunStats,
         observer: &mut dyn RunObserver,
     ) -> Result<bool> {
-        let inner_iterations = solver.problem().inner_iterations;
-        let tolerance = solver.problem().convergence_tolerance;
+        let inner_iterations = context.inner_iteration_budget();
+        let tolerance = context.convergence_tolerance();
         for _inner in 0..inner_iterations {
             stats.inner_iterations += 1;
-            solver.compute_source();
-            solver.save_phi_inner();
-            solver.sweep_once(stats, observer);
-            let diff = relative_change(solver.phi_slice(), solver.phi_inner_slice());
+            context.compute_source();
+            context.save_phi_inner();
+            context.sweep_once(stats, observer);
+            let diff = relative_change(context.phi_slice(), context.phi_inner_slice());
             stats.convergence_history.push(diff);
             observer.on_inner_iteration(stats.inner_iterations, diff);
             if tolerance > 0.0 && diff < tolerance {
@@ -152,28 +237,29 @@ impl IterationStrategy for SourceIteration {
 /// forwarded as `on_krylov_residual` through the
 /// [`ObservedOperator`] hook.
 struct SweepOperator<'a, 'b, 'c> {
-    solver: &'a mut TransportSolver,
+    context: &'a mut dyn InnerSolveContext,
     stats: &'b mut RunStats,
     observer: &'c mut dyn RunObserver,
 }
 
 impl LinearOperator for SweepOperator<'_, '_, '_> {
     fn dim(&self) -> usize {
-        self.solver.phi_slice().len()
+        self.context.phi_slice().len()
     }
 
     fn apply(&mut self, x: &[f64], y: &mut [f64]) {
-        self.solver.set_source_to_within_group_scatter(x);
-        // Boundary inflow is part of the affine right-hand side, not the
-        // operator: sweep with homogeneous (vacuum) boundaries so the
-        // application stays linear in `x`.
-        self.solver.set_homogeneous_boundaries(true);
-        self.solver.sweep_once(self.stats, self.observer);
-        self.solver.set_homogeneous_boundaries(false);
+        self.context.set_source_to_within_group_scatter(x);
+        // Boundary (and, for rank subdomains, halo) inflow is part of the
+        // affine right-hand side, not the operator: sweep with
+        // homogeneous (vacuum) inflow so the application stays linear in
+        // `x`.
+        self.context.set_homogeneous_boundaries(true);
+        self.context.sweep_once(self.stats, self.observer);
+        self.context.set_homogeneous_boundaries(false);
         for ((yi, xi), phi) in y
             .iter_mut()
             .zip(x.iter())
-            .zip(self.solver.phi_slice().iter())
+            .zip(self.context.phi_slice().iter())
         {
             *yi = xi - phi;
         }
@@ -197,38 +283,41 @@ impl IterationStrategy for SweepGmres {
 
     fn run_inners(
         &self,
-        solver: &mut TransportSolver,
+        context: &mut dyn InnerSolveContext,
         stats: &mut RunStats,
         observer: &mut dyn RunObserver,
     ) -> Result<bool> {
-        let problem = solver.problem();
         let config = GmresConfig {
-            restart: problem.gmres_restart,
+            restart: context.gmres_restart(),
             // One Krylov iteration costs one sweep, so the inner budget
             // carries over unchanged from source iteration.
-            max_iterations: problem.inner_iterations,
-            tolerance: problem.convergence_tolerance,
+            max_iterations: context.inner_iteration_budget(),
+            tolerance: context.convergence_tolerance(),
         };
 
         // Warm-start from the current flux (zero on the first outer,
         // the previous outer's solution afterwards).
-        let mut x = solver.phi_slice().to_vec();
+        let mut x = context.phi_slice().to_vec();
 
         // Right-hand side b = D L⁻¹ q_ext: one sweep of the external
         // (fixed + cross-group) source.
-        solver.compute_external_source();
-        solver.sweep_once(stats, observer);
-        let b = solver.phi_slice().to_vec();
+        context.compute_external_source();
+        context.sweep_once(stats, observer);
+        let b = context.phi_slice().to_vec();
 
-        let outcome = Gmres::new(config).solve_observed(
+        let mut workspace = context.take_krylov_workspace();
+        let outcome = Gmres::new(config).solve_observed_in(
+            &mut workspace,
             &mut SweepOperator {
-                solver,
+                context,
                 stats,
                 observer,
             },
             &b,
             &mut x,
-        )?;
+        );
+        context.put_krylov_workspace(workspace);
+        let outcome = outcome?;
         stats.inner_iterations += outcome.iterations;
         stats.krylov_iterations += outcome.iterations;
         stats
@@ -239,11 +328,11 @@ impl IterationStrategy for SweepGmres {
         // scalar flux) from the converged iterate with the full source,
         // so ψ/φ leave the solver physically consistent exactly as a
         // source-iteration step would.
-        solver.set_phi(&x);
-        solver.save_phi_inner();
-        solver.compute_source();
-        solver.sweep_once(stats, observer);
-        let diff = relative_change(solver.phi_slice(), solver.phi_inner_slice());
+        context.set_phi(&x);
+        context.save_phi_inner();
+        context.compute_source();
+        context.sweep_once(stats, observer);
+        let diff = relative_change(context.phi_slice(), context.phi_inner_slice());
         stats.convergence_history.push(diff);
         observer.on_inner_iteration(stats.inner_iterations, diff);
 

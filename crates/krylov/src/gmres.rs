@@ -44,6 +44,87 @@ impl Default for GmresConfig {
     }
 }
 
+/// Reusable scratch for [`Gmres`] solves: the Arnoldi basis, the
+/// Hessenberg projection and the small rotation/residual vectors.
+///
+/// A GMRES(m) solve allocates `m + 1` basis vectors of the operator
+/// dimension; drivers that solve many same-shaped systems (one per
+/// subdomain per outer iteration in the distributed block-Jacobi path)
+/// can hold one workspace per system and pass it to
+/// [`Gmres::solve_observed_in`] so the Krylov space is allocated once
+/// and reused.  Every entry is overwritten before it is read, so a
+/// reused workspace produces bit-for-bit the same iterates, residual
+/// stream and outcome as a fresh one — only the allocator traffic
+/// changes.
+#[derive(Debug, Clone)]
+pub struct GmresWorkspace {
+    /// Arnoldi basis vectors, grown on demand up to `m + 1` slots.
+    basis: Vec<Vec<f64>>,
+    /// Hessenberg projection, `(m + 1) × m`.
+    hess: DenseMatrix,
+    /// Givens cosines.
+    cs: Vec<f64>,
+    /// Givens sines.
+    sn: Vec<f64>,
+    /// Rotated residual vector.
+    g: Vec<f64>,
+    /// True-residual scratch.
+    residual: Vec<f64>,
+    /// Arnoldi candidate vector.
+    w: Vec<f64>,
+}
+
+impl Default for GmresWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GmresWorkspace {
+    /// An empty workspace; buffers are sized lazily by the first solve.
+    pub fn new() -> Self {
+        Self {
+            basis: Vec::new(),
+            hess: DenseMatrix::zeros(1, 1),
+            cs: Vec::new(),
+            sn: Vec::new(),
+            g: Vec::new(),
+            residual: Vec::new(),
+            w: Vec::new(),
+        }
+    }
+
+    /// Size every buffer for a restart length `m` and dimension `n`,
+    /// reusing allocations when the shape is unchanged.
+    fn prepare(&mut self, m: usize, n: usize) {
+        if self.hess.rows() != m + 1 || self.hess.cols() != m {
+            self.hess = DenseMatrix::zeros(m + 1, m);
+        } else {
+            self.hess.clear();
+        }
+        self.cs.clear();
+        self.cs.resize(m, 0.0);
+        self.sn.clear();
+        self.sn.resize(m, 0.0);
+        self.g.clear();
+        self.g.resize(m + 1, 0.0);
+        self.residual.clear();
+        self.residual.resize(n, 0.0);
+        self.w.clear();
+        self.w.resize(n, 0.0);
+        self.basis.retain(|v| v.len() == n);
+        self.basis.truncate(m + 1);
+    }
+
+    /// Ensure basis slot `i` exists (length `n`) and return it.
+    fn basis_slot(&mut self, i: usize, n: usize) -> &mut Vec<f64> {
+        while self.basis.len() <= i {
+            self.basis.push(vec![0.0; n]);
+        }
+        &mut self.basis[i]
+    }
+}
+
 /// Restarted GMRES(m) solver.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Gmres {
@@ -84,6 +165,21 @@ impl Gmres {
         b: &[f64],
         x: &mut [f64],
     ) -> Result<KrylovOutcome, KrylovError> {
+        self.solve_observed_in(&mut GmresWorkspace::new(), op, b, x)
+    }
+
+    /// [`Gmres::solve_observed`] with caller-owned scratch: the Krylov
+    /// basis and projection buffers live in `workspace` and are reused
+    /// across calls instead of reallocated, which matters for drivers
+    /// that solve one same-shaped system per subdomain per iteration.
+    /// The numerical behaviour is identical to a fresh workspace.
+    pub fn solve_observed_in(
+        &self,
+        ws: &mut GmresWorkspace,
+        op: &mut dyn ObservedOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<KrylovOutcome, KrylovError> {
         let n = op.dim();
         if b.len() != n || x.len() != n {
             return Err(KrylovError::DimensionMismatch {
@@ -107,16 +203,7 @@ impl Gmres {
         };
 
         let mut outcome = KrylovOutcome::default();
-        // Arnoldi basis: m + 1 vectors of length n.
-        let mut basis: Vec<Vec<f64>> = Vec::new();
-        // Hessenberg projection, (m + 1) × m, reset every cycle.
-        let mut hess = DenseMatrix::zeros(m + 1, m);
-        // Givens cosines/sines and the rotated residual vector g.
-        let mut cs = vec![0.0f64; m];
-        let mut sn = vec![0.0f64; m];
-        let mut g = vec![0.0f64; m + 1];
-        let mut residual = vec![0.0f64; n];
-        let mut w = vec![0.0f64; n];
+        ws.prepare(m, n);
 
         // True residual r = b − A x for the current iterate.
         let true_residual = |x: &mut [f64],
@@ -131,7 +218,7 @@ impl Gmres {
             norm2(residual)
         };
 
-        let mut beta = true_residual(x, &mut residual, op, &mut outcome);
+        let mut beta = true_residual(x, &mut ws.residual, op, &mut outcome);
         outcome.residual_history.push(beta / b_norm);
         op.on_residual(outcome.iterations, beta / b_norm);
         if beta <= target {
@@ -141,46 +228,47 @@ impl Gmres {
         }
 
         while outcome.iterations < self.config.max_iterations {
-            // Start a cycle from the normalised true residual.
-            basis.clear();
-            let mut v0 = residual.clone();
-            scale(1.0 / beta, &mut v0);
-            basis.push(v0);
-            hess.clear();
-            g.fill(0.0);
-            g[0] = beta;
+            // Start a cycle from the normalised true residual.  Basis
+            // slots are overwritten before they are read, so a reused
+            // workspace behaves exactly like a fresh one.
+            ws.basis_slot(0, n);
+            ws.basis[0].copy_from_slice(&ws.residual);
+            scale(1.0 / beta, &mut ws.basis[0]);
+            ws.hess.clear();
+            ws.g.fill(0.0);
+            ws.g[0] = beta;
 
             let mut k = 0; // columns of H filled this cycle
             while k < m && outcome.iterations < self.config.max_iterations {
                 // Arnoldi step: w = A v_k, orthogonalise against the basis.
-                op.apply(&basis[k], &mut w);
+                op.apply(&ws.basis[k], &mut ws.w);
                 outcome.iterations += 1;
                 outcome.matvecs += 1;
-                let w_norm = norm2(&w);
+                let w_norm = norm2(&ws.w);
                 for i in 0..=k {
-                    let h = dot(&w, &basis[i]);
-                    hess[(i, k)] = h;
-                    axpy(-h, &basis[i], &mut w);
+                    let h = dot(&ws.w, &ws.basis[i]);
+                    ws.hess[(i, k)] = h;
+                    axpy(-h, &ws.basis[i], &mut ws.w);
                 }
-                let h_next = norm2(&w);
-                hess[(k + 1, k)] = h_next;
+                let h_next = norm2(&ws.w);
+                ws.hess[(k + 1, k)] = h_next;
 
                 // Apply the accumulated Givens rotations to the new column,
                 // then generate the rotation that annihilates h_next.
                 for i in 0..k {
-                    let (hi, hj) = (hess[(i, k)], hess[(i + 1, k)]);
-                    hess[(i, k)] = cs[i] * hi + sn[i] * hj;
-                    hess[(i + 1, k)] = -sn[i] * hi + cs[i] * hj;
+                    let (hi, hj) = (ws.hess[(i, k)], ws.hess[(i + 1, k)]);
+                    ws.hess[(i, k)] = ws.cs[i] * hi + ws.sn[i] * hj;
+                    ws.hess[(i + 1, k)] = -ws.sn[i] * hi + ws.cs[i] * hj;
                 }
-                let (c, s) = givens(hess[(k, k)], hess[(k + 1, k)]);
-                cs[k] = c;
-                sn[k] = s;
-                hess[(k, k)] = c * hess[(k, k)] + s * hess[(k + 1, k)];
-                hess[(k + 1, k)] = 0.0;
-                g[k + 1] = -s * g[k];
-                g[k] *= c;
+                let (c, s) = givens(ws.hess[(k, k)], ws.hess[(k + 1, k)]);
+                ws.cs[k] = c;
+                ws.sn[k] = s;
+                ws.hess[(k, k)] = c * ws.hess[(k, k)] + s * ws.hess[(k + 1, k)];
+                ws.hess[(k + 1, k)] = 0.0;
+                ws.g[k + 1] = -s * ws.g[k];
+                ws.g[k] *= c;
 
-                let est = g[k + 1].abs();
+                let est = ws.g[k + 1].abs();
                 outcome.residual_history.push(est / b_norm);
                 op.on_residual(outcome.iterations, est / b_norm);
                 k += 1;
@@ -194,19 +282,19 @@ impl Gmres {
                     // invariant and the projected solution is exact).
                     break;
                 }
-                let mut v_next = w.clone();
-                scale(1.0 / h_next, &mut v_next);
-                basis.push(v_next);
+                ws.basis_slot(k, n);
+                ws.basis[k].copy_from_slice(&ws.w);
+                scale(1.0 / h_next, &mut ws.basis[k]);
             }
 
             // Back-substitute R y = g and expand x += V y.
             let mut y = vec![0.0f64; k];
             for i in (0..k).rev() {
-                let mut acc = g[i];
+                let mut acc = ws.g[i];
                 for j in (i + 1)..k {
-                    acc -= hess[(i, j)] * y[j];
+                    acc -= ws.hess[(i, j)] * y[j];
                 }
-                let diag = hess[(i, i)];
+                let diag = ws.hess[(i, i)];
                 if diag.abs() <= f64::MIN_POSITIVE {
                     return Err(KrylovError::Breakdown {
                         at_iteration: outcome.iterations,
@@ -216,12 +304,12 @@ impl Gmres {
                 y[i] = acc / diag;
             }
             for (j, &yj) in y.iter().enumerate() {
-                axpy(yj, &basis[j], x);
+                axpy(yj, &ws.basis[j], x);
             }
 
             // Restart from the true residual (guards against drift in the
             // incremental estimate).
-            beta = true_residual(x, &mut residual, op, &mut outcome);
+            beta = true_residual(x, &mut ws.residual, op, &mut outcome);
             if beta <= target {
                 outcome.converged = true;
                 break;
@@ -385,6 +473,36 @@ mod tests {
         assert!(outcome.converged, "history {:?}", outcome.residual_history);
         let scale = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(max_abs_diff(&x, &reference) < 1e-8 * scale);
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_for_bit_identical_to_fresh() {
+        // One workspace driven through several solves (including a
+        // dimension change) must reproduce the fresh-workspace outcome
+        // exactly — iterates, history, counters.
+        let solver = Gmres::new(GmresConfig {
+            restart: 5,
+            max_iterations: 200,
+            tolerance: 1e-11,
+        });
+        let mut ws = GmresWorkspace::new();
+        for n in [12usize, 12, 7, 12] {
+            let a = dominant(n);
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+
+            let mut fresh_op = MatrixOperator::new(a.clone());
+            let mut fresh_x = vec![0.0; n];
+            let fresh = solver.solve(&mut fresh_op, &b, &mut fresh_x).unwrap();
+
+            let mut op = MatrixOperator::new(a);
+            let mut x = vec![0.0; n];
+            let reused = solver
+                .solve_observed_in(&mut ws, &mut SilentOperator(&mut op), &b, &mut x)
+                .unwrap();
+
+            assert_eq!(fresh, reused, "outcome diverged at n = {n}");
+            assert_eq!(fresh_x, x, "iterate diverged at n = {n}");
+        }
     }
 
     #[test]

@@ -44,6 +44,12 @@
 //! operator silently diverges or errors with
 //! [`KrylovError::NotPositiveDefinite`]; when in doubt, use GMRES.
 //!
+//! Drivers that solve many same-shaped systems — one per subdomain per
+//! outer iteration in the distributed block-Jacobi path — should hold a
+//! [`GmresWorkspace`] per system and call
+//! [`Gmres::solve_observed_in`], which reuses the Krylov basis
+//! allocation across solves with bit-for-bit identical numerics.
+//!
 //! ## Example
 //!
 //! ```
@@ -69,7 +75,7 @@ pub mod gmres;
 pub mod operator;
 
 pub use cg::{CgConfig, ConjugateGradient};
-pub use gmres::{Gmres, GmresConfig};
+pub use gmres::{Gmres, GmresConfig, GmresWorkspace};
 pub use operator::{FnOperator, LinearOperator, MatrixOperator, ObservedOperator, SilentOperator};
 
 /// What a Krylov solve did: iteration counts and the residual trajectory.

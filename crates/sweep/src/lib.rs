@@ -20,15 +20,23 @@
 //! Provided modules:
 //!
 //! * [`upwind`] — geometric upwind/downwind classification of cell faces
-//!   for a given direction;
-//! * [`graph`] — the per-angle dependency graph (incoming/outgoing faces
-//!   per cell);
+//!   for a given direction ([`FaceClass`], [`face_outward_normal`]);
+//! * [`graph`] — the per-angle dependency graph ([`DependencyGraph`]:
+//!   incoming/outgoing faces per cell);
 //! * [`schedule`] — bucketed wavefront schedule construction (Kahn's
-//!   algorithm over the dependency counters), cycle detection, and
-//!   schedule statistics;
-//! * [`scheme`] — the concurrency-scheme descriptors (loop order × which
-//!   loops are threaded) that name the six parallel variants benchmarked
-//!   in Figures 3 and 4 of the paper.
+//!   algorithm over the dependency counters), cycle detection
+//!   ([`ScheduleError`]), and schedule statistics ([`ScheduleStats`]);
+//! * [`scheme`] — the concurrency-scheme descriptors
+//!   ([`ConcurrencyScheme`]: [`LoopOrder`] × [`ThreadedLoops`]) that name
+//!   the six parallel variants benchmarked in Figures 3 and 4 of the
+//!   paper.
+//!
+//! Consumers: the single-domain sweep driver in `unsnap-core` builds one
+//! [`SweepSchedule`] per angle with [`SweepSchedule::build`], while the
+//! distributed block-Jacobi driver in `unsnap-comm` builds per-rank
+//! schedules *masked* to each rank's subdomain with
+//! [`SweepSchedule::build_masked`] — see the repository's
+//! `docs/ARCHITECTURE.md` for the full data flow.
 //!
 //! ## Example
 //!

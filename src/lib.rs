@@ -90,7 +90,9 @@ pub use unsnap_sweep as sweep;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
-    pub use unsnap_comm::{BlockJacobiSolver, CommError, HaloExchange, KbaModel};
+    pub use unsnap_comm::{
+        BlockJacobiOutcome, BlockJacobiSolver, CommError, HaloExchange, KbaModel,
+    };
     pub use unsnap_core::angular::AngularQuadrature;
     pub use unsnap_core::builder::{
         ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder,
@@ -101,9 +103,11 @@ pub mod prelude {
     pub use unsnap_core::layout::{FluxLayout, FluxStorage};
     pub use unsnap_core::problem::Problem;
     pub use unsnap_core::report;
-    pub use unsnap_core::session::{NoopObserver, RecordingObserver, RunObserver, Session};
+    pub use unsnap_core::session::{
+        EventLog, NoopObserver, RecordingObserver, RunObserver, Session, SolveEvent,
+    };
     pub use unsnap_core::solver::{RunStats, SolveOutcome, TransportSolver};
-    pub use unsnap_core::strategy::{IterationStrategy, StrategyKind};
+    pub use unsnap_core::strategy::{InnerSolveContext, IterationStrategy, StrategyKind};
     pub use unsnap_fem::{ElementIntegrals, HexVertices, ReferenceElement};
     pub use unsnap_krylov::{
         CgConfig, ConjugateGradient, Gmres, GmresConfig, LinearOperator, MatrixOperator,
