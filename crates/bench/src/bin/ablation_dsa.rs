@@ -1,0 +1,139 @@
+//! Ablation: source iteration versus DSA-accelerated source iteration
+//! versus sweep-preconditioned GMRES as the scattering ratio approaches
+//! one (c ∈ {0.5, 0.9, 0.99, 0.999}).
+//!
+//! The scenario is the quickstart phase space (6³ cells, 4 groups via
+//! `UNSNAP_GROUPS`, default 1 for comparability with `ablation_krylov`)
+//! on a diffusive domain: 12 mean free paths thick, so source
+//! iteration's error contracts at essentially `c` per sweep and the
+//! low-order diffusion correction has honest work to do.  Reported per
+//! scattering ratio: the transport sweeps each strategy needed to reach
+//! the shared tolerance, the DSA/GMRES speedups, the low-order CG
+//! iterations DSA spent (cheap — the low-order system has one unknown
+//! per cell × group), and the flux agreement cross-checks.
+//!
+//! Pass `--json` for one object per scattering ratio with the full
+//! [`SolveOutcome`](unsnap_core::solver::SolveOutcome) of all three strategies; `--csv` for a flat table;
+//! `--quick` shrinks the mesh for CI smoke runs; `--progress` streams
+//! per-solve progress to stderr.
+//!
+//! Environment knobs (parsed via `FromStr`):
+//!
+//! * `UNSNAP_SOLVER`  — `ge`, `lu` or `mkl` (default `ge`).
+//! * `UNSNAP_SCHEME`  — `best`, `serial` or a figure label
+//!   (default `serial`).
+//! * `UNSNAP_MESH`    — cells per side of the cubic mesh (default 6).
+//! * `UNSNAP_GROUPS`  — energy groups (default 1).
+//! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 4000).
+
+use unsnap_bench::{env_parse, run_strategy, HarnessOptions};
+use unsnap_core::builder::ProblemBuilder;
+use unsnap_core::json::{array_raw, JsonObject};
+use unsnap_core::report::{accel_table_text, AccelAblationRow};
+use unsnap_core::strategy::StrategyKind;
+use unsnap_linalg::SolverKind;
+use unsnap_sweep::ConcurrencyScheme;
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(1e-300)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let solver: SolverKind = env_parse("UNSNAP_SOLVER", SolverKind::GaussianElimination);
+    let scheme: ConcurrencyScheme = env_parse("UNSNAP_SCHEME", ConcurrencyScheme::serial());
+    let mesh: usize = env_parse("UNSNAP_MESH", if opts.quick { 4 } else { 6 });
+    let groups: usize = env_parse("UNSNAP_GROUPS", 1);
+    let budget: usize = env_parse("UNSNAP_BUDGET", if opts.quick { 1500 } else { 4000 });
+    let ratios: &[f64] = if opts.quick {
+        &[0.9, 0.99]
+    } else {
+        &[0.5, 0.9, 0.99, 0.999]
+    };
+
+    if !opts.csv && !opts.json {
+        println!("DSA ablation: SI vs DSA-SI vs sweep-preconditioned GMRES");
+        println!(
+            "  mesh {mesh}³ (12 mfp thick), {groups} group(s), tolerance 1e-6, \
+             budget {budget} sweeps"
+        );
+        println!("  dense back end {solver}, scheme {scheme}");
+        println!();
+    }
+    // `--json` wins over `--csv` outright, as in the other ablations.
+    let csv = opts.csv && !opts.json;
+    if csv {
+        println!(
+            "scattering_ratio,si_sweeps,si_converged,dsa_sweeps,dsa_converged,\
+             dsa_cg_iterations,gmres_sweeps,gmres_converged,dsa_speedup,gmres_speedup,\
+             dsa_flux_rel_diff,gmres_flux_rel_diff"
+        );
+    }
+
+    let mut rows = Vec::new();
+    let mut dumps = Vec::new();
+    for &c in ratios {
+        let base = ProblemBuilder::quickstart()
+            .mesh(mesh)
+            .extents(12.0, 12.0, 12.0)
+            .phase_space(2, groups)
+            .scattering_ratio(c)
+            .tolerance(1e-6)
+            .iterations(budget, 1)
+            .solver(solver)
+            .scheme(scheme);
+
+        let si = run_strategy(&base, StrategyKind::SourceIteration, opts.progress);
+        let dsa = run_strategy(&base, StrategyKind::DsaSourceIteration, opts.progress);
+        let gm = run_strategy(&base, StrategyKind::SweepGmres, opts.progress);
+
+        let row = AccelAblationRow {
+            scattering_ratio: c,
+            si_sweeps: si.sweep_count,
+            dsa_sweeps: dsa.sweep_count,
+            gmres_sweeps: gm.sweep_count,
+            dsa_cg_iterations: dsa.accel_cg_iterations,
+            converged: [si.converged, dsa.converged, gm.converged],
+            dsa_flux_rel_diff: rel_diff(si.scalar_flux_total, dsa.scalar_flux_total),
+            gmres_flux_rel_diff: rel_diff(si.scalar_flux_total, gm.scalar_flux_total),
+        };
+        if opts.json {
+            dumps.push(
+                JsonObject::new()
+                    .field_f64("scattering_ratio", c)
+                    .field_f64("dsa_speedup", row.dsa_speedup())
+                    .field_f64("gmres_speedup", row.gmres_speedup())
+                    .field_f64("dsa_flux_rel_diff", row.dsa_flux_rel_diff)
+                    .field_f64("gmres_flux_rel_diff", row.gmres_flux_rel_diff)
+                    .field_raw("source_iteration", &si.to_json())
+                    .field_raw("dsa_source_iteration", &dsa.to_json())
+                    .field_raw("sweep_gmres", &gm.to_json())
+                    .finish(),
+            );
+        } else if csv {
+            println!(
+                "{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3e},{:.3e}",
+                c,
+                row.si_sweeps,
+                row.converged[0],
+                row.dsa_sweeps,
+                row.converged[1],
+                row.dsa_cg_iterations,
+                row.gmres_sweeps,
+                row.converged[2],
+                row.dsa_speedup(),
+                row.gmres_speedup(),
+                row.dsa_flux_rel_diff,
+                row.gmres_flux_rel_diff,
+            );
+        }
+        rows.push(row);
+    }
+
+    if opts.json {
+        println!("{}", array_raw(dumps));
+    } else if !csv {
+        println!("{}", accel_table_text(&rows));
+        println!("('!' marks a strategy that exhausted its budget unconverged)");
+    }
+}

@@ -30,12 +30,27 @@ use unsnap_comm::{BlockJacobiOutcome, BlockJacobiSolver};
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::problem::Problem;
 use unsnap_core::report::iteration_summary;
+use unsnap_core::session::ProgressObserver;
 use unsnap_core::strategy::StrategyKind;
 use unsnap_mesh::Decomposition2D;
 
-fn run_cell(problem: &Problem, decomp: Decomposition2D) -> (BlockJacobiOutcome, f64) {
+fn run_cell(
+    problem: &Problem,
+    decomp: Decomposition2D,
+    progress: bool,
+) -> (BlockJacobiOutcome, f64) {
     let mut solver = BlockJacobiSolver::new(problem, decomp).expect("decomposition fits");
-    let (outcome, seconds) = time_it(|| solver.run().expect("solve"));
+    let (outcome, seconds) = if progress {
+        eprintln!(
+            "[unsnap] running {} on {} rank(s)",
+            problem.strategy,
+            decomp.num_ranks()
+        );
+        let mut observer = ProgressObserver::new();
+        time_it(|| solver.run_observed(&mut observer).expect("solve"))
+    } else {
+        time_it(|| solver.run().expect("solve"))
+    };
     (outcome, seconds)
 }
 
@@ -101,7 +116,7 @@ fn main() {
         let mut p = problem.clone();
         p.strategy = strategy;
         for decomp in decompositions {
-            let (outcome, seconds) = run_cell(&p, decomp);
+            let (outcome, seconds) = run_cell(&p, decomp, opts.progress);
             if opts.json {
                 dumps.push(
                     JsonObject::new()

@@ -8,7 +8,8 @@
 //!
 //! Pass `--json` to emit a machine-readable dump instead: one object per
 //! scattering ratio with the full `SolveOutcome` of both strategies
-//! (via `SolveOutcome::to_json`), ready for plotting tools.
+//! (via `SolveOutcome::to_json`), ready for plotting tools; pass
+//! `--progress` to stream rate-limited per-solve progress to stderr.
 //!
 //! Environment knobs (parsed via `FromStr`):
 //!
@@ -19,26 +20,17 @@
 //! * `UNSNAP_MESH`    — cells per side of the cubic mesh (default 4).
 //! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 600).
 
-use unsnap_bench::env_parse;
+use unsnap_bench::{env_parse, run_strategy, HarnessOptions};
 use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::report::{strategy_table_text, StrategyAblationRow};
-use unsnap_core::solver::SolveOutcome;
 use unsnap_core::strategy::StrategyKind;
 use unsnap_linalg::SolverKind;
 use unsnap_sweep::ConcurrencyScheme;
 
-fn run_strategy(base: &ProblemBuilder, strategy: StrategyKind) -> SolveOutcome {
-    let mut session = base
-        .clone()
-        .strategy(strategy)
-        .session()
-        .expect("ablation problem must validate");
-    session.run().expect("ablation solve must run")
-}
-
 fn main() {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let opts = HarnessOptions::from_args();
+    let json = opts.json;
     let solver: SolverKind = env_parse("UNSNAP_SOLVER", SolverKind::GaussianElimination);
     let scheme: ConcurrencyScheme = env_parse("UNSNAP_SCHEME", ConcurrencyScheme::serial());
     let restart: usize = env_parse("UNSNAP_RESTART", 20);
@@ -69,8 +61,8 @@ fn main() {
             .scheme(scheme)
             .gmres_restart(restart);
 
-        let si = run_strategy(&base, StrategyKind::SourceIteration);
-        let gm = run_strategy(&base, StrategyKind::SweepGmres);
+        let si = run_strategy(&base, StrategyKind::SourceIteration, opts.progress);
+        let gm = run_strategy(&base, StrategyKind::SweepGmres, opts.progress);
 
         let row = StrategyAblationRow {
             scattering_ratio: c,

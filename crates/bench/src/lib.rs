@@ -17,12 +17,14 @@
 //! | §III-A.1   | block-Jacobi convergence penalty vs rank count, KBA idle model | `ablation_jacobi_ranks` |
 //! | —          | SI vs GMRES subdomain solves in the block-Jacobi schedule | `ablation_jacobi_krylov` |
 //! | —          | SI vs sweep-preconditioned GMRES across scattering ratios | `ablation_krylov` |
+//! | —          | SI vs DSA-SI vs GMRES as the scattering ratio approaches 1 | `ablation_dsa` |
 //! | —          | worker-pool wall-clock scaling across thread counts | `scaling_threads` |
 //!
 //! Every binary parses the shared [`HarnessOptions`] flags: `--full`
 //! runs the problem at the paper's published size (which needs a
 //! large-memory node, as the original did), `--quick` shrinks it for CI
-//! smoke runs, and `--csv`/`--json` emit machine-readable output; the
+//! smoke runs, `--csv`/`--json` emit machine-readable output, and
+//! `--progress` streams rate-limited solve progress to stderr; the
 //! default sizes are scaled down so the whole suite completes on a
 //! laptop.  The harness helpers — [`run_scaling_experiment`],
 //! [`run_solver_comparison`], [`scaling_table`]/[`scaling_csv`],
@@ -35,9 +37,12 @@
 
 use std::time::Instant;
 
+use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::problem::Problem;
 use unsnap_core::report::MachineInfo;
-use unsnap_core::solver::TransportSolver;
+use unsnap_core::session::{NoopObserver, ProgressObserver, RunObserver};
+use unsnap_core::solver::{SolveOutcome, TransportSolver};
+use unsnap_core::strategy::StrategyKind;
 use unsnap_linalg::SolverKind;
 use unsnap_sweep::ConcurrencyScheme;
 
@@ -52,6 +57,9 @@ pub struct HarnessOptions {
     pub json: bool,
     /// Shrink the problem for CI smoke runs (`--quick`).
     pub quick: bool,
+    /// Stream rate-limited progress to stderr while solves run
+    /// (`--progress`), via [`ProgressObserver`].
+    pub progress: bool,
     /// Thread counts to sweep (`--threads 1,2,4`).
     pub threads: Option<Vec<usize>>,
     /// Maximum element order for the solver comparison (`--max-order 4`).
@@ -71,6 +79,7 @@ impl HarnessOptions {
             csv: false,
             json: false,
             quick: false,
+            progress: false,
             threads: None,
             max_order: None,
         };
@@ -81,6 +90,7 @@ impl HarnessOptions {
                 "--csv" => opts.csv = true,
                 "--json" => opts.json = true,
                 "--quick" => opts.quick = true,
+                "--progress" => opts.progress = true,
                 "--threads" => {
                     if let Some(list) = iter.next() {
                         let parsed: Vec<usize> =
@@ -124,6 +134,32 @@ where
         },
         Err(_) => default,
     }
+}
+
+/// Solve `base` under `strategy`, streaming rate-limited progress to
+/// stderr when `progress` is set (the shared `--progress` flag).
+///
+/// Shared by the strategy-ablation binaries (`ablation_krylov`,
+/// `ablation_dsa`) so the observer wiring cannot drift between them.
+/// Panics on an invalid problem or a failed solve — ablation harnesses
+/// construct their own problems, so both indicate a harness bug.
+pub fn run_strategy(base: &ProblemBuilder, strategy: StrategyKind, progress: bool) -> SolveOutcome {
+    let mut session = base
+        .clone()
+        .strategy(strategy)
+        .session()
+        .expect("ablation problem must validate");
+    let mut progress_observer = ProgressObserver::new();
+    let mut noop = NoopObserver;
+    let observer: &mut dyn RunObserver = if progress {
+        eprintln!("[unsnap] running {strategy}");
+        &mut progress_observer
+    } else {
+        &mut noop
+    };
+    session
+        .run_observed(observer)
+        .expect("ablation solve must run")
 }
 
 /// One measured point of a thread-scaling experiment (Figures 3/4).
@@ -347,6 +383,11 @@ mod tests {
             HarnessOptions::parse(["--quick".to_string()].into_iter()).quick,
             "--quick must parse"
         );
+        assert!(
+            HarnessOptions::parse(["--progress".to_string()].into_iter()).progress,
+            "--progress must parse"
+        );
+        assert!(!o.progress);
         assert_eq!(o.threads, Some(vec![1, 2, 4]));
         assert_eq!(o.max_order, Some(3));
         assert_eq!(o.thread_sweep(), vec![1, 2, 4]);

@@ -72,7 +72,7 @@ use unsnap_fem::integrals::ElementIntegrals;
 use unsnap_krylov::GmresWorkspace;
 use unsnap_linalg::LinearSolver;
 use unsnap_mesh::{Decomposition2D, NeighborRef, Subdomain, UnstructuredMesh};
-use unsnap_sweep::SweepSchedule;
+use unsnap_sweep::{LoopOrder, SweepSchedule};
 
 /// Summary of a block-Jacobi distributed solve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,10 +100,15 @@ pub struct BlockJacobiOutcome {
     /// Krylov iterations executed, summed over ranks (zero under plain
     /// source iteration).
     pub krylov_iterations: usize,
+    /// Low-order DSA CG iterations executed, summed over ranks (zero
+    /// unless a DSA path ran).
+    pub accel_cg_iterations: usize,
     /// Sweeps executed by each rank, indexed by rank id.
     pub rank_sweep_counts: Vec<usize>,
     /// Krylov iterations executed by each rank, indexed by rank id.
     pub rank_krylov_iterations: Vec<usize>,
+    /// Low-order DSA CG iterations executed by each rank.
+    pub rank_accel_cg_iterations: Vec<usize>,
 }
 
 impl BlockJacobiOutcome {
@@ -128,8 +133,10 @@ impl BlockJacobiOutcome {
             .field_usize("halo_faces", self.halo_faces)
             .field_usize("sweep_count", self.sweep_count)
             .field_usize("krylov_iterations", self.krylov_iterations)
+            .field_usize("accel_cg_iterations", self.accel_cg_iterations)
             .field_usize_array("rank_sweep_counts", &self.rank_sweep_counts)
             .field_usize_array("rank_krylov_iterations", &self.rank_krylov_iterations)
+            .field_usize_array("rank_accel_cg_iterations", &self.rank_accel_cg_iterations)
             .finish()
     }
 }
@@ -195,6 +202,10 @@ struct RankState {
     stats: RunStats,
     /// Reusable per-rank Krylov space.
     krylov: Option<GmresWorkspace>,
+    /// Lazily-built per-rank DSA accelerator: the low-order diffusion
+    /// operator over this rank's cells with Dirichlet-zero coupling at
+    /// cut faces, plus its CG scratch.
+    dsa: Option<unsnap_core::dsa::DsaAccelerator>,
     /// Reusable kernel scratch.
     scratch: KernelScratch,
 }
@@ -209,6 +220,7 @@ impl RankState {
             homogeneous: false,
             stats: RunStats::default(),
             krylov: None,
+            dsa: None,
             scratch: KernelScratch::new(nodes),
         }
     }
@@ -452,6 +464,46 @@ impl InnerSolveContext for RankContext<'_> {
     fn put_krylov_workspace(&mut self, workspace: GmresWorkspace) {
         self.state.krylov = Some(workspace);
     }
+
+    fn accelerator(&self) -> unsnap_core::strategy::AcceleratorKind {
+        self.shared.problem.accelerator
+    }
+
+    fn dsa_correct(
+        &mut self,
+        previous: &[f64],
+        stats: &mut RunStats,
+        observer: &mut dyn RunObserver,
+    ) -> Result<()> {
+        let s = self.shared;
+        if self.state.dsa.is_none() {
+            let sd = &s.subdomains[self.rank];
+            // The rank's compact scalar layout: group fastest after the
+            // node block, matching the `(local·ng + g)·nodes` indexing of
+            // the private buffers.
+            let layout = FluxLayout::scalar(
+                s.element.nodes_per_element(),
+                sd.num_cells(),
+                s.problem.num_groups,
+                LoopOrder::ElementThenGroup,
+            );
+            self.state.dsa = Some(unsnap_core::dsa::DsaAccelerator::build(
+                &s.mesh,
+                &sd.global_cells,
+                &s.element,
+                Some(&s.integrals),
+                &s.data,
+                layout,
+                unsnap_accel::DsaConfig {
+                    tolerance: s.problem.accel_cg_tolerance,
+                    max_iterations: s.problem.accel_cg_iterations,
+                },
+            ));
+        }
+        let state = &mut *self.state;
+        let dsa = state.dsa.as_mut().expect("accelerator just built");
+        dsa.correct(&mut state.phi, previous, stats, observer)
+    }
 }
 
 /// Block-Jacobi distributed transport solver (simulated ranks).
@@ -680,20 +732,25 @@ impl BlockJacobiSolver {
             rank.stats = RunStats::default();
         }
         let kind = self.problem.strategy;
-        // Stationary (source) iteration relaxes once per halo exchange —
-        // the seed's lagged block-Jacobi schedule, bit-for-bit.  The
-        // Krylov strategies solve each rank's local system per halo
-        // exchange (additive-Schwarz-style subdomain solves).
+        // Stationary relaxations — source iteration, and DSA-accelerated
+        // source iteration (one sweep + one low-order correction) —
+        // relax once per halo exchange, preserving the seed's lagged
+        // block-Jacobi schedule.  The Krylov strategies instead solve
+        // each rank's local system per halo exchange
+        // (additive-Schwarz-style subdomain solves).
         //
-        // `inner_iterations` caps both the halo loop and (for Krylov)
-        // each rank's per-exchange solve, mirroring the single-domain
-        // `outer_iterations × inner_iterations` product; both levels
-        // exit early at the tolerance, so the multiplicative worst case
-        // is only reached by runs that never converge.  A dedicated
-        // subdomain-solve budget knob is a ROADMAP follow-up.
+        // The per-exchange Krylov solve is capped by the dedicated
+        // `subdomain_krylov_budget` knob (builder:
+        // `subdomain_krylov_budget(..)`, env: `UNSNAP_SUBDOMAIN_ITERS`);
+        // when unset it falls back to `inner_iterations`, the historical
+        // behaviour where one knob capped both the halo loop and each
+        // rank's solve.  Both levels exit early at the tolerance.
         let inner_budget = match kind {
-            StrategyKind::SourceIteration => 1,
-            StrategyKind::SweepGmres => self.problem.inner_iterations,
+            StrategyKind::SourceIteration | StrategyKind::DsaSourceIteration => 1,
+            StrategyKind::SweepGmres => self
+                .problem
+                .subdomain_krylov_budget
+                .unwrap_or(self.problem.inner_iterations),
         };
 
         let mut history = Vec::new();
@@ -822,11 +879,17 @@ impl BlockJacobiSolver {
             halo_faces: self.total_halo_faces(),
             sweep_count: self.ranks.iter().map(|r| r.stats.sweeps).sum(),
             krylov_iterations: self.ranks.iter().map(|r| r.stats.krylov_iterations).sum(),
+            accel_cg_iterations: self.ranks.iter().map(|r| r.stats.accel_cg_iterations).sum(),
             rank_sweep_counts: self.ranks.iter().map(|r| r.stats.sweeps).collect(),
             rank_krylov_iterations: self
                 .ranks
                 .iter()
                 .map(|r| r.stats.krylov_iterations)
+                .collect(),
+            rank_accel_cg_iterations: self
+                .ranks
+                .iter()
+                .map(|r| r.stats.accel_cg_iterations)
                 .collect(),
         })
     }
@@ -972,6 +1035,105 @@ mod tests {
         let rel = (si_out.scalar_flux_total - gm_out.scalar_flux_total).abs()
             / si_out.scalar_flux_total.abs();
         assert!(rel < 1e-6, "SI and GMRES fixed points differ: {rel}");
+    }
+
+    #[test]
+    fn dsa_inner_solves_reach_the_same_fixed_point() {
+        // DSA-SI per rank: one sweep + one low-order correction per halo
+        // exchange, same fixed point as plain SI, never slower.
+        let mut p = base_problem();
+        p.inner_iterations = 60;
+        p.convergence_tolerance = 1e-9;
+        let mut si = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let si_out = si.run().unwrap();
+
+        p.strategy = StrategyKind::DsaSourceIteration;
+        let mut dsa = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let dsa_out = dsa.run().unwrap();
+
+        assert!(si_out.converged && dsa_out.converged);
+        assert_eq!(dsa_out.strategy, StrategyKind::DsaSourceIteration);
+        assert_eq!(si_out.accel_cg_iterations, 0);
+        assert!(dsa_out.accel_cg_iterations > 0);
+        assert_eq!(dsa_out.rank_accel_cg_iterations.len(), 2);
+        assert!(dsa_out.rank_accel_cg_iterations.iter().all(|&its| its > 0));
+        // Like SI, DSA-SI relaxes once per halo exchange.
+        assert_eq!(dsa_out.sweep_count, 2 * dsa_out.inner_iterations);
+        assert!(
+            dsa_out.inner_iterations <= si_out.inner_iterations,
+            "DSA-SI {} vs SI {} halo iterations",
+            dsa_out.inner_iterations,
+            si_out.inner_iterations
+        );
+        let rel = (si_out.scalar_flux_total - dsa_out.scalar_flux_total).abs()
+            / si_out.scalar_flux_total.abs();
+        assert!(rel < 1e-6, "SI and DSA-SI fixed points differ: {rel}");
+    }
+
+    #[test]
+    fn subdomain_budget_default_is_bit_for_bit_the_legacy_behaviour() {
+        // `subdomain_krylov_budget: None` must reproduce the historical
+        // path (per-exchange Krylov capped by `inner_iterations`)
+        // exactly; setting the knob to that same value is also
+        // bit-for-bit identical.
+        let mut p = base_problem();
+        p.inner_iterations = 20;
+        p.convergence_tolerance = 1e-8;
+        p.strategy = StrategyKind::SweepGmres;
+
+        let run = |problem: &Problem| {
+            let mut s = BlockJacobiSolver::new(problem, Decomposition2D::new(2, 1)).unwrap();
+            let out = s.run().unwrap();
+            let flux = s.scalar_flux().as_slice().to_vec();
+            (out, flux)
+        };
+
+        let (default_out, default_flux) = run(&p);
+        let explicit = p.clone().with_subdomain_krylov_budget(p.inner_iterations);
+        let (explicit_out, explicit_flux) = run(&explicit);
+        let mut a = default_out.clone();
+        let mut b = explicit_out;
+        a.assemble_solve_seconds = 0.0;
+        b.assemble_solve_seconds = 0.0;
+        assert_eq!(a, b, "explicit budget == inner_iterations must be a no-op");
+        assert_eq!(default_flux, explicit_flux);
+    }
+
+    #[test]
+    fn subdomain_budget_knob_caps_the_per_exchange_krylov_solve() {
+        let mut p = base_problem();
+        p.inner_iterations = 30;
+        p.convergence_tolerance = 1e-8;
+        p.strategy = StrategyKind::SweepGmres;
+
+        let mut unlimited = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let unlimited_out = unlimited.run().unwrap();
+
+        // One Krylov iteration per rank per halo exchange: the halo loop
+        // has to do more exchanges, and each rank's Krylov total is
+        // bounded by the number of exchanges.
+        let capped_problem = p.clone().with_subdomain_krylov_budget(1);
+        let mut capped =
+            BlockJacobiSolver::new(&capped_problem, Decomposition2D::new(2, 1)).unwrap();
+        let capped_out = capped.run().unwrap();
+
+        assert!(unlimited_out.converged && capped_out.converged);
+        assert!(
+            capped_out.inner_iterations >= unlimited_out.inner_iterations,
+            "capped {} vs unlimited {} halo iterations",
+            capped_out.inner_iterations,
+            unlimited_out.inner_iterations
+        );
+        for (rank, &its) in capped_out.rank_krylov_iterations.iter().enumerate() {
+            assert!(
+                its <= capped_out.inner_iterations,
+                "rank {rank}: {its} Krylov iterations over {} exchanges",
+                capped_out.inner_iterations
+            );
+        }
+        let rel = (capped_out.scalar_flux_total - unlimited_out.scalar_flux_total).abs()
+            / unlimited_out.scalar_flux_total.abs();
+        assert!(rel < 1e-6, "fixed point moved under the budget cap: {rel}");
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! [`ProblemBuilder`]: validating, grouped construction of [`Problem`]s.
 //!
-//! A [`Problem`] is a flat 24-field struct; filling it by hand is
+//! A [`Problem`] is a flat struct of ~30 fields; filling it by hand is
 //! error-prone and its `validate()` only runs deep inside
-//! `TransportSolver::new`.  The builder groups the fields into four
+//! `TransportSolver::new`.  The builder groups the fields into five
 //! sub-configurations that mirror how runs are actually specified —
 //!
 //! * [`GridConfig`] — mesh extents and twist;
 //! * [`PhysicsConfig`] — discretisation and data (element order, phase
 //!   space, materials, boundaries, scattering ratio);
-//! * [`IterationConfig`] — iteration counts, tolerance and the inner
-//!   strategy;
+//! * [`IterationConfig`] — iteration counts, tolerance, the inner
+//!   strategy and the distributed subdomain budget;
+//! * [`AccelConfig`] — the low-order (DSA) accelerator selection and
+//!   its CG tolerance/budget;
 //! * [`ExecutionConfig`] — dense back end, concurrency scheme, threads,
 //!   precomputation and timing knobs —
 //!
@@ -47,7 +49,7 @@ use crate::error::{Error, Result};
 use crate::problem::Problem;
 use crate::session::Session;
 use crate::solver::TransportSolver;
-use crate::strategy::StrategyKind;
+use crate::strategy::{AcceleratorKind, StrategyKind};
 
 /// Mesh extents and twist (the spatial half of a [`Problem`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,11 +135,16 @@ pub struct IterationConfig {
     pub strategy: StrategyKind,
     /// GMRES restart length (read by the Krylov strategies).
     pub gmres_restart: usize,
+    /// Dedicated per-rank subdomain Krylov budget for the distributed
+    /// block-Jacobi driver (`None` = cap with `inner_iterations`, the
+    /// historical behaviour; see
+    /// [`Problem::subdomain_krylov_budget`]).
+    pub subdomain_krylov_budget: Option<usize>,
 }
 
 impl Default for IterationConfig {
     /// The `tiny` preset's iteration structure: 2 inners × 1 outer, no
-    /// tolerance, source iteration.
+    /// tolerance, source iteration, shared subdomain budget.
     fn default() -> Self {
         Self {
             inner_iterations: 2,
@@ -145,6 +152,31 @@ impl Default for IterationConfig {
             convergence_tolerance: 0.0,
             strategy: StrategyKind::SourceIteration,
             gmres_restart: 20,
+            subdomain_krylov_budget: None,
+        }
+    }
+}
+
+/// Low-order acceleration: accelerator selection and the DSA CG knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Which accelerator (if any) augments the Krylov strategies; the
+    /// `DSA-SI` strategy applies DSA regardless (see
+    /// [`Problem::accelerator`]).
+    pub accelerator: AcceleratorKind,
+    /// Relative residual target of the low-order DSA CG solve.
+    pub cg_tolerance: f64,
+    /// Iteration cap of the low-order DSA CG solve.
+    pub cg_iterations: usize,
+}
+
+impl Default for AccelConfig {
+    /// No accelerator; a tight, cheap low-order solve when one runs.
+    fn default() -> Self {
+        Self {
+            accelerator: AcceleratorKind::None,
+            cg_tolerance: 1e-8,
+            cg_iterations: 200,
         }
     }
 }
@@ -191,6 +223,8 @@ pub struct ProblemBuilder {
     pub physics: PhysicsConfig,
     /// Iteration structure and strategy.
     pub iteration: IterationConfig,
+    /// Low-order acceleration (DSA) knobs.
+    pub accel: AccelConfig,
     /// Execution environment.
     pub execution: ExecutionConfig,
 }
@@ -229,6 +263,12 @@ impl ProblemBuilder {
                 convergence_tolerance: p.convergence_tolerance,
                 strategy: p.strategy,
                 gmres_restart: p.gmres_restart,
+                subdomain_krylov_budget: p.subdomain_krylov_budget,
+            },
+            accel: AccelConfig {
+                accelerator: p.accelerator,
+                cg_tolerance: p.accel_cg_tolerance,
+                cg_iterations: p.accel_cg_iterations,
             },
             execution: ExecutionConfig {
                 solver: p.solver,
@@ -303,6 +343,12 @@ impl ProblemBuilder {
     /// Replace the whole iteration configuration.
     pub fn iteration(mut self, iteration: IterationConfig) -> Self {
         self.iteration = iteration;
+        self
+    }
+
+    /// Replace the whole acceleration configuration.
+    pub fn accel(mut self, accel: AccelConfig) -> Self {
+        self.accel = accel;
         self
     }
 
@@ -396,6 +442,31 @@ impl ProblemBuilder {
         self
     }
 
+    /// Dedicated per-rank subdomain Krylov budget for the distributed
+    /// block-Jacobi driver.
+    pub fn subdomain_krylov_budget(mut self, budget: usize) -> Self {
+        self.iteration.subdomain_krylov_budget = Some(budget);
+        self
+    }
+
+    /// Low-order accelerator selection.
+    pub fn accelerator(mut self, accelerator: AcceleratorKind) -> Self {
+        self.accel.accelerator = accelerator;
+        self
+    }
+
+    /// Relative residual target of the low-order DSA CG solve.
+    pub fn accel_cg_tolerance(mut self, tolerance: f64) -> Self {
+        self.accel.cg_tolerance = tolerance;
+        self
+    }
+
+    /// Iteration cap of the low-order DSA CG solve.
+    pub fn accel_cg_iterations(mut self, iterations: usize) -> Self {
+        self.accel.cg_iterations = iterations;
+        self
+    }
+
     /// Local dense solver back end.
     pub fn solver(mut self, solver: SolverKind) -> Self {
         self.execution.solver = solver;
@@ -426,13 +497,15 @@ impl ProblemBuilder {
         self
     }
 
-    /// Apply the `UNSNAP_STRATEGY`, `UNSNAP_SOLVER`, `UNSNAP_SCHEME` and
-    /// `UNSNAP_THREADS` environment overrides (the three backend knobs
-    /// round-trip through `FromStr`/`Display`, so any label the workspace
-    /// prints is accepted; `UNSNAP_THREADS` is a positive worker-thread
-    /// count for the solver's pool).  Unset variables leave the builder
-    /// unchanged; a set but unparsable variable is an
-    /// [`Error::InvalidProblem`] naming the knob.
+    /// Apply the `UNSNAP_STRATEGY`, `UNSNAP_ACCEL`, `UNSNAP_SOLVER`,
+    /// `UNSNAP_SCHEME`, `UNSNAP_THREADS` and `UNSNAP_SUBDOMAIN_ITERS`
+    /// environment overrides (the enum knobs round-trip through
+    /// `FromStr`/`Display`, so any label the workspace prints is
+    /// accepted; `UNSNAP_THREADS` is a positive worker-thread count for
+    /// the solver's pool and `UNSNAP_SUBDOMAIN_ITERS` a positive
+    /// per-rank Krylov budget for the distributed driver).  Unset
+    /// variables leave the builder unchanged; a set but unparsable
+    /// variable is an [`Error::InvalidProblem`] naming the knob.
     ///
     /// `UNSNAP_THREADS` sizes the pool *request* like
     /// [`ProblemBuilder::threads`] and is subject to builder validation
@@ -455,6 +528,24 @@ impl ProblemBuilder {
         }
         if let Some(strategy) = parse_env::<StrategyKind>("UNSNAP_STRATEGY", "strategy")? {
             self.iteration.strategy = strategy;
+        }
+        if let Some(accelerator) = parse_env::<AcceleratorKind>("UNSNAP_ACCEL", "accelerator")? {
+            self.accel.accelerator = accelerator;
+        }
+        if let Ok(raw) = std::env::var("UNSNAP_SUBDOMAIN_ITERS") {
+            let budget: usize = raw.trim().parse().map_err(|e| {
+                Error::invalid_problem(
+                    "subdomain_krylov_budget",
+                    format!("UNSNAP_SUBDOMAIN_ITERS: {e}"),
+                )
+            })?;
+            if budget == 0 {
+                return Err(Error::invalid_problem(
+                    "subdomain_krylov_budget",
+                    "UNSNAP_SUBDOMAIN_ITERS: per-rank Krylov budget must be at least 1",
+                ));
+            }
+            self.iteration.subdomain_krylov_budget = Some(budget);
         }
         if let Some(solver) = parse_env::<SolverKind>("UNSNAP_SOLVER", "solver")? {
             self.execution.solver = solver;
@@ -500,6 +591,10 @@ impl ProblemBuilder {
             solver: self.execution.solver,
             strategy: self.iteration.strategy,
             gmres_restart: self.iteration.gmres_restart,
+            accelerator: self.accel.accelerator,
+            accel_cg_tolerance: self.accel.cg_tolerance,
+            accel_cg_iterations: self.accel.cg_iterations,
+            subdomain_krylov_budget: self.iteration.subdomain_krylov_budget,
             scattering_ratio: self.physics.scattering_ratio,
             scheme: self.execution.scheme,
             num_threads: self.execution.num_threads,
@@ -520,6 +615,11 @@ impl ProblemBuilder {
     /// * the angle-threaded scheme cannot use more threads than there are
     ///   angles in an octant (the extra threads could never be assigned
     ///   work).
+    ///
+    /// Cross-field rules involving only `Problem` fields (such as
+    /// rejecting `accelerator = dsa` with plain source iteration, which
+    /// would silently ignore the knob) live in [`Problem::validate`] so
+    /// they hold on every construction path, not just the builder's.
     pub fn build(&self) -> Result<Problem> {
         let problem = self.assemble();
         problem.validate()?;
@@ -686,6 +786,60 @@ mod tests {
     }
 
     #[test]
+    fn cross_field_dangling_accelerator_is_rejected() {
+        // DSA with plain SI would silently never run: reject it and
+        // point at the dedicated strategy.
+        let err = ProblemBuilder::tiny()
+            .accelerator(AcceleratorKind::Dsa)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("accelerator"));
+        // With a strategy that reads the knob, the same selection is fine.
+        for strategy in [StrategyKind::DsaSourceIteration, StrategyKind::SweepGmres] {
+            assert!(ProblemBuilder::tiny()
+                .strategy(strategy)
+                .accelerator(AcceleratorKind::Dsa)
+                .build()
+                .is_ok());
+        }
+        // DSA-SI without the knob is also fine (the strategy implies it).
+        assert!(ProblemBuilder::tiny()
+            .strategy(StrategyKind::DsaSourceIteration)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn accel_and_subdomain_knobs_apply_and_validate() {
+        let p = ProblemBuilder::tiny()
+            .strategy(StrategyKind::DsaSourceIteration)
+            .accel_cg_tolerance(1e-11)
+            .accel_cg_iterations(33)
+            .subdomain_krylov_budget(5)
+            .build()
+            .unwrap();
+        assert_eq!(p.accel_cg_tolerance, 1e-11);
+        assert_eq!(p.accel_cg_iterations, 33);
+        assert_eq!(p.subdomain_krylov_budget, Some(5));
+
+        let err = ProblemBuilder::tiny()
+            .accel_cg_tolerance(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("accel_cg_tolerance"));
+        let err = ProblemBuilder::tiny()
+            .accel_cg_iterations(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("accel_cg_iterations"));
+        let err = ProblemBuilder::tiny()
+            .subdomain_krylov_budget(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("subdomain_krylov_budget"));
+    }
+
+    #[test]
     fn cross_field_angle_threads_are_bounded() {
         let scheme = crate::problem::angle_threaded_scheme();
         let err = ProblemBuilder::tiny()
@@ -729,30 +883,52 @@ mod tests {
         // Env vars are process-global; this is the only test that touches
         // the UNSNAP_* names, and it removes them before returning.
         std::env::set_var("UNSNAP_STRATEGY", "gmres");
+        std::env::set_var("UNSNAP_ACCEL", "dsa");
         std::env::set_var("UNSNAP_SOLVER", "mkl");
         std::env::set_var("UNSNAP_SCHEME", "best");
         std::env::set_var("UNSNAP_THREADS", "3");
+        std::env::set_var("UNSNAP_SUBDOMAIN_ITERS", "9");
         let b = ProblemBuilder::tiny().env_overrides().unwrap();
         assert_eq!(b.iteration.strategy, StrategyKind::SweepGmres);
+        assert_eq!(b.accel.accelerator, AcceleratorKind::Dsa);
         assert_eq!(b.execution.solver, SolverKind::Mkl);
         assert_eq!(b.execution.scheme, ConcurrencyScheme::best());
         assert_eq!(b.execution.num_threads, Some(3));
+        assert_eq!(b.iteration.subdomain_krylov_budget, Some(9));
 
         std::env::set_var("UNSNAP_STRATEGY", "nonsense");
         let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
         assert_eq!(err.invalid_field(), Some("strategy"));
         std::env::set_var("UNSNAP_STRATEGY", "gmres");
 
+        std::env::set_var("UNSNAP_ACCEL", "nonsense");
+        let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("accelerator"));
+        std::env::set_var("UNSNAP_ACCEL", "dsa");
+
         for bad in ["0", "-2", "many"] {
             std::env::set_var("UNSNAP_THREADS", bad);
             let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
             assert_eq!(err.invalid_field(), Some("num_threads"), "'{bad}'");
         }
+        std::env::set_var("UNSNAP_THREADS", "3");
+
+        for bad in ["0", "-1", "lots"] {
+            std::env::set_var("UNSNAP_SUBDOMAIN_ITERS", bad);
+            let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+            assert_eq!(
+                err.invalid_field(),
+                Some("subdomain_krylov_budget"),
+                "'{bad}'"
+            );
+        }
 
         std::env::remove_var("UNSNAP_STRATEGY");
+        std::env::remove_var("UNSNAP_ACCEL");
         std::env::remove_var("UNSNAP_SOLVER");
         std::env::remove_var("UNSNAP_SCHEME");
         std::env::remove_var("UNSNAP_THREADS");
+        std::env::remove_var("UNSNAP_SUBDOMAIN_ITERS");
         let b = ProblemBuilder::tiny().env_overrides().unwrap();
         assert_eq!(b, ProblemBuilder::tiny());
     }

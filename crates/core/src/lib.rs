@@ -47,7 +47,11 @@
 //! * [`solver`] — the sweep driver: inner/outer iteration structure,
 //!   concurrency schemes, timers and convergence monitoring.
 //! * [`strategy`] — pluggable inner-iteration strategies: classic source
-//!   iteration and sweep-preconditioned GMRES (via `unsnap-krylov`).
+//!   iteration, DSA-accelerated source iteration and
+//!   sweep-preconditioned GMRES (via `unsnap-krylov`), plus the
+//!   [`AcceleratorKind`](strategy::AcceleratorKind) knob.
+//! * [`dsa`] — restriction/prolongation glue between the DG flux
+//!   storage and the low-order diffusion solver of `unsnap-accel`.
 //! * [`fd`] — the structured diamond-difference baseline (the original
 //!   SNAP spatial discretisation) for the FD-versus-FEM comparison.
 //! * [`preassembly`] — the pre-assembled / pre-factorised matrix ablation
@@ -74,6 +78,7 @@
 pub mod angular;
 pub mod builder;
 pub mod data;
+pub mod dsa;
 pub mod error;
 pub mod fd;
 pub mod json;

@@ -17,7 +17,7 @@ use unsnap_sweep::{ConcurrencyScheme, LoopOrder, ThreadedLoops};
 
 use crate::data::{MaterialOption, SourceOption};
 use crate::error::{Error, Result};
-use crate::strategy::StrategyKind;
+use crate::strategy::{AcceleratorKind, StrategyKind};
 
 /// Full description of an UnSNAP run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +64,25 @@ pub struct Problem {
     pub strategy: StrategyKind,
     /// GMRES restart length `m` (only read by the Krylov strategies).
     pub gmres_restart: usize,
+    /// Optional low-order accelerator for the Krylov strategies: with
+    /// [`AcceleratorKind::Dsa`], `SweepGmres` solves the
+    /// DSA-preconditioned fixed point (each operator application adds a
+    /// low-order diffusion correction).  The dedicated
+    /// [`StrategyKind::DsaSourceIteration`] strategy always applies DSA
+    /// regardless of this knob; plain `SourceIteration` ignores — and
+    /// the builder rejects — a dangling accelerator selection.
+    pub accelerator: AcceleratorKind,
+    /// Relative residual target of the low-order DSA CG solve (read
+    /// whenever a DSA correction runs).
+    pub accel_cg_tolerance: f64,
+    /// Iteration cap of the low-order DSA CG solve.
+    pub accel_cg_iterations: usize,
+    /// Dedicated per-rank Krylov budget for the distributed block-Jacobi
+    /// driver: the iteration cap of *each rank's subdomain solve per
+    /// halo exchange*.  `None` preserves the historical behaviour of
+    /// capping both the halo loop and the per-exchange solve with
+    /// [`Problem::inner_iterations`].
+    pub subdomain_krylov_budget: Option<usize>,
     /// Optional override of the within-group scattering ratio `c`.
     /// `None` keeps the SNAP recipe (`c ≈ 0.5–0.7`); `Some(c)` replaces
     /// the scattering matrix with purely within-group scattering
@@ -111,6 +130,10 @@ impl Problem {
             solver: SolverKind::GaussianElimination,
             strategy: StrategyKind::SourceIteration,
             gmres_restart: 20,
+            accelerator: AcceleratorKind::None,
+            accel_cg_tolerance: 1e-8,
+            accel_cg_iterations: 200,
+            subdomain_krylov_budget: None,
             scattering_ratio: None,
             scheme: ConcurrencyScheme::serial(),
             num_threads: Some(1),
@@ -276,6 +299,26 @@ impl Problem {
         self
     }
 
+    /// Override the low-order accelerator selection.
+    pub fn with_accelerator(mut self, accelerator: AcceleratorKind) -> Self {
+        self.accelerator = accelerator;
+        self
+    }
+
+    /// Override the low-order DSA CG tolerance and iteration cap.
+    pub fn with_accel_cg(mut self, tolerance: f64, max_iterations: usize) -> Self {
+        self.accel_cg_tolerance = tolerance;
+        self.accel_cg_iterations = max_iterations;
+        self
+    }
+
+    /// Override the dedicated per-rank subdomain Krylov budget (see
+    /// [`Problem::subdomain_krylov_budget`]).
+    pub fn with_subdomain_krylov_budget(mut self, budget: usize) -> Self {
+        self.subdomain_krylov_budget = Some(budget);
+        self
+    }
+
     /// Override the element order.
     pub fn with_order(mut self, order: usize) -> Self {
         self.element_order = order;
@@ -425,6 +468,27 @@ impl Problem {
                 "GMRES restart length must be at least 1",
             ));
         }
+        if !(self.accel_cg_tolerance > 0.0 && self.accel_cg_tolerance.is_finite()) {
+            return Err(Error::invalid_problem(
+                "accel_cg_tolerance",
+                format!(
+                    "DSA CG tolerance must be finite and positive, got {}",
+                    self.accel_cg_tolerance
+                ),
+            ));
+        }
+        if self.accel_cg_iterations == 0 {
+            return Err(Error::invalid_problem(
+                "accel_cg_iterations",
+                "DSA CG iteration cap must be at least 1",
+            ));
+        }
+        if let Some(0) = self.subdomain_krylov_budget {
+            return Err(Error::invalid_problem(
+                "subdomain_krylov_budget",
+                "per-rank Krylov budget must be at least 1",
+            ));
+        }
         if let Some(c) = self.scattering_ratio {
             if !(c > 0.0 && c <= 1.0) {
                 return Err(Error::invalid_problem(
@@ -432,6 +496,16 @@ impl Problem {
                     format!("scattering ratio must lie in (0, 1], got {c}"),
                 ));
             }
+        }
+        if self.accelerator == AcceleratorKind::Dsa
+            && self.strategy == StrategyKind::SourceIteration
+        {
+            return Err(Error::invalid_problem(
+                "accelerator",
+                "plain source iteration never applies the DSA accelerator; select the \
+                 dsa-si strategy (StrategyKind::DsaSourceIteration) or the gmres strategy \
+                 to make the accelerator effective",
+            ));
         }
         Ok(())
     }
@@ -581,6 +655,59 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(Problem {
+            accel_cg_tolerance: 0.0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            accel_cg_tolerance: f64::NAN,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            accel_cg_iterations: 0,
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+        assert!(Problem {
+            subdomain_krylov_budget: Some(0),
+            ..Problem::tiny()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn accel_and_subdomain_builders_apply() {
+        let p = Problem::tiny()
+            .with_strategy(StrategyKind::SweepGmres)
+            .with_accelerator(AcceleratorKind::Dsa)
+            .with_accel_cg(1e-10, 50)
+            .with_subdomain_krylov_budget(7);
+        assert_eq!(p.accelerator, AcceleratorKind::Dsa);
+        assert_eq!(p.accel_cg_tolerance, 1e-10);
+        assert_eq!(p.accel_cg_iterations, 50);
+        assert_eq!(p.subdomain_krylov_budget, Some(7));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn dangling_dsa_accelerator_is_rejected_on_every_path() {
+        // Plain source iteration never reads the accelerator; validate()
+        // must reject the combination so direct `Problem` construction
+        // cannot silently ignore the knob (the builder inherits this).
+        let p = Problem::tiny().with_accelerator(AcceleratorKind::Dsa);
+        assert!(matches!(
+            p.validate(),
+            Err(Error::InvalidProblem {
+                field: "accelerator",
+                ..
+            })
+        ));
     }
 
     #[test]

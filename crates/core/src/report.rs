@@ -107,6 +107,75 @@ pub fn iteration_summary<T: IterationSummary + ?Sized>(outcome: &T) -> String {
     out
 }
 
+/// One row of the three-way acceleration ablation (`ablation_dsa`): the
+/// sweeps SI, DSA-SI and sweep-preconditioned GMRES each needed at one
+/// scattering ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelAblationRow {
+    /// Within-group scattering ratio `c` of the scenario.
+    pub scattering_ratio: f64,
+    /// Sweeps source iteration needed.
+    pub si_sweeps: usize,
+    /// Sweeps DSA-accelerated source iteration needed.
+    pub dsa_sweeps: usize,
+    /// Sweeps the GMRES strategy needed (incl. RHS/consistency sweeps).
+    pub gmres_sweeps: usize,
+    /// Low-order CG iterations the DSA runs spent (not sweeps).
+    pub dsa_cg_iterations: usize,
+    /// Whether each strategy met the tolerance within its budget, in
+    /// (SI, DSA-SI, GMRES) order.
+    pub converged: [bool; 3],
+    /// Relative difference of the DSA-SI flux total against SI.
+    pub dsa_flux_rel_diff: f64,
+    /// Relative difference of the GMRES flux total against SI.
+    pub gmres_flux_rel_diff: f64,
+}
+
+impl AccelAblationRow {
+    /// Sweep-count ratio SI / DSA-SI (the DSA acceleration factor).
+    pub fn dsa_speedup(&self) -> f64 {
+        if self.dsa_sweeps == 0 {
+            0.0
+        } else {
+            self.si_sweeps as f64 / self.dsa_sweeps as f64
+        }
+    }
+
+    /// Sweep-count ratio SI / GMRES.
+    pub fn gmres_speedup(&self) -> f64 {
+        if self.gmres_sweeps == 0 {
+            0.0
+        } else {
+            self.si_sweeps as f64 / self.gmres_sweeps as f64
+        }
+    }
+}
+
+/// Render the three-way acceleration ablation as fixed-width text.
+pub fn accel_table_text(rows: &[AccelAblationRow]) -> String {
+    let mut out = String::from(
+        "     c   SI sweeps  DSA sweeps  GMRES sweeps  DSA speedup  GMRES speedup  \
+         DSA CG its\n",
+    );
+    for row in rows {
+        let mark = |converged: bool| if converged { ' ' } else { '!' };
+        out.push_str(&format!(
+            "{:>6.3}  {:>9}{} {:>10}{} {:>12}{} {:>11.1}  {:>13.1}  {:>10}\n",
+            row.scattering_ratio,
+            row.si_sweeps,
+            mark(row.converged[0]),
+            row.dsa_sweeps,
+            mark(row.converged[1]),
+            row.gmres_sweeps,
+            mark(row.converged[2]),
+            row.dsa_speedup(),
+            row.gmres_speedup(),
+            row.dsa_cg_iterations,
+        ));
+    }
+    out
+}
+
 /// One row of the source-iteration-versus-GMRES ablation: how many
 /// sweeps each strategy needed at one scattering ratio.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -248,6 +317,8 @@ mod tests {
             sweep_count: 12,
             krylov_iterations: 0,
             krylov_residual_history: Vec::new(),
+            accel_cg_iterations: 0,
+            accel_residual_history: Vec::new(),
             converged: true,
             convergence_history: vec![0.1, 0.01],
             assemble_solve_seconds: 0.0,
@@ -298,6 +369,27 @@ mod tests {
             text.contains("1000!"),
             "non-converged rows are flagged: {text}"
         );
+    }
+
+    #[test]
+    fn accel_table_lists_all_rows_and_speedups() {
+        let rows = [AccelAblationRow {
+            scattering_ratio: 0.99,
+            si_sweeps: 1200,
+            dsa_sweeps: 40,
+            gmres_sweeps: 30,
+            dsa_cg_iterations: 500,
+            converged: [false, true, true],
+            dsa_flux_rel_diff: 1e-7,
+            gmres_flux_rel_diff: 2e-8,
+        }];
+        assert!((rows[0].dsa_speedup() - 30.0).abs() < 1e-12);
+        assert!((rows[0].gmres_speedup() - 40.0).abs() < 1e-12);
+        let text = accel_table_text(&rows);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("0.990"));
+        assert!(text.contains("1200!"), "unconverged SI is flagged: {text}");
+        assert!(text.contains("DSA CG its"));
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub trait RunObserver {
         let _ = (iteration, relative_residual);
     }
 
+    /// The low-order DSA correction solve reported a CG residual (one
+    /// event per entry of
+    /// [`SolveOutcome::accel_residual_history`](crate::solver::SolveOutcome::accel_residual_history);
+    /// only fires when DSA is active — the `DSA-SI` strategy or the
+    /// DSA-preconditioned GMRES path).
+    fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
+        let _ = (iteration, relative_residual);
+    }
+
     // ------------------------------------------------------------------
     // Rank-tagged events, fired by distributed drivers (the block-Jacobi
     // multi-rank path in `unsnap-comm`).  Ranks solve concurrently, so
@@ -109,6 +118,12 @@ pub trait RunObserver {
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
         let _ = (rank, iteration, relative_residual);
     }
+
+    /// Rank `rank`'s low-order DSA correction solve reported a CG
+    /// residual.
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        let _ = (rank, iteration, relative_residual);
+    }
 }
 
 /// One buffered solve event (the payload of an [`EventLog`]).
@@ -145,6 +160,13 @@ pub enum SolveEvent {
         /// Krylov iterations completed.
         iteration: usize,
         /// Relative residual estimate.
+        relative_residual: f64,
+    },
+    /// [`RunObserver::on_accel_residual`].
+    AccelResidual {
+        /// Low-order CG iterations completed within the current solve.
+        iteration: usize,
+        /// Relative CG residual.
         relative_residual: f64,
     },
 }
@@ -186,6 +208,10 @@ impl EventLog {
                     iteration,
                     relative_residual,
                 } => observer.on_krylov_residual(iteration, relative_residual),
+                SolveEvent::AccelResidual {
+                    iteration,
+                    relative_residual,
+                } => observer.on_accel_residual(iteration, relative_residual),
             }
         }
     }
@@ -210,6 +236,10 @@ impl EventLog {
                     iteration,
                     relative_residual,
                 } => observer.on_rank_krylov_residual(rank, iteration, relative_residual),
+                SolveEvent::AccelResidual {
+                    iteration,
+                    relative_residual,
+                } => observer.on_rank_accel_residual(rank, iteration, relative_residual),
             }
         }
     }
@@ -241,6 +271,13 @@ impl RunObserver for EventLog {
             relative_residual,
         });
     }
+
+    fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.events.push(SolveEvent::AccelResidual {
+            iteration,
+            relative_residual,
+        });
+    }
 }
 
 /// The silent observer used when nobody is watching.
@@ -267,6 +304,9 @@ pub struct RecordingObserver {
     pub convergence_history: Vec<f64>,
     /// Krylov residuals observed, concatenated across outer iterations.
     pub krylov_residual_history: Vec<f64>,
+    /// Low-order DSA CG residuals observed, concatenated across
+    /// correction solves (empty unless DSA is active).
+    pub accel_residual_history: Vec<f64>,
     /// Transport sweeps observed.
     pub sweep_count: usize,
     /// Wall-clock seconds summed over the observed sweeps.
@@ -323,6 +363,10 @@ impl RunObserver for RecordingObserver {
         self.krylov_residual_history.push(relative_residual);
     }
 
+    fn on_accel_residual(&mut self, _iteration: usize, relative_residual: f64) {
+        self.accel_residual_history.push(relative_residual);
+    }
+
     fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
         self.rank_mut(rank).on_outer_start(outer);
     }
@@ -343,6 +387,142 @@ impl RunObserver for RecordingObserver {
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
         self.rank_mut(rank)
             .on_krylov_residual(iteration, relative_residual);
+    }
+
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.rank_mut(rank)
+            .on_accel_residual(iteration, relative_residual);
+    }
+}
+
+/// A rate-limited stderr progress reporter for long-running solves.
+///
+/// Outer-iteration boundaries always print; the high-rate events (inner
+/// iterates, Krylov and DSA residuals) print at most once per
+/// `min_interval`, so a bench binary can stream useful progress without
+/// drowning in per-sweep output.  Wire it up behind the bench harness's
+/// `--progress` flag:
+///
+/// ```
+/// use unsnap_core::builder::ProblemBuilder;
+/// use unsnap_core::session::ProgressObserver;
+///
+/// let mut session = ProblemBuilder::tiny().session().unwrap();
+/// let mut progress = ProgressObserver::new();
+/// session.run_observed(&mut progress).unwrap();
+/// assert!(progress.lines_emitted() >= 2); // outer start + end
+/// ```
+///
+/// Timing is wall-clock, so the *set* of rate-limited lines differs
+/// between runs; the observer only writes to stderr and never feeds
+/// back into the solve, which keeps the solver's determinism contract
+/// intact.
+#[derive(Debug)]
+pub struct ProgressObserver {
+    min_interval: std::time::Duration,
+    last_emit: Option<std::time::Instant>,
+    lines_emitted: usize,
+    sweeps: usize,
+}
+
+impl Default for ProgressObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgressObserver {
+    /// A reporter with the default 100 ms rate limit.
+    pub fn new() -> Self {
+        Self::with_interval(std::time::Duration::from_millis(100))
+    }
+
+    /// A reporter emitting rate-limited lines at most once per
+    /// `min_interval` (zero = every event).
+    pub fn with_interval(min_interval: std::time::Duration) -> Self {
+        Self {
+            min_interval,
+            last_emit: None,
+            lines_emitted: 0,
+            sweeps: 0,
+        }
+    }
+
+    /// Lines written to stderr so far.
+    pub fn lines_emitted(&self) -> usize {
+        self.lines_emitted
+    }
+
+    /// Print unconditionally (outer boundaries).
+    fn emit(&mut self, line: std::fmt::Arguments<'_>) {
+        eprintln!("{line}");
+        self.lines_emitted += 1;
+        self.last_emit = Some(std::time::Instant::now());
+    }
+
+    /// Print only if the rate limit allows it.
+    fn emit_limited(&mut self, line: std::fmt::Arguments<'_>) {
+        let due = match self.last_emit {
+            None => true,
+            Some(t) => t.elapsed() >= self.min_interval,
+        };
+        if due {
+            self.emit(line);
+        }
+    }
+}
+
+impl RunObserver for ProgressObserver {
+    fn on_outer_start(&mut self, outer: usize) {
+        self.emit(format_args!("[unsnap] outer {outer} started"));
+    }
+
+    fn on_outer_end(&mut self, outer: usize, converged: bool) {
+        let state = if converged {
+            "converged"
+        } else {
+            "not converged"
+        };
+        let sweeps = self.sweeps;
+        self.emit(format_args!(
+            "[unsnap] outer {outer} finished ({state}, {sweeps} sweeps so far)"
+        ));
+    }
+
+    fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        self.emit_limited(format_args!(
+            "[unsnap]   inner {inner}: max relative change {relative_change:.3e}"
+        ));
+    }
+
+    fn on_sweep(&mut self, sweep: usize, _seconds: f64) {
+        self.sweeps = sweep;
+    }
+
+    fn on_rank_sweep(&mut self, _rank: usize, _sweep: usize, _seconds: f64) {
+        // Distributed drivers report sweeps per rank (each with its own
+        // running count); count events so the outer-boundary summary
+        // reflects the total across ranks.
+        self.sweeps += 1;
+    }
+
+    fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.emit_limited(format_args!(
+            "[unsnap]   krylov {iteration}: residual {relative_residual:.3e}"
+        ));
+    }
+
+    fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.emit_limited(format_args!(
+            "[unsnap]   dsa cg {iteration}: residual {relative_residual:.3e}"
+        ));
+    }
+
+    fn on_rank_outer_end(&mut self, rank: usize, outer: usize, converged: bool) {
+        let state = if converged { "converged" } else { "running" };
+        self.emit_limited(format_args!(
+            "[unsnap]   rank {rank} halo iteration {outer}: {state}"
+        ));
     }
 }
 
@@ -513,6 +693,48 @@ mod tests {
         let mut cleared = log.clone();
         cleared.clear();
         assert!(cleared.events.is_empty());
+    }
+
+    #[test]
+    fn progress_observer_rate_limits_high_rate_events() {
+        // A huge interval: only the unconditional outer boundary prints.
+        let mut p = ProgressObserver::with_interval(std::time::Duration::from_secs(3600));
+        p.on_outer_start(0);
+        p.on_inner_iteration(1, 0.5);
+        p.on_krylov_residual(1, 0.1);
+        p.on_accel_residual(0, 1.0);
+        p.on_sweep(3, 0.01);
+        assert_eq!(p.lines_emitted(), 1);
+        p.on_outer_end(0, true);
+        assert_eq!(p.lines_emitted(), 2);
+
+        // Zero interval: every rate-limited event prints too.
+        let mut p = ProgressObserver::with_interval(std::time::Duration::ZERO);
+        p.on_inner_iteration(1, 0.5);
+        p.on_krylov_residual(1, 0.1);
+        p.on_accel_residual(0, 1.0);
+        p.on_rank_outer_end(2, 0, false);
+        assert_eq!(p.lines_emitted(), 4);
+    }
+
+    #[test]
+    fn accel_residual_events_buffer_and_replay_both_ways() {
+        let mut log = EventLog::default();
+        log.on_accel_residual(0, 1.0);
+        log.on_accel_residual(1, 0.25);
+        assert_eq!(log.events.len(), 2);
+
+        let mut direct = RecordingObserver::default();
+        log.replay(&mut direct);
+        assert_eq!(direct.accel_residual_history, vec![1.0, 0.25]);
+
+        let mut tagged = RecordingObserver::default();
+        log.replay_as_rank(1, &mut tagged);
+        assert!(tagged.accel_residual_history.is_empty());
+        assert_eq!(
+            tagged.rank(1).unwrap().accel_residual_history,
+            vec![1.0, 0.25]
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use unsnap_linalg::vector::{axpy, dot, norm2};
 
-use crate::operator::LinearOperator;
+use crate::operator::{LinearOperator, ObservedOperator, SilentOperator};
 use crate::{KrylovError, KrylovOutcome};
 
 /// Tuning knobs for [`ConjugateGradient`].
@@ -30,6 +30,45 @@ impl Default for CgConfig {
             max_iterations: 500,
             tolerance: 1e-10,
         }
+    }
+}
+
+/// Reusable scratch for [`ConjugateGradient`] solves: the residual,
+/// search-direction and operator-product vectors.
+///
+/// CG needs three working vectors of the operator dimension; drivers
+/// that solve many same-shaped systems — one low-order DSA correction
+/// per transport sweep in `unsnap-accel` — can hold one workspace and
+/// pass it to [`ConjugateGradient::solve_observed_in`] so the buffers
+/// are allocated once and reused.  Every entry is overwritten before it
+/// is read, so a reused workspace produces bit-for-bit the same
+/// iterates, residual stream and outcome as a fresh one (including
+/// across dimension changes) — only the allocator traffic differs.
+#[derive(Debug, Clone, Default)]
+pub struct CgWorkspace {
+    /// Residual vector `r = b − A x`.
+    r: Vec<f64>,
+    /// Search direction `p`.
+    p: Vec<f64>,
+    /// Operator product `A p`.
+    ap: Vec<f64>,
+}
+
+impl CgWorkspace {
+    /// An empty workspace; buffers are sized lazily by the first solve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size every buffer for dimension `n`, reusing allocations when the
+    /// shape is unchanged.
+    fn prepare(&mut self, n: usize) {
+        self.r.clear();
+        self.r.resize(n, 0.0);
+        self.p.clear();
+        self.p.resize(n, 0.0);
+        self.ap.clear();
+        self.ap.resize(n, 0.0);
     }
 }
 
@@ -58,6 +97,38 @@ impl ConjugateGradient {
         b: &[f64],
         x: &mut [f64],
     ) -> Result<KrylovOutcome, KrylovError> {
+        self.solve_observed(&mut SilentOperator(op), b, x)
+    }
+
+    /// Solve `A x = b` while streaming every residual-history entry to
+    /// the operator's [`ObservedOperator::on_residual`] hook.
+    ///
+    /// The notifications mirror [`KrylovOutcome::residual_history`]
+    /// entry-for-entry (the initial-guess residual fires with iteration
+    /// 0), so an observer that records them reconstructs the history
+    /// exactly — the same contract as
+    /// [`Gmres::solve_observed`](crate::Gmres::solve_observed).
+    pub fn solve_observed(
+        &self,
+        op: &mut dyn ObservedOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<KrylovOutcome, KrylovError> {
+        self.solve_observed_in(&mut CgWorkspace::new(), op, b, x)
+    }
+
+    /// [`ConjugateGradient::solve_observed`] with caller-owned scratch:
+    /// the three working vectors live in `ws` and are reused across
+    /// calls instead of reallocated.  The numerical behaviour is
+    /// identical to a fresh workspace, including across dimension
+    /// changes.
+    pub fn solve_observed_in(
+        &self,
+        ws: &mut CgWorkspace,
+        op: &mut dyn ObservedOperator,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<KrylovOutcome, KrylovError> {
         let n = op.dim();
         if b.len() != n || x.len() != n {
             return Err(KrylovError::DimensionMismatch {
@@ -73,23 +144,23 @@ impl ConjugateGradient {
         let target = self.config.tolerance * b_norm;
 
         let mut outcome = KrylovOutcome::default();
-        let mut r = vec![0.0f64; n];
-        op.apply(x, &mut r);
+        ws.prepare(n);
+        op.apply(x, &mut ws.r);
         outcome.matvecs += 1;
-        for (ri, bi) in r.iter_mut().zip(b.iter()) {
+        for (ri, bi) in ws.r.iter_mut().zip(b.iter()) {
             *ri = bi - *ri;
         }
-        let mut p = r.clone();
-        let mut ap = vec![0.0f64; n];
-        let mut rho = dot(&r, &r);
+        ws.p.copy_from_slice(&ws.r);
+        let mut rho = dot(&ws.r, &ws.r);
         let mut res_norm = rho.sqrt();
         outcome.residual_history.push(res_norm / b_norm);
+        op.on_residual(outcome.iterations, res_norm / b_norm);
 
         while res_norm > target && outcome.iterations < self.config.max_iterations {
-            op.apply(&p, &mut ap);
+            op.apply(&ws.p, &mut ws.ap);
             outcome.iterations += 1;
             outcome.matvecs += 1;
-            let p_ap = dot(&p, &ap);
+            let p_ap = dot(&ws.p, &ws.ap);
             if p_ap <= 0.0 {
                 // A direction of non-positive curvature: the operator is
                 // not SPD (or rounding has destroyed it).
@@ -98,16 +169,17 @@ impl ConjugateGradient {
                 });
             }
             let alpha = rho / p_ap;
-            axpy(alpha, &p, x);
-            axpy(-alpha, &ap, &mut r);
-            let rho_next = dot(&r, &r);
+            axpy(alpha, &ws.p, x);
+            axpy(-alpha, &ws.ap, &mut ws.r);
+            let rho_next = dot(&ws.r, &ws.r);
             let beta = rho_next / rho;
-            for (pi, &ri) in p.iter_mut().zip(r.iter()) {
+            for (pi, &ri) in ws.p.iter_mut().zip(ws.r.iter()) {
                 *pi = ri + beta * *pi;
             }
             rho = rho_next;
             res_norm = rho.sqrt();
             outcome.residual_history.push(res_norm / b_norm);
+            op.on_residual(outcome.iterations, res_norm / b_norm);
         }
 
         outcome.converged = res_norm <= target;
@@ -175,6 +247,74 @@ mod tests {
             result,
             Err(KrylovError::NotPositiveDefinite { .. })
         ));
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_for_bit_identical_to_fresh() {
+        // One workspace driven through several solves (including
+        // dimension changes) must reproduce the fresh-workspace outcome
+        // exactly — iterates, history, counters.
+        let solver = ConjugateGradient::new(CgConfig {
+            max_iterations: 300,
+            tolerance: 1e-12,
+        });
+        let mut ws = CgWorkspace::new();
+        for n in [16usize, 16, 9, 16] {
+            let a = spd(n);
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+
+            let mut fresh_op = MatrixOperator::new(a.clone());
+            let mut fresh_x = vec![0.0; n];
+            let fresh = solver.solve(&mut fresh_op, &b, &mut fresh_x).unwrap();
+
+            let mut op = MatrixOperator::new(a);
+            let mut x = vec![0.0; n];
+            let reused = solver
+                .solve_observed_in(&mut ws, &mut crate::SilentOperator(&mut op), &b, &mut x)
+                .unwrap();
+
+            assert_eq!(fresh, reused, "outcome diverged at n = {n}");
+            assert_eq!(fresh_x, x, "iterate diverged at n = {n}");
+        }
+    }
+
+    #[test]
+    fn observed_solve_streams_the_residual_history() {
+        struct Watched {
+            op: MatrixOperator,
+            seen: Vec<(usize, f64)>,
+        }
+        impl LinearOperator for Watched {
+            fn dim(&self) -> usize {
+                self.op.dim()
+            }
+            fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+                self.op.apply(x, y)
+            }
+        }
+        impl crate::ObservedOperator for Watched {
+            fn on_residual(&mut self, iteration: usize, relative_residual: f64) {
+                self.seen.push((iteration, relative_residual));
+            }
+        }
+
+        let n = 12;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let mut watched = Watched {
+            op: MatrixOperator::new(spd(n)),
+            seen: Vec::new(),
+        };
+        let outcome = ConjugateGradient::default()
+            .solve_observed(&mut watched, &b, &mut x)
+            .unwrap();
+        assert!(outcome.converged);
+        // One notification per residual-history entry, starting with the
+        // iteration-0 initial residual.
+        let streamed: Vec<f64> = watched.seen.iter().map(|&(_, r)| r).collect();
+        assert_eq!(streamed, outcome.residual_history);
+        assert_eq!(watched.seen[0].0, 0);
+        assert_eq!(watched.seen.last().unwrap().0, outcome.iterations);
     }
 
     #[test]

@@ -48,7 +48,12 @@
 //! outer iteration in the distributed block-Jacobi path — should hold a
 //! [`GmresWorkspace`] per system and call
 //! [`Gmres::solve_observed_in`], which reuses the Krylov basis
-//! allocation across solves with bit-for-bit identical numerics.
+//! allocation across solves with bit-for-bit identical numerics.  CG
+//! has the same surface at parity: a [`CgWorkspace`] per system plus
+//! [`ConjugateGradient::solve_observed_in`] reuses the three working
+//! vectors, and [`ConjugateGradient::solve_observed`] streams every
+//! residual through [`ObservedOperator::on_residual`] — the low-order
+//! DSA solves in `unsnap-accel` run through exactly this path.
 //!
 //! ## Example
 //!
@@ -74,7 +79,7 @@ pub mod cg;
 pub mod gmres;
 pub mod operator;
 
-pub use cg::{CgConfig, ConjugateGradient};
+pub use cg::{CgConfig, CgWorkspace, ConjugateGradient};
 pub use gmres::{Gmres, GmresConfig, GmresWorkspace};
 pub use operator::{FnOperator, LinearOperator, MatrixOperator, ObservedOperator, SilentOperator};
 

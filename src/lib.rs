@@ -15,7 +15,8 @@
 //! | [`mesh`] (`unsnap-mesh`) | structured-derived unstructured hex meshes, twisting, KBA decomposition, `MeshError` |
 //! | [`fem`] (`unsnap-fem`) | arbitrary-order Lagrange elements, quadrature, per-element integrals |
 //! | [`linalg`] (`unsnap-linalg`) | small dense solvers: Gaussian elimination, reference LU, blocked LU (MKL stand-in) |
-//! | [`krylov`] (`unsnap-krylov`) | matrix-free Krylov solvers (restarted GMRES, CG) over an abstract `LinearOperator`, with observed solves |
+//! | [`krylov`] (`unsnap-krylov`) | matrix-free Krylov solvers (restarted GMRES, CG) over an abstract `LinearOperator`, with observed solves and reusable workspaces |
+//! | [`accel`] (`unsnap-accel`) | diffusion synthetic acceleration: mesh-consistent low-order diffusion operator + CG correction solver |
 //! | [`sweep`] (`unsnap-sweep`) | per-angle wavefront (tlevel-bucket) schedules and concurrency schemes |
 //! | [`core`] (`unsnap-core`) | typed errors, `ProblemBuilder`, the observable `Session` API, Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
 //! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model, `CommError` |
@@ -80,6 +81,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use unsnap_accel as accel;
 pub use unsnap_comm as comm;
 pub use unsnap_core as core;
 pub use unsnap_fem as fem;
@@ -90,6 +92,7 @@ pub use unsnap_sweep as sweep;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use unsnap_accel::{DiffusionOperator, DiffusionTopology, DsaConfig, DsaSolver};
     pub use unsnap_comm::{
         BlockJacobiOutcome, BlockJacobiSolver, CommError, HaloExchange, KbaModel,
     };
@@ -98,20 +101,24 @@ pub mod prelude {
         ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder,
     };
     pub use unsnap_core::data::{CrossSections, MaterialOption, SourceOption};
+    pub use unsnap_core::dsa::DsaAccelerator;
     pub use unsnap_core::error::{Error, Result};
     pub use unsnap_core::fd::DiamondDifferenceSolver;
     pub use unsnap_core::layout::{FluxLayout, FluxStorage};
     pub use unsnap_core::problem::Problem;
     pub use unsnap_core::report;
     pub use unsnap_core::session::{
-        EventLog, NoopObserver, RecordingObserver, RunObserver, Session, SolveEvent,
+        EventLog, NoopObserver, ProgressObserver, RecordingObserver, RunObserver, Session,
+        SolveEvent,
     };
     pub use unsnap_core::solver::{RunStats, SolveOutcome, TransportSolver};
-    pub use unsnap_core::strategy::{InnerSolveContext, IterationStrategy, StrategyKind};
+    pub use unsnap_core::strategy::{
+        AcceleratorKind, InnerSolveContext, IterationStrategy, StrategyKind,
+    };
     pub use unsnap_fem::{ElementIntegrals, HexVertices, ReferenceElement};
     pub use unsnap_krylov::{
-        CgConfig, ConjugateGradient, Gmres, GmresConfig, LinearOperator, MatrixOperator,
-        ObservedOperator,
+        CgConfig, CgWorkspace, ConjugateGradient, Gmres, GmresConfig, LinearOperator,
+        MatrixOperator, ObservedOperator,
     };
     pub use unsnap_linalg::{DenseMatrix, LinearSolver, SolverKind};
     pub use unsnap_mesh::{Decomposition2D, MeshError, StructuredGrid, UnstructuredMesh};

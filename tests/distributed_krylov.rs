@@ -93,15 +93,14 @@ fn rank_decomposed_sweep_gmres_matches_single_domain_flux() {
     );
 }
 
-#[test]
-fn per_rank_observer_streams_are_identical_across_thread_counts() {
+fn assert_per_rank_streams_thread_invariant(strategy: StrategyKind) {
     if let Some(width) = forced_width() {
         eprintln!("RAYON_NUM_THREADS={width} forces every pool width; cross-width check skipped");
         return;
     }
     // A 4-rank decomposition on a small scattering-dominated problem:
-    // enough halo traffic and Krylov work that any interleaving leak
-    // would scramble the streams.
+    // enough halo traffic and Krylov/DSA work that any interleaving
+    // leak would scramble the streams.
     let mut p = Problem::tiny();
     p.nx = 4;
     p.ny = 4;
@@ -112,7 +111,7 @@ fn per_rank_observer_streams_are_identical_across_thread_counts() {
     p.inner_iterations = 40;
     p.outer_iterations = 1;
     p.convergence_tolerance = 1e-8;
-    p.strategy = StrategyKind::SweepGmres;
+    p.strategy = strategy;
 
     let mut reference: Option<(RecordingObserver, BlockJacobiOutcome, Vec<f64>)> = None;
     // 8 exceeds the rank count; the driver caps the pool at 4 ranks, and
@@ -130,27 +129,55 @@ fn per_rank_observer_streams_are_identical_across_thread_counts() {
             Some((r_rec, r_out, r_flux)) => {
                 assert_eq!(
                     r_rec, &recorder,
-                    "observer stream diverged at {threads} threads"
+                    "{strategy:?} observer stream diverged at {threads} threads"
                 );
                 let mut a = r_out.clone();
                 let mut b = outcome;
                 a.assemble_solve_seconds = 0.0;
                 b.assemble_solve_seconds = 0.0;
-                assert_eq!(a, b, "outcome diverged at {threads} threads");
-                assert_eq!(r_flux, &flux, "flux diverged at {threads} threads");
+                assert_eq!(a, b, "{strategy:?} outcome diverged at {threads} threads");
+                assert_eq!(
+                    r_flux, &flux,
+                    "{strategy:?} flux diverged at {threads} threads"
+                );
             }
         }
     }
     let (recorder, outcome, _) = reference.unwrap();
     assert_eq!(recorder.rank_records.len(), 4);
-    assert!(outcome.krylov_iterations > 0);
-    assert!(
-        recorder
-            .rank_records
-            .iter()
-            .all(|r| !r.krylov_residual_history.is_empty()),
-        "every rank must stream Krylov residuals"
-    );
+    match strategy {
+        StrategyKind::SweepGmres => {
+            assert!(outcome.krylov_iterations > 0);
+            assert!(
+                recorder
+                    .rank_records
+                    .iter()
+                    .all(|r| !r.krylov_residual_history.is_empty()),
+                "every rank must stream Krylov residuals"
+            );
+        }
+        StrategyKind::DsaSourceIteration => {
+            assert!(outcome.accel_cg_iterations > 0);
+            assert!(
+                recorder
+                    .rank_records
+                    .iter()
+                    .all(|r| !r.accel_residual_history.is_empty()),
+                "every rank must stream DSA CG residuals"
+            );
+        }
+        StrategyKind::SourceIteration => {}
+    }
+}
+
+#[test]
+fn per_rank_observer_streams_are_identical_across_thread_counts() {
+    assert_per_rank_streams_thread_invariant(StrategyKind::SweepGmres);
+}
+
+#[test]
+fn per_rank_dsa_streams_are_identical_across_thread_counts() {
+    assert_per_rank_streams_thread_invariant(StrategyKind::DsaSourceIteration);
 }
 
 /// Per-rank event counts must equal the per-rank outcome counters: one
@@ -196,7 +223,7 @@ fn assert_rank_streams_match_counters(decomp: Decomposition2D, strategy: Strateg
         );
         assert_eq!(record.outers_completed, outcome.inner_iterations);
         match strategy {
-            StrategyKind::SourceIteration => {
+            StrategyKind::SourceIteration | StrategyKind::DsaSourceIteration => {
                 assert!(record.krylov_residual_history.is_empty());
                 // One relaxation sweep and one inner iterate per halo
                 // iteration.
@@ -206,6 +233,16 @@ fn assert_rank_streams_match_counters(decomp: Decomposition2D, strategy: Strateg
                     outcome.inner_iterations,
                     "rank {rank} inner iterates"
                 );
+                if strategy == StrategyKind::DsaSourceIteration {
+                    // Every halo iteration ran a low-order correction,
+                    // and its CG stream reached the recorder.
+                    assert!(
+                        !record.accel_residual_history.is_empty(),
+                        "rank {rank} streamed no DSA residuals"
+                    );
+                } else {
+                    assert!(record.accel_residual_history.is_empty());
+                }
             }
             StrategyKind::SweepGmres => {
                 // GMRES emits one residual event per Krylov iteration

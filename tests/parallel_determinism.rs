@@ -96,6 +96,10 @@ fn assert_thread_count_invariant(problem: &Problem) {
             reference.recorder.krylov_residual_history, run.recorder.krylov_residual_history,
             "streamed Krylov residuals diverged for {context}"
         );
+        assert_eq!(
+            reference.recorder.accel_residual_history, run.recorder.accel_residual_history,
+            "streamed DSA residuals diverged for {context}"
+        );
         assert_eq!(reference.recorder.converged, run.recorder.converged);
     }
 }
@@ -118,6 +122,30 @@ fn sweep_gmres_is_thread_count_invariant_on_tiny() {
 #[test]
 fn sweep_gmres_is_thread_count_invariant_on_quickstart() {
     assert_thread_count_invariant(&Problem::quickstart().with_strategy(StrategyKind::SweepGmres));
+}
+
+#[test]
+fn dsa_source_iteration_is_thread_count_invariant_on_tiny() {
+    assert_thread_count_invariant(&Problem::tiny().with_strategy(StrategyKind::DsaSourceIteration));
+}
+
+#[test]
+fn dsa_source_iteration_is_thread_count_invariant_on_quickstart() {
+    // The DSA correction is sequential, so only the sweeps fan out —
+    // corrected fluxes, residual histories and observer streams must
+    // stay bit-for-bit identical at every width.
+    assert_thread_count_invariant(
+        &Problem::quickstart().with_strategy(StrategyKind::DsaSourceIteration),
+    );
+}
+
+#[test]
+fn dsa_preconditioned_gmres_is_thread_count_invariant_on_quickstart() {
+    assert_thread_count_invariant(
+        &Problem::quickstart()
+            .with_strategy(StrategyKind::SweepGmres)
+            .with_accelerator(AcceleratorKind::Dsa),
+    );
 }
 
 #[test]
