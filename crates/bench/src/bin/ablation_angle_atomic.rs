@@ -11,7 +11,8 @@
 //! contention-free) across the same thread counts.
 
 use unsnap_bench::{
-    print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions,
+    emit_scaling_metrics, print_header, run_scaling_experiment, scaling_csv, scaling_table,
+    HarnessOptions,
 };
 use unsnap_core::problem::{angle_threaded_scheme, Problem};
 use unsnap_sweep::ConcurrencyScheme;
@@ -40,6 +41,7 @@ fn main() {
         );
     }
     let points = run_scaling_experiment(&base, &threads, &schemes);
+    emit_scaling_metrics(&opts, "ablation_angle_atomic", base.strategy, &points);
     if opts.csv {
         print!("{}", scaling_csv(&points));
     } else {

@@ -26,7 +26,9 @@
 //! * `UNSNAP_GROUPS`  — energy groups (default 1).
 //! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 4000).
 
-use unsnap_bench::{env_parse, run_strategy, HarnessOptions};
+use unsnap_bench::{
+    effective_threads, emit_metrics_record, env_parse, run_strategy, HarnessOptions, MetricsRecord,
+};
 use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::report::{accel_table_text, AccelAblationRow};
@@ -86,6 +88,25 @@ fn main() {
         let si = run_strategy(&base, StrategyKind::SourceIteration, opts.progress);
         let dsa = run_strategy(&base, StrategyKind::DsaSourceIteration, opts.progress);
         let gm = run_strategy(&base, StrategyKind::SweepGmres, opts.progress);
+
+        let case = format!("c={c}");
+        let threads = base.build().map(|p| effective_threads(&p)).unwrap_or(1);
+        for (strategy, outcome) in [
+            (StrategyKind::SourceIteration, &si),
+            (StrategyKind::DsaSourceIteration, &dsa),
+            (StrategyKind::SweepGmres, &gm),
+        ] {
+            emit_metrics_record(
+                &opts,
+                &MetricsRecord::from_metrics(
+                    "ablation_dsa",
+                    &case,
+                    strategy,
+                    threads,
+                    &outcome.metrics,
+                ),
+            );
+        }
 
         let row = AccelAblationRow {
             scattering_ratio: c,

@@ -25,7 +25,9 @@
 //! default 0.9 — scattering-dominated, where the Krylov inner solves
 //! pay off).
 
-use unsnap_bench::{env_parse, time_it, HarnessOptions};
+use unsnap_bench::{
+    effective_threads, emit_metrics_record, env_parse, time_it, HarnessOptions, MetricsRecord,
+};
 use unsnap_comm::{BlockJacobiOutcome, BlockJacobiSolver};
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::problem::Problem;
@@ -46,7 +48,7 @@ fn run_cell(
             problem.strategy,
             decomp.num_ranks()
         );
-        let mut observer = ProgressObserver::new();
+        let mut observer = ProgressObserver::from_env();
         time_it(|| solver.run_observed(&mut observer).expect("solve"))
     } else {
         time_it(|| solver.run().expect("solve"))
@@ -117,6 +119,16 @@ fn main() {
         p.strategy = strategy;
         for decomp in decompositions {
             let (outcome, seconds) = run_cell(&p, decomp, opts.progress);
+            emit_metrics_record(
+                &opts,
+                &MetricsRecord::from_metrics(
+                    "ablation_jacobi_krylov",
+                    &format!("ranks={}", decomp.num_ranks()),
+                    strategy,
+                    effective_threads(&p),
+                    &outcome.metrics,
+                ),
+            );
             if opts.json {
                 dumps.push(
                     JsonObject::new()

@@ -6,7 +6,7 @@
 //! cargo run --release -p unsnap-bench --bin ablation_jacobi_ranks [-- --csv]
 //! ```
 
-use unsnap_bench::HarnessOptions;
+use unsnap_bench::{effective_threads, emit_metrics_record, HarnessOptions, MetricsRecord};
 use unsnap_comm::{BlockJacobiSolver, KbaModel};
 use unsnap_core::problem::Problem;
 use unsnap_core::report::iteration_summary;
@@ -55,6 +55,16 @@ fn main() {
     for decomp in decompositions {
         let mut solver = BlockJacobiSolver::new(&problem, decomp).expect("decomposition fits");
         let outcome = solver.run().expect("solve");
+        emit_metrics_record(
+            &opts,
+            &MetricsRecord::from_metrics(
+                "ablation_jacobi_ranks",
+                &format!("ranks={}", decomp.num_ranks()),
+                problem.strategy,
+                effective_threads(&problem),
+                &outcome.metrics,
+            ),
+        );
         let local_stages =
             (problem.nx / decomp.npx + problem.ny / decomp.npy + problem.nz).saturating_sub(2);
         let kba = KbaModel::evaluate(decomp.npx, decomp.npy, local_stages.max(1));

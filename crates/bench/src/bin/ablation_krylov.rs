@@ -20,7 +20,9 @@
 //! * `UNSNAP_MESH`    — cells per side of the cubic mesh (default 4).
 //! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 600).
 
-use unsnap_bench::{env_parse, run_strategy, HarnessOptions};
+use unsnap_bench::{
+    effective_threads, emit_metrics_record, env_parse, run_strategy, HarnessOptions, MetricsRecord,
+};
 use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_core::report::{strategy_table_text, StrategyAblationRow};
@@ -63,6 +65,24 @@ fn main() {
 
         let si = run_strategy(&base, StrategyKind::SourceIteration, opts.progress);
         let gm = run_strategy(&base, StrategyKind::SweepGmres, opts.progress);
+
+        let case = format!("c={c}");
+        let threads = base.build().map(|p| effective_threads(&p)).unwrap_or(1);
+        for (strategy, outcome) in [
+            (StrategyKind::SourceIteration, &si),
+            (StrategyKind::SweepGmres, &gm),
+        ] {
+            emit_metrics_record(
+                &opts,
+                &MetricsRecord::from_metrics(
+                    "ablation_krylov",
+                    &case,
+                    strategy,
+                    threads,
+                    &outcome.metrics,
+                ),
+            );
+        }
 
         let row = StrategyAblationRow {
             scattering_ratio: c,

@@ -11,7 +11,8 @@
 //! with enough memory to run the published size.
 
 use unsnap_bench::{
-    print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions,
+    emit_scaling_metrics, print_header, run_scaling_experiment, scaling_csv, scaling_table,
+    HarnessOptions,
 };
 use unsnap_core::problem::Problem;
 use unsnap_sweep::ConcurrencyScheme;
@@ -34,6 +35,7 @@ fn main() {
         );
     }
     let points = run_scaling_experiment(&base, &threads, &schemes);
+    emit_scaling_metrics(&opts, "figure3", base.strategy, &points);
     if opts.csv {
         print!("{}", scaling_csv(&points));
     } else {

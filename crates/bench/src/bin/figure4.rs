@@ -7,7 +7,8 @@
 //! ```
 
 use unsnap_bench::{
-    print_header, run_scaling_experiment, scaling_csv, scaling_table, HarnessOptions,
+    emit_scaling_metrics, print_header, run_scaling_experiment, scaling_csv, scaling_table,
+    HarnessOptions,
 };
 use unsnap_core::problem::Problem;
 use unsnap_sweep::ConcurrencyScheme;
@@ -30,6 +31,7 @@ fn main() {
         );
     }
     let points = run_scaling_experiment(&base, &threads, &schemes);
+    emit_scaling_metrics(&opts, "figure4", base.strategy, &points);
     if opts.csv {
         print!("{}", scaling_csv(&points));
     } else {

@@ -14,7 +14,9 @@
 //! `RAYON_NUM_THREADS` override forces every pool to one width and makes
 //! the sweep meaningless — leave it unset here.
 
-use unsnap_bench::{print_header, run_scaling_experiment, scaling_csv, HarnessOptions};
+use unsnap_bench::{
+    emit_scaling_metrics, print_header, run_scaling_experiment, scaling_csv, HarnessOptions,
+};
 use unsnap_core::problem::Problem;
 use unsnap_sweep::{ConcurrencyScheme, LoopOrder};
 
@@ -53,6 +55,7 @@ fn main() {
         );
     }
     let points = run_scaling_experiment(&base, &threads, &schemes);
+    emit_scaling_metrics(&opts, "scaling_threads", base.strategy, &points);
     if opts.csv {
         print!("{}", scaling_csv(&points));
         return;

@@ -12,8 +12,9 @@
 //! interest (per-core assemble/solve cost and its solve share).
 
 use unsnap_bench::{
-    print_header, run_solver_comparison, solver_comparison_csv, solver_comparison_json,
-    solver_comparison_table, HarnessOptions,
+    effective_threads, emit_metrics_record, print_header, run_solver_comparison,
+    solver_comparison_csv, solver_comparison_json, solver_comparison_table, HarnessOptions,
+    MetricsRecord,
 };
 use unsnap_core::problem::Problem;
 use unsnap_linalg::SolverKind;
@@ -42,6 +43,21 @@ fn main() {
             Problem::table2_scaled(order, kind)
         }
     });
+
+    for row in &rows {
+        for (backend, metrics) in [("ge", &row.ge_metrics), ("mkl", &row.mkl_metrics)] {
+            emit_metrics_record(
+                &opts,
+                &MetricsRecord::from_metrics(
+                    "table2",
+                    &format!("order={}/{backend}", row.order),
+                    header_problem.strategy,
+                    effective_threads(&header_problem),
+                    metrics,
+                ),
+            );
+        }
+    }
 
     if opts.json {
         println!("{}", solver_comparison_json(&rows));

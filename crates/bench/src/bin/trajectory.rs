@@ -1,0 +1,109 @@
+//! Merge `--metrics-out` JSONL files from the benchmark binaries into
+//! the repo-level perf trajectory, `BENCH_6.json`.
+//!
+//! ```text
+//! cargo run --release -p unsnap-bench --bin ablation_dsa -- --quick --metrics-out run.jsonl
+//! cargo run --release -p unsnap-bench --bin trajectory -- run.jsonl [more.jsonl ...] \
+//!     [--out BENCH_6.json]
+//! ```
+//!
+//! Every input line must be a [`MetricsRecord`](unsnap_bench::MetricsRecord)
+//! document — the uniform schema all emitting bins share (bin, case,
+//! strategy, threads, per-phase breakdown, per-sweep latency
+//! percentiles).  Lines are validated with the `unsnap-obs` reader
+//! against [`METRICS_RECORD_KEYS`];
+//! a malformed line aborts the merge with its file and line number, so
+//! schema drift between the emitters and this merger fails loudly
+//! rather than producing a silently-wrong trajectory.
+//!
+//! The output is one JSON object: a schema tag, the record count, the
+//! distinct strategies covered, and the records themselves (verbatim).
+
+use std::io::Write;
+
+use unsnap_bench::METRICS_RECORD_KEYS;
+use unsnap_core::json::{array_raw, JsonObject};
+use unsnap_obs::reader;
+
+fn main() {
+    let mut out_path = String::from("BENCH_6.json");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out_path = path;
+                }
+            }
+            _ => inputs.push(arg),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: trajectory <run.jsonl> [more.jsonl ...] [--out BENCH_6.json]");
+        std::process::exit(2);
+    }
+
+    let mut records: Vec<String> = Vec::new();
+    let mut strategies: Vec<String> = Vec::new();
+    let mut bins: Vec<String> = Vec::new();
+    for input in &inputs {
+        let text =
+            std::fs::read_to_string(input).unwrap_or_else(|e| panic!("{input}: cannot read: {e}"));
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc = reader::parse(line)
+                .unwrap_or_else(|e| panic!("{input} line {}: invalid JSON: {e}", index + 1));
+            for key in METRICS_RECORD_KEYS {
+                if doc.get(key).is_none() {
+                    panic!(
+                        "{input} line {}: not a metrics record (missing `{key}`)",
+                        index + 1
+                    );
+                }
+            }
+            for (value, seen) in [
+                (doc.get("strategy"), &mut strategies),
+                (doc.get("bin"), &mut bins),
+            ] {
+                if let Some(tag) = value.and_then(|v| v.as_str()) {
+                    if !seen.iter().any(|s| s == tag) {
+                        seen.push(tag.to_string());
+                    }
+                }
+            }
+            records.push(line.to_string());
+        }
+    }
+    if records.is_empty() {
+        panic!("no metrics records found in {inputs:?}");
+    }
+    strategies.sort();
+    bins.sort();
+
+    let count = records.len();
+    let trajectory = JsonObject::new()
+        .field_str("schema", "unsnap-perf-trajectory/v1")
+        .field_usize("records_total", count)
+        .field_raw("bins", &array_raw(bins.iter().map(|b| format!("\"{b}\""))))
+        .field_raw(
+            "strategies",
+            &array_raw(strategies.iter().map(|s| format!("\"{s}\""))),
+        )
+        .field_raw("records", &array_raw(records))
+        .finish();
+
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("{out_path}: cannot create: {e}"));
+    file.write_all(trajectory.as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .unwrap_or_else(|e| panic!("{out_path}: write failed: {e}"));
+    eprintln!(
+        "trajectory: merged {count} record(s) from {} file(s) into {out_path} \
+         (strategies: {})",
+        inputs.len(),
+        strategies.join(", ")
+    );
+}

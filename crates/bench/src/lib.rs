@@ -23,10 +23,14 @@
 //! Every binary parses the shared [`HarnessOptions`] flags: `--full`
 //! runs the problem at the paper's published size (which needs a
 //! large-memory node, as the original did), `--quick` shrinks it for CI
-//! smoke runs, `--csv`/`--json` emit machine-readable output, and
-//! `--progress` streams rate-limited solve progress to stderr; the
-//! default sizes are scaled down so the whole suite completes on a
-//! laptop.  The harness helpers — [`run_scaling_experiment`],
+//! smoke runs, `--csv`/`--json` emit machine-readable output,
+//! `--progress` streams rate-limited solve progress to stderr, and
+//! `--metrics-out <path>` appends one uniform-schema JSONL
+//! [`MetricsRecord`] per measured solve (bin, case, strategy, threads,
+//! per-phase breakdown, per-sweep latency percentiles) for the
+//! `trajectory` binary to merge into `BENCH_6.json`; the default sizes
+//! are scaled down so the whole suite completes on a laptop.  The
+//! harness helpers — [`run_scaling_experiment`],
 //! [`run_solver_comparison`], [`scaling_table`]/[`scaling_csv`],
 //! [`print_header`] and [`time_it`] — are exported so new experiment
 //! binaries compose the same pieces.  Criterion micro benchmarks of the
@@ -38,12 +42,14 @@
 use std::time::Instant;
 
 use unsnap_core::builder::ProblemBuilder;
+use unsnap_core::metrics::RunMetrics;
 use unsnap_core::problem::Problem;
 use unsnap_core::report::MachineInfo;
-use unsnap_core::session::{NoopObserver, ProgressObserver, RunObserver};
+use unsnap_core::session::{NoopObserver, Phase, ProgressObserver, RunObserver};
 use unsnap_core::solver::{SolveOutcome, TransportSolver};
 use unsnap_core::strategy::StrategyKind;
 use unsnap_linalg::SolverKind;
+use unsnap_obs::jsonl::JsonlWriter;
 use unsnap_sweep::ConcurrencyScheme;
 
 /// Command-line options shared by all benchmark binaries.
@@ -64,6 +70,10 @@ pub struct HarnessOptions {
     pub threads: Option<Vec<usize>>,
     /// Maximum element order for the solver comparison (`--max-order 4`).
     pub max_order: Option<usize>,
+    /// Append one [`MetricsRecord`] per measured solve to this JSONL
+    /// file (`--metrics-out <path>`); the `trajectory` binary merges
+    /// such files into the repo-level `BENCH_6.json`.
+    pub metrics_out: Option<String>,
 }
 
 impl HarnessOptions {
@@ -82,6 +92,7 @@ impl HarnessOptions {
             progress: false,
             threads: None,
             max_order: None,
+            metrics_out: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -102,6 +113,9 @@ impl HarnessOptions {
                 }
                 "--max-order" => {
                     opts.max_order = iter.next().and_then(|s| s.parse().ok());
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = iter.next().filter(|p| !p.trim().is_empty());
                 }
                 _ => {}
             }
@@ -137,7 +151,9 @@ where
 }
 
 /// Solve `base` under `strategy`, streaming rate-limited progress to
-/// stderr when `progress` is set (the shared `--progress` flag).
+/// stderr when `progress` is set (the shared `--progress` flag).  The
+/// progress cadence honours `UNSNAP_PROGRESS_MS` via
+/// [`ProgressObserver::from_env`].
 ///
 /// Shared by the strategy-ablation binaries (`ablation_krylov`,
 /// `ablation_dsa`) so the observer wiring cannot drift between them.
@@ -149,7 +165,7 @@ pub fn run_strategy(base: &ProblemBuilder, strategy: StrategyKind, progress: boo
         .strategy(strategy)
         .session()
         .expect("ablation problem must validate");
-    let mut progress_observer = ProgressObserver::new();
+    let mut progress_observer = ProgressObserver::from_env();
     let mut noop = NoopObserver;
     let observer: &mut dyn RunObserver = if progress {
         eprintln!("[unsnap] running {strategy}");
@@ -162,6 +178,122 @@ pub fn run_strategy(base: &ProblemBuilder, strategy: StrategyKind, progress: boo
         .expect("ablation solve must run")
 }
 
+/// One uniform-schema perf-trajectory record: a single measured solve,
+/// tagged with where it came from, carrying the per-phase breakdown and
+/// per-sweep latency percentiles of its [`RunMetrics`] snapshot.
+///
+/// Every benchmark binary emits the same shape under `--metrics-out`,
+/// so the `trajectory` binary can merge records from any mix of bins
+/// into one `BENCH_6.json` without per-bin parsing rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRecord {
+    /// Emitting binary (`ablation_dsa`, `figure3`, ...).
+    pub bin: String,
+    /// Experiment point within the binary — a scheme label, scattering
+    /// ratio, element order, ... (the binary's x-axis).
+    pub case: String,
+    /// Iteration strategy label (`si`, `gmres`, `dsa-si`).
+    pub strategy: String,
+    /// Worker threads the solve ran with.
+    pub threads: usize,
+    /// The metrics snapshot the solve attached to its outcome.
+    pub metrics: RunMetrics,
+}
+
+impl MetricsRecord {
+    /// Build a record from an outcome's attached snapshot.
+    pub fn from_metrics(
+        bin: &str,
+        case: &str,
+        strategy: StrategyKind,
+        threads: usize,
+        metrics: &RunMetrics,
+    ) -> Self {
+        Self {
+            bin: bin.to_string(),
+            case: case.to_string(),
+            // Lower-cased so the tag round-trips through the
+            // workspace's `FromStr` labels (`si`, `gmres`, `dsa-si`).
+            strategy: strategy.to_string().to_ascii_lowercase(),
+            threads,
+            metrics: metrics.clone(),
+        }
+    }
+
+    /// Serialise as one JSON object (one JSONL line under
+    /// `--metrics-out`): identity tags, deterministic totals, a
+    /// `phases` object of `{spans, seconds}` per phase, and the
+    /// per-sweep latency percentiles (`null` when no sweeps ran).
+    pub fn to_json(&self) -> String {
+        let phases = Phase::all()
+            .iter()
+            .fold(unsnap_core::json::JsonObject::new(), |obj, phase| {
+                obj.field_raw(
+                    phase.label(),
+                    &unsnap_core::json::JsonObject::new()
+                        .field_usize("spans", self.metrics.phase_count(*phase))
+                        .field_f64("seconds", self.metrics.phase_time(*phase))
+                        .finish(),
+                )
+            })
+            .finish();
+        unsnap_core::json::JsonObject::new()
+            .field_str("bin", &self.bin)
+            .field_str("case", &self.case)
+            .field_str("strategy", &self.strategy)
+            .field_usize("threads", self.threads)
+            .field_usize("sweeps", self.metrics.sweeps)
+            .field_u64("cells_swept", self.metrics.cells_swept)
+            .field_usize("inner_iterations", self.metrics.inner_iterations)
+            .field_usize("halo_exchanges", self.metrics.halo_exchanges)
+            .field_raw("phases", &phases)
+            .field_f64("sweep_p50", self.metrics.sweep_p50().unwrap_or(f64::NAN))
+            .field_f64("sweep_p95", self.metrics.sweep_p95().unwrap_or(f64::NAN))
+            .finish()
+    }
+}
+
+/// The thread count a problem's solves actually run with: the explicit
+/// request, or the machine's logical CPU count when the pool is left to
+/// size itself.  Benchmark bins tag their [`MetricsRecord`]s with this.
+pub fn effective_threads(problem: &Problem) -> usize {
+    problem
+        .num_threads
+        .unwrap_or_else(|| MachineInfo::detect().logical_cpus)
+}
+
+/// The keys every trajectory record must carry — the `trajectory`
+/// binary rejects lines missing any of them, so schema drift between
+/// the emitting bins and the merger fails loudly.
+pub const METRICS_RECORD_KEYS: [&str; 10] = [
+    "bin",
+    "case",
+    "strategy",
+    "threads",
+    "sweeps",
+    "cells_swept",
+    "inner_iterations",
+    "halo_exchanges",
+    "phases",
+    "sweep_p50",
+];
+
+/// Append `record` to `opts.metrics_out` if the flag was given; a no-op
+/// otherwise.  Appending (rather than truncating) lets one shell loop
+/// collect many bins into a single file for `trajectory`.  Panics on an
+/// unwritable path — the flag names a file the caller asked for.
+pub fn emit_metrics_record(opts: &HarnessOptions, record: &MetricsRecord) {
+    let Some(path) = &opts.metrics_out else {
+        return;
+    };
+    let mut writer = JsonlWriter::append(path)
+        .unwrap_or_else(|e| panic!("--metrics-out {path}: cannot open: {e}"));
+    writer
+        .write_line(&record.to_json())
+        .and_then(|()| writer.flush())
+        .unwrap_or_else(|e| panic!("--metrics-out {path}: write failed: {e}"));
+}
+
 /// One measured point of a thread-scaling experiment (Figures 3/4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalingPoint {
@@ -171,6 +303,9 @@ pub struct ScalingPoint {
     pub threads: usize,
     /// Assemble/solve wall time in seconds.
     pub seconds: f64,
+    /// The metrics snapshot the solve attached to its outcome, for
+    /// `--metrics-out` emission alongside the figure tables.
+    pub metrics: RunMetrics,
 }
 
 /// Run the Figure-3/4 style experiment: every scheme × every thread count.
@@ -192,10 +327,29 @@ pub fn run_scaling_experiment(
                 scheme: scheme.label(),
                 threads: t,
                 seconds: outcome.assemble_solve_seconds,
+                metrics: outcome.metrics,
             });
         }
     }
     points
+}
+
+/// Emit one [`MetricsRecord`] per scaling point under `--metrics-out`
+/// (a no-op without the flag): the scheme label becomes the case tag,
+/// the point's thread count the threads tag.  Shared by the
+/// figure/scaling binaries so their trajectory schema cannot drift.
+pub fn emit_scaling_metrics(
+    opts: &HarnessOptions,
+    bin: &str,
+    strategy: StrategyKind,
+    points: &[ScalingPoint],
+) {
+    for p in points {
+        emit_metrics_record(
+            opts,
+            &MetricsRecord::from_metrics(bin, &p.scheme, strategy, p.threads, &p.metrics),
+        );
+    }
 }
 
 /// Render scaling points as a text table (rows = schemes, columns =
@@ -244,6 +398,10 @@ pub struct SolverComparisonRow {
     pub mkl_seconds: f64,
     /// Fraction of MKL kernel time spent in the solve.
     pub mkl_solve_fraction: f64,
+    /// Metrics snapshot of the GE solve, for `--metrics-out` emission.
+    pub ge_metrics: RunMetrics,
+    /// Metrics snapshot of the MKL solve, for `--metrics-out` emission.
+    pub mkl_metrics: RunMetrics,
 }
 
 /// Run the Table-II experiment for orders `1..=max_order`.
@@ -258,6 +416,7 @@ where
     for order in 1..=max_order {
         let mut seconds = [0.0f64; 2];
         let mut fractions = [0.0f64; 2];
+        let mut metrics = [RunMetrics::default(), RunMetrics::default()];
         for (slot, kind) in [SolverKind::GaussianElimination, SolverKind::Mkl]
             .into_iter()
             .enumerate()
@@ -267,13 +426,17 @@ where
             let outcome = solver.run().expect("solve");
             seconds[slot] = outcome.assemble_solve_seconds;
             fractions[slot] = outcome.solve_fraction();
+            metrics[slot] = outcome.metrics;
         }
+        let [ge_metrics, mkl_metrics] = metrics;
         rows.push(SolverComparisonRow {
             order,
             ge_seconds: seconds[0],
             ge_solve_fraction: fractions[0],
             mkl_seconds: seconds[1],
             mkl_solve_fraction: fractions[1],
+            ge_metrics,
+            mkl_metrics,
         });
     }
     rows
@@ -391,12 +554,83 @@ mod tests {
         assert_eq!(o.threads, Some(vec![1, 2, 4]));
         assert_eq!(o.max_order, Some(3));
         assert_eq!(o.thread_sweep(), vec![1, 2, 4]);
+        assert!(o.metrics_out.is_none());
+        assert_eq!(
+            HarnessOptions::parse(["--metrics-out", "run.jsonl"].iter().map(|s| s.to_string()))
+                .metrics_out,
+            Some("run.jsonl".to_string()),
+            "--metrics-out must capture its path"
+        );
 
         let d = HarnessOptions::parse(std::iter::empty());
         assert!(!d.full);
         assert!(!d.csv);
         assert!(d.threads.is_none());
         assert!(!d.thread_sweep().is_empty());
+        assert!(d.metrics_out.is_none());
+    }
+
+    #[test]
+    fn metrics_record_serialises_the_uniform_schema() {
+        let base = ProblemBuilder::tiny();
+        let outcome = run_strategy(&base, StrategyKind::SweepGmres, false);
+        let record = MetricsRecord::from_metrics(
+            "test_bin",
+            "c=0.5",
+            StrategyKind::SweepGmres,
+            2,
+            &outcome.metrics,
+        );
+        let doc = unsnap_obs::reader::parse(&record.to_json()).unwrap();
+        for key in METRICS_RECORD_KEYS {
+            assert!(doc.get(key).is_some(), "record must carry `{key}`");
+        }
+        assert_eq!(doc.get("bin").unwrap().as_str(), Some("test_bin"));
+        assert_eq!(doc.get("strategy").unwrap().as_str(), Some("gmres"));
+        assert_eq!(
+            doc.get("sweeps").and_then(|v| v.as_usize()),
+            Some(outcome.sweep_count)
+        );
+        let sweep_phase = doc.get("phases").and_then(|p| p.get("sweep")).unwrap();
+        assert_eq!(
+            sweep_phase.get("spans").and_then(|v| v.as_usize()),
+            Some(outcome.sweep_count)
+        );
+        assert!(
+            doc.get("sweep_p50").and_then(|v| v.as_f64()).unwrap() > 0.0,
+            "latency percentile must come from the recorded histogram"
+        );
+    }
+
+    #[test]
+    fn emit_metrics_record_appends_jsonl_lines() {
+        let path = std::env::temp_dir().join("unsnap_bench_metrics_test.jsonl");
+        std::fs::remove_file(&path).ok();
+        let opts = HarnessOptions {
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            ..HarnessOptions::parse(std::iter::empty())
+        };
+        let record = MetricsRecord::from_metrics(
+            "test_bin",
+            "case",
+            StrategyKind::SourceIteration,
+            1,
+            &RunMetrics::default(),
+        );
+        emit_metrics_record(&opts, &record);
+        emit_metrics_record(&opts, &record);
+        let docs = unsnap_obs::jsonl::read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(docs.len(), 2, "append mode must accumulate records");
+        assert_eq!(docs[1].get("strategy").unwrap().as_str(), Some("si"));
+        assert!(
+            docs[0].get("sweep_p50").unwrap().is_null(),
+            "no sweeps recorded must serialise as null"
+        );
+
+        // Without the flag the emitter is a no-op.
+        emit_metrics_record(&HarnessOptions::parse(std::iter::empty()), &record);
+        assert!(!path.exists());
     }
 
     #[test]

@@ -50,19 +50,21 @@
 //! …) in rank order after every halo iteration — the observer stream is
 //! therefore also bit-for-bit identical at every thread count.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use unsnap_obs::clock::{Clock, SystemClock};
 
 use unsnap_core::angular::AngularQuadrature;
 use unsnap_core::data::ProblemData;
 use unsnap_core::error::{Error, Result};
 use unsnap_core::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
 use unsnap_core::layout::{FluxLayout, FluxStorage};
+use unsnap_core::metrics::{MetricsObserver, RunMetrics};
 use unsnap_core::problem::Problem;
 use unsnap_core::report::IterationSummary;
-use unsnap_core::session::{EventLog, NoopObserver, RunObserver};
+use unsnap_core::session::{EventLog, NoopObserver, Phase, RunObserver, TeeObserver};
 use unsnap_core::solver::{relative_change, RunStats};
 use unsnap_core::strategy::{InnerSolveContext, StrategyKind};
 use unsnap_fem::element::ReferenceElement;
@@ -109,6 +111,13 @@ pub struct BlockJacobiOutcome {
     pub rank_krylov_iterations: Vec<usize>,
     /// Low-order DSA CG iterations executed by each rank.
     pub rank_accel_cg_iterations: Vec<usize>,
+    /// The run's telemetry snapshot, aggregated from the full observer
+    /// event stream (untagged and rank-tagged) by the solver's internal
+    /// [`MetricsObserver`] — attached to every outcome with no caller
+    /// wiring.  The deterministic half is bit-for-bit identical at
+    /// every thread and rank-execution ordering; strip the wall-clock
+    /// half with [`RunMetrics::zero_wallclock`] before comparisons.
+    pub metrics: RunMetrics,
 }
 
 impl BlockJacobiOutcome {
@@ -137,6 +146,7 @@ impl BlockJacobiOutcome {
             .field_usize_array("rank_sweep_counts", &self.rank_sweep_counts)
             .field_usize_array("rank_krylov_iterations", &self.rank_krylov_iterations)
             .field_usize_array("rank_accel_cg_iterations", &self.rank_accel_cg_iterations)
+            .field_raw("metrics", &self.metrics.to_json())
             .finish()
     }
 }
@@ -395,6 +405,10 @@ impl InnerSolveContext for RankContext<'_> {
         self.shared.problem.gmres_restart
     }
 
+    fn now(&self) -> Duration {
+        self.shared.clock.now()
+    }
+
     fn compute_source(&mut self) {
         self.assemble_rank_source(true);
     }
@@ -430,14 +444,16 @@ impl InnerSolveContext for RankContext<'_> {
 
     fn sweep_once(&mut self, stats: &mut RunStats, observer: &mut dyn RunObserver) {
         self.state.phi.iter_mut().for_each(|x| *x = 0.0);
-        let t0 = Instant::now();
+        observer.on_phase_start(Phase::Sweep);
+        let t0 = self.shared.clock.now();
         let (timing, count) = self.sweep_rank();
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = self.shared.clock.now().saturating_sub(t0).as_secs_f64();
+        observer.on_phase_end(Phase::Sweep, seconds);
         stats.sweep_seconds += seconds;
         stats.kernel_timing.accumulate(timing);
         stats.kernel_invocations += count;
         stats.sweeps += 1;
-        observer.on_sweep(stats.sweeps, seconds);
+        observer.on_sweep(stats.sweeps, count, seconds);
     }
 
     fn save_phi_inner(&mut self) {
@@ -502,7 +518,12 @@ impl InnerSolveContext for RankContext<'_> {
         }
         let state = &mut *self.state;
         let dsa = state.dsa.as_mut().expect("accelerator just built");
-        dsa.correct(&mut state.phi, previous, stats, observer)
+        observer.on_phase_start(Phase::AccelCg);
+        let t0 = s.clock.now();
+        let result = dsa.correct(&mut state.phi, previous, stats, observer);
+        let seconds = s.clock.now().saturating_sub(t0).as_secs_f64();
+        observer.on_phase_end(Phase::AccelCg, seconds);
+        result
     }
 }
 
@@ -535,6 +556,11 @@ pub struct BlockJacobiSolver {
     solver: Box<dyn LinearSolver>,
     /// Worker pool the rank solves fan out on.
     pool: rayon::ThreadPool,
+    /// Time source for phase spans and per-sweep latency, shared by the
+    /// driver and (read-only) by every rank context on the pool.
+    /// Swappable via [`BlockJacobiSolver::set_clock`]; deterministic
+    /// metrics never read it.
+    clock: Box<dyn Clock>,
 }
 
 impl BlockJacobiSolver {
@@ -673,7 +699,18 @@ impl BlockJacobiSolver {
             ranks,
             solver: problem.solver.build(),
             pool,
+            clock: Box::new(SystemClock::new()),
         })
+    }
+
+    /// Replace the solver's time source (e.g. with a
+    /// [`MockClock`](unsnap_obs::clock::MockClock)).  Rank solves run
+    /// concurrently, so under a shared mock the per-rank span lengths
+    /// depend on the interleaving — pin wall-clock exactness on the
+    /// single-domain solver instead; here the mock only makes timing
+    /// reproducible in the aggregate-count sense.
+    pub fn set_clock(&mut self, clock: Box<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// The decomposition in use.
@@ -716,6 +753,29 @@ impl BlockJacobiSolver {
     /// `on_inner_iteration`.  Because the buffered logs replay in rank
     /// order, the stream is identical at every thread count.
     pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<BlockJacobiOutcome> {
+        // Tee the caller's observer with an internal metrics aggregator
+        // so every outcome carries its telemetry without caller wiring.
+        let mut metrics = MetricsObserver::new();
+        let mut outcome = {
+            let mut tee = TeeObserver::new(observer, &mut metrics);
+            self.run_observed_inner(&mut tee)?
+        };
+        let mut snapshot = metrics.snapshot();
+        snapshot.kernel_assemble_seconds = self
+            .ranks
+            .iter()
+            .map(|r| r.stats.kernel_timing.assemble_ns as f64 * 1e-9)
+            .sum();
+        snapshot.kernel_solve_seconds = self
+            .ranks
+            .iter()
+            .map(|r| r.stats.kernel_timing.solve_ns as f64 * 1e-9)
+            .sum();
+        outcome.metrics = snapshot;
+        Ok(outcome)
+    }
+
+    fn run_observed_inner(&mut self, observer: &mut dyn RunObserver) -> Result<BlockJacobiOutcome> {
         // A failed iteration consumes the per-rank states (they travel
         // through the worker pool by value); refuse to "run" the husk
         // rather than converge instantly on an all-zero flux.
@@ -774,10 +834,22 @@ impl BlockJacobiSolver {
                 let phi_old: Vec<f64> = self.phi.as_slice().to_vec();
 
                 // Halo "exchange": expose the previous iteration's angular
-                // flux to cross-rank upwind reads.
+                // flux to cross-rank upwind reads.  A driver-level event:
+                // it fires through the untagged hooks (never inside a
+                // rank's log) with the cut-face count and the bytes the
+                // exchange publishes.
+                observer.on_phase_start(Phase::HaloExchange);
+                let halo_t0 = self.clock.now();
                 self.psi_prev
                     .as_mut_slice()
                     .copy_from_slice(self.psi.as_slice());
+                let halo_seconds = self.clock.now().saturating_sub(halo_t0).as_secs_f64();
+                observer.on_phase_end(Phase::HaloExchange, halo_seconds);
+                observer.on_halo_exchange(
+                    halo_iteration,
+                    self.total_halo_faces(),
+                    std::mem::size_of_val(self.psi.as_slice()) as u64,
+                );
 
                 let t0 = Instant::now();
                 // Every rank runs its strategy-dispatched inner solve
@@ -891,6 +963,7 @@ impl BlockJacobiSolver {
                 .iter()
                 .map(|r| r.stats.accel_cg_iterations)
                 .collect(),
+            metrics: RunMetrics::default(),
         })
     }
 }
@@ -1095,6 +1168,8 @@ mod tests {
         let mut b = explicit_out;
         a.assemble_solve_seconds = 0.0;
         b.assemble_solve_seconds = 0.0;
+        a.metrics.zero_wallclock();
+        b.metrics.zero_wallclock();
         assert_eq!(a, b, "explicit budget == inner_iterations must be a no-op");
         assert_eq!(default_flux, explicit_flux);
     }
@@ -1167,6 +1242,23 @@ mod tests {
         assert_eq!(second.sweep_count, 6, "counters leaked across runs");
         assert_eq!(second.rank_sweep_counts, vec![3, 3]);
         assert_eq!(second.inner_iterations, 3);
+    }
+
+    #[test]
+    fn metrics_capture_halo_exchanges_and_rank_sweeps() {
+        let p = base_problem();
+        let mut s = BlockJacobiSolver::new(&p, Decomposition2D::new(2, 1)).unwrap();
+        let out = s.run().unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.sweeps, out.sweep_count);
+        assert_eq!(m.halo_exchanges, out.inner_iterations);
+        assert_eq!(m.halo_faces, out.halo_faces * out.inner_iterations);
+        assert!(m.halo_bytes > 0);
+        assert_eq!(m.phase_count(Phase::Sweep), out.sweep_count);
+        assert_eq!(m.phase_count(Phase::HaloExchange), out.inner_iterations);
+        assert_eq!(m.cells_per_sweep.count() as usize, out.sweep_count);
+        // Kernel timers are summed over the rank stats of this run.
+        assert!(m.kernel_assemble_seconds > 0.0);
     }
 
     #[test]

@@ -507,6 +507,13 @@ impl ProblemBuilder {
     /// variables leave the builder unchanged; a set but unparsable
     /// variable is an [`Error::InvalidProblem`] naming the knob.
     ///
+    /// `UNSNAP_PROGRESS_MS` is validated here too — it must be a
+    /// non-negative millisecond count (zero disables rate limiting) —
+    /// even though the value is consumed by
+    /// [`ProgressObserver::from_env`](crate::session::ProgressObserver::from_env)
+    /// rather than stored on the builder: a typo'd interval should fail
+    /// the run up front, not silently fall back to the default cadence.
+    ///
     /// `UNSNAP_THREADS` sizes the pool *request* like
     /// [`ProblemBuilder::threads`] and is subject to builder validation
     /// (e.g. the angle-threaded scheme's thread bound).  The lower-level
@@ -564,6 +571,11 @@ impl ProblemBuilder {
                 ));
             }
             self.execution.num_threads = Some(threads);
+        }
+        if let Ok(raw) = std::env::var(crate::session::ProgressObserver::INTERVAL_ENV) {
+            raw.trim().parse::<u64>().map_err(|e| {
+                Error::invalid_problem("progress_interval_ms", format!("UNSNAP_PROGRESS_MS: {e}"))
+            })?;
         }
         Ok(self)
     }
@@ -922,6 +934,23 @@ mod tests {
                 "'{bad}'"
             );
         }
+        std::env::set_var("UNSNAP_SUBDOMAIN_ITERS", "9");
+
+        // The progress-interval knob is validated (zero = unthrottled is
+        // legal) even though its value is consumed by
+        // ProgressObserver::from_env, not stored on the builder.
+        for good in ["0", "250", " 40 "] {
+            std::env::set_var("UNSNAP_PROGRESS_MS", good);
+            ProblemBuilder::tiny()
+                .env_overrides()
+                .unwrap_or_else(|e| panic!("'{good}' must validate: {e}"));
+        }
+        for bad in ["-5", "soon", "1.5"] {
+            std::env::set_var("UNSNAP_PROGRESS_MS", bad);
+            let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+            assert_eq!(err.invalid_field(), Some("progress_interval_ms"), "'{bad}'");
+        }
+        std::env::remove_var("UNSNAP_PROGRESS_MS");
 
         std::env::remove_var("UNSNAP_STRATEGY");
         std::env::remove_var("UNSNAP_ACCEL");

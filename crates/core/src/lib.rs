@@ -34,9 +34,19 @@
 //!   of [`Problem`]s with cross-field invariants checked up front.
 //! * [`session`] — the observable solve API: [`Session`],
 //!   [`RunObserver`] and [`RecordingObserver`] stream per-iteration
-//!   progress instead of returning a black-box summary.
-//! * [`json`] — a minimal hand-rolled JSON writer (the vendored `serde`
-//!   is a no-op stand-in) backing [`SolveOutcome::to_json`].
+//!   progress instead of returning a black-box summary; the
+//!   [`session::Phase`] taxonomy and phase-tracing hooks live
+//!   here too.
+//! * [`metrics`] — the aggregation layer over the observer stream:
+//!   [`metrics::MetricsObserver`] folds events into a
+//!   [`metrics::RunMetrics`] snapshot (attached to every
+//!   [`SolveOutcome`]), and
+//!   [`metrics::JsonlObserver`] streams the raw events
+//!   to a JSONL run log.
+//! * [`json`] — a minimal hand-rolled JSON writer backing
+//!   [`SolveOutcome::to_json`]; hosted by `unsnap-obs` since PR 6 and
+//!   re-exported here so existing `unsnap_core::json` paths keep
+//!   working.
 //! * [`angular`] — Sn product quadrature over the unit sphere (angles per
 //!   octant, direction cosines, weights, octant bookkeeping).
 //! * [`data`] — artificial multigroup cross sections, materials and fixed
@@ -81,9 +91,9 @@ pub mod data;
 pub mod dsa;
 pub mod error;
 pub mod fd;
-pub mod json;
 pub mod kernel;
 pub mod layout;
+pub mod metrics;
 pub mod preassembly;
 pub mod problem;
 pub mod report;
@@ -91,12 +101,19 @@ pub mod session;
 pub mod solver;
 pub mod strategy;
 
+/// The hand-rolled JSON writer (moved to `unsnap-obs` in PR 6;
+/// re-exported so `unsnap_core::json::*` call sites keep compiling).
+pub use unsnap_obs::json;
+
 pub use angular::{AngularQuadrature, Direction};
 pub use builder::{ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder};
 pub use data::{CrossSections, MaterialOption, SourceOption};
 pub use error::{Error, Result};
 pub use layout::{FluxLayout, FluxStorage};
+pub use metrics::{JsonlObserver, MetricsObserver, RunMetrics};
 pub use problem::Problem;
-pub use session::{NoopObserver, RecordingObserver, RunObserver, Session};
+pub use session::{
+    NoopObserver, Phase, ProgressObserver, RecordingObserver, RunObserver, Session, TeeObserver,
+};
 pub use solver::{RunStats, SolveOutcome, TransportSolver};
 pub use strategy::{IterationStrategy, SourceIteration, StrategyKind, SweepGmres};

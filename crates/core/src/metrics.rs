@@ -1,0 +1,701 @@
+//! Aggregation of the [`RunObserver`] event stream into run-level
+//! telemetry.
+//!
+//! Three consumers of the same stream live here:
+//!
+//! * [`MetricsObserver`] folds every event (untagged *and* rank-tagged)
+//!   into a [`RunMetrics`] snapshot.  The solvers tee one of these with
+//!   the caller's observer on every `run_observed`, so each
+//!   [`SolveOutcome`](crate::solver::SolveOutcome) /
+//!   `BlockJacobiOutcome` carries its metrics without any caller
+//!   wiring.
+//! * [`RunMetrics`] itself is split by the observability contract:
+//!   deterministic counters/histograms (sweeps, cells, iteration and
+//!   exchange counts — bit-for-bit identical at every thread and rank
+//!   count) versus wall-clock fields (per-phase seconds, per-sweep
+//!   latency), which [`RunMetrics::zero_wallclock`] strips before
+//!   cross-run comparisons and a mock
+//!   [`Clock`](unsnap_obs::clock::Clock) pins exactly.
+//! * [`JsonlObserver`] streams every event verbatim to a JSONL run log
+//!   (one JSON document per line) for offline analysis.
+//!
+//! ```
+//! use unsnap_core::builder::ProblemBuilder;
+//!
+//! let outcome = ProblemBuilder::tiny().session().unwrap().run().unwrap();
+//! assert_eq!(outcome.metrics.sweeps, outcome.sweep_count);
+//! assert!(outcome.metrics.to_json().contains("\"cells_swept\""));
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use unsnap_obs::json::JsonObject;
+use unsnap_obs::jsonl::JsonlWriter;
+use unsnap_obs::metrics::{Determinism, Histogram, MetricsRegistry};
+
+use crate::session::{Phase, RunObserver};
+
+/// The fixed bucket scale for the deterministic cells-per-sweep
+/// histogram: powers of four from 1 to ~10⁹ kernel invocations.
+fn cells_histogram() -> Histogram {
+    let bounds: Vec<f64> = (0..16).map(|k| 4f64.powi(k)).collect();
+    Histogram::with_bounds(&bounds)
+}
+
+/// The telemetry snapshot of one solve, attached to every outcome.
+///
+/// Fields up to [`RunMetrics::phase_starts`] (and the
+/// [`RunMetrics::cells_per_sweep`] histogram) are **deterministic** —
+/// event counts and payload sizes, identical at every thread/rank count.
+/// The remaining fields are **wall-clock** and excluded from determinism
+/// comparisons; [`RunMetrics::zero_wallclock`] normalises them away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Transport sweeps performed (summed across ranks).
+    pub sweeps: usize,
+    /// Kernel invocations (elements × groups × angles) summed over all
+    /// sweeps on all ranks.
+    pub cells_swept: u64,
+    /// Outer (group-coupling / halo) iterations started.
+    pub outers: usize,
+    /// Global inner iterates reported.
+    pub inner_iterations: usize,
+    /// Rank-local inner iterates reported (distributed solves only).
+    pub rank_inner_iterations: usize,
+    /// Krylov residual events streamed (global + per-rank).
+    pub krylov_residual_events: usize,
+    /// DSA CG residual events streamed (global + per-rank).
+    pub accel_residual_events: usize,
+    /// Halo exchanges performed (distributed solves only).
+    pub halo_exchanges: usize,
+    /// Cut faces crossed, summed over all halo exchanges.
+    pub halo_faces: usize,
+    /// Bytes of angular flux published, summed over all halo exchanges.
+    pub halo_bytes: u64,
+    /// Phase spans opened, indexed by [`Phase::index`].
+    pub phase_starts: Vec<usize>,
+    /// Kernel invocations per sweep (deterministic histogram).
+    pub cells_per_sweep: Histogram,
+    /// Wall-clock seconds per phase, indexed by [`Phase::index`].
+    pub phase_seconds: Vec<f64>,
+    /// Wall-clock seconds per transport sweep (p50/p95 come from here).
+    pub sweep_latency: Histogram,
+    /// Wall-clock seconds in kernel matrix assembly (from the kernel's
+    /// internal timers, surfaced by the solver at snapshot time).
+    pub kernel_assemble_seconds: f64,
+    /// Wall-clock seconds in kernel linear solves.
+    pub kernel_solve_seconds: f64,
+}
+
+impl Default for RunMetrics {
+    fn default() -> Self {
+        Self {
+            sweeps: 0,
+            cells_swept: 0,
+            outers: 0,
+            inner_iterations: 0,
+            rank_inner_iterations: 0,
+            krylov_residual_events: 0,
+            accel_residual_events: 0,
+            halo_exchanges: 0,
+            halo_faces: 0,
+            halo_bytes: 0,
+            phase_starts: vec![0; Phase::all().len()],
+            cells_per_sweep: cells_histogram(),
+            phase_seconds: vec![0.0; Phase::all().len()],
+            sweep_latency: Histogram::latency_seconds(),
+            kernel_assemble_seconds: 0.0,
+            kernel_solve_seconds: 0.0,
+        }
+    }
+}
+
+impl RunMetrics {
+    /// Spans opened for `phase`.
+    pub fn phase_count(&self, phase: Phase) -> usize {
+        self.phase_starts[phase.index()]
+    }
+
+    /// Wall-clock seconds attributed to `phase`.
+    pub fn phase_time(&self, phase: Phase) -> f64 {
+        self.phase_seconds[phase.index()]
+    }
+
+    /// Median per-sweep wall-clock latency, if any sweep was timed.
+    pub fn sweep_p50(&self) -> Option<f64> {
+        self.sweep_latency.quantile(0.5)
+    }
+
+    /// 95th-percentile per-sweep wall-clock latency.
+    pub fn sweep_p95(&self) -> Option<f64> {
+        self.sweep_latency.quantile(0.95)
+    }
+
+    /// Zero every wall-clock field in place, leaving the deterministic
+    /// counters untouched — the normalisation the determinism suites
+    /// apply before comparing metrics across thread/rank counts.
+    pub fn zero_wallclock(&mut self) {
+        for s in &mut self.phase_seconds {
+            *s = 0.0;
+        }
+        self.sweep_latency = Histogram::latency_seconds();
+        self.kernel_assemble_seconds = 0.0;
+        self.kernel_solve_seconds = 0.0;
+    }
+
+    /// A copy with the wall-clock fields zeroed.
+    pub fn deterministic(&self) -> Self {
+        let mut copy = self.clone();
+        copy.zero_wallclock();
+        copy
+    }
+
+    /// Export into a tagged [`MetricsRegistry`] (the generic form
+    /// tooling can merge and filter by determinism class).
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        let det = Determinism::Deterministic;
+        let wall = Determinism::WallClock;
+        r.counter_add("sweeps", det, self.sweeps as u64);
+        r.counter_add("cells_swept", det, self.cells_swept);
+        r.counter_add("outers", det, self.outers as u64);
+        r.counter_add("inner_iterations", det, self.inner_iterations as u64);
+        r.counter_add(
+            "rank_inner_iterations",
+            det,
+            self.rank_inner_iterations as u64,
+        );
+        r.counter_add(
+            "krylov_residual_events",
+            det,
+            self.krylov_residual_events as u64,
+        );
+        r.counter_add(
+            "accel_residual_events",
+            det,
+            self.accel_residual_events as u64,
+        );
+        r.counter_add("halo_exchanges", det, self.halo_exchanges as u64);
+        r.counter_add("halo_faces", det, self.halo_faces as u64);
+        r.counter_add("halo_bytes", det, self.halo_bytes);
+        for phase in Phase::all() {
+            r.counter_add(
+                &format!("phase_starts.{phase}"),
+                det,
+                self.phase_starts[phase.index()] as u64,
+            );
+            r.gauge_set(
+                &format!("phase_seconds.{phase}"),
+                wall,
+                self.phase_seconds[phase.index()],
+            );
+        }
+        r.histogram_insert("cells_per_sweep", det, self.cells_per_sweep.clone());
+        r.histogram_insert("sweep_latency_seconds", wall, self.sweep_latency.clone());
+        r.gauge_set(
+            "kernel_assemble_seconds",
+            wall,
+            self.kernel_assemble_seconds,
+        );
+        r.gauge_set("kernel_solve_seconds", wall, self.kernel_solve_seconds);
+        r
+    }
+
+    /// Serialise as a JSON object with `deterministic` and `wallclock`
+    /// sections (phase maps keyed by [`Phase::label`]).
+    pub fn to_json(&self) -> String {
+        let mut phase_starts = JsonObject::new();
+        let mut phase_seconds = JsonObject::new();
+        for phase in Phase::all() {
+            phase_starts =
+                phase_starts.field_usize(phase.label(), self.phase_starts[phase.index()]);
+            phase_seconds =
+                phase_seconds.field_f64(phase.label(), self.phase_seconds[phase.index()]);
+        }
+        let deterministic = JsonObject::new()
+            .field_usize("sweeps", self.sweeps)
+            .field_u64("cells_swept", self.cells_swept)
+            .field_usize("outers", self.outers)
+            .field_usize("inner_iterations", self.inner_iterations)
+            .field_usize("rank_inner_iterations", self.rank_inner_iterations)
+            .field_usize("krylov_residual_events", self.krylov_residual_events)
+            .field_usize("accel_residual_events", self.accel_residual_events)
+            .field_usize("halo_exchanges", self.halo_exchanges)
+            .field_usize("halo_faces", self.halo_faces)
+            .field_u64("halo_bytes", self.halo_bytes)
+            .field_raw("phase_starts", &phase_starts.finish())
+            .field_raw("cells_per_sweep", &self.cells_per_sweep.to_json())
+            .finish();
+        let wallclock = JsonObject::new()
+            .field_raw("phase_seconds", &phase_seconds.finish())
+            .field_raw("sweep_latency_seconds", &self.sweep_latency.to_json())
+            .field_f64("kernel_assemble_seconds", self.kernel_assemble_seconds)
+            .field_f64("kernel_solve_seconds", self.kernel_solve_seconds)
+            .finish();
+        JsonObject::new()
+            .field_raw("deterministic", &deterministic)
+            .field_raw("wallclock", &wallclock)
+            .finish()
+    }
+
+    /// Render the per-phase wall-clock breakdown as an aligned table
+    /// (phase, spans, seconds, share of the phase total).
+    pub fn phase_table(&self) -> String {
+        let total: f64 = self.phase_seconds.iter().sum();
+        let mut out = String::from("phase            spans     seconds    share\n");
+        for phase in Phase::all() {
+            let seconds = self.phase_seconds[phase.index()];
+            let share = if total > 0.0 {
+                100.0 * seconds / total
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<15} {:>6} {:>11.6} {:>7.1}%\n",
+                phase.label(),
+                self.phase_starts[phase.index()],
+                seconds,
+                share
+            ));
+        }
+        out.push_str(&format!("{:<15} {:>6} {:>11.6}\n", "total", "", total));
+        out
+    }
+}
+
+/// The observer the solvers tee into every run: folds the full event
+/// stream — untagged and rank-tagged alike — into a [`RunMetrics`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsObserver {
+    /// The running totals (readable mid-run; snapshot with
+    /// [`MetricsObserver::snapshot`]).
+    pub metrics: RunMetrics,
+}
+
+impl MetricsObserver {
+    /// A fresh observer with zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the current totals.
+    pub fn snapshot(&self) -> RunMetrics {
+        self.metrics.clone()
+    }
+
+    fn record_sweep(&mut self, cells: u64, seconds: f64) {
+        self.metrics.cells_swept += cells;
+        self.metrics.cells_per_sweep.record(cells as f64);
+        self.metrics.sweep_latency.record(seconds);
+    }
+
+    fn record_phase_start(&mut self, phase: Phase) {
+        self.metrics.phase_starts[phase.index()] += 1;
+    }
+
+    fn record_phase_end(&mut self, phase: Phase, seconds: f64) {
+        self.metrics.phase_seconds[phase.index()] += seconds;
+    }
+}
+
+impl RunObserver for MetricsObserver {
+    fn on_outer_start(&mut self, _outer: usize) {
+        self.metrics.outers += 1;
+    }
+
+    fn on_inner_iteration(&mut self, _inner: usize, _relative_change: f64) {
+        self.metrics.inner_iterations += 1;
+    }
+
+    fn on_sweep(&mut self, sweep: usize, cells: u64, seconds: f64) {
+        // Single-domain solves report a running count; ranks report
+        // their own counts through the rank hook below.
+        self.metrics.sweeps = self.metrics.sweeps.max(sweep);
+        self.record_sweep(cells, seconds);
+    }
+
+    fn on_krylov_residual(&mut self, _iteration: usize, _relative_residual: f64) {
+        self.metrics.krylov_residual_events += 1;
+    }
+
+    fn on_accel_residual(&mut self, _iteration: usize, _relative_residual: f64) {
+        self.metrics.accel_residual_events += 1;
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.record_phase_start(phase);
+    }
+
+    fn on_phase_end(&mut self, phase: Phase, seconds: f64) {
+        self.record_phase_end(phase, seconds);
+    }
+
+    fn on_halo_exchange(&mut self, _iteration: usize, faces: usize, bytes: u64) {
+        self.metrics.halo_exchanges += 1;
+        self.metrics.halo_faces += faces;
+        self.metrics.halo_bytes += bytes;
+    }
+
+    fn on_rank_inner_iteration(&mut self, _rank: usize, _inner: usize, _relative_change: f64) {
+        self.metrics.rank_inner_iterations += 1;
+    }
+
+    fn on_rank_sweep(&mut self, _rank: usize, _sweep: usize, cells: u64, seconds: f64) {
+        self.metrics.sweeps += 1;
+        self.record_sweep(cells, seconds);
+    }
+
+    fn on_rank_krylov_residual(&mut self, _rank: usize, _iteration: usize, _residual: f64) {
+        self.metrics.krylov_residual_events += 1;
+    }
+
+    fn on_rank_accel_residual(&mut self, _rank: usize, _iteration: usize, _residual: f64) {
+        self.metrics.accel_residual_events += 1;
+    }
+
+    fn on_rank_phase_start(&mut self, _rank: usize, phase: Phase) {
+        self.record_phase_start(phase);
+    }
+
+    fn on_rank_phase_end(&mut self, _rank: usize, phase: Phase, seconds: f64) {
+        self.record_phase_end(phase, seconds);
+    }
+}
+
+/// An observer that streams every event to a JSONL run log, one JSON
+/// document per line (rank-tagged events carry a `rank` field).
+///
+/// I/O failures are latched rather than panicking mid-solve: writing
+/// stops at the first error, which [`JsonlObserver::finish`] reports.
+#[derive(Debug)]
+pub struct JsonlObserver<W: Write> {
+    writer: JsonlWriter<W>,
+    error: Option<io::Error>,
+    events_written: usize,
+}
+
+impl JsonlObserver<BufWriter<File>> {
+    /// Stream events to a new (truncated) JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(JsonlWriter::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Stream events into an existing JSONL writer.
+    pub fn new(writer: JsonlWriter<W>) -> Self {
+        Self {
+            writer,
+            error: None,
+            events_written: 0,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn events_written(&self) -> usize {
+        self.events_written
+    }
+
+    /// Flush and surface any latched I/O error.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+
+    fn write(&mut self, object: JsonObject) {
+        if self.error.is_some() {
+            return;
+        }
+        match self.writer.write_line(&object.finish()) {
+            Ok(()) => self.events_written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn event(kind: &str) -> JsonObject {
+        JsonObject::new().field_str("event", kind)
+    }
+
+    fn rank_event(kind: &str, rank: usize) -> JsonObject {
+        Self::event(kind).field_usize("rank", rank)
+    }
+}
+
+impl<W: Write> RunObserver for JsonlObserver<W> {
+    fn on_outer_start(&mut self, outer: usize) {
+        self.write(Self::event("outer_start").field_usize("outer", outer));
+    }
+
+    fn on_outer_end(&mut self, outer: usize, converged: bool) {
+        self.write(
+            Self::event("outer_end")
+                .field_usize("outer", outer)
+                .field_bool("converged", converged),
+        );
+    }
+
+    fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        self.write(
+            Self::event("inner_iteration")
+                .field_usize("inner", inner)
+                .field_f64("relative_change", relative_change),
+        );
+    }
+
+    fn on_sweep(&mut self, sweep: usize, cells: u64, seconds: f64) {
+        self.write(
+            Self::event("sweep")
+                .field_usize("sweep", sweep)
+                .field_u64("cells", cells)
+                .field_f64("seconds", seconds),
+        );
+    }
+
+    fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.write(
+            Self::event("krylov_residual")
+                .field_usize("iteration", iteration)
+                .field_f64("relative_residual", relative_residual),
+        );
+    }
+
+    fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.write(
+            Self::event("accel_residual")
+                .field_usize("iteration", iteration)
+                .field_f64("relative_residual", relative_residual),
+        );
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.write(Self::event("phase_start").field_str("phase", phase.label()));
+    }
+
+    fn on_phase_end(&mut self, phase: Phase, seconds: f64) {
+        self.write(
+            Self::event("phase_end")
+                .field_str("phase", phase.label())
+                .field_f64("seconds", seconds),
+        );
+    }
+
+    fn on_halo_exchange(&mut self, iteration: usize, faces: usize, bytes: u64) {
+        self.write(
+            Self::event("halo_exchange")
+                .field_usize("iteration", iteration)
+                .field_usize("faces", faces)
+                .field_u64("bytes", bytes),
+        );
+    }
+
+    fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
+        self.write(Self::rank_event("outer_start", rank).field_usize("outer", outer));
+    }
+
+    fn on_rank_outer_end(&mut self, rank: usize, outer: usize, converged: bool) {
+        self.write(
+            Self::rank_event("outer_end", rank)
+                .field_usize("outer", outer)
+                .field_bool("converged", converged),
+        );
+    }
+
+    fn on_rank_inner_iteration(&mut self, rank: usize, inner: usize, relative_change: f64) {
+        self.write(
+            Self::rank_event("inner_iteration", rank)
+                .field_usize("inner", inner)
+                .field_f64("relative_change", relative_change),
+        );
+    }
+
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
+        self.write(
+            Self::rank_event("sweep", rank)
+                .field_usize("sweep", sweep)
+                .field_u64("cells", cells)
+                .field_f64("seconds", seconds),
+        );
+    }
+
+    fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.write(
+            Self::rank_event("krylov_residual", rank)
+                .field_usize("iteration", iteration)
+                .field_f64("relative_residual", relative_residual),
+        );
+    }
+
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.write(
+            Self::rank_event("accel_residual", rank)
+                .field_usize("iteration", iteration)
+                .field_f64("relative_residual", relative_residual),
+        );
+    }
+
+    fn on_rank_phase_start(&mut self, rank: usize, phase: Phase) {
+        self.write(Self::rank_event("phase_start", rank).field_str("phase", phase.label()));
+    }
+
+    fn on_rank_phase_end(&mut self, rank: usize, phase: Phase, seconds: f64) {
+        self.write(
+            Self::rank_event("phase_end", rank)
+                .field_str("phase", phase.label())
+                .field_f64("seconds", seconds),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsnap_obs::jsonl::read_str;
+
+    fn feed(observer: &mut dyn RunObserver) {
+        observer.on_outer_start(0);
+        observer.on_phase_start(Phase::SourceAssembly);
+        observer.on_phase_end(Phase::SourceAssembly, 0.25);
+        observer.on_sweep(1, 32, 0.01);
+        observer.on_inner_iteration(1, 0.5);
+        observer.on_krylov_residual(1, 0.1);
+        observer.on_accel_residual(0, 1.0);
+        observer.on_halo_exchange(0, 4, 512);
+        observer.on_rank_sweep(2, 1, 16, 0.02);
+        observer.on_rank_inner_iteration(2, 1, 0.25);
+        observer.on_rank_krylov_residual(2, 1, 0.05);
+        observer.on_rank_accel_residual(2, 0, 0.5);
+        observer.on_rank_phase_start(2, Phase::Krylov);
+        observer.on_rank_phase_end(2, Phase::Krylov, 0.125);
+        observer.on_outer_end(0, true);
+    }
+
+    #[test]
+    fn metrics_observer_aggregates_both_streams() {
+        let mut m = MetricsObserver::new();
+        feed(&mut m);
+        let metrics = m.snapshot();
+        assert_eq!(metrics.sweeps, 2); // running count 1 + one rank sweep
+        assert_eq!(metrics.cells_swept, 48);
+        assert_eq!(metrics.outers, 1);
+        assert_eq!(metrics.inner_iterations, 1);
+        assert_eq!(metrics.rank_inner_iterations, 1);
+        assert_eq!(metrics.krylov_residual_events, 2);
+        assert_eq!(metrics.accel_residual_events, 2);
+        assert_eq!(metrics.halo_exchanges, 1);
+        assert_eq!(metrics.halo_faces, 4);
+        assert_eq!(metrics.halo_bytes, 512);
+        assert_eq!(metrics.phase_count(Phase::SourceAssembly), 1);
+        assert_eq!(metrics.phase_count(Phase::Krylov), 1);
+        assert_eq!(metrics.phase_time(Phase::Krylov), 0.125);
+        assert_eq!(metrics.cells_per_sweep.count(), 2);
+        assert_eq!(metrics.sweep_latency.count(), 2);
+        // Quantiles report clamped bucket bounds, so with two distinct
+        // samples they land inside [min, max] in order.
+        let p50 = metrics.sweep_p50().unwrap();
+        let p95 = metrics.sweep_p95().unwrap();
+        assert!((0.01..=0.02).contains(&p50));
+        assert!(p50 <= p95 && p95 <= 0.02);
+    }
+
+    #[test]
+    fn zero_wallclock_strips_exactly_the_timing_half() {
+        let mut m = MetricsObserver::new();
+        feed(&mut m);
+        let mut metrics = m.snapshot();
+        metrics.kernel_assemble_seconds = 1.5;
+        let det = metrics.deterministic();
+        assert_eq!(det.sweeps, metrics.sweeps);
+        assert_eq!(det.cells_per_sweep, metrics.cells_per_sweep);
+        assert_eq!(det.phase_starts, metrics.phase_starts);
+        assert_eq!(det.phase_seconds, vec![0.0; Phase::all().len()]);
+        assert_eq!(det.sweep_latency.count(), 0);
+        assert_eq!(det.kernel_assemble_seconds, 0.0);
+        // Two runs that differ only in timing agree after normalisation.
+        let mut again = MetricsObserver::new();
+        feed(&mut again);
+        let mut other = again.snapshot();
+        other.phase_seconds[Phase::Krylov.index()] = 99.0;
+        assert_ne!(other, metrics);
+        assert_eq!(other.deterministic(), det);
+    }
+
+    #[test]
+    fn registry_export_tags_the_classes() {
+        let mut m = MetricsObserver::new();
+        feed(&mut m);
+        let registry = m.snapshot().registry();
+        assert_eq!(registry.counter("sweeps"), Some(2));
+        assert_eq!(registry.counter("halo_bytes"), Some(512));
+        assert_eq!(registry.gauge("phase_seconds.krylov"), Some(0.125));
+        let det = registry.deterministic_only();
+        assert_eq!(det.counter("cells_swept"), Some(48));
+        assert!(det.gauge("phase_seconds.krylov").is_none());
+        assert!(det.histogram("cells_per_sweep").is_some());
+        assert!(det.histogram("sweep_latency_seconds").is_none());
+    }
+
+    #[test]
+    fn metrics_json_and_table_render() {
+        let mut m = MetricsObserver::new();
+        feed(&mut m);
+        let metrics = m.snapshot();
+        let json = metrics.to_json();
+        let parsed = unsnap_obs::reader::parse(&json).unwrap();
+        let det = parsed.get("deterministic").unwrap();
+        assert_eq!(det.get("sweeps").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            det.get("phase_starts")
+                .unwrap()
+                .get("source_assembly")
+                .unwrap()
+                .as_usize(),
+            Some(1)
+        );
+        let wall = parsed.get("wallclock").unwrap();
+        assert_eq!(
+            wall.get("phase_seconds")
+                .unwrap()
+                .get("krylov")
+                .unwrap()
+                .as_f64(),
+            Some(0.125)
+        );
+        assert!(wall
+            .get("sweep_latency_seconds")
+            .unwrap()
+            .get("p95")
+            .is_some());
+
+        let table = metrics.phase_table();
+        assert!(table.contains("krylov"));
+        assert!(table.contains("total"));
+    }
+
+    #[test]
+    fn jsonl_observer_streams_every_event() {
+        let mut buf = Vec::new();
+        {
+            let mut observer = JsonlObserver::new(JsonlWriter::new(&mut buf));
+            feed(&mut observer);
+            assert_eq!(observer.events_written(), 15);
+            observer.finish().unwrap();
+        }
+        let docs = read_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(docs.len(), 15);
+        assert_eq!(docs[0].get("event").unwrap().as_str(), Some("outer_start"));
+        let sweep = &docs[3];
+        assert_eq!(sweep.get("event").unwrap().as_str(), Some("sweep"));
+        assert_eq!(sweep.get("cells").unwrap().as_u64(), Some(32));
+        assert!(sweep.get("rank").is_none());
+        let rank_sweep = &docs[8];
+        assert_eq!(rank_sweep.get("event").unwrap().as_str(), Some("sweep"));
+        assert_eq!(rank_sweep.get("rank").unwrap().as_usize(), Some(2));
+        let halo = &docs[7];
+        assert_eq!(halo.get("event").unwrap().as_str(), Some("halo_exchange"));
+        assert_eq!(halo.get("bytes").unwrap().as_u64(), Some(512));
+    }
+}

@@ -328,6 +328,7 @@ mod tests {
             scalar_flux_total: 1.0,
             scalar_flux_max: 1.0,
             scalar_flux_min: 0.0,
+            metrics: crate::metrics::RunMetrics::default(),
         };
         let text = iteration_summary(&outcome);
         assert!(text.contains("converged in 12 sweeps"));

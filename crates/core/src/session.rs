@@ -33,6 +33,77 @@ use crate::layout::FluxStorage;
 use crate::problem::Problem;
 use crate::solver::{SolveOutcome, TransportSolver};
 
+/// The named phases of a transport solve, as reported through
+/// [`RunObserver::on_phase_start`]/[`RunObserver::on_phase_end`].
+///
+/// Phases are the units of the wall-clock breakdown: every span the
+/// solvers time is attributed to exactly one of these.  Phase *counts*
+/// are deterministic (one span per firing site per iteration); phase
+/// *seconds* are wall-clock and excluded from determinism comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Element-integral precomputation and schedule construction in
+    /// `TransportSolver::new` (reported once, at the start of the
+    /// solver's first observed run).
+    Preassembly,
+    /// Building the group-coupled source (`compute_source` /
+    /// `compute_external_source`) ahead of a sweep.
+    SourceAssembly,
+    /// A full transport sweep over all angles and cells.
+    Sweep,
+    /// The block-Jacobi halo exchange (publishing the previous iterate's
+    /// angular flux to neighbouring subdomains).
+    HaloExchange,
+    /// The GMRES region of a `SweepGmres` inner solve.
+    Krylov,
+    /// The low-order DSA conjugate-gradient correction solve.
+    AccelCg,
+}
+
+impl Phase {
+    /// Every phase, in breakdown-table order.
+    pub fn all() -> [Phase; 6] {
+        [
+            Phase::Preassembly,
+            Phase::SourceAssembly,
+            Phase::Sweep,
+            Phase::HaloExchange,
+            Phase::Krylov,
+            Phase::AccelCg,
+        ]
+    }
+
+    /// A stable dense index (`0..6`), usable as a table slot.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Preassembly => 0,
+            Phase::SourceAssembly => 1,
+            Phase::Sweep => 2,
+            Phase::HaloExchange => 3,
+            Phase::Krylov => 4,
+            Phase::AccelCg => 5,
+        }
+    }
+
+    /// The snake_case label used in JSON output and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Preassembly => "preassembly",
+            Phase::SourceAssembly => "source_assembly",
+            Phase::Sweep => "sweep",
+            Phase::HaloExchange => "halo_exchange",
+            Phase::Krylov => "krylov",
+            Phase::AccelCg => "accel_cg",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Streaming hooks into a running transport solve.
 ///
 /// Every method has a no-op default, so observers implement only the
@@ -59,9 +130,11 @@ pub trait RunObserver {
     }
 
     /// A full transport sweep completed.  `sweep` is the running sweep
-    /// count (1-based) and `seconds` the wall-clock time of this sweep.
-    fn on_sweep(&mut self, sweep: usize, seconds: f64) {
-        let _ = (sweep, seconds);
+    /// count (1-based), `cells` the kernel invocations it performed
+    /// (elements × groups × angles — deterministic), and `seconds` the
+    /// wall-clock time of this sweep.
+    fn on_sweep(&mut self, sweep: usize, cells: u64, seconds: f64) {
+        let _ = (sweep, cells, seconds);
     }
 
     /// A Krylov iteration reported a relative residual (one event per
@@ -78,6 +151,30 @@ pub trait RunObserver {
     /// DSA-preconditioned GMRES path).
     fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
         let _ = (iteration, relative_residual);
+    }
+
+    /// A timed phase span opened (see [`Phase`] for the taxonomy).
+    /// Spans never nest within one phase; the matching
+    /// [`RunObserver::on_phase_end`] carries the measured duration.
+    fn on_phase_start(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// A timed phase span closed after `seconds` of wall-clock time (as
+    /// measured by the solver's [`Clock`](unsnap_obs::clock::Clock) —
+    /// exact under a mock clock).
+    fn on_phase_end(&mut self, phase: Phase, seconds: f64) {
+        let _ = (phase, seconds);
+    }
+
+    /// The distributed driver published the previous iterate's angular
+    /// flux to its subdomains: `iteration` is the 0-based halo
+    /// iteration, `faces` the cut faces crossed and `bytes` the payload
+    /// moved.  Fired by the driver itself (outside any rank), so both
+    /// [`EventLog::replay`] and [`EventLog::replay_as_rank`] deliver it
+    /// through this untagged hook.  Single-domain solves never fire it.
+    fn on_halo_exchange(&mut self, iteration: usize, faces: usize, bytes: u64) {
+        let _ = (iteration, faces, bytes);
     }
 
     // ------------------------------------------------------------------
@@ -109,9 +206,9 @@ pub trait RunObserver {
     }
 
     /// Rank `rank` completed a subdomain sweep (`sweep` is that rank's
-    /// running count).
-    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, seconds: f64) {
-        let _ = (rank, sweep, seconds);
+    /// running count, `cells` its kernel invocations).
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
+        let _ = (rank, sweep, cells, seconds);
     }
 
     /// Rank `rank`'s subdomain Krylov solve reported a relative residual.
@@ -123,6 +220,16 @@ pub trait RunObserver {
     /// residual.
     fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
         let _ = (rank, iteration, relative_residual);
+    }
+
+    /// Rank `rank` opened a timed phase span.
+    fn on_rank_phase_start(&mut self, rank: usize, phase: Phase) {
+        let _ = (rank, phase);
+    }
+
+    /// Rank `rank` closed a timed phase span after `seconds`.
+    fn on_rank_phase_end(&mut self, rank: usize, phase: Phase, seconds: f64) {
+        let _ = (rank, phase, seconds);
     }
 }
 
@@ -152,6 +259,8 @@ pub enum SolveEvent {
     Sweep {
         /// Running sweep count.
         sweep: usize,
+        /// Kernel invocations performed (elements × groups × angles).
+        cells: u64,
         /// Wall-clock seconds of this sweep.
         seconds: f64,
     },
@@ -168,6 +277,28 @@ pub enum SolveEvent {
         iteration: usize,
         /// Relative CG residual.
         relative_residual: f64,
+    },
+    /// [`RunObserver::on_phase_start`].
+    PhaseStart {
+        /// The phase being entered.
+        phase: Phase,
+    },
+    /// [`RunObserver::on_phase_end`].
+    PhaseEnd {
+        /// The phase being left.
+        phase: Phase,
+        /// Wall-clock seconds the span measured.
+        seconds: f64,
+    },
+    /// [`RunObserver::on_halo_exchange`].  A driver-level event: both
+    /// replay directions deliver it untagged.
+    HaloExchange {
+        /// 0-based halo iteration.
+        iteration: usize,
+        /// Cut faces crossed by the exchange.
+        faces: usize,
+        /// Bytes of angular flux published.
+        bytes: u64,
     },
 }
 
@@ -203,7 +334,11 @@ impl EventLog {
                     inner,
                     relative_change,
                 } => observer.on_inner_iteration(inner, relative_change),
-                SolveEvent::Sweep { sweep, seconds } => observer.on_sweep(sweep, seconds),
+                SolveEvent::Sweep {
+                    sweep,
+                    cells,
+                    seconds,
+                } => observer.on_sweep(sweep, cells, seconds),
                 SolveEvent::KrylovResidual {
                     iteration,
                     relative_residual,
@@ -212,6 +347,13 @@ impl EventLog {
                     iteration,
                     relative_residual,
                 } => observer.on_accel_residual(iteration, relative_residual),
+                SolveEvent::PhaseStart { phase } => observer.on_phase_start(phase),
+                SolveEvent::PhaseEnd { phase, seconds } => observer.on_phase_end(phase, seconds),
+                SolveEvent::HaloExchange {
+                    iteration,
+                    faces,
+                    bytes,
+                } => observer.on_halo_exchange(iteration, faces, bytes),
             }
         }
     }
@@ -229,9 +371,11 @@ impl EventLog {
                     inner,
                     relative_change,
                 } => observer.on_rank_inner_iteration(rank, inner, relative_change),
-                SolveEvent::Sweep { sweep, seconds } => {
-                    observer.on_rank_sweep(rank, sweep, seconds)
-                }
+                SolveEvent::Sweep {
+                    sweep,
+                    cells,
+                    seconds,
+                } => observer.on_rank_sweep(rank, sweep, cells, seconds),
                 SolveEvent::KrylovResidual {
                     iteration,
                     relative_residual,
@@ -240,6 +384,18 @@ impl EventLog {
                     iteration,
                     relative_residual,
                 } => observer.on_rank_accel_residual(rank, iteration, relative_residual),
+                SolveEvent::PhaseStart { phase } => observer.on_rank_phase_start(rank, phase),
+                SolveEvent::PhaseEnd { phase, seconds } => {
+                    observer.on_rank_phase_end(rank, phase, seconds)
+                }
+                // Halo exchanges are driver-level events (never recorded
+                // inside a rank's log); if one is replayed here it still
+                // belongs to the run, not the rank.
+                SolveEvent::HaloExchange {
+                    iteration,
+                    faces,
+                    bytes,
+                } => observer.on_halo_exchange(iteration, faces, bytes),
             }
         }
     }
@@ -261,8 +417,12 @@ impl RunObserver for EventLog {
         });
     }
 
-    fn on_sweep(&mut self, sweep: usize, seconds: f64) {
-        self.events.push(SolveEvent::Sweep { sweep, seconds });
+    fn on_sweep(&mut self, sweep: usize, cells: u64, seconds: f64) {
+        self.events.push(SolveEvent::Sweep {
+            sweep,
+            cells,
+            seconds,
+        });
     }
 
     fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
@@ -276,6 +436,22 @@ impl RunObserver for EventLog {
         self.events.push(SolveEvent::AccelResidual {
             iteration,
             relative_residual,
+        });
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.events.push(SolveEvent::PhaseStart { phase });
+    }
+
+    fn on_phase_end(&mut self, phase: Phase, seconds: f64) {
+        self.events.push(SolveEvent::PhaseEnd { phase, seconds });
+    }
+
+    fn on_halo_exchange(&mut self, iteration: usize, faces: usize, bytes: u64) {
+        self.events.push(SolveEvent::HaloExchange {
+            iteration,
+            faces,
+            bytes,
         });
     }
 }
@@ -309,8 +485,23 @@ pub struct RecordingObserver {
     pub accel_residual_history: Vec<f64>,
     /// Transport sweeps observed.
     pub sweep_count: usize,
+    /// Kernel invocations summed over the observed sweeps
+    /// (deterministic, unlike the seconds).
+    pub cells_swept: u64,
     /// Wall-clock seconds summed over the observed sweeps.
     pub sweep_seconds: f64,
+    /// Phase spans opened, per [`Phase::index`] slot (grown on demand;
+    /// deterministic).
+    pub phase_starts: Vec<usize>,
+    /// Wall-clock seconds summed per [`Phase::index`] slot (grown on
+    /// demand; zero these before cross-run comparisons).
+    pub phase_seconds: Vec<f64>,
+    /// Halo exchanges observed (distributed solves only).
+    pub halo_exchanges: usize,
+    /// Cut faces summed over the observed halo exchanges.
+    pub halo_faces: usize,
+    /// Bytes summed over the observed halo exchanges.
+    pub halo_bytes: u64,
     /// Whether any outer iteration reported inner convergence.
     pub converged: bool,
     /// Per-rank recordings built from the rank-tagged hooks (empty for
@@ -354,8 +545,9 @@ impl RunObserver for RecordingObserver {
         self.convergence_history.push(relative_change);
     }
 
-    fn on_sweep(&mut self, sweep: usize, seconds: f64) {
+    fn on_sweep(&mut self, sweep: usize, cells: u64, seconds: f64) {
         self.sweep_count = sweep;
+        self.cells_swept += cells;
         self.sweep_seconds += seconds;
     }
 
@@ -365,6 +557,28 @@ impl RunObserver for RecordingObserver {
 
     fn on_accel_residual(&mut self, _iteration: usize, relative_residual: f64) {
         self.accel_residual_history.push(relative_residual);
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        let slot = phase.index();
+        if self.phase_starts.len() <= slot {
+            self.phase_starts.resize(slot + 1, 0);
+        }
+        self.phase_starts[slot] += 1;
+    }
+
+    fn on_phase_end(&mut self, phase: Phase, seconds: f64) {
+        let slot = phase.index();
+        if self.phase_seconds.len() <= slot {
+            self.phase_seconds.resize(slot + 1, 0.0);
+        }
+        self.phase_seconds[slot] += seconds;
+    }
+
+    fn on_halo_exchange(&mut self, _iteration: usize, faces: usize, bytes: u64) {
+        self.halo_exchanges += 1;
+        self.halo_faces += faces;
+        self.halo_bytes += bytes;
     }
 
     fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
@@ -380,8 +594,8 @@ impl RunObserver for RecordingObserver {
             .on_inner_iteration(inner, relative_change);
     }
 
-    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, seconds: f64) {
-        self.rank_mut(rank).on_sweep(sweep, seconds);
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
+        self.rank_mut(rank).on_sweep(sweep, cells, seconds);
     }
 
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
@@ -393,15 +607,141 @@ impl RunObserver for RecordingObserver {
         self.rank_mut(rank)
             .on_accel_residual(iteration, relative_residual);
     }
+
+    fn on_rank_phase_start(&mut self, rank: usize, phase: Phase) {
+        self.rank_mut(rank).on_phase_start(phase);
+    }
+
+    fn on_rank_phase_end(&mut self, rank: usize, phase: Phase, seconds: f64) {
+        self.rank_mut(rank).on_phase_end(phase, seconds);
+    }
+}
+
+/// An observer that forwards every event to two underlying observers,
+/// first `primary`, then `secondary`.
+///
+/// This is how the solvers attach metrics without disturbing the
+/// caller's observer: `run_observed` tees the caller's observer with an
+/// internal [`MetricsObserver`](crate::metrics::MetricsObserver), so
+/// every outcome carries a [`RunMetrics`](crate::metrics::RunMetrics)
+/// snapshot for free.
+pub struct TeeObserver<'a> {
+    primary: &'a mut dyn RunObserver,
+    secondary: &'a mut dyn RunObserver,
+}
+
+impl<'a> TeeObserver<'a> {
+    /// Tee `primary` (receives each event first) with `secondary`.
+    pub fn new(primary: &'a mut dyn RunObserver, secondary: &'a mut dyn RunObserver) -> Self {
+        Self { primary, secondary }
+    }
+}
+
+impl RunObserver for TeeObserver<'_> {
+    fn on_outer_start(&mut self, outer: usize) {
+        self.primary.on_outer_start(outer);
+        self.secondary.on_outer_start(outer);
+    }
+
+    fn on_outer_end(&mut self, outer: usize, converged: bool) {
+        self.primary.on_outer_end(outer, converged);
+        self.secondary.on_outer_end(outer, converged);
+    }
+
+    fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        self.primary.on_inner_iteration(inner, relative_change);
+        self.secondary.on_inner_iteration(inner, relative_change);
+    }
+
+    fn on_sweep(&mut self, sweep: usize, cells: u64, seconds: f64) {
+        self.primary.on_sweep(sweep, cells, seconds);
+        self.secondary.on_sweep(sweep, cells, seconds);
+    }
+
+    fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.primary
+            .on_krylov_residual(iteration, relative_residual);
+        self.secondary
+            .on_krylov_residual(iteration, relative_residual);
+    }
+
+    fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.primary.on_accel_residual(iteration, relative_residual);
+        self.secondary
+            .on_accel_residual(iteration, relative_residual);
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.primary.on_phase_start(phase);
+        self.secondary.on_phase_start(phase);
+    }
+
+    fn on_phase_end(&mut self, phase: Phase, seconds: f64) {
+        self.primary.on_phase_end(phase, seconds);
+        self.secondary.on_phase_end(phase, seconds);
+    }
+
+    fn on_halo_exchange(&mut self, iteration: usize, faces: usize, bytes: u64) {
+        self.primary.on_halo_exchange(iteration, faces, bytes);
+        self.secondary.on_halo_exchange(iteration, faces, bytes);
+    }
+
+    fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
+        self.primary.on_rank_outer_start(rank, outer);
+        self.secondary.on_rank_outer_start(rank, outer);
+    }
+
+    fn on_rank_outer_end(&mut self, rank: usize, outer: usize, converged: bool) {
+        self.primary.on_rank_outer_end(rank, outer, converged);
+        self.secondary.on_rank_outer_end(rank, outer, converged);
+    }
+
+    fn on_rank_inner_iteration(&mut self, rank: usize, inner: usize, relative_change: f64) {
+        self.primary
+            .on_rank_inner_iteration(rank, inner, relative_change);
+        self.secondary
+            .on_rank_inner_iteration(rank, inner, relative_change);
+    }
+
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
+        self.primary.on_rank_sweep(rank, sweep, cells, seconds);
+        self.secondary.on_rank_sweep(rank, sweep, cells, seconds);
+    }
+
+    fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.primary
+            .on_rank_krylov_residual(rank, iteration, relative_residual);
+        self.secondary
+            .on_rank_krylov_residual(rank, iteration, relative_residual);
+    }
+
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.primary
+            .on_rank_accel_residual(rank, iteration, relative_residual);
+        self.secondary
+            .on_rank_accel_residual(rank, iteration, relative_residual);
+    }
+
+    fn on_rank_phase_start(&mut self, rank: usize, phase: Phase) {
+        self.primary.on_rank_phase_start(rank, phase);
+        self.secondary.on_rank_phase_start(rank, phase);
+    }
+
+    fn on_rank_phase_end(&mut self, rank: usize, phase: Phase, seconds: f64) {
+        self.primary.on_rank_phase_end(rank, phase, seconds);
+        self.secondary.on_rank_phase_end(rank, phase, seconds);
+    }
 }
 
 /// A rate-limited stderr progress reporter for long-running solves.
 ///
 /// Outer-iteration boundaries always print; the high-rate events (inner
-/// iterates, Krylov and DSA residuals) print at most once per
-/// `min_interval`, so a bench binary can stream useful progress without
-/// drowning in per-sweep output.  Wire it up behind the bench harness's
-/// `--progress` flag:
+/// iterates, Krylov and DSA residuals, rank-tagged updates) print at
+/// most once per `min_interval`, so a bench binary can stream useful
+/// progress without drowning in per-sweep output.  The rate limiter
+/// never swallows convergence: a converged outer always flushes a final
+/// summary line carrying the sweep count and the last residuals seen.
+/// Wire it up behind the bench harness's `--progress` flag:
 ///
 /// ```
 /// use unsnap_core::builder::ProblemBuilder;
@@ -423,6 +763,9 @@ pub struct ProgressObserver {
     last_emit: Option<std::time::Instant>,
     lines_emitted: usize,
     sweeps: usize,
+    last_inner_change: Option<f64>,
+    last_krylov_residual: Option<f64>,
+    last_accel_residual: Option<f64>,
 }
 
 impl Default for ProgressObserver {
@@ -432,9 +775,42 @@ impl Default for ProgressObserver {
 }
 
 impl ProgressObserver {
+    /// The env knob selecting the rate-limit interval in milliseconds
+    /// (validated by `ProblemBuilder::env_overrides`, consumed by
+    /// [`ProgressObserver::from_env`]).
+    pub const INTERVAL_ENV: &'static str = "UNSNAP_PROGRESS_MS";
+
     /// A reporter with the default 100 ms rate limit.
     pub fn new() -> Self {
         Self::with_interval(std::time::Duration::from_millis(100))
+    }
+
+    /// A reporter whose rate limit honours `UNSNAP_PROGRESS_MS`
+    /// (milliseconds; `0` = print every event).  An unset variable means
+    /// the default 100 ms; an unparsable value falls back to the default
+    /// with a note on stderr, so a driver never dies over a progress
+    /// knob (the builder's `env_overrides` is the strict validator).
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var(Self::INTERVAL_ENV).ok().as_deref())
+    }
+
+    /// [`ProgressObserver::from_env`] with the variable's value passed
+    /// explicitly (`None` = unset), so the policy is testable without
+    /// mutating the process environment.
+    fn from_env_value(raw: Option<&str>) -> Self {
+        match raw {
+            None => Self::new(),
+            Some(raw) => match raw.trim().parse::<u64>() {
+                Ok(ms) => Self::with_interval(std::time::Duration::from_millis(ms)),
+                Err(_) => {
+                    eprintln!(
+                        "[unsnap] ignoring unparsable {}={raw:?}; using the default interval",
+                        Self::INTERVAL_ENV
+                    );
+                    Self::new()
+                }
+            },
+        }
     }
 
     /// A reporter emitting rate-limited lines at most once per
@@ -445,6 +821,9 @@ impl ProgressObserver {
             last_emit: None,
             lines_emitted: 0,
             sweeps: 0,
+            last_inner_change: None,
+            last_krylov_residual: None,
+            last_accel_residual: None,
         }
     }
 
@@ -487,19 +866,36 @@ impl RunObserver for ProgressObserver {
         self.emit(format_args!(
             "[unsnap] outer {outer} finished ({state}, {sweeps} sweeps so far)"
         ));
+        if converged {
+            // Final summary: never rate-limited, so convergence and the
+            // residuals it was declared at are always visible even when
+            // every intermediate line was swallowed by the limiter.
+            let mut summary = format!("[unsnap] converged after {sweeps} sweeps");
+            if let Some(change) = self.last_inner_change {
+                summary.push_str(&format!(", last Δφ {change:.3e}"));
+            }
+            if let Some(residual) = self.last_krylov_residual {
+                summary.push_str(&format!(", last krylov residual {residual:.3e}"));
+            }
+            if let Some(residual) = self.last_accel_residual {
+                summary.push_str(&format!(", last dsa cg residual {residual:.3e}"));
+            }
+            self.emit(format_args!("{summary}"));
+        }
     }
 
     fn on_inner_iteration(&mut self, inner: usize, relative_change: f64) {
+        self.last_inner_change = Some(relative_change);
         self.emit_limited(format_args!(
             "[unsnap]   inner {inner}: max relative change {relative_change:.3e}"
         ));
     }
 
-    fn on_sweep(&mut self, sweep: usize, _seconds: f64) {
+    fn on_sweep(&mut self, sweep: usize, _cells: u64, _seconds: f64) {
         self.sweeps = sweep;
     }
 
-    fn on_rank_sweep(&mut self, _rank: usize, _sweep: usize, _seconds: f64) {
+    fn on_rank_sweep(&mut self, _rank: usize, _sweep: usize, _cells: u64, _seconds: f64) {
         // Distributed drivers report sweeps per rank (each with its own
         // running count); count events so the outer-boundary summary
         // reflects the total across ranks.
@@ -507,12 +903,14 @@ impl RunObserver for ProgressObserver {
     }
 
     fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.last_krylov_residual = Some(relative_residual);
         self.emit_limited(format_args!(
             "[unsnap]   krylov {iteration}: residual {relative_residual:.3e}"
         ));
     }
 
     fn on_accel_residual(&mut self, iteration: usize, relative_residual: f64) {
+        self.last_accel_residual = Some(relative_residual);
         self.emit_limited(format_args!(
             "[unsnap]   dsa cg {iteration}: residual {relative_residual:.3e}"
         ));
@@ -522,6 +920,27 @@ impl RunObserver for ProgressObserver {
         let state = if converged { "converged" } else { "running" };
         self.emit_limited(format_args!(
             "[unsnap]   rank {rank} halo iteration {outer}: {state}"
+        ));
+    }
+
+    fn on_rank_inner_iteration(&mut self, rank: usize, inner: usize, relative_change: f64) {
+        self.last_inner_change = Some(relative_change);
+        self.emit_limited(format_args!(
+            "[unsnap]   rank {rank} inner {inner}: max relative change {relative_change:.3e}"
+        ));
+    }
+
+    fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.last_krylov_residual = Some(relative_residual);
+        self.emit_limited(format_args!(
+            "[unsnap]   rank {rank} krylov {iteration}: residual {relative_residual:.3e}"
+        ));
+    }
+
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.last_accel_residual = Some(relative_residual);
+        self.emit_limited(format_args!(
+            "[unsnap]   rank {rank} dsa cg {iteration}: residual {relative_residual:.3e}"
         ));
     }
 }
@@ -672,12 +1091,24 @@ mod tests {
 
         let mut replayed = RecordingObserver::default();
         log.replay(&mut replayed);
-        // Wall-clock sweep timing legitimately differs between the two
-        // runs; every other recorded quantity must match exactly.
-        direct.sweep_seconds = 0.0;
+        // Wall-clock timing (sweep seconds, phase seconds) legitimately
+        // differs between the two runs; every other recorded quantity —
+        // including the deterministic phase-start counts — must match
+        // exactly.
+        fn zero_timing(r: &mut RecordingObserver) {
+            r.sweep_seconds = 0.0;
+            for s in &mut r.phase_seconds {
+                *s = 0.0;
+            }
+        }
+        zero_timing(&mut direct);
         let mut normalised = replayed.clone();
-        normalised.sweep_seconds = 0.0;
+        zero_timing(&mut normalised);
         assert_eq!(direct, normalised);
+        assert!(
+            normalised.phase_starts.iter().sum::<usize>() > 0,
+            "a GMRES run must open phase spans"
+        );
 
         // Rank-tagged replay lands the same stream in a rank record.
         let mut tagged = RecordingObserver::default();
@@ -703,18 +1134,109 @@ mod tests {
         p.on_inner_iteration(1, 0.5);
         p.on_krylov_residual(1, 0.1);
         p.on_accel_residual(0, 1.0);
-        p.on_sweep(3, 0.01);
+        p.on_sweep(3, 10, 0.01);
         assert_eq!(p.lines_emitted(), 1);
+        // A converged outer always flushes the boundary line plus the
+        // final summary, no matter how recently the limiter fired.
         p.on_outer_end(0, true);
+        assert_eq!(p.lines_emitted(), 3);
+
+        // An unconverged outer prints the boundary line only.
+        let mut p = ProgressObserver::with_interval(std::time::Duration::from_secs(3600));
+        p.on_outer_start(0);
+        p.on_outer_end(0, false);
         assert_eq!(p.lines_emitted(), 2);
 
-        // Zero interval: every rate-limited event prints too.
+        // Zero interval: every rate-limited event prints too, including
+        // the per-rank residual and inner-iterate streams.
         let mut p = ProgressObserver::with_interval(std::time::Duration::ZERO);
         p.on_inner_iteration(1, 0.5);
         p.on_krylov_residual(1, 0.1);
         p.on_accel_residual(0, 1.0);
         p.on_rank_outer_end(2, 0, false);
-        assert_eq!(p.lines_emitted(), 4);
+        p.on_rank_inner_iteration(2, 1, 0.25);
+        p.on_rank_krylov_residual(2, 1, 0.05);
+        p.on_rank_accel_residual(2, 0, 0.5);
+        assert_eq!(p.lines_emitted(), 7);
+    }
+
+    #[test]
+    fn progress_observer_from_env_honours_and_survives_the_knob() {
+        // The policy is tested through the explicit-value constructor so
+        // no process-global environment is touched (the builder's env
+        // test owns the real variable).
+        let p = ProgressObserver::from_env_value(Some("0"));
+        assert_eq!(p.min_interval, std::time::Duration::ZERO);
+
+        let p = ProgressObserver::from_env_value(Some(" 250 "));
+        assert_eq!(p.min_interval, std::time::Duration::from_millis(250));
+
+        // Unset means the default; garbage falls back to the default
+        // with a note instead of panicking.
+        let default = ProgressObserver::new().min_interval;
+        assert_eq!(ProgressObserver::from_env_value(None).min_interval, default);
+        assert_eq!(
+            ProgressObserver::from_env_value(Some("soon")).min_interval,
+            default
+        );
+    }
+
+    #[test]
+    fn phase_events_buffer_and_replay_both_ways() {
+        let mut log = EventLog::default();
+        log.on_phase_start(Phase::Sweep);
+        log.on_phase_end(Phase::Sweep, 0.25);
+        log.on_phase_start(Phase::Krylov);
+        log.on_phase_end(Phase::Krylov, 0.5);
+        log.on_halo_exchange(0, 16, 1024);
+        assert_eq!(log.events.len(), 5);
+
+        let mut direct = RecordingObserver::default();
+        log.replay(&mut direct);
+        assert_eq!(direct.phase_starts[Phase::Sweep.index()], 1);
+        assert_eq!(direct.phase_seconds[Phase::Krylov.index()], 0.5);
+        assert_eq!(direct.halo_exchanges, 1);
+        assert_eq!(direct.halo_faces, 16);
+        assert_eq!(direct.halo_bytes, 1024);
+
+        // Rank-tagged replay: phase events land in the rank record, the
+        // halo exchange stays a driver-level (untagged) event.
+        let mut tagged = RecordingObserver::default();
+        log.replay_as_rank(1, &mut tagged);
+        let rank = tagged.rank(1).unwrap();
+        assert_eq!(rank.phase_starts[Phase::Sweep.index()], 1);
+        assert_eq!(rank.phase_seconds[Phase::Sweep.index()], 0.25);
+        assert_eq!(rank.halo_exchanges, 0);
+        assert!(tagged.phase_starts.is_empty());
+        assert_eq!(tagged.halo_exchanges, 1);
+        assert_eq!(tagged.halo_bytes, 1024);
+    }
+
+    #[test]
+    fn tee_observer_forwards_every_event_to_both() {
+        let mut log = EventLog::default();
+        log.on_outer_start(0);
+        log.on_sweep(1, 32, 0.1);
+        log.on_phase_start(Phase::Sweep);
+        log.on_phase_end(Phase::Sweep, 0.1);
+        log.on_inner_iteration(1, 0.5);
+        log.on_krylov_residual(1, 0.1);
+        log.on_accel_residual(0, 1.0);
+        log.on_halo_exchange(0, 4, 64);
+        log.on_outer_end(0, true);
+
+        let mut a = RecordingObserver::default();
+        let mut b = RecordingObserver::default();
+        {
+            let mut tee = TeeObserver::new(&mut a, &mut b);
+            log.replay(&mut tee);
+            log.replay_as_rank(0, &mut tee);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.sweep_count, 1);
+        assert_eq!(a.cells_swept, 32);
+        assert_eq!(a.rank_records.len(), 1);
+        assert_eq!(a.rank_records[0].cells_swept, 32);
     }
 
     #[test]

@@ -28,11 +28,12 @@
 //! bit-for-bit identical fluxes at any thread count — the invariant
 //! `tests/parallel_determinism.rs` enforces.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use unsnap_obs::clock::{Clock, SystemClock};
 
 use unsnap_fem::element::ReferenceElement;
 use unsnap_fem::face::{face_node_indices, FACES};
@@ -47,8 +48,9 @@ use crate::data::ProblemData;
 use crate::error::{Error, Result};
 use crate::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
 use crate::layout::{FluxLayout, FluxStorage};
+use crate::metrics::{MetricsObserver, RunMetrics};
 use crate::problem::Problem;
-use crate::session::{NoopObserver, RunObserver};
+use crate::session::{NoopObserver, Phase, RunObserver, TeeObserver};
 
 /// Result of one kernel task (one element × group for one angle).
 struct TaskResult {
@@ -105,6 +107,14 @@ pub struct SolveOutcome {
     pub scalar_flux_max: f64,
     /// Minimum scalar-flux value.
     pub scalar_flux_min: f64,
+    /// The run's telemetry snapshot, aggregated from the full observer
+    /// event stream by the solver's internal
+    /// [`crate::metrics::MetricsObserver`] — attached
+    /// to every outcome with no caller wiring.  Deterministic half is
+    /// bit-for-bit thread/rank-count invariant; the wall-clock half is
+    /// stripped by [`RunMetrics::zero_wallclock`] before such
+    /// comparisons.
+    pub metrics: RunMetrics,
 }
 
 impl SolveOutcome {
@@ -150,6 +160,7 @@ impl SolveOutcome {
             .field_f64("scalar_flux_total", self.scalar_flux_total)
             .field_f64("scalar_flux_max", self.scalar_flux_max)
             .field_f64("scalar_flux_min", self.scalar_flux_min)
+            .field_raw("metrics", &self.metrics.to_json())
             .finish()
     }
 }
@@ -224,6 +235,18 @@ pub struct TransportSolver {
     /// operator + CG scratch), shared across iterations and runs.  Only
     /// materialises when a strategy actually asks for a correction.
     dsa: Option<crate::dsa::DsaAccelerator>,
+    /// Time source for phase spans and per-sweep latency.  Swappable via
+    /// [`TransportSolver::set_clock`], so tests inject a mock and pin
+    /// the wall-clock metrics exactly; deterministic metrics never read
+    /// it.
+    clock: Box<dyn Clock>,
+    /// Wall-clock seconds spent precomputing integrals and sweep
+    /// schedules in [`TransportSolver::new`].
+    preassembly_seconds: f64,
+    /// Whether the one-shot [`Phase::Preassembly`] span has been
+    /// reported yet (it fires on the first observed run only — the work
+    /// happened once, at construction).
+    preassembly_reported: bool,
 }
 
 impl TransportSolver {
@@ -268,6 +291,7 @@ impl TransportSolver {
         // Per-element integrals (the paper's precomputed basis-pair
         // integrals) — built in parallel, they are embarrassingly
         // independent.
+        let preassembly_start = Instant::now();
         let integrals = if problem.precompute_integrals {
             let list: Vec<ElementIntegrals> = pool.install(|| {
                 (0..mesh.num_cells())
@@ -297,6 +321,7 @@ impl TransportSolver {
                 })
                 .collect::<Result<Vec<_>>>()
         })?;
+        let preassembly_seconds = preassembly_start.elapsed().as_secs_f64();
 
         let order = problem.scheme.loop_order;
         let psi = FluxStorage::zeros(FluxLayout::angular(
@@ -331,7 +356,20 @@ impl TransportSolver {
             homogeneous_boundaries: false,
             krylov_workspace: None,
             dsa: None,
+            clock: Box::new(SystemClock::new()),
+            preassembly_seconds,
+            preassembly_reported: false,
         })
+    }
+
+    /// Replace the solver's time source.
+    ///
+    /// Tests inject a [`MockClock`](unsnap_obs::clock::MockClock) here
+    /// to pin the wall-clock metrics (phase seconds, per-sweep latency)
+    /// to exact values; deterministic metrics never read the clock and
+    /// are unaffected.
+    pub fn set_clock(&mut self, clock: Box<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// The problem this solver was built for.
@@ -382,6 +420,26 @@ impl TransportSolver {
     /// [`IterationStrategy`](crate::strategy::IterationStrategy) selected
     /// by [`Problem::strategy`](crate::problem::Problem).
     pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
+        // Tee the caller's observer with an internal metrics aggregator
+        // so every outcome carries its telemetry without caller wiring.
+        let mut metrics = MetricsObserver::new();
+        let mut outcome = {
+            let mut tee = TeeObserver::new(observer, &mut metrics);
+            self.run_observed_inner(&mut tee)?
+        };
+        let mut snapshot = metrics.snapshot();
+        snapshot.kernel_assemble_seconds = outcome.kernel_assemble_seconds;
+        snapshot.kernel_solve_seconds = outcome.kernel_solve_seconds;
+        outcome.metrics = snapshot;
+        Ok(outcome)
+    }
+
+    fn run_observed_inner(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
+        if !self.preassembly_reported {
+            self.preassembly_reported = true;
+            observer.on_phase_start(Phase::Preassembly);
+            observer.on_phase_end(Phase::Preassembly, self.preassembly_seconds);
+        }
         let strategy = self.problem.strategy.build();
         let mut stats = RunStats::default();
         let mut converged = false;
@@ -421,6 +479,7 @@ impl TransportSolver {
             scalar_flux_total,
             scalar_flux_max,
             scalar_flux_min,
+            metrics: RunMetrics::default(),
         })
     }
 
@@ -500,14 +559,16 @@ impl TransportSolver {
     /// `observer` when the sweep completes.
     pub fn sweep_once(&mut self, stats: &mut RunStats, observer: &mut dyn RunObserver) {
         self.phi.fill(0.0);
-        let t0 = Instant::now();
+        observer.on_phase_start(Phase::Sweep);
+        let t0 = self.clock.now();
         let (timing, count) = self.sweep_all();
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = self.clock.now().saturating_sub(t0).as_secs_f64();
+        observer.on_phase_end(Phase::Sweep, seconds);
         stats.sweep_seconds += seconds;
         stats.kernel_timing.accumulate(timing);
         stats.kernel_invocations += count;
         stats.sweeps += 1;
-        observer.on_sweep(stats.sweeps, seconds);
+        observer.on_sweep(stats.sweeps, count, seconds);
     }
 
     /// Enable/disable homogeneous (zero-inflow) boundary treatment for
@@ -921,6 +982,10 @@ impl crate::strategy::InnerSolveContext for TransportSolver {
         self.problem.convergence_tolerance
     }
 
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
     fn gmres_restart(&self) -> usize {
         self.problem.gmres_restart
     }
@@ -995,7 +1060,12 @@ impl crate::strategy::InnerSolveContext for TransportSolver {
             ));
         }
         let dsa = self.dsa.as_mut().expect("accelerator just built");
-        dsa.correct(self.phi.as_mut_slice(), previous, stats, observer)
+        observer.on_phase_start(Phase::AccelCg);
+        let t0 = self.clock.now();
+        let result = dsa.correct(self.phi.as_mut_slice(), previous, stats, observer);
+        let seconds = self.clock.now().saturating_sub(t0).as_secs_f64();
+        observer.on_phase_end(Phase::AccelCg, seconds);
+        result
     }
 }
 
@@ -1482,6 +1552,52 @@ mod tests {
         // RHS + initial-residual + consistency sweeps mean a few more
         // sweeps than Krylov iterations, never fewer.
         assert!(gm.sweep_count > gm.krylov_iterations);
+    }
+
+    #[test]
+    fn metrics_are_attached_to_every_outcome() {
+        let mut solver = TransportSolver::new(&Problem::tiny()).unwrap();
+        let outcome = solver.run().unwrap();
+        let m = &outcome.metrics;
+        assert_eq!(m.sweeps, outcome.sweep_count);
+        assert_eq!(m.cells_swept, outcome.kernel_invocations);
+        assert_eq!(m.inner_iterations, outcome.inner_iterations);
+        assert_eq!(m.phase_count(Phase::Preassembly), 1);
+        assert_eq!(m.phase_count(Phase::Sweep), outcome.sweep_count);
+        assert_eq!(m.sweep_latency.count() as usize, outcome.sweep_count);
+        assert_eq!(m.cells_per_sweep.count() as usize, outcome.sweep_count);
+        assert_eq!(m.halo_exchanges, 0, "single domain never exchanges halos");
+        assert_eq!(m.kernel_assemble_seconds, outcome.kernel_assemble_seconds);
+        // A second run re-aggregates from scratch but skips the one-shot
+        // preassembly span (the work happened once, at construction).
+        let again = solver.run().unwrap();
+        assert_eq!(again.metrics.phase_count(Phase::Preassembly), 0);
+        assert_eq!(again.metrics.sweeps, again.sweep_count);
+    }
+
+    #[test]
+    fn mock_clock_pins_wall_clock_metrics_exactly() {
+        use unsnap_obs::clock::MockClock;
+        // Only the driver thread reads the clock, and every span is one
+        // bracketed pair of readings, so an auto-stepping mock makes
+        // each span exactly one step long.
+        let step = Duration::from_millis(5);
+        let mut solver = TransportSolver::new(&Problem::tiny()).unwrap();
+        solver.set_clock(Box::new(MockClock::with_step(step)));
+        let outcome = solver.run().unwrap();
+        let m = &outcome.metrics;
+        let s = step.as_secs_f64();
+        assert_eq!(m.sweep_p50(), Some(s));
+        assert_eq!(m.sweep_p95(), Some(s));
+        assert_eq!(m.phase_time(Phase::Sweep), s * outcome.sweep_count as f64);
+        assert_eq!(
+            m.phase_time(Phase::SourceAssembly),
+            s * m.phase_count(Phase::SourceAssembly) as f64
+        );
+        assert_eq!(
+            outcome.assemble_solve_seconds,
+            s * outcome.sweep_count as f64
+        );
     }
 
     #[test]

@@ -40,12 +40,14 @@
 //! (`unsnap-comm`) implement — the same SI/GMRES objects therefore run
 //! whole-domain and rank-decomposed solves alike.
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
 
 use unsnap_krylov::{Gmres, GmresConfig, GmresWorkspace, LinearOperator, ObservedOperator};
 
 use crate::error::Result;
-use crate::session::RunObserver;
+use crate::session::{Phase, RunObserver};
 use crate::solver::{relative_change, RunStats};
 
 /// Which inner-iteration strategy the solver runs.
@@ -185,6 +187,16 @@ pub trait InnerSolveContext {
     /// Pointwise convergence tolerance (0 = run every iteration).
     fn convergence_tolerance(&self) -> f64;
 
+    /// The context's current clock reading, used by the strategies to
+    /// time the phase spans they open ([`Phase::SourceAssembly`],
+    /// [`Phase::Krylov`]).  Both real contexts override this with their
+    /// swappable solver clock; the default reads nothing and reports
+    /// [`Duration::ZERO`], so span *counts* stay deterministic even for
+    /// a context without a clock.
+    fn now(&self) -> Duration {
+        Duration::ZERO
+    }
+
     /// GMRES restart length for the Krylov strategies.
     fn gmres_restart(&self) -> usize;
 
@@ -295,6 +307,25 @@ pub trait IterationStrategy {
     ) -> Result<bool>;
 }
 
+/// Assemble the total or external source inside a timed
+/// [`Phase::SourceAssembly`] span.  Shared by every strategy so the
+/// span count per inner iteration is uniform.
+fn assemble_source_timed(
+    context: &mut dyn InnerSolveContext,
+    observer: &mut dyn RunObserver,
+    external_only: bool,
+) {
+    observer.on_phase_start(Phase::SourceAssembly);
+    let t0 = context.now();
+    if external_only {
+        context.compute_external_source();
+    } else {
+        context.compute_source();
+    }
+    let seconds = context.now().saturating_sub(t0).as_secs_f64();
+    observer.on_phase_end(Phase::SourceAssembly, seconds);
+}
+
 /// The seed's lagged source iteration, unchanged.
 pub struct SourceIteration;
 
@@ -313,7 +344,7 @@ impl IterationStrategy for SourceIteration {
         let tolerance = context.convergence_tolerance();
         for _inner in 0..inner_iterations {
             stats.inner_iterations += 1;
-            context.compute_source();
+            assemble_source_timed(context, observer, false);
             context.save_phi_inner();
             context.sweep_once(stats, observer);
             let diff = relative_change(context.phi_slice(), context.phi_inner_slice());
@@ -361,7 +392,7 @@ impl IterationStrategy for DsaSourceIteration {
         let mut previous = Vec::new();
         for _inner in 0..inner_iterations {
             stats.inner_iterations += 1;
-            context.compute_source();
+            assemble_source_timed(context, observer, false);
             context.save_phi_inner();
             context.sweep_once(stats, observer);
             // The DSA correction needs the pre-sweep iterate; `phi_inner`
@@ -482,7 +513,7 @@ impl IterationStrategy for SweepGmres {
         // (fixed + cross-group) source — corrected to
         // (I + C) D L⁻¹ q_ext under DSA preconditioning (the affine part
         // of one DSA-SI step from a zero iterate).
-        context.compute_external_source();
+        assemble_source_timed(context, observer, true);
         context.sweep_once(stats, observer);
         if accelerated {
             let zeros = vec![0.0f64; context.phi_slice().len()];
@@ -491,6 +522,8 @@ impl IterationStrategy for SweepGmres {
         let b = context.phi_slice().to_vec();
 
         let mut workspace = context.take_krylov_workspace();
+        observer.on_phase_start(Phase::Krylov);
+        let krylov_t0 = context.now();
         let (outcome, dsa_error) = {
             let mut operator = SweepOperator {
                 context,
@@ -503,6 +536,8 @@ impl IterationStrategy for SweepGmres {
                 Gmres::new(config).solve_observed_in(&mut workspace, &mut operator, &b, &mut x);
             (outcome, operator.dsa_error)
         };
+        let krylov_seconds = context.now().saturating_sub(krylov_t0).as_secs_f64();
+        observer.on_phase_end(Phase::Krylov, krylov_seconds);
         context.put_krylov_workspace(workspace);
         if let Some(e) = dsa_error {
             return Err(e);
@@ -520,7 +555,7 @@ impl IterationStrategy for SweepGmres {
         // source-iteration step would.
         context.set_phi(&x);
         context.save_phi_inner();
-        context.compute_source();
+        assemble_source_timed(context, observer, false);
         context.sweep_once(stats, observer);
         let diff = relative_change(context.phi_slice(), context.phi_inner_slice());
         stats.convergence_history.push(diff);

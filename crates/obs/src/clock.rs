@@ -1,0 +1,159 @@
+//! The pluggable time source behind every wall-clock measurement.
+//!
+//! Solvers never call [`std::time::Instant::now`] directly for phase
+//! timing; they hold a `Box<dyn Clock>` and measure spans as the
+//! difference of two [`Clock::now`] readings.  Production uses
+//! [`SystemClock`]; tests inject a [`MockClock`] and advance it by hand
+//! (or let it step automatically per reading), which makes timer outputs
+//! *exact* rather than merely plausible — the determinism suite can then
+//! pin wall-clock fields the same way it pins physics.
+//!
+//! ```
+//! use std::time::Duration;
+//! use unsnap_obs::clock::{Clock, MockClock};
+//!
+//! let clock = MockClock::new();
+//! let handle = clock.clone(); // shared state: advance through either
+//! let t0 = clock.now();
+//! handle.advance(Duration::from_millis(250));
+//! assert_eq!(clock.now() - t0, Duration::from_millis(250));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source measured as a [`Duration`] since an arbitrary
+/// per-clock origin.
+///
+/// `Send + Sync` is part of the contract: distributed drivers share one
+/// clock across their rank worker pool.  Implementations must be
+/// monotonic (readings never decrease) but need not track real time —
+/// that freedom is exactly what [`MockClock`] exploits.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current reading.  Only differences of readings are
+    /// meaningful; the origin is implementation-defined.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: a monotonic reading anchored at construction.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-driven clock for tests.
+///
+/// Clones share state (an atomic nanosecond counter), so a test keeps
+/// one clone as a handle and hands another to the solver; advancing the
+/// handle advances the solver's view.  With a non-zero
+/// [`step`](MockClock::with_step) the clock also auto-advances *after*
+/// every reading, so code that brackets a span with two `now()` calls
+/// observes exactly one step per span — deterministic timings without
+/// any test-side choreography.
+#[derive(Debug, Clone, Default)]
+pub struct MockClock {
+    nanos: Arc<AtomicU64>,
+    step_nanos: u64,
+}
+
+impl MockClock {
+    /// A clock frozen at zero; advance it explicitly.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock that advances itself by `step` after every reading.
+    pub fn with_step(step: Duration) -> Self {
+        Self {
+            nanos: Arc::new(AtomicU64::new(0)),
+            step_nanos: step.as_nanos() as u64,
+        }
+    }
+
+    /// Move the clock forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.nanos
+            .fetch_add(delta.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Set the absolute reading (must not move backwards for the
+    /// monotonicity contract to hold; the clock does not check).
+    pub fn set(&self, reading: Duration) {
+        self.nanos
+            .store(reading.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Duration {
+        let nanos = self.nanos.fetch_add(self.step_nanos, Ordering::SeqCst);
+        Duration::from_nanos(nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances_through_any_clone() {
+        let clock = MockClock::new();
+        let handle = clock.clone();
+        assert_eq!(clock.now(), Duration::ZERO);
+        handle.advance(Duration::from_secs(2));
+        assert_eq!(clock.now(), Duration::from_secs(2));
+        clock.set(Duration::from_secs(5));
+        assert_eq!(handle.now(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stepping_clock_charges_one_step_per_reading() {
+        let clock = MockClock::with_step(Duration::from_millis(3));
+        let t0 = clock.now();
+        let t1 = clock.now();
+        assert_eq!(t0, Duration::ZERO);
+        assert_eq!(t1 - t0, Duration::from_millis(3));
+        // A bracketed span therefore measures exactly one step.
+        let start = clock.now();
+        let end = clock.now();
+        assert_eq!(end - start, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn clocks_are_object_safe_and_shareable() {
+        let boxed: Box<dyn Clock> = Box::new(MockClock::new());
+        assert_eq!(boxed.now(), Duration::ZERO);
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&boxed);
+    }
+}

@@ -5,14 +5,15 @@
 //! external tooling is done with this small, dependency-free writer
 //! instead.  It covers exactly what the benchmark binaries need — objects,
 //! arrays, strings, booleans, integers and IEEE doubles — and nothing
-//! else.
+//! else.  (It lived in `unsnap-core` before the observability crate
+//! existed; `unsnap_core::json` still re-exports it.)
 //!
 //! Numbers use Rust's shortest-round-trip `Display` for `f64`, so parsing
 //! the emitted JSON recovers the exact bit pattern; non-finite values
 //! (which JSON cannot represent) are emitted as `null`.
 //!
 //! ```
-//! use unsnap_core::json::JsonObject;
+//! use unsnap_obs::json::JsonObject;
 //!
 //! let s = JsonObject::new()
 //!     .field_str("name", "tiny")
@@ -214,6 +215,19 @@ mod tests {
         assert_eq!(v, 1.0 / 3.0);
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn non_finite_values_stay_valid_json_in_arrays_and_objects() {
+        // The satellite concern: residual histories containing NaN/±inf
+        // must still serialise to parseable JSON.
+        let arr = array_f64(&[1.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(arr, "[1,null,null]");
+        let obj = JsonObject::new().field_f64("r", f64::NAN).finish();
+        assert_eq!(obj, r#"{"r":null}"#);
+        assert!(crate::reader::parse(&arr).is_ok());
+        assert!(crate::reader::parse(&obj).is_ok());
     }
 
     #[test]

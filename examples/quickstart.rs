@@ -42,7 +42,7 @@ impl RunObserver for Narrator {
         println!("    krylov {iteration:>3}: relative residual {relative_residual:.3e}");
     }
 
-    fn on_sweep(&mut self, sweep: usize, _seconds: f64) {
+    fn on_sweep(&mut self, sweep: usize, _cells: u64, _seconds: f64) {
         self.sweeps = sweep;
     }
 

@@ -18,6 +18,7 @@
 //! | [`krylov`] (`unsnap-krylov`) | matrix-free Krylov solvers (restarted GMRES, CG) over an abstract `LinearOperator`, with observed solves and reusable workspaces |
 //! | [`accel`] (`unsnap-accel`) | diffusion synthetic acceleration: mesh-consistent low-order diffusion operator + CG correction solver |
 //! | [`sweep`] (`unsnap-sweep`) | per-angle wavefront (tlevel-bucket) schedules and concurrency schemes |
+//! | [`obs`] (`unsnap-obs`) | dependency-free observability: `Clock`/`MockClock`, metrics registry with deterministic/wall-clock split, fixed-bucket histograms, JSON writer/reader, JSONL run logs |
 //! | [`core`] (`unsnap-core`) | typed errors, `ProblemBuilder`, the observable `Session` API, Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
 //! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model, `CommError` |
 //!
@@ -88,6 +89,7 @@ pub use unsnap_fem as fem;
 pub use unsnap_krylov as krylov;
 pub use unsnap_linalg as linalg;
 pub use unsnap_mesh as mesh;
+pub use unsnap_obs as obs;
 pub use unsnap_sweep as sweep;
 
 /// The most commonly used types, re-exported for convenience.
@@ -105,11 +107,12 @@ pub mod prelude {
     pub use unsnap_core::error::{Error, Result};
     pub use unsnap_core::fd::DiamondDifferenceSolver;
     pub use unsnap_core::layout::{FluxLayout, FluxStorage};
+    pub use unsnap_core::metrics::{JsonlObserver, MetricsObserver, RunMetrics};
     pub use unsnap_core::problem::Problem;
     pub use unsnap_core::report;
     pub use unsnap_core::session::{
-        EventLog, NoopObserver, ProgressObserver, RecordingObserver, RunObserver, Session,
-        SolveEvent,
+        EventLog, NoopObserver, Phase, ProgressObserver, RecordingObserver, RunObserver, Session,
+        SolveEvent, TeeObserver,
     };
     pub use unsnap_core::solver::{RunStats, SolveOutcome, TransportSolver};
     pub use unsnap_core::strategy::{
@@ -122,6 +125,8 @@ pub mod prelude {
     };
     pub use unsnap_linalg::{DenseMatrix, LinearSolver, SolverKind};
     pub use unsnap_mesh::{Decomposition2D, MeshError, StructuredGrid, UnstructuredMesh};
+    pub use unsnap_obs::clock::{Clock, MockClock, SystemClock};
+    pub use unsnap_obs::metrics::{Determinism, Histogram, MetricsRegistry};
     pub use unsnap_sweep::{ConcurrencyScheme, LoopOrder, SweepSchedule, ThreadedLoops};
 }
 

@@ -19,12 +19,18 @@
 use unsnap::prelude::*;
 
 /// Everything a `SolveOutcome` reports except wall-clock timing, which
-/// legitimately differs between two runs.
+/// legitimately differs between two runs.  The attached [`RunMetrics`]
+/// keeps its deterministic half (sweeps, cells, phase-span counts) and
+/// has its wall-clock half stripped, so the comparison below pins the
+/// telemetry contract alongside the physics.
 fn non_timing_fields(o: &SolveOutcome) -> SolveOutcome {
+    let mut metrics = o.metrics.clone();
+    metrics.zero_wallclock();
     SolveOutcome {
         assemble_solve_seconds: 0.0,
         kernel_assemble_seconds: 0.0,
         kernel_solve_seconds: 0.0,
+        metrics,
         ..o.clone()
     }
 }
@@ -88,6 +94,14 @@ fn assert_thread_count_invariant(problem: &Problem) {
         );
         // The streamed event view must agree too, not just the summary.
         assert_eq!(reference.recorder.sweep_count, run.recorder.sweep_count);
+        assert_eq!(
+            reference.recorder.cells_swept, run.recorder.cells_swept,
+            "streamed cell counts diverged for {context}"
+        );
+        assert_eq!(
+            reference.recorder.phase_starts, run.recorder.phase_starts,
+            "phase-span counts diverged for {context}"
+        );
         assert_eq!(
             reference.recorder.convergence_history, run.recorder.convergence_history,
             "streamed convergence history diverged for {context}"
@@ -190,6 +204,58 @@ fn angle_threaded_ablation_is_reproducible_to_reduction_tolerance() {
         reference.outcome.kernel_invocations,
         run.outcome.kernel_invocations
     );
+}
+
+#[test]
+fn deterministic_metrics_are_thread_count_invariant_at_1_2_and_8() {
+    // The telemetry contract of PR 6: every metric in the deterministic
+    // half of `RunMetrics` — sweeps, cells swept, iteration counters,
+    // phase-span counts, the cells-per-sweep histogram — is bit-for-bit
+    // identical at widths 1, 2 and 8 for each iteration strategy, while
+    // the wall-clock half is free to differ and is stripped before the
+    // comparison.
+    if let Some(width) = forced_width() {
+        eprintln!("RAYON_NUM_THREADS={width} forces every pool width; cross-width check skipped");
+        return;
+    }
+    for strategy in [
+        StrategyKind::SourceIteration,
+        StrategyKind::SweepGmres,
+        StrategyKind::DsaSourceIteration,
+    ] {
+        let problem = Problem::tiny().with_strategy(strategy);
+        let reference = run_at(&problem, 1).outcome.metrics.deterministic();
+        assert!(reference.sweeps > 0, "{strategy:?} recorded no sweeps");
+        assert!(
+            reference.cells_swept > 0,
+            "{strategy:?} recorded no swept cells"
+        );
+        for threads in [2usize, 8] {
+            let run = run_at(&problem, threads).outcome.metrics.deterministic();
+            assert_eq!(
+                reference, run,
+                "deterministic metrics diverged for {strategy:?} at {threads} threads vs 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_observer_stream_matches_the_attached_snapshot() {
+    // A caller-side MetricsObserver fed through `run_observed` sees the
+    // identical event stream that builds the outcome's attached
+    // snapshot, so the two must agree exactly — including wall-clock
+    // fields, because both views time the same single run.
+    let problem = Problem::tiny().with_strategy(StrategyKind::DsaSourceIteration);
+    let mut session = Session::new(&problem).unwrap();
+    let mut observer = MetricsObserver::new();
+    let outcome = session.run_observed(&mut observer).unwrap();
+    let mut streamed = observer.snapshot();
+    // Kernel-section timing arrives via the outcome, not the event
+    // stream, so it is the one pair the observer cannot see.
+    streamed.kernel_assemble_seconds = outcome.metrics.kernel_assemble_seconds;
+    streamed.kernel_solve_seconds = outcome.metrics.kernel_solve_seconds;
+    assert_eq!(streamed, outcome.metrics);
 }
 
 #[test]

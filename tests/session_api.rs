@@ -10,12 +10,18 @@
 use unsnap::prelude::*;
 
 /// Everything a `SolveOutcome` reports except wall-clock timing, which
-/// legitimately differs between two runs.
+/// legitimately differs between two runs.  The attached [`RunMetrics`]
+/// keeps its deterministic half — the equivalence below therefore also
+/// pins that observed and direct runs count the same sweeps, cells and
+/// phase spans.
 fn non_timing_fields(o: &SolveOutcome) -> SolveOutcome {
+    let mut metrics = o.metrics.clone();
+    metrics.zero_wallclock();
     SolveOutcome {
         assemble_solve_seconds: 0.0,
         kernel_assemble_seconds: 0.0,
         kernel_solve_seconds: 0.0,
+        metrics,
         ..o.clone()
     }
 }
