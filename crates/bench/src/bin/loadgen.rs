@@ -1,0 +1,419 @@
+//! Serving-path load generator: start an in-process `unsnap-serve`
+//! on an ephemeral port, fire a concurrent mix of registry-named and
+//! inline solve requests at it over real HTTP, and report end-to-end
+//! latency percentiles (p50/p95/p99), throughput and the result-cache
+//! hit rate.
+//!
+//! ```text
+//! cargo run --release -p unsnap-bench --bin loadgen -- [--quick] [--json] \
+//!     [--metrics-out run.jsonl]
+//! ```
+//!
+//! The workload deliberately repeats problems so the content-addressed
+//! cache gets exercised: repeated submissions of an identical problem
+//! must come back as cache hits with bit-for-bit identical outcomes,
+//! and the report asserts both.  Client concurrency comes from
+//! `UNSNAP_LOADGEN_CLIENTS` (default 4, `--quick` halves it); the
+//! server's worker pool and cache keep their `UNSNAP_SERVE_WORKERS` /
+//! `UNSNAP_CACHE_CAPACITY` defaults.
+//!
+//! Under `--metrics-out` the first (non-cached) completion of each named
+//! problem emits one [`MetricsRecord`] rebuilt from the outcome JSON the
+//! server returned — same uniform schema as every other bench bin, so
+//! `trajectory` merges loadgen runs into the perf trajectory
+//! (`BENCH_7.json` in CI).  The per-sweep latency histogram does not
+//! cross the wire, so `sweep_p50`/`sweep_p95` are null in these records.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use unsnap_bench::{emit_metrics_record, env_parse, HarnessOptions, MetricsRecord};
+use unsnap_core::json::JsonObject;
+use unsnap_core::metrics::RunMetrics;
+use unsnap_core::problem::Problem;
+use unsnap_core::session::Phase;
+use unsnap_obs::reader::{self, JsonValue};
+use unsnap_serve::{http, ServeConfig, Server};
+
+/// One request in the workload: a case tag and the POST body.
+#[derive(Debug, Clone)]
+struct WorkItem {
+    case: &'static str,
+    body: &'static str,
+}
+
+/// One completed request, as observed by a client thread.
+#[derive(Debug, Clone)]
+struct Sample {
+    case: &'static str,
+    /// POST → terminal status, seconds.
+    latency: f64,
+    /// The submit answered from the result cache.
+    cached: bool,
+    /// Terminal state label (`done`, `failed`, `cancelled`).
+    status: String,
+    /// The outcome document, when the job finished `done`.
+    outcome: Option<String>,
+}
+
+/// The mixed workload: named problems with deliberate repeats (cache
+/// food) plus one inline-document request (wire-format food).
+fn workload(quick: bool) -> Vec<WorkItem> {
+    const INLINE: &str = r#"{"problem": {"grid": {"nx": 4, "ny": 3, "nz": 3}, "iteration": {"inner_iterations": 3}}}"#;
+    let mut items = vec![
+        WorkItem {
+            case: "tiny",
+            body: r#"{"problem": "tiny"}"#,
+        },
+        WorkItem {
+            case: "quickstart",
+            body: r#"{"problem": "quickstart"}"#,
+        },
+        WorkItem {
+            case: "tiny",
+            body: r#"{"problem": "tiny"}"#,
+        },
+        WorkItem {
+            case: "inline",
+            body: INLINE,
+        },
+        WorkItem {
+            case: "tiny",
+            body: r#"{"problem": "tiny"}"#,
+        },
+        WorkItem {
+            case: "quickstart",
+            body: r#"{"problem": "quickstart"}"#,
+        },
+    ];
+    if !quick {
+        items.extend([
+            WorkItem {
+                case: "dsa-regime",
+                body: r#"{"problem": "dsa-regime"}"#,
+            },
+            WorkItem {
+                case: "table2",
+                body: r#"{"problem": "table2"}"#,
+            },
+            WorkItem {
+                case: "inline",
+                body: INLINE,
+            },
+            WorkItem {
+                case: "dsa-regime",
+                body: r#"{"problem": "dsa-regime"}"#,
+            },
+        ]);
+    }
+    items
+}
+
+/// Drive one request to a terminal state, returning the sample.
+fn run_item(addr: std::net::SocketAddr, item: &WorkItem) -> Sample {
+    let start = Instant::now();
+    let response = http::request(addr, "POST", "/v1/solve", Some(item.body))
+        .unwrap_or_else(|e| panic!("POST /v1/solve ({}) failed: {e}", item.case));
+    assert_eq!(
+        response.status, 202,
+        "{}: expected 202, got {} ({})",
+        item.case, response.status, response.body
+    );
+    let receipt = reader::parse(&response.body).expect("receipt is JSON");
+    let job_id = receipt
+        .get("job_id")
+        .and_then(|v| v.as_u64())
+        .expect("receipt carries job_id");
+    let cached = receipt.get("cache").and_then(|v| v.as_str()) == Some("hit");
+
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = http::request(addr, "GET", &format!("/v1/jobs/{job_id}"), None)
+            .unwrap_or_else(|e| panic!("GET /v1/jobs/{job_id} failed: {e}"));
+        assert_eq!(status.status, 200, "job {job_id} must stay queryable");
+        let doc = reader::parse(&status.body).expect("status is JSON");
+        let state = doc
+            .get("status")
+            .and_then(|v| v.as_str())
+            .expect("status field")
+            .to_string();
+        if matches!(state.as_str(), "done" | "failed" | "cancelled") {
+            let outcome = doc
+                .get("outcome")
+                .filter(|v| !v.is_null())
+                .map(|_| extract_raw_outcome(&status.body));
+            return Sample {
+                case: item.case,
+                latency: start.elapsed().as_secs_f64(),
+                cached,
+                status: state,
+                outcome,
+            };
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {job_id} ({}) did not finish within 300s",
+            item.case
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Pull the raw `outcome` object text back out of a status body, so
+/// identical-outcome comparisons are bit-for-bit on the wire bytes
+/// rather than on a re-serialised parse.
+fn extract_raw_outcome(status_body: &str) -> String {
+    let start = status_body
+        .find("\"outcome\":")
+        .expect("status body has an outcome member")
+        + "\"outcome\":".len();
+    // The outcome object is followed by the "error" member; balance
+    // braces to find its end.
+    let bytes = status_body.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (offset, &b) in bytes[start..].iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return status_body[start..start + offset + 1].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced outcome object in status body");
+}
+
+/// Rebuild the [`RunMetrics`] snapshot from an outcome document's
+/// `metrics` member.  The latency histogram does not cross the wire, so
+/// it stays empty (percentiles serialise as null).
+fn metrics_from_outcome(outcome: &JsonValue) -> RunMetrics {
+    let det = outcome
+        .get("metrics")
+        .and_then(|m| m.get("deterministic"))
+        .expect("outcome carries deterministic metrics");
+    let wall = outcome
+        .get("metrics")
+        .and_then(|m| m.get("wallclock"))
+        .expect("outcome carries wallclock metrics");
+    let count = |v: &JsonValue, key: &str| v.get(key).and_then(|x| x.as_usize()).unwrap_or(0);
+    let mut metrics = RunMetrics {
+        sweeps: count(det, "sweeps"),
+        cells_swept: det.get("cells_swept").and_then(|x| x.as_u64()).unwrap_or(0),
+        outers: count(det, "outers"),
+        inner_iterations: count(det, "inner_iterations"),
+        rank_inner_iterations: count(det, "rank_inner_iterations"),
+        krylov_residual_events: count(det, "krylov_residual_events"),
+        accel_residual_events: count(det, "accel_residual_events"),
+        halo_exchanges: count(det, "halo_exchanges"),
+        halo_faces: count(det, "halo_faces"),
+        halo_bytes: det.get("halo_bytes").and_then(|x| x.as_u64()).unwrap_or(0),
+        ..RunMetrics::default()
+    };
+    for phase in Phase::all() {
+        metrics.phase_starts[phase.index()] = det
+            .get("phase_starts")
+            .and_then(|p| p.get(phase.label()))
+            .and_then(|x| x.as_usize())
+            .unwrap_or(0);
+        metrics.phase_seconds[phase.index()] = wall
+            .get("phase_seconds")
+            .and_then(|p| p.get(phase.label()))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0);
+    }
+    metrics
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let clients = env_parse("UNSNAP_LOADGEN_CLIENTS", if opts.quick { 2 } else { 4 }).max(1);
+
+    let mut config = ServeConfig::from_env().unwrap_or_else(|e| panic!("serve config: {e}"));
+    config.port = 0; // always ephemeral: loadgen owns its server
+    let server = Server::start(&config).unwrap_or_else(|e| panic!("server start: {e}"));
+    let addr = server.addr();
+
+    let items = workload(opts.quick);
+    let total = items.len();
+    eprintln!(
+        "[loadgen] {total} requests, {clients} clients -> http://{addr} \
+         ({} workers, cache {})",
+        config.workers, config.cache_capacity
+    );
+
+    let pending: Arc<Mutex<Vec<WorkItem>>> = Arc::new(Mutex::new(items));
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(total)));
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let pending = Arc::clone(&pending);
+            let samples = Arc::clone(&samples);
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{c}"))
+                .spawn(move || loop {
+                    let item = match pending.lock().unwrap().pop() {
+                        Some(item) => item,
+                        None => break,
+                    };
+                    let sample = run_item(addr, &item);
+                    samples.lock().unwrap().push(sample);
+                })
+                .expect("spawn client")
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    // The metrics endpoint must answer over the wire too.
+    let metrics_response =
+        http::request(addr, "GET", "/v1/metrics", None).expect("GET /v1/metrics");
+    assert_eq!(metrics_response.status, 200);
+
+    let samples = Arc::try_unwrap(samples)
+        .expect("clients joined")
+        .into_inner()
+        .unwrap();
+    assert_eq!(samples.len(), total, "every request must complete");
+    assert!(
+        samples.iter().all(|s| s.status == "done"),
+        "all jobs must finish done: {:?}",
+        samples
+            .iter()
+            .filter(|s| s.status != "done")
+            .map(|s| (s.case, s.status.clone()))
+            .collect::<Vec<_>>()
+    );
+
+    // Deterministic replay phase: with every workload problem now
+    // completed and cached, a sequential re-submit of each must answer
+    // from the cache with the exact stored bytes.  (Identical problems
+    // submitted *concurrently* may both compute — the cache serves
+    // completed results, it does not coalesce in-flight ones — so the
+    // bit-for-bit guarantee is asserted here, sequentially.)
+    let mut replays = Vec::new();
+    for item in workload(opts.quick) {
+        if replays.iter().any(|(case, _)| *case == item.case) {
+            continue;
+        }
+        let sample = run_item(addr, &item);
+        assert!(
+            sample.cached,
+            "{}: sequential re-submit must hit the cache",
+            item.case
+        );
+        let replayed = sample.outcome.clone().expect("cached job carries outcome");
+        assert!(
+            samples
+                .iter()
+                .filter(|s| s.case == item.case)
+                .filter_map(|s| s.outcome.as_ref())
+                .any(|o| *o == replayed),
+            "{}: cached replay must be bit-for-bit identical to a computed outcome",
+            item.case
+        );
+        replays.push((item.case, sample));
+    }
+
+    let queue = server.queue();
+    let hits = queue.counter("serve_cache_hits").unwrap_or(0);
+    let misses = queue.counter("serve_cache_misses").unwrap_or(0);
+    assert!(hits >= 1, "repeated problems must produce cache hits");
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    if opts.json {
+        println!(
+            "{}",
+            JsonObject::new()
+                .field_usize("requests", total)
+                .field_usize("clients", clients)
+                .field_f64("wall_seconds", wall_seconds)
+                .field_f64("throughput_rps", total as f64 / wall_seconds)
+                .field_f64("latency_p50_s", p50)
+                .field_f64("latency_p95_s", p95)
+                .field_f64("latency_p99_s", p99)
+                .field_u64("cache_hits", hits)
+                .field_u64("cache_misses", misses)
+                .field_f64("cache_hit_rate", hit_rate)
+                .finish()
+        );
+    } else {
+        println!("loadgen: {total} requests, {clients} clients, {wall_seconds:.2}s wall");
+        println!(
+            "latency  p50 {:.1} ms | p95 {:.1} ms | p99 {:.1} ms",
+            p50 * 1e3,
+            p95 * 1e3,
+            p99 * 1e3
+        );
+        println!(
+            "cache    {hits} hits / {misses} misses ({:.0}% hit rate)",
+            hit_rate * 100.0
+        );
+        println!(
+            "throughput {:.2} solves/s (worker pool: {})",
+            total as f64 / wall_seconds,
+            config.workers
+        );
+    }
+
+    // One trajectory record per named problem, from its first
+    // server-computed (non-cached) completion.
+    if opts.metrics_out.is_some() {
+        for case in ["tiny", "quickstart", "dsa-regime", "table2"] {
+            let Some(sample) = samples
+                .iter()
+                .filter(|s| s.case == case && !s.cached)
+                .find(|s| s.outcome.is_some())
+            else {
+                continue;
+            };
+            let outcome =
+                reader::parse(sample.outcome.as_ref().unwrap()).expect("outcome JSON parses");
+            let problem = Problem::from_name(case).expect("named case");
+            let record = MetricsRecord::from_metrics(
+                "loadgen",
+                case,
+                problem.strategy,
+                unsnap_bench::effective_threads(&problem),
+                &metrics_from_outcome(&outcome),
+            );
+            emit_metrics_record(&opts, &record);
+        }
+    }
+
+    server.shutdown();
+}

@@ -32,6 +32,36 @@ pub enum MaterialOption {
     Option2,
 }
 
+impl MaterialOption {
+    /// Stable wire label (`option1`/`option2`), round-tripped by
+    /// [`FromStr`](std::str::FromStr) like the workspace's other enum
+    /// knobs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaterialOption::Option1 => "option1",
+            MaterialOption::Option2 => "option2",
+        }
+    }
+}
+
+impl std::fmt::Display for MaterialOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for MaterialOption {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "option1" | "1" | "homogeneous" => Ok(MaterialOption::Option1),
+            "option2" | "2" | "layered" => Ok(MaterialOption::Option2),
+            other => Err(format!("unknown material option '{other}'")),
+        }
+    }
+}
+
 /// Which artificial fixed-source layout drives the problem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SourceOption {
@@ -40,6 +70,36 @@ pub enum SourceOption {
     Option1,
     /// "Option 2": a source only in the central half of the domain.
     Option2,
+}
+
+impl SourceOption {
+    /// Stable wire label (`option1`/`option2`), round-tripped by
+    /// [`FromStr`](std::str::FromStr) like the workspace's other enum
+    /// knobs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceOption::Option1 => "option1",
+            SourceOption::Option2 => "option2",
+        }
+    }
+}
+
+impl std::fmt::Display for SourceOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SourceOption {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "option1" | "1" | "uniform" => Ok(SourceOption::Option1),
+            "option2" | "2" | "central" => Ok(SourceOption::Option2),
+            other => Err(format!("unknown source option '{other}'")),
+        }
+    }
 }
 
 /// Multigroup cross sections for a set of materials.

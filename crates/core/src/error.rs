@@ -80,6 +80,15 @@ pub enum Error {
         /// Human-readable description of the environment failure.
         reason: String,
     },
+    /// The solve was cooperatively cancelled via a
+    /// [`CancelToken`](crate::cancel::CancelToken) before it completed.
+    /// Cancellation is observed at outer-iteration boundaries only, so
+    /// the flux state is a consistent snapshot as of outer `outer`.
+    Cancelled {
+        /// The outer iteration at whose boundary the cancellation was
+        /// observed (0 = cancelled before the first outer ran).
+        outer: usize,
+    },
 }
 
 impl Error {
@@ -139,6 +148,9 @@ impl fmt::Display for Error {
             }
             Error::Comm { reason } => write!(f, "communication error: {reason}"),
             Error::Execution { reason } => write!(f, "execution environment error: {reason}"),
+            Error::Cancelled { outer } => {
+                write!(f, "solve cancelled at outer-iteration boundary {outer}")
+            }
         }
     }
 }
@@ -248,6 +260,14 @@ mod tests {
         let e: Error = MeshError::EmptyDecomposition { npx: 0, npy: 2 }.into();
         assert!(matches!(e, Error::Mesh(_)));
         assert!(e.to_string().starts_with("mesh error"));
+    }
+
+    #[test]
+    fn cancelled_names_the_boundary() {
+        let e = Error::Cancelled { outer: 3 };
+        assert!(e.to_string().contains("boundary 3"));
+        assert_eq!(e.invalid_field(), None);
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

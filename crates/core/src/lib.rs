@@ -30,6 +30,11 @@
 //! * [`error`] — the workspace-wide typed [`enum@Error`]/[`Result`]: one
 //!   variant per failure domain, `From` conversions from every crate's
 //!   local error type.
+//! * [`cancel`] — [`CancelToken`]: cooperative cancellation of in-flight
+//!   solves, polled at outer-iteration boundaries.
+//! * [`wire`] — the canonical JSON wire format for problem
+//!   configurations (serve requests, cross-process tooling) and the
+//!   byte stream behind [`Problem::canonical_hash`].
 //! * [`builder`] — [`ProblemBuilder`]: validating, grouped construction
 //!   of [`Problem`]s with cross-field invariants checked up front.
 //! * [`session`] — the observable solve API: [`Session`],
@@ -87,6 +92,7 @@
 
 pub mod angular;
 pub mod builder;
+pub mod cancel;
 pub mod data;
 pub mod dsa;
 pub mod error;
@@ -100,13 +106,17 @@ pub mod report;
 pub mod session;
 pub mod solver;
 pub mod strategy;
+pub mod wire;
 
 /// The hand-rolled JSON writer (moved to `unsnap-obs` in PR 6;
 /// re-exported so `unsnap_core::json::*` call sites keep compiling).
 pub use unsnap_obs::json;
 
 pub use angular::{AngularQuadrature, Direction};
-pub use builder::{ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder};
+pub use builder::{
+    AccelConfig, ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder,
+};
+pub use cancel::CancelToken;
 pub use data::{CrossSections, MaterialOption, SourceOption};
 pub use error::{Error, Result};
 pub use layout::{FluxLayout, FluxStorage};

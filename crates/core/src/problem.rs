@@ -262,6 +262,93 @@ impl Problem {
         }
     }
 
+    /// A diffusive (scattering-dominated) preset: the quickstart shape
+    /// with the within-group scattering ratio pushed to `c = 0.99` and
+    /// the DSA-accelerated source-iteration strategy selected.  Plain
+    /// source iteration contracts its error by only `c` per sweep, so
+    /// this is the regime the low-order diffusion correction of
+    /// `unsnap-accel` exists for; the preset gives servers, tests and
+    /// bench bins a shared entry into it.
+    pub fn dsa_regime() -> Self {
+        Self {
+            inner_iterations: 60,
+            outer_iterations: 4,
+            convergence_tolerance: 1e-6,
+            strategy: StrategyKind::DsaSourceIteration,
+            scattering_ratio: Some(0.99),
+            ..Self::quickstart()
+        }
+    }
+
+    /// The names [`Problem::from_name`] accepts, in catalogue order.
+    ///
+    /// The bare figure/table names resolve to the *scaled* presets (the
+    /// CI-sized problems); the `-full` variants select the published
+    /// problem sizes.
+    pub fn registry_names() -> &'static [&'static str] {
+        &[
+            "tiny",
+            "quickstart",
+            "figure3",
+            "figure3-full",
+            "figure4",
+            "figure4-full",
+            "table2",
+            "table2-full",
+            "dsa-regime",
+        ]
+    }
+
+    /// Look a preset up by name — the single catalogue the server wire
+    /// format, the tests and the bench bins draw from, so "the tiny
+    /// problem" means the same configuration everywhere.
+    ///
+    /// Names are case-insensitive and trimmed; an unknown name is an
+    /// [`Error::InvalidProblem`] on the `problem` field listing the
+    /// known catalogue.  `table2` selects order-2 elements on the MKL
+    /// stand-in back end (the mid-table configuration).
+    pub fn from_name(name: &str) -> Result<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "tiny" => Ok(Self::tiny()),
+            "quickstart" => Ok(Self::quickstart()),
+            "figure3" => Ok(Self::figure3_scaled()),
+            "figure3-full" => Ok(Self::figure3_full()),
+            "figure4" => Ok(Self::figure4_scaled()),
+            "figure4-full" => Ok(Self::figure4_full()),
+            "table2" => Ok(Self::table2_scaled(2, SolverKind::Mkl)),
+            "table2-full" => Ok(Self::table2_full(2, SolverKind::Mkl)),
+            "dsa-regime" => Ok(Self::dsa_regime()),
+            other => Err(Error::invalid_problem(
+                "problem",
+                format!(
+                    "unknown problem name '{other}'; known names: {}",
+                    Self::registry_names().join(", ")
+                ),
+            )),
+        }
+    }
+
+    /// A deterministic content hash of the full configuration: FNV-1a
+    /// (64-bit) over the canonical wire serialisation
+    /// ([`wire::problem_to_json`](crate::wire::problem_to_json)), which
+    /// writes every field in declared order with shortest-round-trip
+    /// floats.  Two problems hash equal **iff** they are field-for-field
+    /// equal (modulo the 64-bit collision bound), so the hash is usable
+    /// as a cache key for solve results; it is stable across processes
+    /// and platforms because nothing machine-dependent enters the
+    /// serialisation.
+    pub fn canonical_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let canonical = crate::wire::problem_to_json(self);
+        let mut hash = FNV_OFFSET;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+
     /// Override the concurrency scheme.
     pub fn with_scheme(mut self, scheme: ConcurrencyScheme) -> Self {
         self.scheme = scheme;

@@ -44,6 +44,7 @@ use unsnap_mesh::{NeighborRef, UnstructuredMesh};
 use unsnap_sweep::{LoopOrder, SweepSchedule, ThreadedLoops};
 
 use crate::angular::AngularQuadrature;
+use crate::cancel::CancelToken;
 use crate::data::ProblemData;
 use crate::error::{Error, Result};
 use crate::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
@@ -240,6 +241,9 @@ pub struct TransportSolver {
     /// the wall-clock metrics exactly; deterministic metrics never read
     /// it.
     clock: Box<dyn Clock>,
+    /// Optional cooperative cancellation flag, polled at outer-iteration
+    /// boundaries (see [`crate::cancel`]).  `None` = never cancellable.
+    cancel: Option<CancelToken>,
     /// Wall-clock seconds spent precomputing integrals and sweep
     /// schedules in [`TransportSolver::new`].
     preassembly_seconds: f64,
@@ -357,6 +361,7 @@ impl TransportSolver {
             krylov_workspace: None,
             dsa: None,
             clock: Box::new(SystemClock::new()),
+            cancel: None,
             preassembly_seconds,
             preassembly_reported: false,
         })
@@ -375,6 +380,23 @@ impl TransportSolver {
     /// The problem this solver was built for.
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// Arm cooperative cancellation: subsequent runs poll `token` at
+    /// every outer-iteration boundary and bail out with
+    /// [`Error::Cancelled`] once it fires (see [`crate::cancel`]).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Disarm cancellation; subsequent runs ignore any previous token.
+    pub fn clear_cancel_token(&mut self) {
+        self.cancel = None;
+    }
+
+    /// The armed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// The mesh the solver operates on.
@@ -445,6 +467,11 @@ impl TransportSolver {
         let mut converged = false;
 
         for outer in 0..self.problem.outer_iterations {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Err(Error::Cancelled { outer });
+                }
+            }
             observer.on_outer_start(outer);
             self.phi_outer
                 .as_mut_slice()

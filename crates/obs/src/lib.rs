@@ -24,6 +24,9 @@
 //!   checks, round-trip tests) can consume what the writer emits.
 //! * [`jsonl`] — line-oriented JSON: a [`JsonlWriter`] for streaming
 //!   run logs and reader helpers that parse a file back into values.
+//! * [`stream`] — [`LineChannel`]: an in-memory, multi-consumer line
+//!   stream with blocking tails, the live-event transport behind
+//!   `unsnap-serve`'s chunked JSONL endpoint.
 //!
 //! ## The determinism contract
 //!
@@ -47,8 +50,10 @@ pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod reader;
+pub mod stream;
 
 pub use clock::{Clock, MockClock, SystemClock};
 pub use jsonl::JsonlWriter;
 pub use metrics::{Determinism, Histogram, MetricsRegistry};
 pub use reader::JsonValue;
+pub use stream::{ChannelWriter, LineChannel};

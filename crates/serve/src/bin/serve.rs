@@ -1,0 +1,47 @@
+//! The `unsnap-serve` daemon: bind, print where we are listening and
+//! what the registry offers, then serve until killed.
+//!
+//! Configuration is environment-only (the `UNSNAP_*` family):
+//! `UNSNAP_PORT` (default 8471), `UNSNAP_SERVE_WORKERS` (default 2) and
+//! `UNSNAP_CACHE_CAPACITY` (default 64, 0 disables the result cache).
+
+use std::process::ExitCode;
+
+use unsnap_core::problem::Problem;
+use unsnap_serve::{ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let config = match ServeConfig::from_env() {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("unsnap-serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(&config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("unsnap-serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "unsnap-serve listening on http://{} ({} workers, queue {}, cache {})",
+        server.addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity
+    );
+    println!(
+        "registry problems: {}",
+        Problem::registry_names().join(", ")
+    );
+    println!(
+        "POST /v1/solve | GET /v1/jobs/{{id}}[/events] | DELETE /v1/jobs/{{id}} | GET /v1/metrics"
+    );
+    // Serve forever: the accept loop owns the work; unparks are spurious
+    // by contract, so loop.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,655 @@
+//! The bounded job queue and its worker pool.
+//!
+//! Solve requests do not run on the connection thread: they enter a
+//! bounded FIFO and a fixed pool of worker threads drains it, so a burst
+//! of requests degrades into queueing latency instead of unbounded
+//! concurrency.  Each worker runs one solve at a time through the
+//! ordinary [`Session`] API; the solve itself parallelises internally
+//! through the problem's own rayon pool exactly as a CLI run would
+//! (`RAYON_NUM_THREADS` force-overrides every pool, as in the CI
+//! determinism matrix), so the worker count bounds *how many solves* run
+//! concurrently, not how many threads a solve uses.
+//!
+//! A job moves through the state machine
+//!
+//! ```text
+//! Queued ──▶ Running ──▶ Done
+//!   │           │  └───▶ Failed
+//!   └───────────┴──────▶ Cancelled
+//! ```
+//!
+//! * `Queued → Cancelled` is immediate (the entry leaves the FIFO);
+//! * `Running → Cancelled` is cooperative: the job's
+//!   [`CancelToken`] is raised and the solver observes it at its next
+//!   outer-iteration boundary, surfacing
+//!   [`Error::Cancelled`] — the worker then records the state and moves
+//!   on to the next job, fully serviceable;
+//! * `Done`, `Failed` and `Cancelled` are terminal.
+//!
+//! Every job owns a [`LineChannel`] of its JSONL solve events (fed by a
+//! [`JsonlObserver`] during the run, closed with a final `job_done`
+//! line), which is what `GET /v1/jobs/{id}/events` tails.  Submission
+//! consults the [`ResultStore`] first: a hit births the job directly in
+//! `Done` with the cached outcome bytes and no solver work at all.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use unsnap_core::cancel::CancelToken;
+use unsnap_core::error::{Error, Result};
+use unsnap_core::metrics::JsonlObserver;
+use unsnap_core::problem::Problem;
+use unsnap_core::session::Session;
+use unsnap_obs::json::JsonObject;
+use unsnap_obs::jsonl::JsonlWriter;
+use unsnap_obs::metrics::{Determinism, MetricsRegistry};
+use unsnap_obs::stream::LineChannel;
+
+use crate::store::ResultStore;
+
+/// The lifecycle state of a job (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the FIFO.
+    Queued,
+    /// A worker is solving it.
+    Running,
+    /// Finished successfully; the outcome JSON is available.
+    Done,
+    /// The solve returned an error other than cancellation.
+    Failed,
+    /// Cancelled before or during the solve.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire label (`"queued"`, `"running"`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A point-in-time snapshot of one job, as the status endpoint reports
+/// it.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job ID.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Whether the outcome was served from the result cache.
+    pub cached: bool,
+    /// The canonical hash of the job's problem (the cache key).
+    pub hash: u64,
+    /// The rendered outcome JSON (`Done` jobs only).
+    pub outcome_json: Option<String>,
+    /// The error display string (`Failed`/`Cancelled` jobs).
+    pub error: Option<String>,
+}
+
+/// The receipt returned by [`JobQueue::submit`].
+#[derive(Debug, Clone)]
+pub struct SubmitReceipt {
+    /// The new job's ID.
+    pub id: u64,
+    /// The canonical hash of the submitted problem.
+    pub hash: u64,
+    /// `true` when the result cache satisfied the request (the job is
+    /// already `Done`).
+    pub cached: bool,
+    /// The job's state at submission (`Queued`, or `Done` on a hit).
+    pub state: JobState,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    problem: Problem,
+    state: JobState,
+    cached: bool,
+    hash: u64,
+    outcome_json: Option<String>,
+    error: Option<String>,
+    cancel: CancelToken,
+    events: LineChannel,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    next_id: u64,
+    pending: VecDeque<u64>,
+    jobs: HashMap<u64, JobEntry>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct QueueShared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+    metrics: Mutex<MetricsRegistry>,
+    store: Mutex<ResultStore>,
+}
+
+impl QueueShared {
+    fn count(&self, name: &str) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .counter_add(name, Determinism::Deterministic, 1);
+    }
+}
+
+/// The bounded FIFO + worker pool behind `POST /v1/solve` (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct JobQueue {
+    shared: Arc<QueueShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobQueue {
+    /// Start `workers` worker threads over a FIFO holding at most
+    /// `capacity` queued jobs, with a result cache of `cache_capacity`
+    /// outcomes.
+    pub fn start(workers: usize, capacity: usize, cache_capacity: usize) -> Self {
+        let shared = Arc::new(QueueShared {
+            state: Mutex::new(QueueState {
+                // Job IDs are client-facing (`/v1/jobs/{id}`); start at
+                // 1 so the first submission matches the documented curl
+                // flow.
+                next_id: 1,
+                ..QueueState::default()
+            }),
+            cv: Condvar::new(),
+            capacity,
+            metrics: Mutex::new(MetricsRegistry::new()),
+            store: Mutex::new(ResultStore::new(cache_capacity)),
+        });
+        let workers = (0..workers.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("unsnap-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit a problem: cache hit → a job born `Done`; otherwise the
+    /// job enters the FIFO, or the call fails with
+    /// [`Error::Execution`] (HTTP 503) when the queue is full.
+    pub fn submit(&self, problem: Problem) -> Result<SubmitReceipt> {
+        let hash = problem.canonical_hash();
+        let cached_json = self.shared.store.lock().unwrap().get(hash);
+        let mut state = self.shared.state.lock().unwrap();
+        if state.shutdown {
+            return Err(Error::Execution {
+                reason: "the job queue is shutting down".to_string(),
+            });
+        }
+
+        if let Some(outcome_json) = cached_json {
+            let id = state.next_id;
+            state.next_id += 1;
+            let events = LineChannel::new();
+            events.push(
+                JsonObject::new()
+                    .field_str("event", "job_done")
+                    .field_str("status", JobState::Done.label())
+                    .field_bool("cached", true)
+                    .finish(),
+            );
+            events.close();
+            state.jobs.insert(
+                id,
+                JobEntry {
+                    problem,
+                    state: JobState::Done,
+                    cached: true,
+                    hash,
+                    outcome_json: Some(outcome_json),
+                    error: None,
+                    cancel: CancelToken::new(),
+                    events,
+                },
+            );
+            drop(state);
+            self.shared.count("serve_cache_hits");
+            self.shared.count("serve_jobs_submitted");
+            return Ok(SubmitReceipt {
+                id,
+                hash,
+                cached: true,
+                state: JobState::Done,
+            });
+        }
+
+        if state.pending.len() >= self.shared.capacity {
+            drop(state);
+            self.shared.count("serve_queue_rejections");
+            return Err(Error::Execution {
+                reason: format!(
+                    "job queue is full ({} queued, capacity {})",
+                    self.shared.capacity, self.shared.capacity
+                ),
+            });
+        }
+
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            JobEntry {
+                problem,
+                state: JobState::Queued,
+                cached: false,
+                hash,
+                outcome_json: None,
+                error: None,
+                cancel: CancelToken::new(),
+                events: LineChannel::new(),
+            },
+        );
+        state.pending.push_back(id);
+        drop(state);
+        self.shared.count("serve_cache_misses");
+        self.shared.count("serve_jobs_submitted");
+        self.shared.cv.notify_one();
+        Ok(SubmitReceipt {
+            id,
+            hash,
+            cached: false,
+            state: JobState::Queued,
+        })
+    }
+
+    /// A snapshot of one job, or `None` for an unknown ID.
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let state = self.shared.state.lock().unwrap();
+        state.jobs.get(&id).map(|entry| JobStatus {
+            id,
+            state: entry.state,
+            cached: entry.cached,
+            hash: entry.hash,
+            outcome_json: entry.outcome_json.clone(),
+            error: entry.error.clone(),
+        })
+    }
+
+    /// The live event stream of one job (a clone sharing the buffer), or
+    /// `None` for an unknown ID.
+    pub fn events(&self, id: u64) -> Option<LineChannel> {
+        let state = self.shared.state.lock().unwrap();
+        state.jobs.get(&id).map(|entry| entry.events.clone())
+    }
+
+    /// Request cancellation of a job.  Queued jobs cancel immediately;
+    /// running jobs get their token raised and transition at the
+    /// solver's next outer-iteration boundary; terminal jobs are left
+    /// untouched.  Returns the `(before, after)` state pair of the
+    /// request, or `None` for an unknown ID — the *before* state is what
+    /// distinguishes "cancelled by this request" from "was already
+    /// cancelled".
+    pub fn cancel(&self, id: u64) -> Option<(JobState, JobState)> {
+        let mut state = self.shared.state.lock().unwrap();
+        let entry = state.jobs.get_mut(&id)?;
+        match entry.state {
+            JobState::Queued => {
+                entry.state = JobState::Cancelled;
+                entry.error = Some("cancelled while queued".to_string());
+                entry.events.push(
+                    JsonObject::new()
+                        .field_str("event", "job_done")
+                        .field_str("status", JobState::Cancelled.label())
+                        .finish(),
+                );
+                entry.events.close();
+                state.pending.retain(|queued| *queued != id);
+                drop(state);
+                self.shared.count("serve_jobs_cancelled");
+                Some((JobState::Queued, JobState::Cancelled))
+            }
+            JobState::Running => {
+                entry.cancel.cancel();
+                Some((JobState::Running, JobState::Running))
+            }
+            terminal => Some((terminal, terminal)),
+        }
+    }
+
+    /// Count one handled HTTP request (called by the router for every
+    /// request, whatever its outcome).
+    pub fn record_request(&self) {
+        self.shared.count("serve_requests_total");
+    }
+
+    /// The metrics registry snapshot as JSON (`/v1/metrics`).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.lock().unwrap().to_json()
+    }
+
+    /// One counter's current value (test and loadgen convenience).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.shared.metrics.lock().unwrap().counter(name)
+    }
+
+    /// Stop accepting work, raise every running job's cancel token,
+    /// cancel (and close the streams of) still-queued jobs, and join
+    /// the workers.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.shutdown {
+                return;
+            }
+            state.shutdown = true;
+            state.pending.clear();
+            for entry in state.jobs.values_mut() {
+                match entry.state {
+                    JobState::Running => entry.cancel.cancel(),
+                    JobState::Queued => {
+                        entry.state = JobState::Cancelled;
+                        entry.error = Some("cancelled by queue shutdown".to_string());
+                        entry.events.push(
+                            JsonObject::new()
+                                .field_str("event", "job_done")
+                                .field_str("status", JobState::Cancelled.label())
+                                .finish(),
+                        );
+                        entry.events.close();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().unwrap();
+            guard.drain(..).collect()
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for JobQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run one job to completion: session construction, the observed solve
+/// streaming JSONL into the job's channel, and the error path.
+fn run_job(problem: &Problem, cancel: CancelToken, events: &LineChannel) -> Result<String> {
+    let mut session = Session::new(problem)?;
+    session.solver_mut().set_cancel_token(cancel);
+    let mut observer = JsonlObserver::new(JsonlWriter::new(events.writer()));
+    let outcome = session.run_observed(&mut observer)?;
+    // Dropping the observer flushes its writer into the channel.
+    drop(observer);
+    Ok(outcome.to_json())
+}
+
+fn worker_loop(shared: &QueueShared) {
+    loop {
+        let (id, problem, cancel, events) = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(id) = state.pending.pop_front() {
+                    let entry = state.jobs.get_mut(&id).expect("pending job exists");
+                    entry.state = JobState::Running;
+                    break (
+                        id,
+                        entry.problem.clone(),
+                        entry.cancel.clone(),
+                        entry.events.clone(),
+                    );
+                }
+                state = shared.cv.wait(state).unwrap();
+            }
+        };
+
+        let result = run_job(&problem, cancel, &events);
+
+        let mut state = shared.state.lock().unwrap();
+        let entry = state.jobs.get_mut(&id).expect("running job exists");
+        let (final_state, counter) = match &result {
+            Ok(_) => (JobState::Done, "serve_jobs_completed"),
+            Err(Error::Cancelled { .. }) => (JobState::Cancelled, "serve_jobs_cancelled"),
+            Err(_) => (JobState::Failed, "serve_jobs_failed"),
+        };
+        entry.state = final_state;
+        let mut done_line = JsonObject::new()
+            .field_str("event", "job_done")
+            .field_str("status", final_state.label());
+        match result {
+            Ok(outcome_json) => {
+                entry.outcome_json = Some(outcome_json.clone());
+                shared
+                    .store
+                    .lock()
+                    .unwrap()
+                    .insert(entry.hash, outcome_json);
+            }
+            Err(error) => {
+                let message = error.to_string();
+                done_line = done_line.field_str("error", &message);
+                entry.error = Some(message);
+            }
+        }
+        events.push(done_line.finish());
+        events.close();
+        drop(state);
+        shared.count(counter);
+        if final_state == JobState::Done {
+            // Deterministic work volume: lets a caller assert a cached
+            // replay did *no* additional transport work.
+            let sweeps = sweeps_of(shared, id);
+            shared.metrics.lock().unwrap().counter_add(
+                "serve_sweeps_total",
+                Determinism::Deterministic,
+                sweeps,
+            );
+        }
+    }
+}
+
+/// The sweep count recorded in a finished job's outcome JSON.
+fn sweeps_of(shared: &QueueShared, id: u64) -> u64 {
+    let state = shared.state.lock().unwrap();
+    let Some(entry) = state.jobs.get(&id) else {
+        return 0;
+    };
+    let Some(json) = &entry.outcome_json else {
+        return 0;
+    };
+    unsnap_obs::reader::parse(json)
+        .ok()
+        .and_then(|value| value.get("sweep_count")?.as_u64())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use unsnap_core::builder::ProblemBuilder;
+
+    fn tiny() -> Problem {
+        Problem::tiny()
+    }
+
+    /// A problem whose solve takes long enough to cancel mid-run but
+    /// finishes promptly once the token is observed (many outers of one
+    /// cheap inner; tolerance 0 forces every iteration).
+    fn slow() -> Problem {
+        ProblemBuilder::tiny()
+            .iterations(2, 50_000)
+            .tolerance(0.0)
+            .build()
+            .unwrap()
+    }
+
+    fn wait_terminal(queue: &JobQueue, id: u64) -> JobStatus {
+        for _ in 0..600 {
+            let status = queue.status(id).expect("job exists");
+            if status.state.is_terminal() {
+                return status;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("job {id} never reached a terminal state");
+    }
+
+    #[test]
+    fn submit_solves_and_caches() {
+        let queue = JobQueue::start(1, 8, 8);
+        let first = queue.submit(tiny()).unwrap();
+        assert!(!first.cached);
+        let status = wait_terminal(&queue, first.id);
+        assert_eq!(status.state, JobState::Done);
+        let outcome = status.outcome_json.expect("outcome rendered");
+        assert!(outcome.contains("\"sweep_count\""));
+        let sweeps_after_first = queue.counter("serve_sweeps_total").unwrap();
+        assert!(sweeps_after_first > 0);
+
+        // The identical problem replays from the cache: born Done, the
+        // exact same bytes, and no additional transport work.
+        let second = queue.submit(tiny()).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.state, JobState::Done);
+        assert_eq!(second.hash, first.hash);
+        let replay = queue.status(second.id).unwrap();
+        assert_eq!(replay.outcome_json.as_deref(), Some(outcome.as_str()));
+        assert_eq!(queue.counter("serve_cache_hits"), Some(1));
+        assert_eq!(
+            queue.counter("serve_sweeps_total").unwrap(),
+            sweeps_after_first
+        );
+    }
+
+    #[test]
+    fn events_stream_and_close() {
+        let queue = JobQueue::start(1, 8, 8);
+        let receipt = queue.submit(tiny()).unwrap();
+        let events = queue.events(receipt.id).expect("stream exists");
+        let mut seen = Vec::new();
+        loop {
+            let (lines, closed) = events.wait_at(seen.len(), Duration::from_secs(30));
+            seen.extend(lines);
+            if closed && seen.len() == events.len() {
+                break;
+            }
+        }
+        assert!(seen.iter().any(|l| l.contains("outer_start")));
+        assert!(seen.last().unwrap().contains("job_done"));
+    }
+
+    #[test]
+    fn cancel_running_job_and_stay_serviceable() {
+        let queue = JobQueue::start(1, 8, 8);
+        let receipt = queue.submit(slow()).unwrap();
+        // Wait until the worker picks it up.
+        for _ in 0..600 {
+            if queue.status(receipt.id).unwrap().state == JobState::Running {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        queue.cancel(receipt.id).unwrap();
+        let status = wait_terminal(&queue, receipt.id);
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(status.error.unwrap().contains("cancelled"));
+
+        // The same worker must pick up and finish the next job.
+        let next = queue.submit(tiny()).unwrap();
+        let status = wait_terminal(&queue, next.id);
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(queue.counter("serve_jobs_cancelled"), Some(1));
+    }
+
+    #[test]
+    fn cancel_queued_job_skips_the_solver() {
+        // One worker pinned on a slow job; a queued job behind it
+        // cancels immediately without ever running.
+        let queue = JobQueue::start(1, 8, 8);
+        let blocker = queue.submit(slow()).unwrap();
+        let queued = queue.submit(tiny()).unwrap();
+        assert_eq!(
+            queue.cancel(queued.id),
+            Some((JobState::Queued, JobState::Cancelled))
+        );
+        // A second cancel reports the job was already terminal.
+        assert_eq!(
+            queue.cancel(queued.id),
+            Some((JobState::Cancelled, JobState::Cancelled))
+        );
+        let status = queue.status(queued.id).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(queue.events(queued.id).unwrap().is_closed());
+        queue.cancel(blocker.id);
+        wait_terminal(&queue, blocker.id);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_execution_error() {
+        let queue = JobQueue::start(1, 1, 8);
+        let blocker = queue.submit(slow()).unwrap();
+        // Give the single worker time to take the blocker off the FIFO,
+        // then fill the FIFO's single slot.
+        for _ in 0..600 {
+            if queue.status(blocker.id).unwrap().state == JobState::Running {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let queued = queue.submit(slow()).unwrap();
+        let err = queue.submit(slow()).unwrap_err();
+        assert!(matches!(err, Error::Execution { .. }));
+        assert_eq!(queue.counter("serve_queue_rejections"), Some(1));
+        queue.cancel(queued.id);
+        queue.cancel(blocker.id);
+        wait_terminal(&queue, blocker.id);
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        let queue = JobQueue::start(1, 8, 8);
+        assert!(queue.status(99).is_none());
+        assert!(queue.events(99).is_none());
+        assert!(queue.cancel(99).is_none());
+    }
+
+    #[test]
+    fn job_state_labels_and_terminality() {
+        assert_eq!(JobState::Queued.label(), "queued");
+        assert!(!JobState::Running.is_terminal());
+        for state in [JobState::Done, JobState::Failed, JobState::Cancelled] {
+            assert!(state.is_terminal());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The route table: HTTP requests → queue operations.
+//!
+//! | method | path                  | does                                      | success |
+//! |--------|-----------------------|-------------------------------------------|---------|
+//! | POST   | `/v1/solve`           | parse + validate a problem, enqueue (or cache-hit) | 202 |
+//! | GET    | `/v1/jobs/{id}`       | job status + outcome JSON when done       | 200 |
+//! | GET    | `/v1/jobs/{id}/events`| chunked live JSONL solve-event stream     | 200 |
+//! | DELETE | `/v1/jobs/{id}`       | cooperative cancel                        | 200 |
+//! | GET    | `/v1/metrics`         | the server's metrics-registry snapshot    | 200 |
+//!
+//! Failures use the typed-error mapping of [`crate::wire::status_for`]:
+//! validation problems are 400s with the offending field named in the
+//! body, an over-full queue is a 503, unknown paths and job IDs are
+//! 404s, and a known path with the wrong method is a 405.
+//!
+//! The event stream replays a job's full history before tailing, so a
+//! client attaching after convergence still sees every residual; the
+//! response ends (chunked terminator, connection close) when the job's
+//! channel closes with its final `job_done` line.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use unsnap_core::error::Error;
+use unsnap_obs::json::JsonObject;
+
+use crate::cancel::CancelDisposition;
+use crate::http::{self, ChunkedWriter, Request};
+use crate::queue::{JobQueue, JobStatus};
+use crate::wire;
+
+/// How long one `wait_at` poll of a job's event channel blocks before
+/// re-checking (bounds how late the chunked stream notices a close).
+const EVENT_POLL: Duration = Duration::from_millis(250);
+
+fn error_body(error: &Error) -> String {
+    let obj = JsonObject::new().field_str("error", &error.to_string());
+    match error.invalid_field() {
+        Some(field) => obj.field_str("field", field),
+        None => obj.field_raw("field", "null"),
+    }
+    .finish()
+}
+
+fn not_found(what: &str) -> (u16, String) {
+    (
+        404,
+        JsonObject::new()
+            .field_str("error", &format!("{what} not found"))
+            .field_raw("field", "null")
+            .finish(),
+    )
+}
+
+fn status_body(status: &JobStatus) -> String {
+    let obj = JsonObject::new()
+        .field_u64("job_id", status.id)
+        .field_str("status", status.state.label())
+        .field_bool("cached", status.cached)
+        .field_str("problem_hash", &format!("{:016x}", status.hash));
+    let obj = match &status.outcome_json {
+        Some(outcome) => obj.field_raw("outcome", outcome),
+        None => obj.field_raw("outcome", "null"),
+    };
+    match &status.error {
+        Some(error) => obj.field_str("error", error),
+        None => obj.field_raw("error", "null"),
+    }
+    .finish()
+}
+
+/// Parse `/v1/jobs/{id}` and `/v1/jobs/{id}/events` paths.
+fn job_path(path: &str) -> Option<(u64, bool)> {
+    let rest = path.strip_prefix("/v1/jobs/")?;
+    if let Some(id_text) = rest.strip_suffix("/events") {
+        Some((id_text.parse().ok()?, true))
+    } else {
+        Some((rest.parse().ok()?, false))
+    }
+}
+
+fn post_solve(queue: &JobQueue, request: &Request) -> (u16, String) {
+    let body = String::from_utf8_lossy(&request.body);
+    let problem = match wire::parse_solve_request(&body) {
+        Ok(problem) => problem,
+        Err(error) => return (wire::status_for(&error), error_body(&error)),
+    };
+    match queue.submit(problem) {
+        Ok(receipt) => (
+            202,
+            JsonObject::new()
+                .field_u64("job_id", receipt.id)
+                .field_str("status", receipt.state.label())
+                .field_str("cache", if receipt.cached { "hit" } else { "miss" })
+                .field_str("problem_hash", &format!("{:016x}", receipt.hash))
+                .finish(),
+        ),
+        Err(error) => (wire::status_for(&error), error_body(&error)),
+    }
+}
+
+fn get_job(queue: &JobQueue, id: u64) -> (u16, String) {
+    match queue.status(id) {
+        Some(status) => (200, status_body(&status)),
+        None => not_found(&format!("job {id}")),
+    }
+}
+
+fn delete_job(queue: &JobQueue, id: u64) -> (u16, String) {
+    match queue.cancel(id) {
+        Some((before, after)) => {
+            let disposition = CancelDisposition::from_prior_state(before);
+            (
+                200,
+                JsonObject::new()
+                    .field_u64("job_id", id)
+                    .field_bool("cancel_requested", true)
+                    .field_str("disposition", disposition.label())
+                    .field_str("status", after.label())
+                    .finish(),
+            )
+        }
+        None => not_found(&format!("job {id}")),
+    }
+}
+
+/// Stream a job's events as chunked JSONL until its channel closes.
+fn stream_events(queue: &JobQueue, id: u64, stream: &TcpStream) -> std::io::Result<()> {
+    let Some(events) = queue.events(id) else {
+        let (status, body) = not_found(&format!("job {id}"));
+        return http::write_response(&mut &*stream, status, &body);
+    };
+    let mut chunked = ChunkedWriter::begin(stream, 200, "application/jsonl")?;
+    let mut from = 0;
+    loop {
+        let (lines, closed) = events.wait_at(from, EVENT_POLL);
+        for line in &lines {
+            chunked.write_chunk(&format!("{line}\n"))?;
+        }
+        from += lines.len();
+        if closed && from >= events.len() {
+            break;
+        }
+    }
+    chunked.finish()
+}
+
+/// Serve one connection: read a request, dispatch it, write the
+/// response.  I/O errors (including a client hanging up mid-stream) are
+/// swallowed — the connection is this function's whole world.
+pub fn handle_connection(stream: TcpStream, queue: &JobQueue) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let request = {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        });
+        match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(_) => {
+                let body = JsonObject::new()
+                    .field_str("error", "malformed HTTP request")
+                    .field_raw("field", "null")
+                    .finish();
+                let _ = http::write_response(&mut &stream, 400, &body);
+                return;
+            }
+        }
+    };
+    queue.record_request();
+
+    // The event stream writes its own (chunked) response.
+    if let Some((id, true)) = job_path(&request.path) {
+        if request.method == "GET" {
+            let _ = stream_events(queue, id, &stream);
+            return;
+        }
+    }
+
+    let (status, body) = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/solve") => post_solve(queue, &request),
+        ("GET", "/v1/metrics") => (200, queue.metrics_json()),
+        (method, path) => match job_path(path) {
+            Some((id, false)) if method == "GET" => get_job(queue, id),
+            Some((id, false)) if method == "DELETE" => delete_job(queue, id),
+            Some(_) => (
+                405,
+                JsonObject::new()
+                    .field_str("error", "method not allowed on this path")
+                    .field_raw("field", "null")
+                    .finish(),
+            ),
+            None if path == "/v1/solve" || path == "/v1/metrics" => (
+                405,
+                JsonObject::new()
+                    .field_str("error", "method not allowed on this path")
+                    .field_raw("field", "null")
+                    .finish(),
+            ),
+            None => not_found(&format!("path '{path}'")),
+        },
+    };
+    let _ = http::write_response(&mut &stream, status, &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_paths_parse() {
+        assert_eq!(job_path("/v1/jobs/7"), Some((7, false)));
+        assert_eq!(job_path("/v1/jobs/7/events"), Some((7, true)));
+        assert_eq!(job_path("/v1/jobs/"), None);
+        assert_eq!(job_path("/v1/jobs/x"), None);
+        assert_eq!(job_path("/v1/solve"), None);
+        assert_eq!(job_path("/v1/jobs/7/extra"), None);
+    }
+
+    #[test]
+    fn error_bodies_carry_the_field() {
+        let body = error_body(&Error::invalid_problem("nx", "zero"));
+        assert!(body.contains("\"field\":\"nx\""));
+        let body = error_body(&Error::Cancelled { outer: 1 });
+        assert!(body.contains("\"field\":null"));
+    }
+}

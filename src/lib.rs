@@ -21,6 +21,7 @@
 //! | [`obs`] (`unsnap-obs`) | dependency-free observability: `Clock`/`MockClock`, metrics registry with deterministic/wall-clock split, fixed-bucket histograms, JSON writer/reader, JSONL run logs |
 //! | [`core`] (`unsnap-core`) | typed errors, `ProblemBuilder`, the observable `Session` API, Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
 //! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model, `CommError` |
+//! | [`serve`] (`unsnap-serve`) | solver-as-a-service: hand-rolled HTTP/1.1 front-end, bounded job queue with cooperative cancellation, live JSONL event streaming, content-addressed LRU result cache |
 //!
 //! ## Quickstart
 //!
@@ -90,6 +91,7 @@ pub use unsnap_krylov as krylov;
 pub use unsnap_linalg as linalg;
 pub use unsnap_mesh as mesh;
 pub use unsnap_obs as obs;
+pub use unsnap_serve as serve;
 pub use unsnap_sweep as sweep;
 
 /// The most commonly used types, re-exported for convenience.
@@ -102,6 +104,7 @@ pub mod prelude {
     pub use unsnap_core::builder::{
         ExecutionConfig, GridConfig, IterationConfig, PhysicsConfig, ProblemBuilder,
     };
+    pub use unsnap_core::cancel::CancelToken;
     pub use unsnap_core::data::{CrossSections, MaterialOption, SourceOption};
     pub use unsnap_core::dsa::DsaAccelerator;
     pub use unsnap_core::error::{Error, Result};
@@ -127,6 +130,11 @@ pub mod prelude {
     pub use unsnap_mesh::{Decomposition2D, MeshError, StructuredGrid, UnstructuredMesh};
     pub use unsnap_obs::clock::{Clock, MockClock, SystemClock};
     pub use unsnap_obs::metrics::{Determinism, Histogram, MetricsRegistry};
+    pub use unsnap_obs::stream::{ChannelWriter, LineChannel};
+    pub use unsnap_serve::{
+        CancelDisposition, JobQueue, JobState, JobStatus, ResultStore, ServeConfig, Server,
+        SubmitReceipt,
+    };
     pub use unsnap_sweep::{ConcurrencyScheme, LoopOrder, SweepSchedule, ThreadedLoops};
 }
 
