@@ -561,6 +561,87 @@ pub struct BlockJacobiSolver {
     /// Swappable via [`BlockJacobiSolver::set_clock`]; deterministic
     /// metrics never read it.
     clock: Box<dyn Clock>,
+    /// Recovered state installed by [`BlockJacobiSolver::resume_from`],
+    /// consumed by the next run.
+    resume: Option<JacobiResumePoint>,
+}
+
+/// A borrowed, consistent snapshot of the distributed solver's state at
+/// an outer-iteration boundary — the block-Jacobi analogue of
+/// [`unsnap_core::solver::CheckpointView`].
+///
+/// Only the global flux arrays and per-rank accounting are exposed:
+/// `psi_prev` is republished at the start of every halo iteration,
+/// `phi_outer` is recomputed at every outer start, and each rank's
+/// compact local arrays are an exact gather of the global ones, so all
+/// of them reconstruct from what is here.
+#[derive(Debug)]
+pub struct JacobiCheckpointView<'a> {
+    /// The outer iteration that just completed (0-based).
+    pub outer_completed: usize,
+    /// Whether the tolerance was met during that outer iteration.
+    pub converged: bool,
+    /// Halo (block-Jacobi) iterations executed so far.
+    pub inners_run: usize,
+    /// Wall-clock seconds accumulated in the assemble/solve region.
+    pub sweep_seconds: f64,
+    /// Maximum relative scalar-flux change per halo iteration so far.
+    pub convergence_history: &'a [f64],
+    /// Global scalar flux φ, in storage order.
+    pub phi: &'a [f64],
+    /// Global angular flux ψ, in storage order.
+    pub psi: &'a [f64],
+    /// Each rank's accumulated accounting, indexed by rank id.
+    pub rank_stats: Vec<&'a RunStats>,
+}
+
+/// A durability hook invoked at every outer-iteration boundary of an
+/// observed block-Jacobi run (after `on_outer_end`).  An error return
+/// aborts the solve, which is how the write-ahead log layer injects
+/// deterministic crashes.
+pub trait JacobiCheckpointSink {
+    /// Persist (or skip) a checkpoint of the given state.
+    fn on_checkpoint(&mut self, view: &JacobiCheckpointView<'_>) -> Result<()>;
+}
+
+/// The sink used when nobody is checkpointing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JacobiNoopSink;
+
+impl JacobiCheckpointSink for JacobiNoopSink {
+    fn on_checkpoint(&mut self, _view: &JacobiCheckpointView<'_>) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Distributed solver state recovered from a run log, installed with
+/// [`BlockJacobiSolver::resume_from`] before re-running.
+///
+/// The resume contract matches the single-domain
+/// [`ResumePoint`](unsnap_core::solver::ResumePoint): the saved event
+/// `prefix` replays into the observer before live iteration continues,
+/// so the completed run's outcome, flux and deterministic metrics are
+/// bit-for-bit identical to an uninterrupted run's.
+#[derive(Debug, Clone, Default)]
+pub struct JacobiResumePoint {
+    /// The first outer iteration the resumed run will execute.
+    pub outer_next: usize,
+    /// Halo iterations executed before the checkpoint.
+    pub inners_run: usize,
+    /// Wall-clock assemble/solve seconds accumulated before the
+    /// checkpoint.
+    pub sweep_seconds: f64,
+    /// Per-halo-iteration convergence history up to the checkpoint.
+    pub convergence_history: Vec<f64>,
+    /// Global scalar flux φ at the checkpoint, in storage order.
+    pub phi: Vec<f64>,
+    /// Global angular flux ψ at the checkpoint, in storage order.
+    pub psi: Vec<f64>,
+    /// Each rank's accounting at the checkpoint, indexed by rank id.
+    pub rank_stats: Vec<RunStats>,
+    /// Every observer event emitted before the checkpoint, replayed
+    /// verbatim on resume.
+    pub prefix: EventLog,
 }
 
 impl BlockJacobiSolver {
@@ -593,15 +674,23 @@ impl BlockJacobiSolver {
             problem.material,
             problem.source,
         );
-        // The scattering-ratio override must reach the distributed path
-        // too, or the single-domain and block-Jacobi solvers would solve
-        // different physics for the same Problem.
+        // The scattering-ratio (and upscatter) overrides must reach the
+        // distributed path too, or the single-domain and block-Jacobi
+        // solvers would solve different physics for the same Problem.
         if let Some(c) = problem.scattering_ratio {
-            data.xs = unsnap_core::data::CrossSections::with_scattering_ratio(
-                problem.num_groups,
-                data.xs.num_materials(),
-                c,
-            );
+            data.xs = match problem.upscatter_ratio {
+                Some(u) => unsnap_core::data::CrossSections::with_upscatter(
+                    problem.num_groups,
+                    data.xs.num_materials(),
+                    c,
+                    u,
+                ),
+                None => unsnap_core::data::CrossSections::with_scattering_ratio(
+                    problem.num_groups,
+                    data.xs.num_materials(),
+                    c,
+                ),
+            };
         }
 
         let integrals: Vec<ElementIntegrals> = (0..mesh.num_cells())
@@ -700,7 +789,61 @@ impl BlockJacobiSolver {
             solver: problem.solver.build(),
             pool,
             clock: Box::new(SystemClock::new()),
+            resume: None,
         })
+    }
+
+    /// The problem this solver was built for.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Install recovered state so the next run continues from a
+    /// checkpoint instead of starting cold.
+    ///
+    /// Validates the flux shapes and the rank count against this
+    /// solver's layout; the point is consumed by the next
+    /// `run`/`run_observed` call.  Each rank's compact local flux
+    /// arrays are regathered from the global arrays when the run
+    /// starts, so the point only carries global state.
+    pub fn resume_from(&mut self, point: JacobiResumePoint) -> Result<()> {
+        if point.phi.len() != self.phi.as_slice().len() {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state has {} scalar-flux entries, solver expects {}",
+                    point.phi.len(),
+                    self.phi.as_slice().len()
+                ),
+            });
+        }
+        if point.psi.len() != self.psi.as_slice().len() {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state has {} angular-flux entries, solver expects {}",
+                    point.psi.len(),
+                    self.psi.as_slice().len()
+                ),
+            });
+        }
+        if point.rank_stats.len() != self.subdomains.len() {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state has {} rank-stat entries, solver has {} ranks",
+                    point.rank_stats.len(),
+                    self.subdomains.len()
+                ),
+            });
+        }
+        if point.outer_next > self.problem.outer_iterations {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state starts at outer {} but the problem runs only {}",
+                    point.outer_next, self.problem.outer_iterations
+                ),
+            });
+        }
+        self.resume = Some(point);
+        Ok(())
     }
 
     /// Replace the solver's time source (e.g. with a
@@ -753,12 +896,25 @@ impl BlockJacobiSolver {
     /// `on_inner_iteration`.  Because the buffered logs replay in rank
     /// order, the stream is identical at every thread count.
     pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<BlockJacobiOutcome> {
+        self.run_observed_checkpointed(observer, &mut JacobiNoopSink)
+    }
+
+    /// [`BlockJacobiSolver::run_observed`] with a durability hook:
+    /// `sink` is offered a [`JacobiCheckpointView`] at every
+    /// outer-iteration boundary (after the outer's `on_outer_end`
+    /// event).  A sink error aborts the run, which is how the
+    /// write-ahead log layer injects deterministic crashes.
+    pub fn run_observed_checkpointed(
+        &mut self,
+        observer: &mut dyn RunObserver,
+        sink: &mut dyn JacobiCheckpointSink,
+    ) -> Result<BlockJacobiOutcome> {
         // Tee the caller's observer with an internal metrics aggregator
         // so every outcome carries its telemetry without caller wiring.
         let mut metrics = MetricsObserver::new();
         let mut outcome = {
             let mut tee = TeeObserver::new(observer, &mut metrics);
-            self.run_observed_inner(&mut tee)?
+            self.run_observed_inner(&mut tee, sink)?
         };
         let mut snapshot = metrics.snapshot();
         snapshot.kernel_assemble_seconds = self
@@ -775,7 +931,11 @@ impl BlockJacobiSolver {
         Ok(outcome)
     }
 
-    fn run_observed_inner(&mut self, observer: &mut dyn RunObserver) -> Result<BlockJacobiOutcome> {
+    fn run_observed_inner(
+        &mut self,
+        observer: &mut dyn RunObserver,
+        sink: &mut dyn JacobiCheckpointSink,
+    ) -> Result<BlockJacobiOutcome> {
         // A failed iteration consumes the per-rank states (they travel
         // through the worker pool by value); refuse to "run" the husk
         // rather than converge instantly on an all-zero flux.
@@ -813,16 +973,52 @@ impl BlockJacobiSolver {
                 .unwrap_or(self.problem.inner_iterations),
         };
 
-        let mut history = Vec::new();
         let mut converged = false;
         let mut iterations_to_tolerance = None;
-        let mut inners_run = 0usize;
-        let mut sweep_seconds = 0.0;
         let ng = self.problem.num_groups;
         let nodes = self.element.nodes_per_element();
         let n_angles = self.quadrature.num_angles();
 
-        for outer in 0..self.problem.outer_iterations {
+        // Consume any installed resume point: restore the global flux
+        // arrays, regather each rank's compact local arrays (the exact
+        // inverse of the post-solve merge below), seed the per-rank
+        // accounting, and replay the saved event prefix into the
+        // observer tee so the caller's stream and the internal metrics
+        // aggregator both see the run's full history.
+        let (mut history, mut inners_run, mut sweep_seconds, start_outer) = match self.resume.take()
+        {
+            Some(point) => {
+                self.phi.as_mut_slice().copy_from_slice(&point.phi);
+                self.psi.as_mut_slice().copy_from_slice(&point.psi);
+                for (rank, stats) in point.rank_stats.into_iter().enumerate() {
+                    self.ranks[rank].stats = stats;
+                }
+                for (rank, sd) in self.subdomains.iter().enumerate() {
+                    for (local, &cell) in sd.global_cells.iter().enumerate() {
+                        for g in 0..ng {
+                            for angle in 0..n_angles {
+                                let base = ((local * ng + g) * n_angles + angle) * nodes;
+                                self.ranks[rank].psi[base..base + nodes]
+                                    .copy_from_slice(self.psi.nodes(cell, g, angle));
+                            }
+                            let base = (local * ng + g) * nodes;
+                            self.ranks[rank].phi[base..base + nodes]
+                                .copy_from_slice(self.phi.nodes(cell, g, 0));
+                        }
+                    }
+                }
+                point.prefix.replay(observer);
+                (
+                    point.convergence_history,
+                    point.inners_run,
+                    point.sweep_seconds,
+                    point.outer_next,
+                )
+            }
+            None => (Vec::new(), 0usize, 0.0, 0),
+        };
+
+        for outer in start_outer..self.problem.outer_iterations {
             observer.on_outer_start(outer);
             self.phi_outer
                 .as_mut_slice()
@@ -934,6 +1130,16 @@ impl BlockJacobiSolver {
                 }
             }
             observer.on_outer_end(outer, outer_converged);
+            sink.on_checkpoint(&JacobiCheckpointView {
+                outer_completed: outer,
+                converged: outer_converged,
+                inners_run,
+                sweep_seconds,
+                convergence_history: &history,
+                phi: self.phi.as_slice(),
+                psi: self.psi.as_slice(),
+                rank_stats: self.ranks.iter().map(|r| &r.stats).collect(),
+            })?;
             if converged {
                 break;
             }

@@ -58,5 +58,8 @@ pub mod kba;
 
 pub use error::CommError;
 pub use halo::{HaloExchange, HaloMessage};
-pub use jacobi::{BlockJacobiOutcome, BlockJacobiSolver};
+pub use jacobi::{
+    BlockJacobiOutcome, BlockJacobiSolver, JacobiCheckpointSink, JacobiCheckpointView,
+    JacobiNoopSink, JacobiResumePoint,
+};
 pub use kba::{kba_stage_count, pipeline_efficiency, KbaModel};

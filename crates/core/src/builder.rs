@@ -104,6 +104,9 @@ pub struct PhysicsConfig {
     /// Optional within-group scattering-ratio override (see
     /// [`Problem::scattering_ratio`]).
     pub scattering_ratio: Option<f64>,
+    /// Optional upscatter fraction layered on the scattering-ratio
+    /// override (see [`Problem::upscatter_ratio`]).
+    pub upscatter_ratio: Option<f64>,
 }
 
 impl Default for PhysicsConfig {
@@ -118,6 +121,7 @@ impl Default for PhysicsConfig {
             source: SourceOption::Option1,
             boundaries: DomainBoundaries::vacuum(),
             scattering_ratio: None,
+            upscatter_ratio: None,
         }
     }
 }
@@ -256,6 +260,7 @@ impl ProblemBuilder {
                 source: p.source,
                 boundaries: p.boundaries,
                 scattering_ratio: p.scattering_ratio,
+                upscatter_ratio: p.upscatter_ratio,
             },
             iteration: IterationConfig {
                 inner_iterations: p.inner_iterations,
@@ -417,6 +422,15 @@ impl ProblemBuilder {
         self
     }
 
+    /// Upscatter fraction layered on the scattering-ratio override: the
+    /// matrix keeps `(1 − u) · c · σ_t` within group and spreads
+    /// `u · c · σ_t` equally over every other group, making the group
+    /// coupling irreducible (see [`Problem::upscatter_ratio`]).
+    pub fn upscatter(mut self, u: f64) -> Self {
+        self.physics.upscatter_ratio = Some(u);
+        self
+    }
+
     /// Inner and outer iteration counts.
     pub fn iterations(mut self, inner: usize, outer: usize) -> Self {
         self.iteration.inner_iterations = inner;
@@ -507,9 +521,10 @@ impl ProblemBuilder {
     /// variables leave the builder unchanged; a set but unparsable
     /// variable is an [`Error::InvalidProblem`] naming the knob.
     ///
-    /// `UNSNAP_PROGRESS_MS` is validated here too — it must be a
-    /// non-negative millisecond count (zero disables rate limiting) —
-    /// even though the value is consumed by
+    /// `UNSNAP_PROGRESS_MS` and `UNSNAP_CHECKPOINT_ITERS` are validated
+    /// here too — a non-negative millisecond count (zero disables rate
+    /// limiting) and a positive outer-iteration cadence respectively —
+    /// even though the progress value is consumed by
     /// [`ProgressObserver::from_env`](crate::session::ProgressObserver::from_env)
     /// rather than stored on the builder: a typo'd interval should fail
     /// the run up front, not silently fall back to the default cadence.
@@ -577,6 +592,21 @@ impl ProblemBuilder {
                 Error::invalid_problem("progress_interval_ms", format!("UNSNAP_PROGRESS_MS: {e}"))
             })?;
         }
+        // `UNSNAP_CHECKPOINT_ITERS` is consumed by the `unsnap-runlog`
+        // checkpoint cadence (checkpoint every N outer iterations), but
+        // validated here for the same reason as the progress interval:
+        // a typo'd cadence should fail the run up front.
+        if let Ok(raw) = std::env::var("UNSNAP_CHECKPOINT_ITERS") {
+            let every: usize = raw.trim().parse().map_err(|e| {
+                Error::invalid_problem("checkpoint_iters", format!("UNSNAP_CHECKPOINT_ITERS: {e}"))
+            })?;
+            if every == 0 {
+                return Err(Error::invalid_problem(
+                    "checkpoint_iters",
+                    "UNSNAP_CHECKPOINT_ITERS: checkpoint cadence must be at least 1",
+                ));
+            }
+        }
         Ok(self)
     }
 
@@ -608,6 +638,7 @@ impl ProblemBuilder {
             accel_cg_iterations: self.accel.cg_iterations,
             subdomain_krylov_budget: self.iteration.subdomain_krylov_budget,
             scattering_ratio: self.physics.scattering_ratio,
+            upscatter_ratio: self.physics.upscatter_ratio,
             scheme: self.execution.scheme,
             num_threads: self.execution.num_threads,
             precompute_integrals: self.execution.precompute_integrals,
@@ -774,6 +805,37 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err.invalid_field(), Some("scattering_ratio"));
+    }
+
+    #[test]
+    fn upscatter_validation_needs_a_base_ratio_and_two_groups() {
+        // Dangling upscatter (no scattering_ratio to split).
+        let err = ProblemBuilder::tiny().upscatter(0.2).build().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("upscatter_ratio"));
+        // One group has nothing to scatter up into.
+        let err = ProblemBuilder::tiny()
+            .phase_space(2, 1)
+            .scattering_ratio(0.9)
+            .upscatter(0.2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.invalid_field(), Some("upscatter_ratio"));
+        // Out-of-range fractions.
+        for bad in [0.0, 1.0, -0.5, f64::NAN] {
+            let err = ProblemBuilder::tiny()
+                .scattering_ratio(0.9)
+                .upscatter(bad)
+                .build()
+                .unwrap_err();
+            assert_eq!(err.invalid_field(), Some("upscatter_ratio"), "u = {bad}");
+        }
+        // The valid combination builds.
+        let p = ProblemBuilder::tiny()
+            .scattering_ratio(0.9)
+            .upscatter(0.2)
+            .build()
+            .unwrap();
+        assert_eq!(p.upscatter_ratio, Some(0.2));
     }
 
     #[test]
@@ -951,6 +1013,21 @@ mod tests {
             assert_eq!(err.invalid_field(), Some("progress_interval_ms"), "'{bad}'");
         }
         std::env::remove_var("UNSNAP_PROGRESS_MS");
+
+        // Same story for the checkpoint cadence consumed by the runlog
+        // crate: positive counts pass, zero and garbage name the knob.
+        for good in ["1", "5", " 12 "] {
+            std::env::set_var("UNSNAP_CHECKPOINT_ITERS", good);
+            ProblemBuilder::tiny()
+                .env_overrides()
+                .unwrap_or_else(|e| panic!("'{good}' must validate: {e}"));
+        }
+        for bad in ["0", "-3", "often", "2.5"] {
+            std::env::set_var("UNSNAP_CHECKPOINT_ITERS", bad);
+            let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+            assert_eq!(err.invalid_field(), Some("checkpoint_iters"), "'{bad}'");
+        }
+        std::env::remove_var("UNSNAP_CHECKPOINT_ITERS");
 
         std::env::remove_var("UNSNAP_STRATEGY");
         std::env::remove_var("UNSNAP_ACCEL");

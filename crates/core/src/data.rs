@@ -189,6 +189,60 @@ impl CrossSections {
         }
     }
 
+    /// Generate cross sections with a prescribed scattering ratio `c`
+    /// *and* a full group-to-group matrix that includes upscatter.
+    ///
+    /// Totals follow the same recipe as [`CrossSections::generate`].
+    /// Each group keeps `(1 − u) · c · σ_t(g)` within group and spreads
+    /// the remaining `u · c · σ_t(g)` *equally over every other group* —
+    /// both lower- and higher-energy, so the matrix has nonzero entries
+    /// on both sides of the diagonal.  The row sum is exactly
+    /// `c · σ_t(g)`, preserving the scattering ratio of
+    /// [`CrossSections::with_scattering_ratio`]; what changes is the
+    /// *coupling structure*: with upscatter, no group ordering makes the
+    /// matrix triangular, so the outer (group-coupling) iteration has to
+    /// do real work instead of converging in one downstream pass.
+    ///
+    /// # Panics
+    /// If `c` is outside `(0, 1]`, `u` is outside `(0, 1)`, or
+    /// `num_groups < 2` (upscatter needs another group to scatter up
+    /// into) — matching `Problem::validate`.
+    pub fn with_upscatter(num_groups: usize, num_materials: usize, c: f64, u: f64) -> Self {
+        assert!(num_groups >= 2, "upscatter needs at least 2 groups");
+        assert!(num_materials > 0);
+        assert!(
+            c > 0.0 && c <= 1.0,
+            "scattering ratio must lie in (0, 1], got {c}"
+        );
+        assert!(
+            u > 0.0 && u < 1.0,
+            "upscatter ratio must lie in (0, 1), got {u}"
+        );
+        let g = num_groups;
+        let mut total = vec![0.0; num_materials * g];
+        let mut scatter = vec![0.0; num_materials * g * g];
+        let spread = u / (g - 1) as f64;
+        for m in 0..num_materials {
+            for gi in 0..g {
+                let sigma_t = 1.0 + 0.5 * m as f64 + 0.01 * gi as f64;
+                total[m * g + gi] = sigma_t;
+                for gt in 0..g {
+                    scatter[m * g * g + gi * g + gt] = if gt == gi {
+                        (1.0 - u) * c * sigma_t
+                    } else {
+                        spread * c * sigma_t
+                    };
+                }
+            }
+        }
+        Self {
+            num_groups: g,
+            num_materials,
+            total,
+            scatter,
+        }
+    }
+
     /// Number of energy groups.
     pub fn num_groups(&self) -> usize {
         self.num_groups
@@ -352,6 +406,38 @@ mod tests {
         }
         // Last group has no down-scatter targets beyond itself.
         assert_eq!(xs.scatter_out(0, 5), xs.scatter(0, 5, 5));
+    }
+
+    #[test]
+    fn upscatter_preserves_the_row_sum_and_fills_both_triangles() {
+        let (c, u) = (0.9, 0.2);
+        let xs = CrossSections::with_upscatter(4, 2, c, u);
+        for m in 0..2 {
+            for g in 0..4 {
+                // Row sum is exactly c · σ_t: the scattering ratio the
+                // within-group recipe promises, now split across groups.
+                assert!((xs.scattering_ratio(m, g) - c).abs() < 1e-12);
+                // Every off-diagonal entry (including the upscatter
+                // half below the diagonal) is present and equal.
+                let spread = u / 3.0 * c * xs.total(m, g);
+                for gt in 0..4 {
+                    let s = xs.scatter(m, g, gt);
+                    if gt == g {
+                        assert!((s - (1.0 - u) * c * xs.total(m, g)).abs() < 1e-12);
+                    } else {
+                        assert!((s - spread).abs() < 1e-12, "{g}->{gt}");
+                    }
+                }
+            }
+        }
+        // Genuine upscatter: energy flows from the lowest group back up.
+        assert!(xs.scatter(0, 3, 0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 groups")]
+    fn upscatter_rejects_a_single_group() {
+        CrossSections::with_upscatter(1, 1, 0.9, 0.2);
     }
 
     #[test]

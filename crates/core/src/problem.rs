@@ -89,6 +89,16 @@ pub struct Problem {
     /// `σ_s(g → g) = c · σ_t(g)`, the knob for scattering-dominated
     /// scenarios where source iteration stalls.
     pub scattering_ratio: Option<f64>,
+    /// Optional upscatter fraction `u` layered on top of
+    /// [`Problem::scattering_ratio`] (and requiring it): each group keeps
+    /// `(1 − u) · c · σ_t` within group and spreads `u · c · σ_t`
+    /// equally over every *other* group, lower- and higher-energy alike.
+    /// This makes the group-to-group scattering matrix irreducible — no
+    /// group ordering is triangular — so the outer (group-coupling)
+    /// iteration has to genuinely converge instead of resolving in one
+    /// downstream pass.  Must lie in `(0, 1)` and needs at least two
+    /// energy groups.
+    pub upscatter_ratio: Option<f64>,
     /// Concurrency scheme for the sweep.
     pub scheme: ConcurrencyScheme,
     /// Number of worker threads for the solver's pool (`None` = the
@@ -135,6 +145,7 @@ impl Problem {
             accel_cg_iterations: 200,
             subdomain_krylov_budget: None,
             scattering_ratio: None,
+            upscatter_ratio: None,
             scheme: ConcurrencyScheme::serial(),
             num_threads: Some(1),
             precompute_integrals: true,
@@ -386,6 +397,14 @@ impl Problem {
         self
     }
 
+    /// Builder-style setter for the upscatter fraction (see
+    /// [`Problem::upscatter_ratio`]).  Requires a scattering-ratio
+    /// override to layer on; `validate` rejects a dangling upscatter.
+    pub fn with_upscatter_ratio(mut self, u: f64) -> Self {
+        self.upscatter_ratio = Some(u);
+        self
+    }
+
     /// Override the low-order accelerator selection.
     pub fn with_accelerator(mut self, accelerator: AcceleratorKind) -> Self {
         self.accelerator = accelerator;
@@ -581,6 +600,26 @@ impl Problem {
                 return Err(Error::invalid_problem(
                     "scattering_ratio",
                     format!("scattering ratio must lie in (0, 1], got {c}"),
+                ));
+            }
+        }
+        if let Some(u) = self.upscatter_ratio {
+            if self.scattering_ratio.is_none() {
+                return Err(Error::invalid_problem(
+                    "upscatter_ratio",
+                    "upscatter needs a scattering_ratio override to split; set one",
+                ));
+            }
+            if self.num_groups < 2 {
+                return Err(Error::invalid_problem(
+                    "upscatter_ratio",
+                    "upscatter needs at least 2 energy groups to scatter up into",
+                ));
+            }
+            if !(u > 0.0 && u < 1.0) {
+                return Err(Error::invalid_problem(
+                    "upscatter_ratio",
+                    format!("upscatter fraction must lie in (0, 1), got {u}"),
                 ));
             }
         }

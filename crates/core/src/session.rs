@@ -300,6 +300,18 @@ pub enum SolveEvent {
         /// Bytes of angular flux published.
         bytes: u64,
     },
+    /// A rank-tagged event captured through one of the `on_rank_*`
+    /// hooks.  Recording the tag in the log (rather than dropping it,
+    /// as the pre-durability `EventLog` did) lets a single log buffer a
+    /// distributed driver's *full* stream — untagged driver events plus
+    /// every rank's tagged sub-stream — so a checkpoint prefix can be
+    /// replayed verbatim into a fresh observer on resume.
+    Rank {
+        /// The rank that emitted the wrapped event.
+        rank: usize,
+        /// The wrapped event (never itself a `Rank` or `HaloExchange`).
+        event: Box<SolveEvent>,
+    },
 }
 
 /// An observer that buffers the event stream verbatim.
@@ -321,8 +333,55 @@ impl EventLog {
         self.events.clear();
     }
 
+    /// Deliver one event through the rank-tagged hooks as rank `rank`.
+    fn deliver_tagged(rank: usize, event: &SolveEvent, observer: &mut dyn RunObserver) {
+        match *event {
+            SolveEvent::OuterStart { outer } => observer.on_rank_outer_start(rank, outer),
+            SolveEvent::OuterEnd { outer, converged } => {
+                observer.on_rank_outer_end(rank, outer, converged)
+            }
+            SolveEvent::InnerIteration {
+                inner,
+                relative_change,
+            } => observer.on_rank_inner_iteration(rank, inner, relative_change),
+            SolveEvent::Sweep {
+                sweep,
+                cells,
+                seconds,
+            } => observer.on_rank_sweep(rank, sweep, cells, seconds),
+            SolveEvent::KrylovResidual {
+                iteration,
+                relative_residual,
+            } => observer.on_rank_krylov_residual(rank, iteration, relative_residual),
+            SolveEvent::AccelResidual {
+                iteration,
+                relative_residual,
+            } => observer.on_rank_accel_residual(rank, iteration, relative_residual),
+            SolveEvent::PhaseStart { phase } => observer.on_rank_phase_start(rank, phase),
+            SolveEvent::PhaseEnd { phase, seconds } => {
+                observer.on_rank_phase_end(rank, phase, seconds)
+            }
+            // Halo exchanges are driver-level events (never recorded
+            // inside a rank's log); if one is replayed here it still
+            // belongs to the run, not the rank.
+            SolveEvent::HaloExchange {
+                iteration,
+                faces,
+                bytes,
+            } => observer.on_halo_exchange(iteration, faces, bytes),
+            // An already-tagged event keeps its recorded rank — the
+            // outer tag never re-labels it.
+            SolveEvent::Rank {
+                rank: inner_rank,
+                ref event,
+            } => Self::deliver_tagged(inner_rank, event, observer),
+        }
+    }
+
     /// Replay the buffered stream into `observer` through the untagged
-    /// hooks, in emission order.
+    /// hooks, in emission order.  [`SolveEvent::Rank`]-wrapped events go
+    /// through the rank-tagged hooks with their recorded rank, so a full
+    /// distributed stream round-trips through a single log.
     pub fn replay(&self, observer: &mut dyn RunObserver) {
         for event in &self.events {
             match *event {
@@ -354,49 +413,17 @@ impl EventLog {
                     faces,
                     bytes,
                 } => observer.on_halo_exchange(iteration, faces, bytes),
+                SolveEvent::Rank { rank, ref event } => Self::deliver_tagged(rank, event, observer),
             }
         }
     }
 
     /// Replay the buffered stream into `observer` through the
-    /// rank-tagged hooks, tagging every event with `rank`.
+    /// rank-tagged hooks, tagging every event with `rank`.  Events that
+    /// already carry a [`SolveEvent::Rank`] tag keep their recorded rank.
     pub fn replay_as_rank(&self, rank: usize, observer: &mut dyn RunObserver) {
         for event in &self.events {
-            match *event {
-                SolveEvent::OuterStart { outer } => observer.on_rank_outer_start(rank, outer),
-                SolveEvent::OuterEnd { outer, converged } => {
-                    observer.on_rank_outer_end(rank, outer, converged)
-                }
-                SolveEvent::InnerIteration {
-                    inner,
-                    relative_change,
-                } => observer.on_rank_inner_iteration(rank, inner, relative_change),
-                SolveEvent::Sweep {
-                    sweep,
-                    cells,
-                    seconds,
-                } => observer.on_rank_sweep(rank, sweep, cells, seconds),
-                SolveEvent::KrylovResidual {
-                    iteration,
-                    relative_residual,
-                } => observer.on_rank_krylov_residual(rank, iteration, relative_residual),
-                SolveEvent::AccelResidual {
-                    iteration,
-                    relative_residual,
-                } => observer.on_rank_accel_residual(rank, iteration, relative_residual),
-                SolveEvent::PhaseStart { phase } => observer.on_rank_phase_start(rank, phase),
-                SolveEvent::PhaseEnd { phase, seconds } => {
-                    observer.on_rank_phase_end(rank, phase, seconds)
-                }
-                // Halo exchanges are driver-level events (never recorded
-                // inside a rank's log); if one is replayed here it still
-                // belongs to the run, not the rank.
-                SolveEvent::HaloExchange {
-                    iteration,
-                    faces,
-                    bytes,
-                } => observer.on_halo_exchange(iteration, faces, bytes),
-            }
+            Self::deliver_tagged(rank, event, observer);
         }
     }
 }
@@ -452,6 +479,75 @@ impl RunObserver for EventLog {
             iteration,
             faces,
             bytes,
+        });
+    }
+
+    fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::OuterStart { outer }),
+        });
+    }
+
+    fn on_rank_outer_end(&mut self, rank: usize, outer: usize, converged: bool) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::OuterEnd { outer, converged }),
+        });
+    }
+
+    fn on_rank_inner_iteration(&mut self, rank: usize, inner: usize, relative_change: f64) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::InnerIteration {
+                inner,
+                relative_change,
+            }),
+        });
+    }
+
+    fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::Sweep {
+                sweep,
+                cells,
+                seconds,
+            }),
+        });
+    }
+
+    fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::KrylovResidual {
+                iteration,
+                relative_residual,
+            }),
+        });
+    }
+
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::AccelResidual {
+                iteration,
+                relative_residual,
+            }),
+        });
+    }
+
+    fn on_rank_phase_start(&mut self, rank: usize, phase: Phase) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::PhaseStart { phase }),
+        });
+    }
+
+    fn on_rank_phase_end(&mut self, rank: usize, phase: Phase, seconds: f64) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::PhaseEnd { phase, seconds }),
         });
     }
 }
@@ -1105,6 +1201,20 @@ impl Session {
     /// `observer` as they happen.
     pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
         let outcome = self.solver.run_observed(observer)?;
+        self.outcomes.push(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// [`Session::run_observed`] with a durability hook: `sink` is
+    /// offered a checkpoint of the solver state at every outer-iteration
+    /// boundary (see
+    /// [`TransportSolver::run_observed_checkpointed`](crate::solver::TransportSolver::run_observed_checkpointed)).
+    pub fn run_checkpointed(
+        &mut self,
+        observer: &mut dyn RunObserver,
+        sink: &mut dyn crate::solver::CheckpointSink,
+    ) -> Result<SolveOutcome> {
+        let outcome = self.solver.run_observed_checkpointed(observer, sink)?;
         self.outcomes.push(outcome.clone());
         Ok(outcome)
     }

@@ -51,7 +51,7 @@ use crate::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, Upw
 use crate::layout::{FluxLayout, FluxStorage};
 use crate::metrics::{MetricsObserver, RunMetrics};
 use crate::problem::Problem;
-use crate::session::{NoopObserver, Phase, RunObserver, TeeObserver};
+use crate::session::{EventLog, NoopObserver, Phase, RunObserver, TeeObserver};
 
 /// Result of one kernel task (one element × group for one angle).
 struct TaskResult {
@@ -193,6 +193,71 @@ pub struct RunStats {
     pub accel_residual_history: Vec<f64>,
 }
 
+/// A borrowed, consistent snapshot of solver state at an outer-iteration
+/// boundary — everything a durable run log needs to restart the solve
+/// from this point (see [`ResumePoint`]).
+///
+/// Only φ, ψ and the accumulated [`RunStats`] are exposed: every other
+/// piece of solver state (`phi_outer`, `phi_inner`, the assembled
+/// source, Krylov and DSA scratch) is overwritten before it is read on
+/// the next outer iteration, so checkpointing it would be dead weight.
+#[derive(Debug)]
+pub struct CheckpointView<'a> {
+    /// The outer iteration that just completed (0-based).
+    pub outer_completed: usize,
+    /// Whether that outer iteration met the tolerance (a converged run
+    /// has nothing left to resume).
+    pub converged: bool,
+    /// Scalar flux φ, in storage order.
+    pub phi: &'a [f64],
+    /// Angular flux ψ, in storage order.
+    pub psi: &'a [f64],
+    /// Work and convergence accounting so far.
+    pub stats: &'a RunStats,
+}
+
+/// A durability hook invoked at every outer-iteration boundary of an
+/// observed run (after `on_outer_end`, while the flux arrays are
+/// quiescent).  An error return aborts the solve — the write-ahead log
+/// layer uses this to simulate crashes deterministically.
+pub trait CheckpointSink {
+    /// Persist (or skip) a checkpoint of the given state.
+    fn on_checkpoint(&mut self, view: &CheckpointView<'_>) -> Result<()>;
+}
+
+/// The sink used when nobody is checkpointing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl CheckpointSink for NoopSink {
+    fn on_checkpoint(&mut self, _view: &CheckpointView<'_>) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Solver state recovered from a run log, to be installed with
+/// [`TransportSolver::resume_from`] before re-running.
+///
+/// The resume contract: a run restarted from a `ResumePoint` produces a
+/// [`SolveOutcome`] (flux, deterministic counters, histories, metrics)
+/// and an observer event stream bit-for-bit identical to the
+/// uninterrupted run's, because the saved `prefix` is replayed into the
+/// observer before live iteration continues at `outer_next`.
+#[derive(Debug, Clone, Default)]
+pub struct ResumePoint {
+    /// The first outer iteration the resumed run will execute.
+    pub outer_next: usize,
+    /// Accounting accumulated up to the checkpoint.
+    pub stats: RunStats,
+    /// Scalar flux φ at the checkpoint, in storage order.
+    pub phi: Vec<f64>,
+    /// Angular flux ψ at the checkpoint, in storage order.
+    pub psi: Vec<f64>,
+    /// Every observer event emitted before the checkpoint, replayed
+    /// verbatim on resume so streams and metrics match the original run.
+    pub prefix: EventLog,
+}
+
 /// The UnSNAP transport solver for a single (serial or threaded) domain.
 pub struct TransportSolver {
     problem: Problem,
@@ -251,6 +316,9 @@ pub struct TransportSolver {
     /// reported yet (it fires on the first observed run only — the work
     /// happened once, at construction).
     preassembly_reported: bool,
+    /// Recovered state installed by [`TransportSolver::resume_from`],
+    /// consumed by the next run.
+    resume: Option<ResumePoint>,
 }
 
 impl TransportSolver {
@@ -275,11 +343,19 @@ impl TransportSolver {
             problem.source,
         );
         if let Some(c) = problem.scattering_ratio {
-            data.xs = crate::data::CrossSections::with_scattering_ratio(
-                problem.num_groups,
-                data.xs.num_materials(),
-                c,
-            );
+            data.xs = match problem.upscatter_ratio {
+                Some(u) => crate::data::CrossSections::with_upscatter(
+                    problem.num_groups,
+                    data.xs.num_materials(),
+                    c,
+                    u,
+                ),
+                None => crate::data::CrossSections::with_scattering_ratio(
+                    problem.num_groups,
+                    data.xs.num_materials(),
+                    c,
+                ),
+            };
         }
 
         let num_threads = problem
@@ -364,7 +440,47 @@ impl TransportSolver {
             cancel: None,
             preassembly_seconds,
             preassembly_reported: false,
+            resume: None,
         })
+    }
+
+    /// Install recovered state so the next run continues from a
+    /// checkpoint instead of starting cold.
+    ///
+    /// Validates the flux shapes against this solver's layout (the run
+    /// log's manifest hash should already have guaranteed the problem
+    /// matches, but a torn or foreign log must fail loudly, not
+    /// corrupt state).  The point is consumed by the next
+    /// `run`/`run_observed` call; an untouched solver runs normally.
+    pub fn resume_from(&mut self, point: ResumePoint) -> Result<()> {
+        if point.phi.len() != self.phi.as_slice().len() {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state has {} scalar-flux entries, solver expects {}",
+                    point.phi.len(),
+                    self.phi.as_slice().len()
+                ),
+            });
+        }
+        if point.psi.len() != self.psi.as_slice().len() {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state has {} angular-flux entries, solver expects {}",
+                    point.psi.len(),
+                    self.psi.as_slice().len()
+                ),
+            });
+        }
+        if point.outer_next > self.problem.outer_iterations {
+            return Err(Error::Execution {
+                reason: format!(
+                    "resume state starts at outer {} but the problem runs only {}",
+                    point.outer_next, self.problem.outer_iterations
+                ),
+            });
+        }
+        self.resume = Some(point);
+        Ok(())
     }
 
     /// Replace the solver's time source.
@@ -442,12 +558,25 @@ impl TransportSolver {
     /// [`IterationStrategy`](crate::strategy::IterationStrategy) selected
     /// by [`Problem::strategy`](crate::problem::Problem).
     pub fn run_observed(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
+        self.run_observed_checkpointed(observer, &mut NoopSink)
+    }
+
+    /// [`TransportSolver::run_observed`] with a durability hook: `sink`
+    /// is offered a [`CheckpointView`] at every outer-iteration boundary
+    /// (after the outer's `on_outer_end` event).  A sink error aborts
+    /// the run, which is how the write-ahead log layer injects
+    /// deterministic crashes.
+    pub fn run_observed_checkpointed(
+        &mut self,
+        observer: &mut dyn RunObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<SolveOutcome> {
         // Tee the caller's observer with an internal metrics aggregator
         // so every outcome carries its telemetry without caller wiring.
         let mut metrics = MetricsObserver::new();
         let mut outcome = {
             let mut tee = TeeObserver::new(observer, &mut metrics);
-            self.run_observed_inner(&mut tee)?
+            self.run_observed_inner(&mut tee, sink)?
         };
         let mut snapshot = metrics.snapshot();
         snapshot.kernel_assemble_seconds = outcome.kernel_assemble_seconds;
@@ -456,17 +585,36 @@ impl TransportSolver {
         Ok(outcome)
     }
 
-    fn run_observed_inner(&mut self, observer: &mut dyn RunObserver) -> Result<SolveOutcome> {
+    fn run_observed_inner(
+        &mut self,
+        observer: &mut dyn RunObserver,
+        sink: &mut dyn CheckpointSink,
+    ) -> Result<SolveOutcome> {
+        // Consume any installed resume point: restore the flux state,
+        // replay the saved event prefix into the observer tee (so the
+        // caller's stream and the internal metrics aggregator both see
+        // the run's full history), and continue from the saved outer.
+        // The preassembly span is part of the replayed prefix, so the
+        // one-shot report below must not fire again.
+        let (mut stats, start_outer) = match self.resume.take() {
+            Some(point) => {
+                self.preassembly_reported = true;
+                self.phi.as_mut_slice().copy_from_slice(&point.phi);
+                self.psi.as_mut_slice().copy_from_slice(&point.psi);
+                point.prefix.replay(observer);
+                (point.stats, point.outer_next)
+            }
+            None => (RunStats::default(), 0),
+        };
         if !self.preassembly_reported {
             self.preassembly_reported = true;
             observer.on_phase_start(Phase::Preassembly);
             observer.on_phase_end(Phase::Preassembly, self.preassembly_seconds);
         }
         let strategy = self.problem.strategy.build();
-        let mut stats = RunStats::default();
         let mut converged = false;
 
-        for outer in 0..self.problem.outer_iterations {
+        for outer in start_outer..self.problem.outer_iterations {
             if let Some(token) = &self.cancel {
                 if token.is_cancelled() {
                     return Err(Error::Cancelled { outer });
@@ -478,6 +626,13 @@ impl TransportSolver {
                 .copy_from_slice(self.phi.as_slice());
             let inner_converged = strategy.run_inners(self, &mut stats, observer)?;
             observer.on_outer_end(outer, inner_converged);
+            sink.on_checkpoint(&CheckpointView {
+                outer_completed: outer,
+                converged: inner_converged,
+                phi: self.phi.as_slice(),
+                psi: self.psi.as_slice(),
+                stats: &stats,
+            })?;
             if inner_converged {
                 converged = true;
                 break;

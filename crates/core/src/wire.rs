@@ -19,7 +19,7 @@
 //!   "physics":   {"element_order": 1, "angles_per_octant": 2, "num_groups": 2,
 //!                 "material": "option1", "source": "option1",
 //!                 "boundaries": ["vacuum", "vacuum", "vacuum", "vacuum", "vacuum", "vacuum"],
-//!                 "scattering_ratio": null},
+//!                 "scattering_ratio": null, "upscatter_ratio": null},
 //!   "iteration": {"inner_iterations": 2, "outer_iterations": 1,
 //!                 "convergence_tolerance": 0, "strategy": "SI",
 //!                 "gmres_restart": 20, "subdomain_krylov_budget": null},
@@ -103,7 +103,8 @@ fn physics_json(physics: &PhysicsConfig) -> String {
         .field_str("material", physics.material.label())
         .field_str("source", physics.source.label())
         .field_raw("boundaries", &boundaries);
-    option_f64(obj, "scattering_ratio", physics.scattering_ratio).finish()
+    let obj = option_f64(obj, "scattering_ratio", physics.scattering_ratio);
+    option_f64(obj, "upscatter_ratio", physics.upscatter_ratio).finish()
 }
 
 fn iteration_json(iteration: &IterationConfig) -> String {
@@ -315,6 +316,7 @@ fn apply_physics(physics: &mut PhysicsConfig, value: &JsonValue) -> Result<()> {
         "source",
         "boundaries",
         "scattering_ratio",
+        "upscatter_ratio",
     ];
     for (key, v) in fields_of(value, "physics")? {
         match key.as_str() {
@@ -330,6 +332,9 @@ fn apply_physics(physics: &mut PhysicsConfig, value: &JsonValue) -> Result<()> {
             "boundaries" => physics.boundaries = parse_boundaries(v)?,
             "scattering_ratio" => {
                 physics.scattering_ratio = option_of(v, "scattering_ratio", expect_f64)?;
+            }
+            "upscatter_ratio" => {
+                physics.upscatter_ratio = option_of(v, "upscatter_ratio", expect_f64)?;
             }
             other => return Err(unknown_field("physics", other, KNOWN)),
         }
@@ -589,15 +594,22 @@ mod tests {
     fn nullable_fields_round_trip_both_ways() {
         let builder = builder_from_json_str(
             r#"{
-                "physics": {"scattering_ratio": null},
+                "physics": {"scattering_ratio": null, "upscatter_ratio": null},
                 "iteration": {"subdomain_krylov_budget": 7},
                 "execution": {"num_threads": null}
             }"#,
         )
         .unwrap();
         assert_eq!(builder.physics.scattering_ratio, None);
+        assert_eq!(builder.physics.upscatter_ratio, None);
         assert_eq!(builder.iteration.subdomain_krylov_budget, Some(7));
         assert_eq!(builder.execution.num_threads, None);
+
+        let builder = builder_from_json_str(
+            r#"{"physics": {"scattering_ratio": 0.9, "upscatter_ratio": 0.25}}"#,
+        )
+        .unwrap();
+        assert_eq!(builder.physics.upscatter_ratio, Some(0.25));
 
         let text = builder_to_json(&builder);
         let reparsed = builder_from_json_str(&text).unwrap();
@@ -634,6 +646,10 @@ mod tests {
             ProblemBuilder::quickstart().threads(3).assemble(),
             ProblemBuilder::quickstart()
                 .scattering_ratio(0.5)
+                .assemble(),
+            ProblemBuilder::quickstart()
+                .scattering_ratio(0.5)
+                .upscatter(0.2)
                 .assemble(),
             ProblemBuilder::quickstart().time_solve(true).assemble(),
         ];

@@ -486,4 +486,72 @@ mod tests {
         assert!(parse("1099511627776").unwrap().as_u64().is_some());
         assert_eq!(parse("\"3\"").unwrap().as_f64(), None);
     }
+
+    #[test]
+    fn deeply_nested_values_parse_and_round_trip() {
+        // 256 levels of alternating object/array nesting: the recursive
+        // descent must neither reject nor corrupt a document this deep
+        // (run-log event deltas nest phases inside records inside
+        // frames, so depth is a real axis, if never this extreme).
+        let depth = 256;
+        let mut text = String::new();
+        for _ in 0..depth {
+            text.push_str(r#"{"inner":["#);
+        }
+        text.push_str("42");
+        for _ in 0..depth {
+            text.push_str("]}");
+        }
+        let v = parse(&text).unwrap();
+        // Walk back down to the payload.
+        let mut cursor = &v;
+        for _ in 0..depth {
+            cursor = &cursor.get("inner").unwrap().as_array().unwrap()[0];
+        }
+        assert_eq!(cursor.as_f64(), Some(42.0));
+        // Display re-serialises to the identical text.
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved_and_get_returns_the_first() {
+        // The reader stores objects as ordered pairs, so duplicates are
+        // representable; `get` resolves to the *first* occurrence — the
+        // stable contract consumers (manifest parsing, event replay)
+        // rely on when a log somehow carries a duplicated field.
+        let v = parse(r#"{"outer":1,"outer":2,"flux":3}"#).unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(v.get("outer").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("flux").unwrap().as_f64(), Some(3.0));
+        // Round-trip keeps both occurrences, in order.
+        assert_eq!(v.to_string(), r#"{"outer":1,"outer":2,"flux":3}"#);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Fuzz-ish robustness: mutate random bytes of a writer-produced
+        /// document into random printable ASCII and require the parser
+        /// to return (Ok or Err) — never panic, hang or overflow.
+        #[test]
+        fn random_byte_mutations_error_not_panic(
+            flips in proptest::collection::vec((0usize..512, 0x20usize..0x7f), 1..8),
+        ) {
+            let document = JsonObject::new()
+                .field_str("name", "tiny")
+                .field_f64("flux", 1.0 / 3.0)
+                .field_raw("hist", &array_f64(&[1.0, f64::NAN, f64::INFINITY]))
+                .field_bool("ok", true)
+                .finish();
+            let mut bytes = document.into_bytes();
+            for (pos, replacement) in flips {
+                let at = pos % bytes.len();
+                bytes[at] = replacement as u8;
+            }
+            // Printable-ASCII substitutions keep the buffer valid UTF-8.
+            let mutated = String::from_utf8(bytes).unwrap();
+            let _ = parse(&mutated);
+        }
+    }
 }

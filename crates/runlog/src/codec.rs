@@ -1,0 +1,373 @@
+//! JSON codecs for the frame payload building blocks: solver events,
+//! run statistics and phase labels.
+//!
+//! Everything round-trips *bit-for-bit*: floats go through
+//! [`json::number`] (shortest representation that re-parses to the same
+//! bits; non-finite encoded as `null`, decoded back to `NaN`), so a
+//! replayed event prefix reproduces the original observer stream
+//! exactly — the foundation of the resume determinism contract.
+
+use unsnap_core::session::{EventLog, Phase, SolveEvent};
+use unsnap_core::solver::RunStats;
+use unsnap_obs::json::{self, JsonObject};
+use unsnap_obs::reader::JsonValue;
+
+/// Parse a phase from its snake_case wire label.
+pub fn phase_from_label(label: &str) -> Result<Phase, String> {
+    Phase::all()
+        .into_iter()
+        .find(|p| p.label() == label)
+        .ok_or_else(|| format!("unknown phase label {label:?}"))
+}
+
+/// Encode one solver event as a compact JSON object.
+pub fn event_to_json(event: &SolveEvent) -> String {
+    match *event {
+        SolveEvent::OuterStart { outer } => JsonObject::new()
+            .field_str("t", "outer_start")
+            .field_usize("outer", outer)
+            .finish(),
+        SolveEvent::OuterEnd { outer, converged } => JsonObject::new()
+            .field_str("t", "outer_end")
+            .field_usize("outer", outer)
+            .field_bool("converged", converged)
+            .finish(),
+        SolveEvent::InnerIteration {
+            inner,
+            relative_change,
+        } => JsonObject::new()
+            .field_str("t", "inner")
+            .field_usize("inner", inner)
+            .field_f64("change", relative_change)
+            .finish(),
+        SolveEvent::Sweep {
+            sweep,
+            cells,
+            seconds,
+        } => JsonObject::new()
+            .field_str("t", "sweep")
+            .field_usize("sweep", sweep)
+            .field_u64("cells", cells)
+            .field_f64("seconds", seconds)
+            .finish(),
+        SolveEvent::KrylovResidual {
+            iteration,
+            relative_residual,
+        } => JsonObject::new()
+            .field_str("t", "krylov")
+            .field_usize("iteration", iteration)
+            .field_f64("residual", relative_residual)
+            .finish(),
+        SolveEvent::AccelResidual {
+            iteration,
+            relative_residual,
+        } => JsonObject::new()
+            .field_str("t", "accel")
+            .field_usize("iteration", iteration)
+            .field_f64("residual", relative_residual)
+            .finish(),
+        SolveEvent::PhaseStart { phase } => JsonObject::new()
+            .field_str("t", "phase_start")
+            .field_str("phase", phase.label())
+            .finish(),
+        SolveEvent::PhaseEnd { phase, seconds } => JsonObject::new()
+            .field_str("t", "phase_end")
+            .field_str("phase", phase.label())
+            .field_f64("seconds", seconds)
+            .finish(),
+        SolveEvent::HaloExchange {
+            iteration,
+            faces,
+            bytes,
+        } => JsonObject::new()
+            .field_str("t", "halo")
+            .field_usize("iteration", iteration)
+            .field_usize("faces", faces)
+            .field_u64("bytes", bytes)
+            .finish(),
+        SolveEvent::Rank { rank, ref event } => JsonObject::new()
+            .field_str("t", "rank")
+            .field_usize("rank", rank)
+            .field_raw("e", &event_to_json(event))
+            .finish(),
+    }
+}
+
+/// Encode an event log as a JSON array.
+pub fn events_to_json(log: &EventLog) -> String {
+    let rendered: Vec<String> = log.events.iter().map(event_to_json).collect();
+    json::array_raw(rendered)
+}
+
+fn str_of<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("event field {key:?} missing or not a string"))
+}
+
+fn usize_of(value: &JsonValue, key: &str) -> Result<usize, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| format!("event field {key:?} missing or not a non-negative integer"))
+}
+
+fn u64_of(value: &JsonValue, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("event field {key:?} missing or not a non-negative integer"))
+}
+
+fn bool_of(value: &JsonValue, key: &str) -> Result<bool, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("event field {key:?} missing or not a boolean"))
+}
+
+/// A float field; `null` decodes to `NaN` (the writer's encoding of
+/// non-finite values).
+fn f64_of(value: &JsonValue, key: &str) -> Result<f64, String> {
+    match value.get(key) {
+        Some(JsonValue::Number(n)) => Ok(*n),
+        Some(JsonValue::Null) => Ok(f64::NAN),
+        _ => Err(format!("event field {key:?} missing or not a number")),
+    }
+}
+
+/// Decode one solver event from its parsed JSON object.
+pub fn event_from_json(value: &JsonValue) -> Result<SolveEvent, String> {
+    let tag = str_of(value, "t")?;
+    match tag {
+        "outer_start" => Ok(SolveEvent::OuterStart {
+            outer: usize_of(value, "outer")?,
+        }),
+        "outer_end" => Ok(SolveEvent::OuterEnd {
+            outer: usize_of(value, "outer")?,
+            converged: bool_of(value, "converged")?,
+        }),
+        "inner" => Ok(SolveEvent::InnerIteration {
+            inner: usize_of(value, "inner")?,
+            relative_change: f64_of(value, "change")?,
+        }),
+        "sweep" => Ok(SolveEvent::Sweep {
+            sweep: usize_of(value, "sweep")?,
+            cells: u64_of(value, "cells")?,
+            seconds: f64_of(value, "seconds")?,
+        }),
+        "krylov" => Ok(SolveEvent::KrylovResidual {
+            iteration: usize_of(value, "iteration")?,
+            relative_residual: f64_of(value, "residual")?,
+        }),
+        "accel" => Ok(SolveEvent::AccelResidual {
+            iteration: usize_of(value, "iteration")?,
+            relative_residual: f64_of(value, "residual")?,
+        }),
+        "phase_start" => Ok(SolveEvent::PhaseStart {
+            phase: phase_from_label(str_of(value, "phase")?)?,
+        }),
+        "phase_end" => Ok(SolveEvent::PhaseEnd {
+            phase: phase_from_label(str_of(value, "phase")?)?,
+            seconds: f64_of(value, "seconds")?,
+        }),
+        "halo" => Ok(SolveEvent::HaloExchange {
+            iteration: usize_of(value, "iteration")?,
+            faces: usize_of(value, "faces")?,
+            bytes: u64_of(value, "bytes")?,
+        }),
+        "rank" => {
+            let inner = value
+                .get("e")
+                .ok_or_else(|| "rank event missing field \"e\"".to_string())?;
+            let event = event_from_json(inner)?;
+            if matches!(
+                event,
+                SolveEvent::Rank { .. } | SolveEvent::HaloExchange { .. }
+            ) {
+                return Err("rank event wraps a non-rankable event".to_string());
+            }
+            Ok(SolveEvent::Rank {
+                rank: usize_of(value, "rank")?,
+                event: Box::new(event),
+            })
+        }
+        other => Err(format!("unknown event tag {other:?}")),
+    }
+}
+
+/// Decode an event array into a fresh [`EventLog`].
+pub fn events_from_json(value: &JsonValue) -> Result<EventLog, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| "events must be an array".to_string())?;
+    let mut log = EventLog::default();
+    for item in items {
+        log.events.push(event_from_json(item)?);
+    }
+    Ok(log)
+}
+
+/// Encode accumulated run statistics.
+pub fn stats_to_json(stats: &RunStats) -> String {
+    JsonObject::new()
+        .field_usize("inner_iterations", stats.inner_iterations)
+        .field_usize("sweeps", stats.sweeps)
+        .field_f64("sweep_seconds", stats.sweep_seconds)
+        .field_u64("assemble_ns", stats.kernel_timing.assemble_ns)
+        .field_u64("solve_ns", stats.kernel_timing.solve_ns)
+        .field_u64("kernel_invocations", stats.kernel_invocations)
+        .field_f64_array("convergence_history", &stats.convergence_history)
+        .field_usize("krylov_iterations", stats.krylov_iterations)
+        .field_f64_array("krylov_residual_history", &stats.krylov_residual_history)
+        .field_usize("accel_cg_iterations", stats.accel_cg_iterations)
+        .field_f64_array("accel_residual_history", &stats.accel_residual_history)
+        .finish()
+}
+
+/// A float-array field; `null` entries decode to `NaN`.
+pub fn f64_array_of(value: &JsonValue, key: &str) -> Result<Vec<f64>, String> {
+    let items = value
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("field {key:?} missing or not an array"))?;
+    items
+        .iter()
+        .map(|item| match item {
+            JsonValue::Number(n) => Ok(*n),
+            JsonValue::Null => Ok(f64::NAN),
+            _ => Err(format!("field {key:?} holds a non-numeric element")),
+        })
+        .collect()
+}
+
+/// Decode accumulated run statistics.
+pub fn stats_from_json(value: &JsonValue) -> Result<RunStats, String> {
+    let mut stats = RunStats {
+        inner_iterations: usize_of(value, "inner_iterations")?,
+        sweeps: usize_of(value, "sweeps")?,
+        sweep_seconds: f64_of(value, "sweep_seconds")?,
+        kernel_timing: Default::default(),
+        kernel_invocations: u64_of(value, "kernel_invocations")?,
+        convergence_history: f64_array_of(value, "convergence_history")?,
+        krylov_iterations: usize_of(value, "krylov_iterations")?,
+        krylov_residual_history: f64_array_of(value, "krylov_residual_history")?,
+        accel_cg_iterations: usize_of(value, "accel_cg_iterations")?,
+        accel_residual_history: f64_array_of(value, "accel_residual_history")?,
+    };
+    stats.kernel_timing.assemble_ns = u64_of(value, "assemble_ns")?;
+    stats.kernel_timing.solve_ns = u64_of(value, "solve_ns")?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unsnap_obs::reader;
+
+    fn sample_events() -> Vec<SolveEvent> {
+        vec![
+            SolveEvent::PhaseStart {
+                phase: Phase::Preassembly,
+            },
+            SolveEvent::PhaseEnd {
+                phase: Phase::Preassembly,
+                seconds: 0.25,
+            },
+            SolveEvent::OuterStart { outer: 0 },
+            SolveEvent::Sweep {
+                sweep: 1,
+                cells: 123_456,
+                seconds: 1.5e-3,
+            },
+            SolveEvent::InnerIteration {
+                inner: 1,
+                relative_change: 0.1 + 0.2,
+            },
+            SolveEvent::KrylovResidual {
+                iteration: 3,
+                relative_residual: 1e-9,
+            },
+            SolveEvent::AccelResidual {
+                iteration: 2,
+                relative_residual: f64::NAN,
+            },
+            SolveEvent::HaloExchange {
+                iteration: 0,
+                faces: 12,
+                bytes: 9216,
+            },
+            SolveEvent::Rank {
+                rank: 3,
+                event: Box::new(SolveEvent::OuterEnd {
+                    outer: 0,
+                    converged: true,
+                }),
+            },
+            SolveEvent::OuterEnd {
+                outer: 0,
+                converged: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_bit_for_bit() {
+        let log = EventLog {
+            events: sample_events(),
+        };
+        let text = events_to_json(&log);
+        let parsed = reader::parse(&text).expect("valid JSON");
+        let back = events_from_json(&parsed).expect("decodes");
+        assert_eq!(back.events.len(), log.events.len());
+        for (a, b) in log.events.iter().zip(&back.events) {
+            // NaN != NaN, so compare through the encoder.
+            assert_eq!(event_to_json(a), event_to_json(b));
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = RunStats {
+            inner_iterations: 17,
+            sweeps: 34,
+            sweep_seconds: 0.125,
+            kernel_timing: unsnap_core::kernel::KernelTiming {
+                assemble_ns: 1_000_000_007,
+                solve_ns: 998_244_353,
+            },
+            kernel_invocations: 1 << 40,
+            convergence_history: vec![1.0, 0.5, 1.0 / 3.0],
+            krylov_iterations: 5,
+            krylov_residual_history: vec![1e-1, 1e-5],
+            accel_cg_iterations: 9,
+            accel_residual_history: vec![f64::INFINITY],
+        };
+        let text = stats_to_json(&stats);
+        let parsed = reader::parse(&text).expect("valid JSON");
+        let back = stats_from_json(&parsed).expect("decodes");
+        assert_eq!(back.inner_iterations, 17);
+        assert_eq!(back.kernel_timing.assemble_ns, 1_000_000_007);
+        assert_eq!(back.kernel_invocations, 1 << 40);
+        assert_eq!(back.convergence_history, stats.convergence_history);
+        // inf encodes as null and decodes as NaN — lossy by design.
+        assert!(back.accel_residual_history[0].is_nan());
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        for bad in [
+            "{}",
+            "{\"t\":\"nope\"}",
+            "{\"t\":\"outer_start\"}",
+            "{\"t\":\"outer_start\",\"outer\":-1}",
+            "{\"t\":\"phase_start\",\"phase\":\"warp\"}",
+            "{\"t\":\"rank\",\"rank\":0}",
+            "{\"t\":\"rank\",\"rank\":0,\"e\":{\"t\":\"halo\",\"iteration\":0,\"faces\":0,\"bytes\":0}}",
+        ] {
+            let parsed = reader::parse(bad).expect("valid JSON");
+            assert!(event_from_json(&parsed).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Resume entry points: rebuild a solver from a recovered run log and
+//! continue it.
+//!
+//! The determinism contract: a run that checkpoints, crashes and
+//! resumes produces a [`SolveOutcome`](unsnap_core::solver::SolveOutcome)
+//! — flux, iteration counts, deterministic metrics and observer event
+//! stream — bit-for-bit identical to the same run left uninterrupted,
+//! at every thread width and on both solver paths.  It holds because a
+//! checkpoint captures *exactly* the state that survives an
+//! outer-iteration boundary (φ, ψ, accumulated statistics), everything
+//! else is deterministically rebuilt, and the persisted event prefix is
+//! replayed into the fresh observers before the first resumed
+//! iteration.
+
+use std::path::Path;
+
+use unsnap_comm::jacobi::BlockJacobiSolver;
+use unsnap_core::error::{Error, Result};
+use unsnap_core::session::Session;
+use unsnap_mesh::Decomposition2D;
+
+use crate::manifest::RunMode;
+use crate::recover::{recover, Recovered};
+
+fn reject_completed(recovered: &Recovered, path: &Path) -> Result<()> {
+    if recovered.completed {
+        return Err(Error::Execution {
+            reason: format!(
+                "run log {} records a completed run; re-solve instead of resuming",
+                path.display()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Extension constructor: `Session::resume(path)`.
+///
+/// Import the trait, then call it like an inherent method.  A log with
+/// a manifest but no checkpoint yet resumes as a fresh run — by the
+/// determinism contract the outcome is identical either way.
+pub trait SessionResume: Sized {
+    /// Rebuild a single-domain session from the run log at `path`,
+    /// positioned to continue from its last intact checkpoint.
+    fn resume(path: impl AsRef<Path>) -> Result<Self>;
+}
+
+impl SessionResume for Session {
+    fn resume(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let recovered = recover(path)?;
+        reject_completed(&recovered, path)?;
+        if let RunMode::Jacobi { npx, npy } = recovered.manifest.mode {
+            return Err(Error::Execution {
+                reason: format!(
+                    "run log {} records a {npx}x{npy} block-Jacobi run; \
+                     use resume_block_jacobi",
+                    path.display()
+                ),
+            });
+        }
+        let mut session = Session::new(&recovered.manifest.problem)?;
+        if let Some(point) = recovered.single {
+            session.solver_mut().resume_from(point)?;
+        }
+        Ok(session)
+    }
+}
+
+/// Rebuild a block-Jacobi solver from the run log at `path`, positioned
+/// to continue from its last intact checkpoint.
+pub fn resume_block_jacobi(path: impl AsRef<Path>) -> Result<BlockJacobiSolver> {
+    let path = path.as_ref();
+    let recovered = recover(path)?;
+    reject_completed(&recovered, path)?;
+    let RunMode::Jacobi { npx, npy } = recovered.manifest.mode else {
+        return Err(Error::Execution {
+            reason: format!(
+                "run log {} records a single-domain run; use Session::resume",
+                path.display()
+            ),
+        });
+    };
+    let decomposition = Decomposition2D::try_new(npx, npy).map_err(|e| Error::Execution {
+        reason: format!(
+            "run log {} names an invalid process grid: {e}",
+            path.display()
+        ),
+    })?;
+    let mut solver = BlockJacobiSolver::new(&recovered.manifest.problem, decomposition)?;
+    if let Some(point) = recovered.jacobi {
+        solver.resume_from(point)?;
+    }
+    Ok(solver)
+}

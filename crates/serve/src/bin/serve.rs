@@ -2,8 +2,13 @@
 //! what the registry offers, then serve until killed.
 //!
 //! Configuration is environment-only (the `UNSNAP_*` family):
-//! `UNSNAP_PORT` (default 8471), `UNSNAP_SERVE_WORKERS` (default 2) and
-//! `UNSNAP_CACHE_CAPACITY` (default 64, 0 disables the result cache).
+//! `UNSNAP_PORT` (default 8471), `UNSNAP_SERVE_WORKERS` (default 2),
+//! `UNSNAP_CACHE_CAPACITY` (default 64, 0 disables the result cache),
+//! `UNSNAP_RUNLOG_DIR` (unset disables durability; set, every job
+//! checkpoints into `{dir}/job-{id}.runlog` and a restarted daemon
+//! re-lists interrupted jobs as `resumable`) and
+//! `UNSNAP_CHECKPOINT_ITERS` (checkpoint cadence in outer iterations,
+//! default 1).
 
 use std::process::ExitCode;
 
@@ -32,12 +37,29 @@ fn main() -> ExitCode {
         config.queue_capacity,
         config.cache_capacity
     );
+    match &config.runlog_dir {
+        Some(dir) => {
+            let resumable = server
+                .queue()
+                .list()
+                .iter()
+                .filter(|job| job.state == unsnap_serve::JobState::Resumable)
+                .count();
+            println!(
+                "durable runs: {} (checkpoint every {} outer(s), {} resumable job(s) recovered)",
+                dir.display(),
+                config.checkpoint_iters,
+                resumable
+            );
+        }
+        None => println!("durable runs: disabled (set UNSNAP_RUNLOG_DIR to enable)"),
+    }
     println!(
         "registry problems: {}",
         Problem::registry_names().join(", ")
     );
     println!(
-        "POST /v1/solve | GET /v1/jobs/{{id}}[/events] | DELETE /v1/jobs/{{id}} | GET /v1/metrics"
+        "POST /v1/solve | GET /v1/jobs | GET /v1/jobs/{{id}}[/events] | POST /v1/jobs/{{id}}/resume | DELETE /v1/jobs/{{id}} | GET /v1/metrics"
     );
     // Serve forever: the accept loop owns the work; unparks are spurious
     // by contract, so loop.

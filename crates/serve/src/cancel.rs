@@ -12,6 +12,7 @@
 //! | queued    | removed from the FIFO, terminal immediately            | [`Immediate`](CancelDisposition::Immediate) |
 //! | running   | its [`CancelToken`] is raised; the solver observes it at the next outer-iteration boundary | [`Requested`](CancelDisposition::Requested) |
 //! | terminal  | nothing — `Done`/`Failed`/`Cancelled` are final        | [`AlreadyTerminal`](CancelDisposition::AlreadyTerminal) |
+//! | resumable | nothing — the job is not running; leave its run log be (a job that should never resume is simply never resumed) | [`NotCancellable`](CancelDisposition::NotCancellable) |
 //!
 //! The *cooperative* half of the contract lives in
 //! [`unsnap_core::cancel`]: tokens are polled only at outer-iteration
@@ -33,6 +34,9 @@ pub enum CancelDisposition {
     Requested,
     /// The job was already terminal; nothing changed.
     AlreadyTerminal,
+    /// The job was `Resumable` (recovered from a run log, not running):
+    /// there is nothing to cancel, and its log is left untouched.
+    NotCancellable,
 }
 
 impl CancelDisposition {
@@ -42,6 +46,7 @@ impl CancelDisposition {
         match before {
             JobState::Queued => CancelDisposition::Immediate,
             JobState::Running => CancelDisposition::Requested,
+            JobState::Resumable => CancelDisposition::NotCancellable,
             JobState::Done | JobState::Failed | JobState::Cancelled => {
                 CancelDisposition::AlreadyTerminal
             }
@@ -54,6 +59,7 @@ impl CancelDisposition {
             CancelDisposition::Immediate => "cancelled",
             CancelDisposition::Requested => "cancel-requested",
             CancelDisposition::AlreadyTerminal => "already-terminal",
+            CancelDisposition::NotCancellable => "not-cancellable",
         }
     }
 }
@@ -78,6 +84,10 @@ mod tests {
                 CancelDisposition::AlreadyTerminal
             );
         }
+        assert_eq!(
+            CancelDisposition::from_prior_state(JobState::Resumable),
+            CancelDisposition::NotCancellable
+        );
         assert_eq!(CancelDisposition::Immediate.label(), "cancelled");
     }
 }

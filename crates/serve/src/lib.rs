@@ -15,7 +15,9 @@
 //! * [`wire`] — request-body parsing (named or inline problems, via
 //!   [`unsnap_core::wire`]) and the typed-error → status mapping.
 //! * [`queue`] — the bounded FIFO, the worker pool, and the job state
-//!   machine (`Queued → Running → Done/Failed/Cancelled`).
+//!   machine (`Queued → Running → Done/Failed/Cancelled`, plus
+//!   `Resumable` for jobs recovered from the run logs of a previous
+//!   process when a `runlog_dir` is configured).
 //! * [`store`] — the LRU result cache keyed by
 //!   [`Problem::canonical_hash`](unsnap_core::problem::Problem::canonical_hash).
 //! * [`cancel`] — the cancellation policy glue over
@@ -75,6 +77,15 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity in outcomes (0 disables caching).
     pub cache_capacity: usize,
+    /// Directory for per-job run logs (`job-{id}.runlog`).  `Some`
+    /// makes every job durable: solves checkpoint through
+    /// `unsnap-runlog`, and a restarted server re-lists interrupted
+    /// jobs as `resumable` (see [`JobState::Resumable`]).  `None`
+    /// (the default) disables durability entirely.
+    pub runlog_dir: Option<std::path::PathBuf>,
+    /// Checkpoint cadence in outer iterations (only meaningful with
+    /// `runlog_dir` set); the `UNSNAP_CHECKPOINT_ITERS` knob.
+    pub checkpoint_iters: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +95,8 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 32,
             cache_capacity: 64,
+            runlog_dir: None,
+            checkpoint_iters: 1,
         }
     }
 }
@@ -121,6 +134,17 @@ impl ServeConfig {
                 Error::invalid_problem("cache_capacity", format!("UNSNAP_CACHE_CAPACITY: {e}"))
             })?;
         }
+        if let Ok(raw) = std::env::var("UNSNAP_RUNLOG_DIR") {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() {
+                return Err(Error::invalid_problem(
+                    "runlog_dir",
+                    "UNSNAP_RUNLOG_DIR: directory path must be non-empty",
+                ));
+            }
+            config.runlog_dir = Some(std::path::PathBuf::from(trimmed));
+        }
+        config.checkpoint_iters = unsnap_runlog::checkpoint_iters_from_env()?;
         Ok(config)
     }
 }
@@ -146,11 +170,13 @@ impl Server {
         let addr = listener.local_addr().map_err(|e| Error::Execution {
             reason: format!("cannot read the bound address: {e}"),
         })?;
-        let queue = Arc::new(JobQueue::start(
+        let queue = Arc::new(JobQueue::start_with_runlog(
             config.workers,
             config.queue_capacity,
             config.cache_capacity,
-        ));
+            config.runlog_dir.clone(),
+            config.checkpoint_iters,
+        )?);
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let queue = Arc::clone(&queue);
@@ -257,6 +283,26 @@ mod tests {
         std::env::set_var("UNSNAP_CACHE_CAPACITY", "soon");
         let err = ServeConfig::from_env().unwrap_err();
         assert_eq!(err.invalid_field(), Some("cache_capacity"));
+        std::env::set_var("UNSNAP_CACHE_CAPACITY", "0");
+
+        std::env::set_var("UNSNAP_RUNLOG_DIR", "/tmp/unsnap-logs");
+        std::env::set_var("UNSNAP_CHECKPOINT_ITERS", "3");
+        let config = ServeConfig::from_env().unwrap();
+        assert_eq!(
+            config.runlog_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/unsnap-logs"))
+        );
+        assert_eq!(config.checkpoint_iters, 3);
+
+        std::env::set_var("UNSNAP_RUNLOG_DIR", "  ");
+        let err = ServeConfig::from_env().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("runlog_dir"));
+        std::env::remove_var("UNSNAP_RUNLOG_DIR");
+
+        std::env::set_var("UNSNAP_CHECKPOINT_ITERS", "0");
+        let err = ServeConfig::from_env().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("checkpoint_iters"));
+        std::env::remove_var("UNSNAP_CHECKPOINT_ITERS");
 
         std::env::remove_var("UNSNAP_PORT");
         std::env::remove_var("UNSNAP_SERVE_WORKERS");

@@ -13,9 +13,9 @@
 //! A job moves through the state machine
 //!
 //! ```text
-//! Queued ──▶ Running ──▶ Done
-//!   │           │  └───▶ Failed
-//!   └───────────┴──────▶ Cancelled
+//! Resumable ──▶ Queued ──▶ Running ──▶ Done
+//!    ▲            │           │  └───▶ Failed
+//!    │(restart)   └───────────┴──────▶ Cancelled
 //! ```
 //!
 //! * `Queued → Cancelled` is immediate (the entry leaves the FIFO);
@@ -25,6 +25,15 @@
 //!   [`Error::Cancelled`] — the worker then records the state and moves
 //!   on to the next job, fully serviceable;
 //! * `Done`, `Failed` and `Cancelled` are terminal.
+//! * `Resumable` exists only on a queue started with a run-log
+//!   directory ([`JobQueue::start_with_runlog`]): jobs checkpoint into
+//!   `job-{id}.runlog` as they solve, and a restarted queue re-lists
+//!   every interrupted (non-completed) log as a `Resumable` job.
+//!   [`JobQueue::resume`] moves it back into the FIFO, where a worker
+//!   restores the solver from the last intact checkpoint and finishes
+//!   the run — bit-for-bit what the uninterrupted run would have
+//!   produced.  `Done` jobs delete their log; cancelled and failed
+//!   runs keep theirs so a restart can pick them back up.
 //!
 //! Every job owns a [`LineChannel`] of its JSONL solve events (fed by a
 //! [`JsonlObserver`] during the run, closed with a final `job_done`
@@ -33,6 +42,7 @@
 //! `Done` with the cached outcome bytes and no solver work at all.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -40,17 +50,21 @@ use unsnap_core::cancel::CancelToken;
 use unsnap_core::error::{Error, Result};
 use unsnap_core::metrics::JsonlObserver;
 use unsnap_core::problem::Problem;
-use unsnap_core::session::Session;
+use unsnap_core::session::{Session, TeeObserver};
 use unsnap_obs::json::JsonObject;
 use unsnap_obs::jsonl::JsonlWriter;
 use unsnap_obs::metrics::{Determinism, MetricsRegistry};
 use unsnap_obs::stream::LineChannel;
+use unsnap_runlog::{recover, CheckpointObserver, RunMode, SessionResume};
 
 use crate::store::ResultStore;
 
 /// The lifecycle state of a job (see the [module docs](self)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
+    /// Recovered from an interrupted run log at startup; waiting for a
+    /// [`JobQueue::resume`] call to re-enter the FIFO.
+    Resumable,
     /// Waiting in the FIFO.
     Queued,
     /// A worker is solving it.
@@ -67,6 +81,7 @@ impl JobState {
     /// The wire label (`"queued"`, `"running"`, …).
     pub fn label(&self) -> &'static str {
         match self {
+            JobState::Resumable => "resumable",
             JobState::Queued => "queued",
             JobState::Running => "running",
             JobState::Done => "done",
@@ -126,6 +141,22 @@ struct JobEntry {
     error: Option<String>,
     cancel: CancelToken,
     events: LineChannel,
+    /// `Some` once an interrupted run log exists for this job — the
+    /// worker resumes from it instead of starting fresh.
+    resume_log: Option<PathBuf>,
+}
+
+/// Durability settings shared by the workers.
+#[derive(Debug, Clone)]
+struct RunlogSettings {
+    dir: PathBuf,
+    every: usize,
+}
+
+impl RunlogSettings {
+    fn job_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("job-{id}.runlog"))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -143,6 +174,7 @@ struct QueueShared {
     capacity: usize,
     metrics: Mutex<MetricsRegistry>,
     store: Mutex<ResultStore>,
+    runlog: Option<RunlogSettings>,
 }
 
 impl QueueShared {
@@ -165,20 +197,76 @@ pub struct JobQueue {
 impl JobQueue {
     /// Start `workers` worker threads over a FIFO holding at most
     /// `capacity` queued jobs, with a result cache of `cache_capacity`
-    /// outcomes.
+    /// outcomes and no durability (jobs do not checkpoint).
     pub fn start(workers: usize, capacity: usize, cache_capacity: usize) -> Self {
+        Self::start_with_runlog(workers, capacity, cache_capacity, None, 1)
+            .expect("queue start without a run-log directory cannot fail")
+    }
+
+    /// [`JobQueue::start`] with durability: with `runlog_dir` set, every
+    /// job checkpoints into `{dir}/job-{id}.runlog` every
+    /// `checkpoint_iters` outer iterations, and startup scans the
+    /// directory for interrupted logs, re-listing each as a
+    /// [`JobState::Resumable`] job (completed or unreadable logs are
+    /// skipped).  Fails with [`Error::Execution`] when the directory
+    /// cannot be created or scanned, and with
+    /// [`Error::InvalidProblem`] on a zero cadence.
+    pub fn start_with_runlog(
+        workers: usize,
+        capacity: usize,
+        cache_capacity: usize,
+        runlog_dir: Option<PathBuf>,
+        checkpoint_iters: usize,
+    ) -> Result<Self> {
+        if checkpoint_iters == 0 {
+            return Err(Error::invalid_problem(
+                "checkpoint_iters",
+                "checkpoint cadence must be at least 1",
+            ));
+        }
+        let runlog = runlog_dir.map(|dir| RunlogSettings {
+            dir,
+            every: checkpoint_iters,
+        });
+        let mut state = QueueState {
+            // Job IDs are client-facing (`/v1/jobs/{id}`); start at 1 so
+            // the first submission matches the documented curl flow.
+            next_id: 1,
+            ..QueueState::default()
+        };
+        if let Some(settings) = &runlog {
+            std::fs::create_dir_all(&settings.dir).map_err(|e| Error::Execution {
+                reason: format!(
+                    "cannot create run-log directory {}: {e}",
+                    settings.dir.display()
+                ),
+            })?;
+            for (id, problem, path) in scan_resumable(&settings.dir)? {
+                state.next_id = state.next_id.max(id + 1);
+                let hash = problem.canonical_hash();
+                state.jobs.insert(
+                    id,
+                    JobEntry {
+                        problem,
+                        state: JobState::Resumable,
+                        cached: false,
+                        hash,
+                        outcome_json: None,
+                        error: None,
+                        cancel: CancelToken::new(),
+                        events: LineChannel::new(),
+                        resume_log: Some(path),
+                    },
+                );
+            }
+        }
         let shared = Arc::new(QueueShared {
-            state: Mutex::new(QueueState {
-                // Job IDs are client-facing (`/v1/jobs/{id}`); start at
-                // 1 so the first submission matches the documented curl
-                // flow.
-                next_id: 1,
-                ..QueueState::default()
-            }),
+            state: Mutex::new(state),
             cv: Condvar::new(),
             capacity,
             metrics: Mutex::new(MetricsRegistry::new()),
             store: Mutex::new(ResultStore::new(cache_capacity)),
+            runlog,
         });
         let workers = (0..workers.max(1))
             .map(|index| {
@@ -189,10 +277,10 @@ impl JobQueue {
                     .expect("spawn worker thread")
             })
             .collect();
-        Self {
+        Ok(Self {
             shared,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// Submit a problem: cache hit → a job born `Done`; otherwise the
@@ -231,6 +319,7 @@ impl JobQueue {
                     error: None,
                     cancel: CancelToken::new(),
                     events,
+                    resume_log: None,
                 },
             );
             drop(state);
@@ -268,6 +357,7 @@ impl JobQueue {
                 error: None,
                 cancel: CancelToken::new(),
                 events: LineChannel::new(),
+                resume_log: None,
             },
         );
         state.pending.push_back(id);
@@ -281,6 +371,47 @@ impl JobQueue {
             cached: false,
             state: JobState::Queued,
         })
+    }
+
+    /// Move a [`JobState::Resumable`] job back into the FIFO, where a
+    /// worker restores the solver from its run log's last intact
+    /// checkpoint and finishes the run.  Returns the `(before, after)`
+    /// state pair, or `None` for an unknown ID; a job in any other
+    /// state is left untouched (its state comes back unchanged).
+    pub fn resume(&self, id: u64) -> Option<(JobState, JobState)> {
+        let mut state = self.shared.state.lock().unwrap();
+        let entry = state.jobs.get_mut(&id)?;
+        if entry.state != JobState::Resumable {
+            return Some((entry.state, entry.state));
+        }
+        entry.state = JobState::Queued;
+        state.pending.push_back(id);
+        drop(state);
+        self.shared.count("serve_jobs_resumed");
+        self.shared.cv.notify_one();
+        Some((JobState::Resumable, JobState::Queued))
+    }
+
+    /// A snapshot of every job the queue knows about, ordered by ID
+    /// (`GET /v1/jobs`) — including `Resumable` jobs recovered from a
+    /// previous process's run logs.
+    pub fn list(&self) -> Vec<JobStatus> {
+        let state = self.shared.state.lock().unwrap();
+        let mut ids: Vec<u64> = state.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| {
+                let entry = &state.jobs[id];
+                JobStatus {
+                    id: *id,
+                    state: entry.state,
+                    cached: entry.cached,
+                    hash: entry.hash,
+                    outcome_json: entry.outcome_json.clone(),
+                    error: entry.error.clone(),
+                }
+            })
+            .collect()
     }
 
     /// A snapshot of one job, or `None` for an unknown ID.
@@ -399,21 +530,94 @@ impl Drop for JobQueue {
     }
 }
 
-/// Run one job to completion: session construction, the observed solve
-/// streaming JSONL into the job's channel, and the error path.
-fn run_job(problem: &Problem, cancel: CancelToken, events: &LineChannel) -> Result<String> {
-    let mut session = Session::new(problem)?;
+/// Scan a run-log directory for interrupted jobs: every readable
+/// `job-{id}.runlog` whose log is *not* completed, with its problem
+/// rebuilt (and hash-verified) from the manifest frame.  Unreadable
+/// logs and non-single-domain modes are skipped, not errors — a torn
+/// manifest means there is nothing to resume.
+fn scan_resumable(dir: &Path) -> Result<Vec<(u64, Problem, PathBuf)>> {
+    let entries = std::fs::read_dir(dir).map_err(|e| Error::Execution {
+        reason: format!("cannot scan run-log directory {}: {e}", dir.display()),
+    })?;
+    let mut found = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("job-"))
+            .and_then(|n| n.strip_suffix(".runlog"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let Ok(recovered) = recover(entry.path()) else {
+            continue;
+        };
+        if recovered.completed || recovered.manifest.mode != RunMode::Single {
+            continue;
+        }
+        found.push((id, recovered.manifest.problem, entry.path()));
+    }
+    found.sort_unstable_by_key(|(id, ..)| *id);
+    Ok(found)
+}
+
+/// Run one job to completion: session construction (fresh, or restored
+/// from an interrupted run log), the observed solve streaming JSONL
+/// into the job's channel, and the error path.  With a run-log
+/// directory configured the solve checkpoints as it goes; a successful
+/// run deletes its log (nothing left to resume), any other exit keeps
+/// it for the next restart.
+fn run_job(
+    problem: &Problem,
+    cancel: CancelToken,
+    events: &LineChannel,
+    runlog: Option<&RunlogSettings>,
+    id: u64,
+    resume_log: Option<&Path>,
+) -> Result<String> {
+    let mut jsonl = JsonlObserver::new(JsonlWriter::new(events.writer()));
+    let Some(settings) = runlog else {
+        let mut session = Session::new(problem)?;
+        session.solver_mut().set_cancel_token(cancel);
+        let outcome = session.run_observed(&mut jsonl)?;
+        // Dropping the observer flushes its writer into the channel.
+        drop(jsonl);
+        return Ok(outcome.to_json());
+    };
+
+    let path = settings.job_path(id);
+    let (mut session, ckpt) = match resume_log {
+        // On resume the solver replays the recovered event prefix into
+        // the observer tee, so the JSONL stream a client tails is the
+        // complete history, not just the tail after the crash.
+        Some(log) => (
+            Session::resume(log)?,
+            CheckpointObserver::resume(log, settings.every)?,
+        ),
+        None => (
+            Session::new(problem)?,
+            CheckpointObserver::create(&path, problem, RunMode::Single, settings.every)?,
+        ),
+    };
     session.solver_mut().set_cancel_token(cancel);
-    let mut observer = JsonlObserver::new(JsonlWriter::new(events.writer()));
-    let outcome = session.run_observed(&mut observer)?;
-    // Dropping the observer flushes its writer into the channel.
-    drop(observer);
+    let mut sink = ckpt.sink();
+    let mut ckpt = ckpt;
+    let outcome = {
+        let mut tee = TeeObserver::new(&mut jsonl, &mut ckpt);
+        session.run_checkpointed(&mut tee, &mut sink)?
+    };
+    drop(jsonl);
+    drop(ckpt);
+    // The run finished: its log records a completed run and can never
+    // be resumed, so reclaim the disk space.
+    let _ = std::fs::remove_file(resume_log.unwrap_or(&path));
     Ok(outcome.to_json())
 }
 
 fn worker_loop(shared: &QueueShared) {
     loop {
-        let (id, problem, cancel, events) = {
+        let (id, problem, cancel, events, resume_log) = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if state.shutdown {
@@ -427,13 +631,21 @@ fn worker_loop(shared: &QueueShared) {
                         entry.problem.clone(),
                         entry.cancel.clone(),
                         entry.events.clone(),
+                        entry.resume_log.clone(),
                     );
                 }
                 state = shared.cv.wait(state).unwrap();
             }
         };
 
-        let result = run_job(&problem, cancel, &events);
+        let result = run_job(
+            &problem,
+            cancel,
+            &events,
+            shared.runlog.as_ref(),
+            id,
+            resume_log.as_deref(),
+        );
 
         let mut state = shared.state.lock().unwrap();
         let entry = state.jobs.get_mut(&id).expect("running job exists");
@@ -642,6 +854,140 @@ mod tests {
         assert!(queue.status(99).is_none());
         assert!(queue.events(99).is_none());
         assert!(queue.cancel(99).is_none());
+        assert!(queue.resume(99).is_none());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("unsnap-serve-runlog-{}-{tag}", std::process::id()))
+    }
+
+    /// Write a killed-mid-run single-domain log for `problem` as
+    /// `job-{id}.runlog` under `dir`: run it to completion against an
+    /// in-memory buffer, then keep only the first `keep_checkpoints`
+    /// whole checkpoint frames (a deterministic stand-in for a SIGKILL).
+    fn seed_interrupted_log(
+        dir: &std::path::Path,
+        id: u64,
+        problem: &Problem,
+        keep_checkpoints: usize,
+    ) {
+        use unsnap_runlog::{frame, SharedBuffer};
+        let buffer = SharedBuffer::new();
+        let observer =
+            CheckpointObserver::with_writer(Box::new(buffer.clone()), problem, RunMode::Single, 1)
+                .unwrap();
+        let mut sink = observer.sink();
+        let mut observer = observer;
+        let mut session = Session::new(problem).unwrap();
+        session.run_checkpointed(&mut observer, &mut sink).unwrap();
+        let log = buffer.bytes();
+        let cut = frame::scan(&log)
+            .frames
+            .iter()
+            .filter(|f| f.tag == frame::TAG_CHECKPOINT)
+            .nth(keep_checkpoints - 1)
+            .expect("enough checkpoints to truncate at")
+            .end_offset;
+        std::fs::write(dir.join(format!("job-{id}.runlog")), &log[..cut]).unwrap();
+    }
+
+    #[test]
+    fn interrupted_logs_are_listed_resumable_and_resume_to_done() {
+        let dir = temp_dir("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let problem = ProblemBuilder::tiny()
+            .iterations(2, 4)
+            .tolerance(0.0)
+            .build()
+            .unwrap();
+        seed_interrupted_log(&dir, 7, &problem, 2);
+
+        // The uninterrupted run, for the determinism cross-check below.
+        let reference = Session::new(&problem).unwrap().run().unwrap();
+
+        let queue = JobQueue::start_with_runlog(1, 8, 8, Some(dir.clone()), 1).unwrap();
+        let listed = queue.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].id, 7);
+        assert_eq!(listed[0].state, JobState::Resumable);
+        assert_eq!(listed[0].hash, problem.canonical_hash());
+
+        // Fresh IDs continue past the recovered one.
+        let fresh = queue.submit(tiny()).unwrap();
+        assert_eq!(fresh.id, 8);
+        wait_terminal(&queue, fresh.id);
+        assert!(!dir.join("job-8.runlog").exists(), "done jobs delete logs");
+
+        assert_eq!(
+            queue.resume(7),
+            Some((JobState::Resumable, JobState::Queued))
+        );
+        let status = wait_terminal(&queue, 7);
+        assert_eq!(status.state, JobState::Done);
+        assert!(!dir.join("job-7.runlog").exists());
+        // Resuming a finished job reports its state unchanged.
+        assert_eq!(queue.resume(7), Some((JobState::Done, JobState::Done)));
+
+        // The resumed outcome carries the uninterrupted run's
+        // deterministic fields (the bit-for-bit contract is pinned
+        // exhaustively in tests/durability.rs; here we check the
+        // service-level surface).
+        let outcome = unsnap_obs::reader::parse(&status.outcome_json.unwrap()).unwrap();
+        assert_eq!(
+            outcome.get("sweep_count").and_then(|v| v.as_u64()),
+            Some(reference.sweep_count as u64)
+        );
+
+        // The event stream replayed the pre-crash prefix: a client
+        // tailing the resumed job still sees outer 0.
+        let events = queue.events(7).unwrap();
+        assert!(events.is_closed());
+        let (lines, _) = events.wait_at(0, Duration::from_secs(1));
+        assert!(lines.iter().any(|l| l.contains("\"outer\":0")));
+        assert!(lines.last().unwrap().contains("job_done"));
+
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_durable_jobs_keep_their_log_for_the_next_restart() {
+        let dir = temp_dir("cancel");
+        let _ = std::fs::remove_dir_all(&dir);
+        // A sparse cadence: `slow()` runs tens of thousands of cheap
+        // outers, and a frame per outer would be all I/O.
+        let queue = JobQueue::start_with_runlog(1, 8, 8, Some(dir.clone()), 25).unwrap();
+        let receipt = queue.submit(slow()).unwrap();
+        for _ in 0..600 {
+            if queue.status(receipt.id).unwrap().state == JobState::Running {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Let a few outers (and so at least one checkpoint) land.
+        std::thread::sleep(Duration::from_millis(200));
+        queue.cancel(receipt.id).unwrap();
+        let status = wait_terminal(&queue, receipt.id);
+        assert_eq!(status.state, JobState::Cancelled);
+        queue.shutdown();
+        let log = dir.join(format!("job-{}.runlog", receipt.id));
+        assert!(log.exists(), "cancelled durable jobs keep their log");
+
+        // The restarted queue re-lists it, ready to resume.
+        let restarted = JobQueue::start_with_runlog(1, 8, 8, Some(dir.clone()), 25).unwrap();
+        let listed = restarted.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].id, receipt.id);
+        assert_eq!(listed[0].state, JobState::Resumable);
+        restarted.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_checkpoint_cadence_is_rejected() {
+        let err = JobQueue::start_with_runlog(1, 8, 8, Some(temp_dir("zero")), 0).unwrap_err();
+        assert_eq!(err.invalid_field(), Some("checkpoint_iters"));
     }
 
     #[test]

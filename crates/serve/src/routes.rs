@@ -3,8 +3,10 @@
 //! | method | path                  | does                                      | success |
 //! |--------|-----------------------|-------------------------------------------|---------|
 //! | POST   | `/v1/solve`           | parse + validate a problem, enqueue (or cache-hit) | 202 |
+//! | GET    | `/v1/jobs`            | list every known job (incl. `resumable`)  | 200 |
 //! | GET    | `/v1/jobs/{id}`       | job status + outcome JSON when done       | 200 |
 //! | GET    | `/v1/jobs/{id}/events`| chunked live JSONL solve-event stream     | 200 |
+//! | POST   | `/v1/jobs/{id}/resume`| re-queue a `resumable` (interrupted) job  | 202 |
 //! | DELETE | `/v1/jobs/{id}`       | cooperative cancel                        | 200 |
 //! | GET    | `/v1/metrics`         | the server's metrics-registry snapshot    | 200 |
 //!
@@ -70,13 +72,27 @@ fn status_body(status: &JobStatus) -> String {
     .finish()
 }
 
-/// Parse `/v1/jobs/{id}` and `/v1/jobs/{id}/events` paths.
-fn job_path(path: &str) -> Option<(u64, bool)> {
+/// What a `/v1/jobs/{id}…` path addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobRoute {
+    /// `/v1/jobs/{id}` — status (GET) or cancel (DELETE).
+    Status,
+    /// `/v1/jobs/{id}/events` — the chunked JSONL stream.
+    Events,
+    /// `/v1/jobs/{id}/resume` — re-queue an interrupted job.
+    Resume,
+}
+
+/// Parse `/v1/jobs/{id}`, `/v1/jobs/{id}/events` and
+/// `/v1/jobs/{id}/resume` paths.
+fn job_path(path: &str) -> Option<(u64, JobRoute)> {
     let rest = path.strip_prefix("/v1/jobs/")?;
     if let Some(id_text) = rest.strip_suffix("/events") {
-        Some((id_text.parse().ok()?, true))
+        Some((id_text.parse().ok()?, JobRoute::Events))
+    } else if let Some(id_text) = rest.strip_suffix("/resume") {
+        Some((id_text.parse().ok()?, JobRoute::Resume))
     } else {
-        Some((rest.parse().ok()?, false))
+        Some((rest.parse().ok()?, JobRoute::Status))
     }
 }
 
@@ -103,6 +119,40 @@ fn post_solve(queue: &JobQueue, request: &Request) -> (u16, String) {
 fn get_job(queue: &JobQueue, id: u64) -> (u16, String) {
     match queue.status(id) {
         Some(status) => (200, status_body(&status)),
+        None => not_found(&format!("job {id}")),
+    }
+}
+
+fn list_jobs(queue: &JobQueue) -> (u16, String) {
+    let bodies: Vec<String> = queue.list().iter().map(status_body).collect();
+    (
+        200,
+        JsonObject::new()
+            .field_raw("jobs", &unsnap_obs::json::array_raw(bodies))
+            .finish(),
+    )
+}
+
+fn resume_job(queue: &JobQueue, id: u64) -> (u16, String) {
+    use crate::queue::JobState;
+    match queue.resume(id) {
+        Some((JobState::Resumable, after)) => (
+            202,
+            JsonObject::new()
+                .field_u64("job_id", id)
+                .field_str("status", after.label())
+                .finish(),
+        ),
+        Some((before, _)) => (
+            409,
+            JsonObject::new()
+                .field_str(
+                    "error",
+                    &format!("job {id} is {}, not resumable", before.label()),
+                )
+                .field_raw("field", "null")
+                .finish(),
+        ),
         None => not_found(&format!("job {id}")),
     }
 }
@@ -171,7 +221,7 @@ pub fn handle_connection(stream: TcpStream, queue: &JobQueue) {
     queue.record_request();
 
     // The event stream writes its own (chunked) response.
-    if let Some((id, true)) = job_path(&request.path) {
+    if let Some((id, JobRoute::Events)) = job_path(&request.path) {
         if request.method == "GET" {
             let _ = stream_events(queue, id, &stream);
             return;
@@ -180,10 +230,12 @@ pub fn handle_connection(stream: TcpStream, queue: &JobQueue) {
 
     let (status, body) = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/solve") => post_solve(queue, &request),
+        ("GET", "/v1/jobs") => list_jobs(queue),
         ("GET", "/v1/metrics") => (200, queue.metrics_json()),
         (method, path) => match job_path(path) {
-            Some((id, false)) if method == "GET" => get_job(queue, id),
-            Some((id, false)) if method == "DELETE" => delete_job(queue, id),
+            Some((id, JobRoute::Status)) if method == "GET" => get_job(queue, id),
+            Some((id, JobRoute::Status)) if method == "DELETE" => delete_job(queue, id),
+            Some((id, JobRoute::Resume)) if method == "POST" => resume_job(queue, id),
             Some(_) => (
                 405,
                 JsonObject::new()
@@ -191,7 +243,7 @@ pub fn handle_connection(stream: TcpStream, queue: &JobQueue) {
                     .field_raw("field", "null")
                     .finish(),
             ),
-            None if path == "/v1/solve" || path == "/v1/metrics" => (
+            None if path == "/v1/solve" || path == "/v1/metrics" || path == "/v1/jobs" => (
                 405,
                 JsonObject::new()
                     .field_str("error", "method not allowed on this path")
@@ -210,10 +262,12 @@ mod tests {
 
     #[test]
     fn job_paths_parse() {
-        assert_eq!(job_path("/v1/jobs/7"), Some((7, false)));
-        assert_eq!(job_path("/v1/jobs/7/events"), Some((7, true)));
+        assert_eq!(job_path("/v1/jobs/7"), Some((7, JobRoute::Status)));
+        assert_eq!(job_path("/v1/jobs/7/events"), Some((7, JobRoute::Events)));
+        assert_eq!(job_path("/v1/jobs/7/resume"), Some((7, JobRoute::Resume)));
         assert_eq!(job_path("/v1/jobs/"), None);
         assert_eq!(job_path("/v1/jobs/x"), None);
+        assert_eq!(job_path("/v1/jobs/x/resume"), None);
         assert_eq!(job_path("/v1/solve"), None);
         assert_eq!(job_path("/v1/jobs/7/extra"), None);
     }

@@ -21,7 +21,8 @@
 //! | [`obs`] (`unsnap-obs`) | dependency-free observability: `Clock`/`MockClock`, metrics registry with deterministic/wall-clock split, fixed-bucket histograms, JSON writer/reader, JSONL run logs |
 //! | [`core`] (`unsnap-core`) | typed errors, `ProblemBuilder`, the observable `Session` API, Sn quadrature, multigroup data, assemble/solve kernel, sweep driver, iteration strategies, FD baseline |
 //! | [`comm`] (`unsnap-comm`) | simulated ranks, halo exchange, block-Jacobi coupling, KBA pipeline model, `CommError` |
-//! | [`serve`] (`unsnap-serve`) | solver-as-a-service: hand-rolled HTTP/1.1 front-end, bounded job queue with cooperative cancellation, live JSONL event streaming, content-addressed LRU result cache |
+//! | [`runlog`] (`unsnap-runlog`) | durable runs: append-only write-ahead run log with checksummed checkpoint frames, torn-tail recovery, bit-for-bit resume for both solver paths, crash fault injection |
+//! | [`serve`] (`unsnap-serve`) | solver-as-a-service: hand-rolled HTTP/1.1 front-end, bounded job queue with cooperative cancellation, live JSONL event streaming, content-addressed LRU result cache, checkpointed jobs resumable across server restarts |
 //!
 //! ## Quickstart
 //!
@@ -91,6 +92,7 @@ pub use unsnap_krylov as krylov;
 pub use unsnap_linalg as linalg;
 pub use unsnap_mesh as mesh;
 pub use unsnap_obs as obs;
+pub use unsnap_runlog as runlog;
 pub use unsnap_serve as serve;
 pub use unsnap_sweep as sweep;
 
@@ -98,7 +100,8 @@ pub use unsnap_sweep as sweep;
 pub mod prelude {
     pub use unsnap_accel::{DiffusionOperator, DiffusionTopology, DsaConfig, DsaSolver};
     pub use unsnap_comm::{
-        BlockJacobiOutcome, BlockJacobiSolver, CommError, HaloExchange, KbaModel,
+        BlockJacobiOutcome, BlockJacobiSolver, CommError, HaloExchange, JacobiCheckpointSink,
+        JacobiCheckpointView, JacobiResumePoint, KbaModel,
     };
     pub use unsnap_core::angular::AngularQuadrature;
     pub use unsnap_core::builder::{
@@ -117,7 +120,9 @@ pub mod prelude {
         EventLog, NoopObserver, Phase, ProgressObserver, RecordingObserver, RunObserver, Session,
         SolveEvent, TeeObserver,
     };
-    pub use unsnap_core::solver::{RunStats, SolveOutcome, TransportSolver};
+    pub use unsnap_core::solver::{
+        CheckpointSink, CheckpointView, ResumePoint, RunStats, SolveOutcome, TransportSolver,
+    };
     pub use unsnap_core::strategy::{
         AcceleratorKind, InnerSolveContext, IterationStrategy, StrategyKind,
     };
@@ -131,6 +136,10 @@ pub mod prelude {
     pub use unsnap_obs::clock::{Clock, MockClock, SystemClock};
     pub use unsnap_obs::metrics::{Determinism, Histogram, MetricsRegistry};
     pub use unsnap_obs::stream::{ChannelWriter, LineChannel};
+    pub use unsnap_runlog::{
+        resume_block_jacobi, CheckpointObserver, CheckpointSinkHandle, FaultyWriter, Manifest,
+        Recovered, RunMode, SessionResume, SharedBuffer,
+    };
     pub use unsnap_serve::{
         CancelDisposition, JobQueue, JobState, JobStatus, ResultStore, ServeConfig, Server,
         SubmitReceipt,

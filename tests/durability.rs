@@ -1,0 +1,584 @@
+//! Durability suite: crash-and-resume fault injection for the run log.
+//!
+//! Pins the two contracts of `unsnap-runlog`:
+//!
+//! 1. **Recovery is total.**  Truncating a finished run log at *every*
+//!    byte offset — and flipping arbitrary bytes — yields either a
+//!    typed error or a valid checkpoint prefix.  Never a panic, never a
+//!    torn frame accepted.
+//! 2. **Resume is bit-for-bit.**  Kill a checkpointed run after any
+//!    outer iteration (by log truncation or an injected torn write),
+//!    resume it, and the completed run's outcome — flux, iteration
+//!    counts, deterministic metrics, and the full observer event
+//!    stream — is identical to the same run left uninterrupted, at
+//!    thread widths 1, 2 and 8, for SI, DSA-SI and SweepGmres, on both
+//!    the single-domain and the block-Jacobi path.
+
+use proptest::prelude::*;
+
+use unsnap::prelude::*;
+use unsnap::runlog::{
+    checkpoint_iters_from_env, frame, recover_bytes, resume_block_jacobi, CheckpointObserver,
+    FaultyWriter, RunMode, SessionResume, SharedBuffer, CHECKPOINT_ITERS_ENV,
+};
+
+// ---------------------------------------------------------------------
+// Shared fixtures and comparison helpers
+// ---------------------------------------------------------------------
+
+/// A small multi-outer problem: tolerance zero means no outer ever
+/// converges, so exactly `outer_iterations` outers run — a fixed,
+/// deterministic checkpoint schedule for the kill/resume sweeps.
+fn base_problem(strategy: StrategyKind) -> Problem {
+    let mut p = Problem::tiny();
+    p.nx = 3;
+    p.ny = 3;
+    p.nz = 2;
+    p.num_groups = 2;
+    p.angles_per_octant = 2;
+    p.inner_iterations = 3;
+    p.outer_iterations = 4;
+    p.convergence_tolerance = 0.0;
+    p.scattering_ratio = Some(0.9);
+    p.strategy = strategy;
+    p.scheme = ConcurrencyScheme::best();
+    p
+}
+
+/// Everything a `SolveOutcome` reports except wall-clock timing.
+fn non_timing(o: &SolveOutcome) -> SolveOutcome {
+    let mut metrics = o.metrics.clone();
+    metrics.zero_wallclock();
+    SolveOutcome {
+        assemble_solve_seconds: 0.0,
+        kernel_assemble_seconds: 0.0,
+        kernel_solve_seconds: 0.0,
+        metrics,
+        ..o.clone()
+    }
+}
+
+/// Everything a `BlockJacobiOutcome` reports except wall-clock timing.
+fn jacobi_non_timing(o: &BlockJacobiOutcome) -> BlockJacobiOutcome {
+    let mut out = o.clone();
+    out.assemble_solve_seconds = 0.0;
+    out.metrics.zero_wallclock();
+    out
+}
+
+/// Zero the wall-clock fields of a recording (recursively over rank
+/// records); the deterministic counts stay and must match exactly.
+fn without_timing(recorder: &RecordingObserver) -> RecordingObserver {
+    let mut r = recorder.clone();
+    r.sweep_seconds = 0.0;
+    r.phase_seconds = vec![0.0; r.phase_seconds.len()];
+    for rank in &mut r.rank_records {
+        rank.sweep_seconds = 0.0;
+        rank.phase_seconds = vec![0.0; rank.phase_seconds.len()];
+    }
+    r
+}
+
+/// An even smaller fixture for the exhaustive byte-level recovery
+/// sweeps: the truncation test visits *every* byte offset and re-scans
+/// the prefix each time, so the log must stay a few kilobytes.
+fn small_problem() -> Problem {
+    let mut p = base_problem(StrategyKind::SourceIteration);
+    p.nx = 2;
+    p.ny = 2;
+    p.nz = 1;
+    p.num_groups = 1;
+    p.angles_per_octant = 1;
+    p.inner_iterations = 2;
+    p
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "unsnap-durability-{}-{tag}.runlog",
+        std::process::id()
+    ))
+}
+
+struct SingleReference {
+    outcome: SolveOutcome,
+    flux: Vec<f64>,
+    recorder: RecordingObserver,
+    /// The complete run-log image of the uninterrupted run.
+    log: Vec<u8>,
+}
+
+/// Run `problem` to completion under a checkpointing observer (cadence
+/// `every`), capturing the outcome, flux, event stream and log bytes.
+fn run_single_reference(problem: &Problem, every: usize) -> SingleReference {
+    let buffer = SharedBuffer::new();
+    let observer =
+        CheckpointObserver::with_writer(Box::new(buffer.clone()), problem, RunMode::Single, every)
+            .unwrap();
+    let mut sink = observer.sink();
+    let mut observer = observer;
+    let mut recorder = RecordingObserver::default();
+    let mut session = Session::new(problem).unwrap();
+    let outcome = {
+        let mut tee = TeeObserver::new(&mut recorder, &mut observer);
+        session.run_checkpointed(&mut tee, &mut sink).unwrap()
+    };
+    SingleReference {
+        outcome,
+        flux: session.scalar_flux().as_slice().to_vec(),
+        recorder,
+        log: buffer.bytes(),
+    }
+}
+
+/// Byte offsets at which the log holds exactly 1..=n intact checkpoint
+/// frames (frame 0 is the manifest; the finished frame is excluded).
+fn checkpoint_boundaries(log: &[u8]) -> Vec<usize> {
+    frame::scan(log)
+        .frames
+        .iter()
+        .filter(|f| f.tag == frame::TAG_CHECKPOINT)
+        .map(|f| f.end_offset)
+        .collect()
+}
+
+/// End offset of the manifest frame (a "killed before any checkpoint"
+/// kill point).
+fn manifest_boundary(log: &[u8]) -> usize {
+    let scan = frame::scan(log);
+    assert_eq!(scan.frames[0].tag, frame::TAG_MANIFEST);
+    scan.frames[0].end_offset
+}
+
+/// Resume the single-domain run whose log image is `partial`, finish
+/// it, and assert the outcome/flux/stream match the reference exactly.
+fn resume_single_and_compare(partial: &[u8], every: usize, reference: &SingleReference, tag: &str) {
+    let path = temp_path(tag);
+    std::fs::write(&path, partial).unwrap();
+    let mut session = Session::resume(&path).unwrap();
+    let observer = CheckpointObserver::resume(&path, every).unwrap();
+    let mut sink = observer.sink();
+    let mut observer = observer;
+    let mut recorder = RecordingObserver::default();
+    let outcome = {
+        let mut tee = TeeObserver::new(&mut recorder, &mut observer);
+        session.run_checkpointed(&mut tee, &mut sink).unwrap()
+    };
+    assert_eq!(
+        non_timing(&outcome),
+        non_timing(&reference.outcome),
+        "{tag}: resumed outcome diverged"
+    );
+    assert_eq!(
+        session.scalar_flux().as_slice(),
+        &reference.flux[..],
+        "{tag}: resumed flux diverged"
+    );
+    assert_eq!(
+        without_timing(&recorder),
+        without_timing(&reference.recorder),
+        "{tag}: resumed observer stream diverged"
+    );
+    // The completed resumed log must itself recover as a finished run.
+    let final_log = std::fs::read(&path).unwrap();
+    let recovered = recover_bytes(&final_log).unwrap();
+    assert!(
+        recovered.completed,
+        "{tag}: resumed log not marked finished"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------
+// Contract 1: recovery is total
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_a_valid_prefix() {
+    let problem = small_problem();
+    let reference = run_single_reference(&problem, 1);
+    let log = &reference.log;
+    let full = recover_bytes(log).unwrap();
+    assert!(full.completed);
+    assert_eq!(full.checkpoints, 3, "4 outers at cadence 1: 3 C + 1 F");
+
+    let boundaries = checkpoint_boundaries(log);
+    for cut in 0..=log.len() {
+        // Must never panic; short prefixes are typed errors.
+        let Ok(recovered) = recover_bytes(&log[..cut]) else {
+            continue;
+        };
+        // A torn frame is never accepted: the number of surviving
+        // checkpoints is exactly the number of *whole* checkpoint
+        // frames below the cut.
+        let expect = boundaries.iter().filter(|&&end| end <= cut).count();
+        assert_eq!(recovered.checkpoints, expect, "cut at {cut}");
+        match recovered.single {
+            Some(ref point) => {
+                // Cadence 1: checkpoint k resumes at outer k+1.
+                assert_eq!(point.outer_next, expect, "cut at {cut}");
+                assert!(!point.prefix.events.is_empty(), "cut at {cut}");
+            }
+            None => assert_eq!(expect, 0, "cut at {cut}"),
+        }
+        // `completed` survives only if the finished frame survived
+        // whole, i.e. only the untruncated image.
+        assert_eq!(recovered.completed, cut == log.len(), "cut at {cut}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random byte flips anywhere in the image: recovery returns a
+    /// typed error or a (possibly shorter) valid prefix — never a
+    /// panic, and corruption never *adds* checkpoints.
+    #[test]
+    fn random_mutations_never_panic_recovery(
+        seed in 0usize..10_000,
+        flips in 1usize..4,
+    ) {
+        static REFERENCE_LOG: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+        let mut log = REFERENCE_LOG
+            .get_or_init(|| run_single_reference(&small_problem(), 1).log)
+            .clone();
+        let full = recover_bytes(&log).unwrap();
+        for i in 0..flips {
+            // Cheap deterministic pseudo-random positions/masks.
+            let pos = (seed.wrapping_mul(31).wrapping_add(i * 7919)) % log.len();
+            let mask = ((seed / 13 + i * 101) % 255 + 1) as u8;
+            log[pos] ^= mask;
+        }
+        if let Ok(recovered) = recover_bytes(&log) {
+            prop_assert!(recovered.checkpoints <= full.checkpoints);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contract 2: kill-and-resume is bit-for-bit (single domain)
+// ---------------------------------------------------------------------
+
+fn assert_kill_resume_single(strategy: StrategyKind) {
+    for threads in [1usize, 2, 8] {
+        let mut problem = base_problem(strategy);
+        problem.num_threads = Some(threads);
+        let reference = run_single_reference(&problem, 1);
+
+        // A plain unobserved run must agree too: the checkpoint sink
+        // cannot perturb the physics.
+        let mut plain = Session::new(&problem).unwrap();
+        let plain_outcome = plain.run().unwrap();
+        assert_eq!(non_timing(&plain_outcome), non_timing(&reference.outcome));
+
+        // Kill after the manifest (before any checkpoint): resume is a
+        // fresh run with the identical outcome.
+        resume_single_and_compare(
+            &reference.log[..manifest_boundary(&reference.log)],
+            1,
+            &reference,
+            &format!("{strategy:?}-t{threads}-manifest"),
+        );
+
+        // Kill after every checkpointed outer in turn.
+        for (k, &end) in checkpoint_boundaries(&reference.log).iter().enumerate() {
+            resume_single_and_compare(
+                &reference.log[..end],
+                1,
+                &reference,
+                &format!("{strategy:?}-t{threads}-k{k}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bit_for_bit_si() {
+    assert_kill_resume_single(StrategyKind::SourceIteration);
+}
+
+#[test]
+fn kill_and_resume_is_bit_for_bit_dsa_si() {
+    assert_kill_resume_single(StrategyKind::DsaSourceIteration);
+}
+
+#[test]
+fn kill_and_resume_is_bit_for_bit_sweep_gmres() {
+    assert_kill_resume_single(StrategyKind::SweepGmres);
+}
+
+#[test]
+fn a_sparser_checkpoint_cadence_resumes_identically() {
+    let problem = base_problem(StrategyKind::DsaSourceIteration);
+    let reference = run_single_reference(&problem, 2);
+    // Cadence 2 over 4 outers: one checkpoint (after outer 1), then the
+    // finished frame; its event delta spans two whole outers.
+    let boundaries = checkpoint_boundaries(&reference.log);
+    assert_eq!(boundaries.len(), 1);
+    resume_single_and_compare(&reference.log[..boundaries[0]], 2, &reference, "cadence2");
+    // And the cadence-2 run itself matches the cadence-1 physics.
+    let dense = run_single_reference(&problem, 1);
+    assert_eq!(non_timing(&dense.outcome), non_timing(&reference.outcome));
+}
+
+#[test]
+fn a_torn_write_aborts_the_run_and_the_survivors_resume() {
+    let problem = base_problem(StrategyKind::SweepGmres);
+    let reference = run_single_reference(&problem, 1);
+    // Crash budgets landing just past the manifest and at interior
+    // fractions of the stream: the run must abort with a typed error
+    // and the bytes that reached "disk" must resume to the reference.
+    // (Budgets stay well inside the stream because event deltas carry
+    // wall-clock floats whose serialized width jitters a little between
+    // runs; a near-the-end budget could fall off a slightly shorter
+    // re-run and never fire.)
+    let len = reference.log.len();
+    for budget in [
+        manifest_boundary(&reference.log) as u64 + 3,
+        (len / 4) as u64,
+        (len / 2) as u64,
+        (3 * len / 4) as u64,
+    ] {
+        let buffer = SharedBuffer::new();
+        let writer = FaultyWriter::crash_after(buffer.clone(), budget);
+        let observer =
+            CheckpointObserver::with_writer(Box::new(writer), &problem, RunMode::Single, 1)
+                .unwrap();
+        let mut sink = observer.sink();
+        let mut observer = observer;
+        let mut session = Session::new(&problem).unwrap();
+        let result = session.run_checkpointed(&mut observer, &mut sink);
+        let err = result.expect_err("torn write must abort the solve");
+        assert!(
+            matches!(err, Error::Execution { .. }),
+            "torn write surfaced as {err:?}"
+        );
+        resume_single_and_compare(&buffer.bytes(), 1, &reference, &format!("torn-{budget}"));
+    }
+}
+
+#[test]
+fn a_converging_run_writes_a_finished_frame_and_rejects_resume() {
+    let mut problem = base_problem(StrategyKind::DsaSourceIteration);
+    problem.convergence_tolerance = 1e-10;
+    problem.inner_iterations = 6;
+    problem.outer_iterations = 50;
+    let reference = run_single_reference(&problem, 1);
+    assert!(reference.outcome.converged, "fixture must converge");
+    let recovered = recover_bytes(&reference.log).unwrap();
+    assert!(recovered.completed);
+    assert!(
+        recovered.checkpoints >= 1,
+        "fixture must checkpoint before converging (took {} outers)",
+        reference.recorder.outers_completed
+    );
+
+    // A completed log refuses both resume entry points.
+    let path = temp_path("completed");
+    std::fs::write(&path, &reference.log).unwrap();
+    assert!(Session::resume(&path).is_err());
+    assert!(CheckpointObserver::resume(&path, 1).is_err());
+    let _ = std::fs::remove_file(&path);
+
+    // But a kill *before* convergence resumes to the identical
+    // converged outcome, finished frame included.
+    let boundaries = checkpoint_boundaries(&reference.log);
+    for &end in [boundaries[0], boundaries[boundaries.len() / 2]].iter() {
+        resume_single_and_compare(&reference.log[..end], 1, &reference, "converging");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contract 2, block-Jacobi path
+// ---------------------------------------------------------------------
+
+struct JacobiReference {
+    outcome: BlockJacobiOutcome,
+    flux: Vec<f64>,
+    recorder: RecordingObserver,
+    log: Vec<u8>,
+}
+
+fn run_jacobi_reference(problem: &Problem, npx: usize, npy: usize) -> JacobiReference {
+    let buffer = SharedBuffer::new();
+    let observer = CheckpointObserver::with_writer(
+        Box::new(buffer.clone()),
+        problem,
+        RunMode::Jacobi { npx, npy },
+        1,
+    )
+    .unwrap();
+    let mut sink = observer.sink();
+    let mut observer = observer;
+    let mut recorder = RecordingObserver::default();
+    let mut solver = BlockJacobiSolver::new(problem, Decomposition2D::new(npx, npy)).unwrap();
+    let outcome = {
+        let mut tee = TeeObserver::new(&mut recorder, &mut observer);
+        solver
+            .run_observed_checkpointed(&mut tee, &mut sink)
+            .unwrap()
+    };
+    JacobiReference {
+        outcome,
+        flux: solver.scalar_flux().as_slice().to_vec(),
+        recorder,
+        log: buffer.bytes(),
+    }
+}
+
+fn resume_jacobi_and_compare(partial: &[u8], reference: &JacobiReference, tag: &str) {
+    let path = temp_path(tag);
+    std::fs::write(&path, partial).unwrap();
+    let mut solver = resume_block_jacobi(&path).unwrap();
+    let observer = CheckpointObserver::resume(&path, 1).unwrap();
+    let mut sink = observer.sink();
+    let mut observer = observer;
+    let mut recorder = RecordingObserver::default();
+    let outcome = {
+        let mut tee = TeeObserver::new(&mut recorder, &mut observer);
+        solver
+            .run_observed_checkpointed(&mut tee, &mut sink)
+            .unwrap()
+    };
+    assert_eq!(
+        jacobi_non_timing(&outcome),
+        jacobi_non_timing(&reference.outcome),
+        "{tag}: resumed jacobi outcome diverged"
+    );
+    assert_eq!(
+        solver.scalar_flux().as_slice(),
+        &reference.flux[..],
+        "{tag}: resumed jacobi flux diverged"
+    );
+    assert_eq!(
+        without_timing(&recorder),
+        without_timing(&reference.recorder),
+        "{tag}: resumed jacobi observer stream diverged"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+fn assert_kill_resume_jacobi(strategy: StrategyKind) {
+    for threads in [1usize, 2, 8] {
+        let mut problem = base_problem(strategy);
+        problem.inner_iterations = 4;
+        problem.num_threads = Some(threads);
+        let reference = run_jacobi_reference(&problem, 2, 1);
+
+        // The sink must not perturb the distributed physics either.
+        let mut plain = BlockJacobiSolver::new(&problem, Decomposition2D::new(2, 1)).unwrap();
+        let plain_outcome = plain.run().unwrap();
+        assert_eq!(
+            jacobi_non_timing(&plain_outcome),
+            jacobi_non_timing(&reference.outcome)
+        );
+
+        resume_jacobi_and_compare(
+            &reference.log[..manifest_boundary(&reference.log)],
+            &reference,
+            &format!("jac-{strategy:?}-t{threads}-manifest"),
+        );
+        for (k, &end) in checkpoint_boundaries(&reference.log).iter().enumerate() {
+            resume_jacobi_and_compare(
+                &reference.log[..end],
+                &reference,
+                &format!("jac-{strategy:?}-t{threads}-k{k}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn jacobi_kill_and_resume_is_bit_for_bit_si() {
+    assert_kill_resume_jacobi(StrategyKind::SourceIteration);
+}
+
+#[test]
+fn jacobi_kill_and_resume_is_bit_for_bit_dsa_si() {
+    assert_kill_resume_jacobi(StrategyKind::DsaSourceIteration);
+}
+
+#[test]
+fn jacobi_kill_and_resume_is_bit_for_bit_sweep_gmres() {
+    assert_kill_resume_jacobi(StrategyKind::SweepGmres);
+}
+
+// ---------------------------------------------------------------------
+// Misc: mode mismatches and the cadence env knob
+// ---------------------------------------------------------------------
+
+#[test]
+fn resume_entry_points_reject_the_wrong_mode() {
+    let problem = base_problem(StrategyKind::SourceIteration);
+    let single = run_single_reference(&problem, 1);
+    let path = temp_path("wrong-mode-single");
+    let boundaries = checkpoint_boundaries(&single.log);
+    std::fs::write(&path, &single.log[..boundaries[0]]).unwrap();
+    let err = match resume_block_jacobi(&path) {
+        Ok(_) => panic!("jacobi resume accepted a single-domain log"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("single-domain"), "{err}");
+    let _ = std::fs::remove_file(&path);
+
+    let jacobi = run_jacobi_reference(&problem, 2, 1);
+    let path = temp_path("wrong-mode-jacobi");
+    let boundaries = checkpoint_boundaries(&jacobi.log);
+    std::fs::write(&path, &jacobi.log[..boundaries[0]]).unwrap();
+    let err = match <Session as SessionResume>::resume(&path) {
+        Ok(_) => panic!("session resume accepted a block-Jacobi log"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("block-Jacobi"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_cadence_env_knob_validates() {
+    // Env vars are process-global: this is the only test in this binary
+    // touching the knob, and it restores the slate before returning.
+    std::env::remove_var(CHECKPOINT_ITERS_ENV);
+    assert_eq!(checkpoint_iters_from_env().unwrap(), 1);
+    std::env::set_var(CHECKPOINT_ITERS_ENV, "5");
+    assert_eq!(checkpoint_iters_from_env().unwrap(), 5);
+    for bad in ["0", "-1", "sometimes"] {
+        std::env::set_var(CHECKPOINT_ITERS_ENV, bad);
+        let err = checkpoint_iters_from_env().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("checkpoint_iters"), "'{bad}'");
+    }
+    std::env::remove_var(CHECKPOINT_ITERS_ENV);
+}
+
+#[test]
+fn non_finite_floats_round_trip_as_null_through_the_frame_format() {
+    // The JSON writer encodes NaN/±inf as null; a checkpoint frame
+    // carrying such a payload must survive the frame round trip and
+    // parse back to nulls — not corrupt the checksum or panic the
+    // reader.  (Residual histories can go non-finite when a solve
+    // diverges; the log must still be recoverable.)
+    let payload = unsnap::obs::json::JsonObject::new()
+        .field_f64("finite", 0.5)
+        .field_f64("nan", f64::NAN)
+        .field_raw(
+            "history",
+            &unsnap::obs::json::array_f64(&[1.0, f64::INFINITY, f64::NEG_INFINITY, 2.0]),
+        )
+        .finish();
+    let mut log = frame::header_bytes();
+    log.extend_from_slice(&frame::frame_bytes(
+        frame::TAG_CHECKPOINT,
+        payload.as_bytes(),
+    ));
+
+    let scan = frame::scan(&log);
+    assert!(!scan.truncated);
+    assert_eq!(scan.frames.len(), 1);
+    let parsed =
+        unsnap::obs::reader::parse(std::str::from_utf8(scan.frames[0].payload).unwrap()).unwrap();
+    assert_eq!(parsed.get("finite").unwrap().as_f64(), Some(0.5));
+    assert!(parsed.get("nan").unwrap().is_null());
+    let history = parsed.get("history").unwrap().as_array().unwrap();
+    assert_eq!(history[0].as_f64(), Some(1.0));
+    assert!(history[1].is_null() && history[2].is_null());
+    assert_eq!(history[3].as_f64(), Some(2.0));
+}

@@ -281,6 +281,71 @@ proptest! {
     }
 
     #[test]
+    fn builder_rejects_out_of_range_upscatter(
+        u in prop_oneof![-4.0f64..0.0, 1.0001f64..5.0],
+    ) {
+        let err = ProblemBuilder::tiny()
+            .scattering_ratio(0.9)
+            .upscatter(u)
+            .build()
+            .unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("upscatter_ratio"));
+        // Both boundaries are open: u = 0 is "just omit it", u = 1
+        // would zero the within-group diagonal entirely.
+        for boundary in [0.0, 1.0] {
+            let err = ProblemBuilder::tiny()
+                .scattering_ratio(0.9)
+                .upscatter(boundary)
+                .build()
+                .unwrap_err();
+            prop_assert_eq!(err.invalid_field(), Some("upscatter_ratio"));
+        }
+    }
+
+    #[test]
+    fn builder_accepts_in_range_upscatter_and_round_trips(
+        c in 0.1f64..1.0,
+        u in 0.001f64..0.999,
+    ) {
+        // Upscatter without a scattering ratio to split is dangling.
+        let err = ProblemBuilder::tiny().upscatter(u).build().unwrap_err();
+        prop_assert_eq!(err.invalid_field(), Some("upscatter_ratio"));
+
+        let problem = ProblemBuilder::tiny()
+            .scattering_ratio(c)
+            .upscatter(u)
+            .build()
+            .unwrap();
+        prop_assert_eq!(problem.upscatter_ratio, Some(u));
+        // Builder → Problem → builder is still the identity.
+        prop_assert_eq!(
+            ProblemBuilder::from_problem(&problem).build().unwrap(),
+            problem
+        );
+    }
+
+    #[test]
+    fn upscatter_matrix_preserves_the_ratio_and_couples_every_group(
+        groups in 2usize..7,
+        c in 0.1f64..1.0,
+        u in 0.001f64..0.999,
+    ) {
+        let xs = CrossSections::with_upscatter(groups, 1, c, u);
+        for g in 0..groups {
+            // Row sum is exactly the prescribed scattering ratio.
+            prop_assert!((xs.scattering_ratio(0, g) - c).abs() < 1e-12);
+            // Every group couples to every other group — including
+            // genuinely *up* in energy (g_to < g_from) — so no group
+            // ordering makes the matrix triangular.
+            for gt in 0..groups {
+                if gt != g {
+                    prop_assert!(xs.scatter(0, g, gt) > 0.0, "{g}->{gt} vanished");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn builder_rejects_negative_twist(twist in -2.0f64..-1e-9) {
         let err = ProblemBuilder::tiny().twist(twist).build().unwrap_err();
         prop_assert_eq!(err.invalid_field(), Some("twist"));
@@ -346,4 +411,56 @@ proptest! {
             problem
         );
     }
+}
+
+/// Outer convergence with genuine upscatter.  With a deliberately small
+/// inner budget the pointwise convergence check spans outer boundaries,
+/// so the converged flag reflects the *whole* iteration.  Pure
+/// within-group scattering contracts at `c` per sweep regardless of the
+/// outer structure; upscatter splits the same row sum across groups, and
+/// the cross-group part is only refreshed once per outer (Jacobi over
+/// groups), so the upscatter run needs more outer iterations to meet the
+/// same tolerance — and must still get there within the budget.
+#[test]
+fn upscatter_couples_groups_and_the_outer_iteration_still_converges() {
+    let base = ProblemBuilder::tiny()
+        .phase_space(2, 3)
+        .iterations(8, 60)
+        .tolerance(1e-6)
+        .scattering_ratio(0.8)
+        .build()
+        .unwrap();
+    let upscatter = ProblemBuilder::from_problem(&base)
+        .upscatter(0.3)
+        .build()
+        .unwrap();
+
+    let mut base_recorder = RecordingObserver::default();
+    let baseline = TransportSolver::new(&base)
+        .unwrap()
+        .run_observed(&mut base_recorder)
+        .unwrap();
+    let mut coupled_recorder = RecordingObserver::default();
+    let coupled = TransportSolver::new(&upscatter)
+        .unwrap()
+        .run_observed(&mut coupled_recorder)
+        .unwrap();
+
+    assert!(baseline.converged, "within-group-only run must converge");
+    assert!(
+        coupled.converged,
+        "upscatter run must converge within budget"
+    );
+    assert!(
+        coupled_recorder.outers_completed > base_recorder.outers_completed,
+        "upscatter must slow the outer iteration: {} vs {} outers",
+        coupled_recorder.outers_completed,
+        base_recorder.outers_completed
+    );
+    assert!(coupled.scalar_flux_total > 0.0);
+    // Same scattering-matrix row sums, different coupling: with vacuum
+    // boundaries the per-group leakage differs, so the answers differ.
+    let rel =
+        (coupled.scalar_flux_total - baseline.scalar_flux_total).abs() / baseline.scalar_flux_total;
+    assert!(rel > 1e-8, "upscatter changed nothing (rel = {rel:e})");
 }
