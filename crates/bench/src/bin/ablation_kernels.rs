@@ -1,0 +1,258 @@
+//! Ablation: the PR-9 sweep hot-path kernels — reference scalar
+//! assembly vs the SoA cache-blocked kernel, and full-`f64` sweeps vs
+//! the mixed-precision (`f32` local solve) mode — under both source
+//! iteration and DSA-accelerated source iteration.
+//!
+//! The scenario is the quickstart phase space on a diffusive domain, so
+//! the iteration counts have honest work behind them.  Beyond the
+//! timing table this binary *asserts* the kernel-engine contracts:
+//!
+//! * the blocked `f64` kernel reproduces the reference kernel **bit for
+//!   bit** (scalar-flux aggregates compared via `to_bits`, iteration
+//!   counters compared exactly) — the blocked kernel caches the
+//!   direction-dependent geometry tiles and replays the reference
+//!   operation sequence, so this holds by construction;
+//! * the mixed-precision mode converges to the same physics within
+//!   [`MIXED_FLUX_TOLERANCE`] (relative, on the scalar-flux total) and
+//!   needs at most [`mixed_sweep_budget`] sweeps — single precision
+//!   carries ~7 significant digits, so a 1e-5-relative agreement with
+//!   bounded extra iterations is the documented trade-off.
+//!
+//! A violated contract panics, so CI smoke runs of this binary double
+//! as an end-to-end equivalence gate.
+//!
+//! Pass `--json` for one object per kernel × precision case, `--csv`
+//! for a flat table, `--quick` to shrink the mesh for CI smoke runs,
+//! and `--metrics-out <path>` to append one trajectory-schema record
+//! per measured solve (merged into `BENCH_9.json` by the `trajectory`
+//! binary).
+//!
+//! Environment knobs (parsed via `FromStr`):
+//!
+//! * `UNSNAP_SOLVER` — `ge`, `lu` or `mkl` (default `ge`).
+//! * `UNSNAP_MESH`   — cells per side of the cubic mesh (default 6).
+//! * `UNSNAP_GROUPS` — energy groups (default 2).
+//! * `UNSNAP_BUDGET` — inner-iteration budget per outer (default 1200).
+
+use unsnap_bench::{
+    effective_threads, emit_metrics_record, env_parse, run_strategy, HarnessOptions, MetricsRecord,
+};
+use unsnap_core::builder::ProblemBuilder;
+use unsnap_core::json::{array_raw, JsonObject};
+use unsnap_core::kernel::KernelKind;
+use unsnap_core::layout::Precision;
+use unsnap_core::solver::SolveOutcome;
+use unsnap_core::strategy::StrategyKind;
+use unsnap_linalg::SolverKind;
+
+/// Documented accuracy contract of the mixed-precision mode: the
+/// relative difference of the converged scalar-flux total against the
+/// full-`f64` reference solve must stay below this bound.  Single
+/// precision resolves ~7 significant digits; the converged aggregate of
+/// a well-conditioned DG solve keeps comfortably under 1e-5 of drift.
+pub const MIXED_FLUX_TOLERANCE: f64 = 1e-5;
+
+/// Documented iteration contract of the mixed-precision mode: at most
+/// double the reference sweep count plus a small constant — rounding
+/// the iterates to the `f32` grid may slow the tail of convergence but
+/// must not change its character.
+pub fn mixed_sweep_budget(reference_sweeps: usize) -> usize {
+    2 * reference_sweeps + 4
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(1e-300)
+}
+
+struct Case {
+    kernel: KernelKind,
+    precision: Precision,
+    outcome: SolveOutcome,
+}
+
+impl Case {
+    fn label(&self) -> String {
+        format!("{}/{}", self.kernel.label(), self.precision.label())
+    }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let solver: SolverKind = env_parse("UNSNAP_SOLVER", SolverKind::GaussianElimination);
+    let mesh: usize = env_parse("UNSNAP_MESH", if opts.quick { 4 } else { 6 });
+    let groups: usize = env_parse("UNSNAP_GROUPS", 2);
+    // At c = 0.9 source iteration contracts at ~0.9 per sweep, so a
+    // 1e-5 tolerance needs on the order of 110 sweeps; give it head
+    // room (the mixed mode is allowed up to double the reference).
+    let budget: usize = env_parse("UNSNAP_BUDGET", if opts.quick { 600 } else { 1200 });
+    // Tolerance sits well above f32 resolution so the mixed mode can
+    // genuinely converge rather than oscillate on the rounding grid.
+    let tolerance = 1e-5;
+
+    let strategies = [
+        StrategyKind::SourceIteration,
+        StrategyKind::DsaSourceIteration,
+    ];
+    let combos = [
+        (KernelKind::Reference, Precision::F64),
+        (KernelKind::Blocked, Precision::F64),
+        (KernelKind::Reference, Precision::Mixed),
+        (KernelKind::Blocked, Precision::Mixed),
+    ];
+
+    if !opts.csv && !opts.json {
+        println!("Kernel ablation: reference vs SoA-blocked, f64 vs mixed precision");
+        println!(
+            "  mesh {mesh}³, {groups} group(s), tolerance {tolerance:.0e}, dense back end {solver}"
+        );
+        println!(
+            "  contracts: blocked f64 bit-for-bit; mixed flux within {MIXED_FLUX_TOLERANCE:.0e}"
+        );
+        println!();
+    }
+    let csv = opts.csv && !opts.json;
+    if csv {
+        println!(
+            "strategy,kernel,precision,sweeps,converged,assemble_solve_seconds,\
+             flux_rel_diff_vs_reference"
+        );
+    }
+
+    let mut dumps = Vec::new();
+    for strategy in strategies {
+        let base = ProblemBuilder::quickstart()
+            .mesh(mesh)
+            .extents(12.0, 12.0, 12.0)
+            .phase_space(2, groups)
+            .scattering_ratio(0.9)
+            .tolerance(tolerance)
+            .iterations(budget, 1)
+            .solver(solver)
+            .strategy(strategy);
+        let threads = base.build().map(|p| effective_threads(&p)).unwrap_or(1);
+
+        let cases: Vec<Case> = combos
+            .iter()
+            .map(|&(kernel, precision)| Case {
+                kernel,
+                precision,
+                outcome: run_strategy(
+                    &base.clone().kernel(kernel).precision(precision),
+                    strategy,
+                    opts.progress,
+                ),
+            })
+            .collect();
+        let reference = &cases[0].outcome;
+        assert!(
+            reference.converged,
+            "{strategy}: the reference solve must converge for the comparison to mean anything"
+        );
+
+        for case in &cases {
+            let out = &case.outcome;
+            if case.precision == Precision::F64 {
+                // Contract 1: every f64 case is bit-for-bit the
+                // reference physics, whichever kernel assembled it.
+                for (name, ours, refs) in [
+                    ("total", out.scalar_flux_total, reference.scalar_flux_total),
+                    ("max", out.scalar_flux_max, reference.scalar_flux_max),
+                    ("min", out.scalar_flux_min, reference.scalar_flux_min),
+                ] {
+                    assert_eq!(
+                        ours.to_bits(),
+                        refs.to_bits(),
+                        "{strategy}/{}: scalar flux {name} drifted from the reference kernel",
+                        case.label()
+                    );
+                }
+                assert_eq!(out.sweep_count, reference.sweep_count, "{strategy}: sweeps");
+                assert_eq!(
+                    out.inner_iterations, reference.inner_iterations,
+                    "{strategy}: inners"
+                );
+            } else {
+                // Contract 2: mixed precision holds the documented flux
+                // tolerance and iteration budget.
+                let drift = rel_diff(reference.scalar_flux_total, out.scalar_flux_total);
+                assert!(
+                    out.converged,
+                    "{strategy}/{}: mixed-precision solve failed to converge",
+                    case.label()
+                );
+                assert!(
+                    drift <= MIXED_FLUX_TOLERANCE,
+                    "{strategy}/{}: flux drift {drift:.3e} exceeds {MIXED_FLUX_TOLERANCE:.0e}",
+                    case.label()
+                );
+                assert!(
+                    out.sweep_count <= mixed_sweep_budget(reference.sweep_count),
+                    "{strategy}/{}: {} sweeps exceeds the budget of {}",
+                    case.label(),
+                    out.sweep_count,
+                    mixed_sweep_budget(reference.sweep_count)
+                );
+            }
+
+            emit_metrics_record(
+                &opts,
+                &MetricsRecord::from_metrics(
+                    "ablation_kernels",
+                    &case.label(),
+                    strategy,
+                    threads,
+                    &out.metrics,
+                ),
+            );
+
+            let drift = rel_diff(reference.scalar_flux_total, out.scalar_flux_total);
+            if opts.json {
+                dumps.push(
+                    JsonObject::new()
+                        .field_str("strategy", &strategy.to_string().to_ascii_lowercase())
+                        .field_str("kernel", case.kernel.label())
+                        .field_str("precision", case.precision.label())
+                        .field_f64("flux_rel_diff_vs_reference", drift)
+                        .field_raw("outcome", &out.to_json())
+                        .finish(),
+                );
+            } else if csv {
+                println!(
+                    "{},{},{},{},{},{:.6},{:.3e}",
+                    strategy.to_string().to_ascii_lowercase(),
+                    case.kernel.label(),
+                    case.precision.label(),
+                    out.sweep_count,
+                    out.converged,
+                    out.assemble_solve_seconds,
+                    drift,
+                );
+            }
+        }
+
+        if !csv && !opts.json {
+            println!("{strategy}");
+            println!(
+                "  {:<18} {:>7} {:>10} {:>12} {:>14}",
+                "kernel/precision", "sweeps", "converged", "seconds", "flux rel diff"
+            );
+            for case in &cases {
+                let out = &case.outcome;
+                println!(
+                    "  {:<18} {:>7} {:>10} {:>12.4} {:>14.3e}",
+                    case.label(),
+                    out.sweep_count,
+                    out.converged,
+                    out.assemble_solve_seconds,
+                    rel_diff(reference.scalar_flux_total, out.scalar_flux_total),
+                );
+            }
+            println!("  all kernel-engine contracts held");
+            println!();
+        }
+    }
+
+    if opts.json {
+        println!("{}", array_raw(dumps));
+    }
+}

@@ -32,6 +32,7 @@ use unsnap_core::json::JsonObject;
 use unsnap_core::metrics::RunMetrics;
 use unsnap_core::problem::Problem;
 use unsnap_core::session::Phase;
+use unsnap_obs::metrics::Histogram;
 use unsnap_obs::reader::{self, JsonValue};
 use unsnap_serve::{http, ServeConfig, Server};
 
@@ -200,8 +201,10 @@ fn extract_raw_outcome(status_body: &str) -> String {
 }
 
 /// Rebuild the [`RunMetrics`] snapshot from an outcome document's
-/// `metrics` member.  The latency histogram does not cross the wire, so
-/// it stays empty (percentiles serialise as null).
+/// `metrics` member, including the sweep-latency histogram (rebuilt
+/// from its serialised buckets via [`Histogram::from_parts`], so the
+/// trajectory records this binary emits carry real `sweep_p50`/`p95`
+/// values instead of nulls whenever the solve recorded any sweep).
 fn metrics_from_outcome(outcome: &JsonValue) -> RunMetrics {
     let det = outcome
         .get("metrics")
@@ -237,7 +240,37 @@ fn metrics_from_outcome(outcome: &JsonValue) -> RunMetrics {
             .and_then(|x| x.as_f64())
             .unwrap_or(0.0);
     }
+    if let Some(histogram) = histogram_from_json(wall.get("sweep_latency_seconds")) {
+        metrics.sweep_latency = histogram;
+    }
     metrics
+}
+
+/// Rebuild a [`Histogram`] from the object [`Histogram::to_json`] emits;
+/// `None` on a missing or inconsistent document (the snapshot then keeps
+/// its empty histogram and the percentiles serialise as null).
+fn histogram_from_json(doc: Option<&JsonValue>) -> Option<Histogram> {
+    let doc = doc?;
+    let floats = |key: &str| -> Option<Vec<f64>> {
+        doc.get(key)?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_f64())
+            .collect()
+    };
+    let bounds = floats("bounds")?;
+    let bucket_counts: Vec<u64> = floats("bucket_counts")?
+        .into_iter()
+        .map(|c| c as u64)
+        .collect();
+    Histogram::from_parts(
+        &bounds,
+        &bucket_counts,
+        doc.get("count")?.as_u64()?,
+        doc.get("sum")?.as_f64()?,
+        doc.get("min")?.as_f64()?,
+        doc.get("max")?.as_f64()?,
+    )
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set.

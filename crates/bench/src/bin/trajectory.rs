@@ -21,7 +21,9 @@
 
 use std::io::Write;
 
-use unsnap_bench::METRICS_RECORD_KEYS;
+use unsnap_bench::{
+    validate_number_or_null, METRICS_RECORD_KEYS, METRICS_RECORD_NUMBER_OR_NULL_KEYS,
+};
 use unsnap_core::json::{array_raw, JsonObject};
 use unsnap_obs::reader;
 
@@ -62,6 +64,14 @@ fn main() {
                         "{input} line {}: not a metrics record (missing `{key}`)",
                         index + 1
                     );
+                }
+            }
+            // The latency percentiles are explicitly number-or-null:
+            // null means "no sweep latency samples", anything else is a
+            // malformed record.
+            for key in METRICS_RECORD_NUMBER_OR_NULL_KEYS {
+                if let Err(reason) = validate_number_or_null(&doc, key) {
+                    panic!("{input} line {}: {reason}", index + 1);
                 }
             }
             for (value, seen) in [

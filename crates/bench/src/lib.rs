@@ -278,6 +278,29 @@ pub const METRICS_RECORD_KEYS: [&str; 10] = [
     "sweep_p50",
 ];
 
+/// The trajectory-record fields that must be a JSON number or an
+/// explicit `null` (the per-sweep latency percentiles: `null` means the
+/// solve recorded no sweep latency samples — anything else in these
+/// slots is schema drift the merger must reject).
+pub const METRICS_RECORD_NUMBER_OR_NULL_KEYS: [&str; 2] = ["sweep_p50", "sweep_p95"];
+
+/// Validate that `doc[key]` is a JSON number or an explicit `null`.
+///
+/// Used by the `trajectory` binary on the keys in
+/// [`METRICS_RECORD_NUMBER_OR_NULL_KEYS`] so a record carrying, say, a
+/// stringified percentile fails the merge loudly instead of producing a
+/// trajectory downstream plots choke on.
+pub fn validate_number_or_null(
+    doc: &unsnap_obs::reader::JsonValue,
+    key: &str,
+) -> Result<(), String> {
+    match doc.get(key) {
+        None => Err(format!("missing `{key}`")),
+        Some(value) if value.is_null() || value.as_f64().is_some() => Ok(()),
+        Some(value) => Err(format!("`{key}` must be a number or null, got {value}")),
+    }
+}
+
 /// Append `record` to `opts.metrics_out` if the flag was given; a no-op
 /// otherwise.  Appending (rather than truncating) lets one shell loop
 /// collect many bins into a single file for `trajectory`.  Panics on an
@@ -600,6 +623,44 @@ mod tests {
             doc.get("sweep_p50").and_then(|v| v.as_f64()).unwrap() > 0.0,
             "latency percentile must come from the recorded histogram"
         );
+    }
+
+    #[test]
+    fn latency_percentiles_validate_as_number_or_null() {
+        // Both shapes an emitting bin can legitimately produce.
+        let with_samples =
+            unsnap_obs::reader::parse(r#"{"sweep_p50":0.012,"sweep_p95":0.5}"#).unwrap();
+        let without = unsnap_obs::reader::parse(r#"{"sweep_p50":null,"sweep_p95":null}"#).unwrap();
+        for key in METRICS_RECORD_NUMBER_OR_NULL_KEYS {
+            assert_eq!(validate_number_or_null(&with_samples, key), Ok(()));
+            assert_eq!(validate_number_or_null(&without, key), Ok(()));
+        }
+
+        // Everything else is schema drift.
+        let stringified = unsnap_obs::reader::parse(r#"{"sweep_p50":"0.012"}"#).unwrap();
+        assert!(validate_number_or_null(&stringified, "sweep_p50")
+            .unwrap_err()
+            .contains("number or null"));
+        let missing = unsnap_obs::reader::parse("{}").unwrap();
+        assert!(validate_number_or_null(&missing, "sweep_p50")
+            .unwrap_err()
+            .contains("missing"));
+
+        // A freshly-built record passes for every guarded key: NaN
+        // percentiles (no sweeps) serialise as null, real samples as
+        // numbers.
+        let record = MetricsRecord::from_metrics(
+            "bin",
+            "case",
+            StrategyKind::SourceIteration,
+            1,
+            &RunMetrics::default(),
+        );
+        let doc = unsnap_obs::reader::parse(&record.to_json()).unwrap();
+        for key in METRICS_RECORD_NUMBER_OR_NULL_KEYS {
+            assert_eq!(validate_number_or_null(&doc, key), Ok(()));
+            assert!(doc.get(key).unwrap().is_null());
+        }
     }
 
     #[test]

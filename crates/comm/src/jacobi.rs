@@ -59,8 +59,8 @@ use unsnap_obs::clock::{Clock, SystemClock};
 use unsnap_core::angular::AngularQuadrature;
 use unsnap_core::data::ProblemData;
 use unsnap_core::error::{Error, Result};
-use unsnap_core::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
-use unsnap_core::layout::{FluxLayout, FluxStorage};
+use unsnap_core::kernel::{KernelEngine, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
+use unsnap_core::layout::{FluxLayout, FluxStorage, Precision};
 use unsnap_core::metrics::{MetricsObserver, RunMetrics};
 use unsnap_core::problem::Problem;
 use unsnap_core::report::IterationSummary;
@@ -366,7 +366,8 @@ impl RankContext<'_> {
                             };
                             upwind.push(UpwindFace { face, source: src });
                         }
-                        let t = assemble_solve(
+                        let t = s.engine.assemble_solve(
+                            e,
                             ints,
                             omega,
                             sigma_t,
@@ -521,6 +522,14 @@ impl InnerSolveContext for RankContext<'_> {
         observer.on_phase_start(Phase::AccelCg);
         let t0 = s.clock.now();
         let result = dsa.correct(&mut state.phi, previous, stats, observer);
+        if result.is_ok() && s.problem.precision == Precision::Mixed {
+            // Mixed mode resolves fluxes at single precision; round the
+            // f64 diffusion correction onto the same grid (mirrors the
+            // single-domain solver's post-correction rounding).
+            for p in &mut state.phi {
+                *p = *p as f32 as f64;
+            }
+        }
         let seconds = s.clock.now().saturating_sub(t0).as_secs_f64();
         observer.on_phase_end(Phase::AccelCg, seconds);
         result
@@ -554,6 +563,11 @@ pub struct BlockJacobiSolver {
     /// halo iteration and restored in rank order.
     ranks: Vec<RankState>,
     solver: Box<dyn LinearSolver>,
+    /// Per-cell assemble+solve engine (kernel implementation ×
+    /// precision), shared read-only by every rank context; the cache key
+    /// is the *global* cell id so each rank's blocked-kernel geometry
+    /// cache stays coherent across halo iterations.
+    engine: KernelEngine,
     /// Worker pool the rank solves fan out on.
     pool: rayon::ThreadPool,
     /// Time source for phase spans and per-sweep latency, shared by the
@@ -787,6 +801,7 @@ impl BlockJacobiSolver {
             phi_outer: FluxStorage::zeros(scalar_layout),
             ranks,
             solver: problem.solver.build(),
+            engine: KernelEngine::new(problem.kernel, problem.precision),
             pool,
             clock: Box::new(SystemClock::new()),
             resume: None,

@@ -46,6 +46,8 @@ use unsnap_sweep::{ConcurrencyScheme, ThreadedLoops};
 
 use crate::data::{MaterialOption, SourceOption};
 use crate::error::{Error, Result};
+use crate::kernel::KernelKind;
+use crate::layout::Precision;
 use crate::problem::Problem;
 use crate::session::Session;
 use crate::solver::TransportSolver;
@@ -199,11 +201,18 @@ pub struct ExecutionConfig {
     pub precompute_integrals: bool,
     /// Time the linear solve separately.
     pub time_solve: bool,
+    /// Which assemble kernel runs the per-cell hot loop (see
+    /// [`Problem::kernel`]).
+    pub kernel: KernelKind,
+    /// Storage/solve precision of the per-cell dense solves (see
+    /// [`Problem::precision`]).
+    pub precision: Precision,
 }
 
 impl Default for ExecutionConfig {
     /// The `tiny` preset's execution: Gaussian elimination, serial
-    /// scheme, one thread, precomputed integrals, no solve timer.
+    /// scheme, one thread, precomputed integrals, no solve timer, the
+    /// reference kernel in full double precision.
     fn default() -> Self {
         Self {
             solver: SolverKind::GaussianElimination,
@@ -211,6 +220,8 @@ impl Default for ExecutionConfig {
             num_threads: Some(1),
             precompute_integrals: true,
             time_solve: false,
+            kernel: KernelKind::Reference,
+            precision: Precision::F64,
         }
     }
 }
@@ -281,6 +292,8 @@ impl ProblemBuilder {
                 num_threads: p.num_threads,
                 precompute_integrals: p.precompute_integrals,
                 time_solve: p.time_solve,
+                kernel: p.kernel,
+                precision: p.precision,
             },
         }
     }
@@ -511,8 +524,21 @@ impl ProblemBuilder {
         self
     }
 
+    /// Assemble kernel for the per-cell hot loop.
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.execution.kernel = kernel;
+        self
+    }
+
+    /// Storage/solve precision of the per-cell dense solves.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.execution.precision = precision;
+        self
+    }
+
     /// Apply the `UNSNAP_STRATEGY`, `UNSNAP_ACCEL`, `UNSNAP_SOLVER`,
-    /// `UNSNAP_SCHEME`, `UNSNAP_THREADS` and `UNSNAP_SUBDOMAIN_ITERS`
+    /// `UNSNAP_SCHEME`, `UNSNAP_KERNEL`, `UNSNAP_PRECISION`,
+    /// `UNSNAP_THREADS` and `UNSNAP_SUBDOMAIN_ITERS`
     /// environment overrides (the enum knobs round-trip through
     /// `FromStr`/`Display`, so any label the workspace prints is
     /// accepted; `UNSNAP_THREADS` is a positive worker-thread count for
@@ -574,6 +600,12 @@ impl ProblemBuilder {
         }
         if let Some(scheme) = parse_env::<ConcurrencyScheme>("UNSNAP_SCHEME", "scheme")? {
             self.execution.scheme = scheme;
+        }
+        if let Some(kernel) = parse_env::<KernelKind>("UNSNAP_KERNEL", "kernel")? {
+            self.execution.kernel = kernel;
+        }
+        if let Some(precision) = parse_env::<Precision>("UNSNAP_PRECISION", "precision")? {
+            self.execution.precision = precision;
         }
         if let Ok(raw) = std::env::var("UNSNAP_THREADS") {
             let threads: usize = raw.trim().parse().map_err(|e| {
@@ -643,6 +675,8 @@ impl ProblemBuilder {
             num_threads: self.execution.num_threads,
             precompute_integrals: self.execution.precompute_integrals,
             time_solve: self.execution.time_solve,
+            kernel: self.execution.kernel,
+            precision: self.execution.precision,
         }
     }
 
@@ -960,6 +994,8 @@ mod tests {
         std::env::set_var("UNSNAP_ACCEL", "dsa");
         std::env::set_var("UNSNAP_SOLVER", "mkl");
         std::env::set_var("UNSNAP_SCHEME", "best");
+        std::env::set_var("UNSNAP_KERNEL", "blocked");
+        std::env::set_var("UNSNAP_PRECISION", "mixed");
         std::env::set_var("UNSNAP_THREADS", "3");
         std::env::set_var("UNSNAP_SUBDOMAIN_ITERS", "9");
         let b = ProblemBuilder::tiny().env_overrides().unwrap();
@@ -967,8 +1003,20 @@ mod tests {
         assert_eq!(b.accel.accelerator, AcceleratorKind::Dsa);
         assert_eq!(b.execution.solver, SolverKind::Mkl);
         assert_eq!(b.execution.scheme, ConcurrencyScheme::best());
+        assert_eq!(b.execution.kernel, KernelKind::Blocked);
+        assert_eq!(b.execution.precision, Precision::Mixed);
         assert_eq!(b.execution.num_threads, Some(3));
         assert_eq!(b.iteration.subdomain_krylov_budget, Some(9));
+
+        std::env::set_var("UNSNAP_KERNEL", "nonsense");
+        let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("kernel"));
+        std::env::set_var("UNSNAP_KERNEL", "blocked");
+
+        std::env::set_var("UNSNAP_PRECISION", "f16");
+        let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
+        assert_eq!(err.invalid_field(), Some("precision"));
+        std::env::set_var("UNSNAP_PRECISION", "mixed");
 
         std::env::set_var("UNSNAP_STRATEGY", "nonsense");
         let err = ProblemBuilder::tiny().env_overrides().unwrap_err();
@@ -1033,6 +1081,8 @@ mod tests {
         std::env::remove_var("UNSNAP_ACCEL");
         std::env::remove_var("UNSNAP_SOLVER");
         std::env::remove_var("UNSNAP_SCHEME");
+        std::env::remove_var("UNSNAP_KERNEL");
+        std::env::remove_var("UNSNAP_PRECISION");
         std::env::remove_var("UNSNAP_THREADS");
         std::env::remove_var("UNSNAP_SUBDOMAIN_ITERS");
         let b = ProblemBuilder::tiny().env_overrides().unwrap();

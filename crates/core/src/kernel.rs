@@ -26,8 +26,63 @@
 
 use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
 use unsnap_fem::integrals::ElementIntegrals;
 use unsnap_linalg::{DenseMatrix, LinearSolver};
+
+use crate::layout::Precision;
+
+/// Which assemble kernel runs the per-cell hot loop.
+///
+/// Both kernels produce bit-for-bit identical systems: the blocked
+/// kernel caches the direction-dependent geometry tiles (streaming
+/// matrix and outflow face entries) per `(element, Ω)` and replays the
+/// reference operation order from the cache, so reusing a cached `f64`
+/// is indistinguishable from recomputing it.  The payoff is that the
+/// per-group work drops to `σ_t·M` minus a preformed SoA tile — the
+/// groups of one element are consecutive in the collapsed loop order,
+/// so the cache hits on every group after the first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum KernelKind {
+    /// The scalar reference kernel, unchanged since the seed.
+    #[default]
+    Reference,
+    /// SoA cache-blocked kernel reusing per-(element, Ω) geometry tiles.
+    Blocked,
+}
+
+impl KernelKind {
+    /// Every kernel, in fixed ablation order.
+    pub fn all() -> [KernelKind; 2] {
+        [KernelKind::Reference, KernelKind::Blocked]
+    }
+
+    /// Short name used in tables and for CLI/env selection.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::Reference => "reference",
+            KernelKind::Blocked => "blocked",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for KernelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" | "ref" | "scalar" => Ok(KernelKind::Reference),
+            "blocked" | "soa" | "cache-blocked" => Ok(KernelKind::Blocked),
+            other => Err(format!("unknown kernel '{other}'")),
+        }
+    }
+}
 
 /// Where the upwind flux for one inflow face comes from.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +119,18 @@ pub struct KernelScratch {
     pub matrix: DenseMatrix,
     /// Right-hand side, overwritten with the solution.
     pub rhs: Vec<f64>,
+    /// Tag of the `(cache key, Ω bit pattern)` whose geometry tiles are
+    /// currently loaded; `None` until the blocked kernel warms it.
+    geo_key: Option<(usize, [u64; 3])>,
+    /// Cached streaming tile `Σ_d Ω_d G[d]` for the tagged key.
+    geo_streaming: DenseMatrix,
+    /// Cached outflow surface entries `(i, j, f_ij)` for the tagged key,
+    /// in reference accumulation order.
+    geo_outflow: Vec<(usize, usize, f64)>,
+    /// Single-precision mirror of `matrix` for the mixed-precision solve.
+    matrix32: Vec<f32>,
+    /// Single-precision mirror of `rhs` for the mixed-precision solve.
+    rhs32: Vec<f32>,
 }
 
 impl KernelScratch {
@@ -72,6 +139,11 @@ impl KernelScratch {
         Self {
             matrix: DenseMatrix::zeros(n, n),
             rhs: vec![0.0; n],
+            geo_key: None,
+            geo_streaming: DenseMatrix::zeros(n, n),
+            geo_outflow: Vec::new(),
+            matrix32: vec![0.0; n * n],
+            rhs32: vec![0.0; n],
         }
     }
 }
@@ -167,6 +239,21 @@ pub fn assemble(
     }
 
     // Inflow faces contribute the upwind flux to the right-hand side.
+    apply_inflow(integrals, omega, upwind, &mut scratch.rhs);
+}
+
+/// Apply the inflow-face upwind contributions to the right-hand side.
+///
+/// Shared verbatim by the reference and blocked kernels: the upwind data
+/// is group-dependent, so it is never cached, and keeping a single copy
+/// of the loop guarantees both kernels execute the identical operation
+/// sequence here.
+fn apply_inflow(
+    integrals: &ElementIntegrals,
+    omega: [f64; 3],
+    upwind: &[UpwindFace<'_>],
+    rhs: &mut [f64],
+) {
     for uw in upwind {
         let face = &integrals.faces[uw.face];
         let nf = face.node_indices.len();
@@ -183,7 +270,7 @@ pub fn assemble(
                             + omega[1] * face.matrices[1][(a, b)]
                             + omega[2] * face.matrices[2][(a, b)];
                     }
-                    scratch.rhs[ia] -= acc * value;
+                    rhs[ia] -= acc * value;
                 }
             }
             UpwindSource::Interior {
@@ -201,11 +288,98 @@ pub fn assemble(
                             + omega[2] * face.matrices[2][(a, b)];
                         acc += f_ab * psi_up;
                     }
-                    scratch.rhs[ia] -= acc;
+                    rhs[ia] -= acc;
                 }
             }
         }
     }
+}
+
+/// Assemble the local system with the SoA cache-blocked kernel.
+///
+/// `cache_key` identifies the element whose geometry tiles may be
+/// reused (the caller passes the element's deterministic index).  On a
+/// cache miss the kernel computes the streaming tile `Σ_d Ω_d G[d]` and
+/// the outflow surface entries with exactly the reference expressions
+/// and stores them; on a hit it replays the stored `f64` values in the
+/// reference accumulation order.  Either way every floating-point
+/// operation that touches the system matches [`assemble`] bit for bit —
+/// a reused `f64` has the same bits as a recomputed one.
+pub fn assemble_blocked(
+    integrals: &ElementIntegrals,
+    omega: [f64; 3],
+    sigma_t: f64,
+    source_nodes: &[f64],
+    upwind: &[UpwindFace<'_>],
+    cache_key: usize,
+    scratch: &mut KernelScratch,
+) {
+    let n = integrals.nodes_per_element();
+    debug_assert_eq!(source_nodes.len(), n);
+    debug_assert_eq!(scratch.matrix.rows(), n);
+
+    let key = (
+        cache_key,
+        [omega[0].to_bits(), omega[1].to_bits(), omega[2].to_bits()],
+    );
+    if scratch.geo_key != Some(key) || scratch.geo_streaming.rows() != n {
+        if scratch.geo_streaming.rows() != n {
+            scratch.geo_streaming = DenseMatrix::zeros(n, n);
+        }
+        let gx = &integrals.stream[0];
+        let gy = &integrals.stream[1];
+        let gz = &integrals.stream[2];
+        for i in 0..n {
+            let row_x = gx.row(i);
+            let row_y = gy.row(i);
+            let row_z = gz.row(i);
+            let out = scratch.geo_streaming.row_mut(i);
+            for j in 0..n {
+                // Identical expression (and therefore identical bits) to
+                // the parenthesised streaming term in `assemble`.
+                out[j] = omega[0] * row_x[j] + omega[1] * row_y[j] + omega[2] * row_z[j];
+            }
+        }
+        scratch.geo_outflow.clear();
+        for face in &integrals.faces {
+            if face.direction_dot_normal(omega) <= 0.0 {
+                continue;
+            }
+            let nf = face.node_indices.len();
+            for a in 0..nf {
+                let ia = face.node_indices[a];
+                for b in 0..nf {
+                    let ib = face.node_indices[b];
+                    let f_ab = omega[0] * face.matrices[0][(a, b)]
+                        + omega[1] * face.matrices[1][(a, b)]
+                        + omega[2] * face.matrices[2][(a, b)];
+                    scratch.geo_outflow.push((ia, ib, f_ab));
+                }
+            }
+        }
+        scratch.geo_key = Some(key);
+    }
+
+    // Per-group tile: σ_t·M minus the cached streaming tile, in the
+    // reference operation order (one multiply, one subtract per entry).
+    let mass = &integrals.mass;
+    for i in 0..n {
+        let row_m = mass.row(i);
+        let row_s = scratch.geo_streaming.row(i);
+        let out_row = scratch.matrix.row_mut(i);
+        let mut b_i = 0.0;
+        for j in 0..n {
+            let m_ij = row_m[j];
+            out_row[j] = sigma_t * m_ij - row_s[j];
+            b_i += m_ij * source_nodes[j];
+        }
+        scratch.rhs[i] = b_i;
+    }
+    for &(ia, ib, f_ab) in &scratch.geo_outflow {
+        scratch.matrix[(ia, ib)] += f_ab;
+    }
+
+    apply_inflow(integrals, omega, upwind, &mut scratch.rhs);
 }
 
 /// Assemble and solve one local system, returning the timing breakdown.
@@ -247,6 +421,208 @@ pub fn assemble_solve(
         KernelTiming {
             assemble_ns: t0.elapsed().as_nanos() as u64,
             solve_ns: 0,
+        }
+    }
+}
+
+/// Solve the assembled system in single precision.
+///
+/// Casts `scratch.matrix`/`scratch.rhs` down to `f32`, runs an in-place
+/// Gaussian elimination with partial pivoting, and writes the widened
+/// solution back into `scratch.rhs`.  The assembly stays in `f64` (same
+/// operation order as the selected kernel); only the storage and the
+/// elimination arithmetic are single precision, mirroring the paper's
+/// mixed-precision sweep variant.
+fn solve_f32_in_place(scratch: &mut KernelScratch) {
+    let n = scratch.rhs.len();
+    scratch.matrix32.resize(n * n, 0.0);
+    scratch.rhs32.resize(n, 0.0);
+    for i in 0..n {
+        let row = scratch.matrix.row(i);
+        for j in 0..n {
+            scratch.matrix32[i * n + j] = row[j] as f32;
+        }
+        scratch.rhs32[i] = scratch.rhs[i] as f32;
+    }
+    let a = &mut scratch.matrix32;
+    let b = &mut scratch.rhs32;
+    for col in 0..n {
+        // Partial pivoting: largest |a[row][col]| among the remaining rows.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let mag = a[row * n + col].abs();
+            if mag > best {
+                best = mag;
+                pivot = row;
+            }
+        }
+        assert!(best > 0.0, "local DG system should be non-singular");
+        if pivot != col {
+            for j in col..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            b.swap(col, pivot);
+        }
+        let inv = 1.0 / a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in (col + 1)..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for j in (col + 1)..n {
+            acc -= a[col * n + j] * b[j];
+        }
+        b[col] = acc / a[col * n + col];
+    }
+    for i in 0..n {
+        scratch.rhs[i] = scratch.rhs32[i] as f64;
+    }
+}
+
+/// The kernel-engine seam: which assemble kernel runs and at which
+/// solve precision, resolved once per solver from
+/// [`Problem::kernel`](crate::problem::Problem) and
+/// [`Problem::precision`](crate::problem::Problem).
+///
+/// `Reference` + `F64` reproduces the free [`assemble_solve`] exactly,
+/// bit for bit.  `Blocked` swaps in [`assemble_blocked`] (still
+/// bit-for-bit, see its contract); `Mixed` precision swaps the dense
+/// solve for an in-place `f32` partial-pivot elimination while outer
+/// iterations stay `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelEngine {
+    kind: KernelKind,
+    precision: Precision,
+}
+
+impl KernelEngine {
+    /// Build an engine from the two knobs.
+    pub fn new(kind: KernelKind, precision: Precision) -> Self {
+        Self { kind, precision }
+    }
+
+    /// The selected assemble kernel.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// The selected solve precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Assemble and solve one local system through the engine.
+    ///
+    /// `cache_key` must identify the element deterministically across
+    /// runs (the solvers pass the element's mesh index); the blocked
+    /// kernel keys its geometry cache on it.  In mixed precision the
+    /// `solver` argument is bypassed — the engine's built-in `f32`
+    /// partial-pivot elimination runs instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_solve(
+        &self,
+        cache_key: usize,
+        integrals: &ElementIntegrals,
+        omega: [f64; 3],
+        sigma_t: f64,
+        source_nodes: &[f64],
+        upwind: &[UpwindFace<'_>],
+        solver: &dyn LinearSolver,
+        time_solve: bool,
+        scratch: &mut KernelScratch,
+    ) -> KernelTiming {
+        if self.kind == KernelKind::Reference && self.precision == Precision::F64 {
+            // The seed path, verbatim.
+            return assemble_solve(
+                integrals,
+                omega,
+                sigma_t,
+                source_nodes,
+                upwind,
+                solver,
+                time_solve,
+                scratch,
+            );
+        }
+        if time_solve {
+            let t0 = Instant::now();
+            self.assemble_only(
+                cache_key,
+                integrals,
+                omega,
+                sigma_t,
+                source_nodes,
+                upwind,
+                scratch,
+            );
+            let assemble_ns = t0.elapsed().as_nanos() as u64;
+            let t1 = Instant::now();
+            self.solve_only(solver, scratch);
+            KernelTiming {
+                assemble_ns,
+                solve_ns: t1.elapsed().as_nanos() as u64,
+            }
+        } else {
+            let t0 = Instant::now();
+            self.assemble_only(
+                cache_key,
+                integrals,
+                omega,
+                sigma_t,
+                source_nodes,
+                upwind,
+                scratch,
+            );
+            self.solve_only(solver, scratch);
+            KernelTiming {
+                assemble_ns: t0.elapsed().as_nanos() as u64,
+                solve_ns: 0,
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_only(
+        &self,
+        cache_key: usize,
+        integrals: &ElementIntegrals,
+        omega: [f64; 3],
+        sigma_t: f64,
+        source_nodes: &[f64],
+        upwind: &[UpwindFace<'_>],
+        scratch: &mut KernelScratch,
+    ) {
+        match self.kind {
+            KernelKind::Reference => {
+                assemble(integrals, omega, sigma_t, source_nodes, upwind, scratch)
+            }
+            KernelKind::Blocked => assemble_blocked(
+                integrals,
+                omega,
+                sigma_t,
+                source_nodes,
+                upwind,
+                cache_key,
+                scratch,
+            ),
+        }
+    }
+
+    fn solve_only(&self, solver: &dyn LinearSolver, scratch: &mut KernelScratch) {
+        match self.precision {
+            Precision::F64 => solver
+                .solve_in_place(&mut scratch.matrix, &mut scratch.rhs)
+                .expect("local DG system should be non-singular"),
+            Precision::Mixed => solve_f32_in_place(scratch),
         }
     }
 }
@@ -497,6 +873,146 @@ mod tests {
         assert_eq!(total.total_ns(), 50);
         assert!((total.solve_fraction() - 0.7).abs() < 1e-12);
         assert_eq!(KernelTiming::default().solve_fraction(), 0.0);
+    }
+
+    #[test]
+    fn kernel_kind_round_trips_through_strings() {
+        for kind in KernelKind::all() {
+            let parsed: KernelKind = kind.label().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+        assert_eq!("soa".parse::<KernelKind>(), Ok(KernelKind::Blocked));
+        assert_eq!("REF".parse::<KernelKind>(), Ok(KernelKind::Reference));
+        assert!("vectorised".parse::<KernelKind>().is_err());
+        assert_eq!(KernelKind::default(), KernelKind::Reference);
+    }
+
+    #[test]
+    fn blocked_assembly_is_bit_for_bit_identical_to_reference() {
+        // Same systems through both kernels, including repeated calls so
+        // the blocked kernel serves from a warm geometry cache, and key /
+        // direction changes so it also rebuilds mid-stream.
+        for order in [1usize, 2] {
+            let integrals = unit_integrals(order);
+            let n = integrals.nodes_per_element();
+            let mut reference = KernelScratch::new(n);
+            let mut blocked = KernelScratch::new(n);
+            let omegas = [[0.48, 0.62, 0.6208], [-0.51, 0.62, -0.59], [0.9, 0.3, 0.31]];
+            for (key, &omega) in omegas.iter().enumerate() {
+                let upwind = boundary_upwind(&integrals, omega, 0.7);
+                // Two "groups" per direction: the second call hits the cache.
+                for g in 0..2 {
+                    let sigma_t = 1.1 + 0.4 * g as f64;
+                    let source: Vec<f64> = (0..n)
+                        .map(|i| 0.25 + (i as f64) * 0.013 + g as f64)
+                        .collect();
+                    assemble(&integrals, omega, sigma_t, &source, &upwind, &mut reference);
+                    assemble_blocked(
+                        &integrals,
+                        omega,
+                        sigma_t,
+                        &source,
+                        &upwind,
+                        key,
+                        &mut blocked,
+                    );
+                    for i in 0..n {
+                        for j in 0..n {
+                            assert_eq!(
+                                reference.matrix[(i, j)].to_bits(),
+                                blocked.matrix[(i, j)].to_bits(),
+                                "order {order}, key {key}, group {g}, entry ({i},{j})"
+                            );
+                        }
+                        assert_eq!(
+                            reference.rhs[i].to_bits(),
+                            blocked.rhs[i].to_bits(),
+                            "order {order}, key {key}, group {g}, rhs {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reference_f64_matches_the_free_function_bit_for_bit() {
+        let integrals = unit_integrals(2);
+        let n = integrals.nodes_per_element();
+        let omega = [0.6, 0.58, 0.55];
+        let source = vec![1.0; n];
+        let upwind = boundary_upwind(&integrals, omega, 0.4);
+        let solver = GaussSolver::new();
+        let mut free = KernelScratch::new(n);
+        assemble_solve(
+            &integrals, omega, 1.3, &source, &upwind, &solver, false, &mut free,
+        );
+        for kind in KernelKind::all() {
+            let engine = KernelEngine::new(kind, Precision::F64);
+            let mut scratch = KernelScratch::new(n);
+            engine.assemble_solve(
+                7,
+                &integrals,
+                omega,
+                1.3,
+                &source,
+                &upwind,
+                &solver,
+                false,
+                &mut scratch,
+            );
+            for i in 0..n {
+                assert_eq!(
+                    free.rhs[i].to_bits(),
+                    scratch.rhs[i].to_bits(),
+                    "{kind}: node {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_precision_solution_stays_within_single_precision_tolerance() {
+        // The f32 solve must land within a few f32 ulps of the f64 flux
+        // on a well-conditioned local system, for both kernels.
+        let integrals = unit_integrals(2);
+        let n = integrals.nodes_per_element();
+        let omega = [0.48, 0.62, 0.6208];
+        let sigma_t = 1.7;
+        let c = 2.5;
+        let source = vec![sigma_t * c; n];
+        let upwind = boundary_upwind(&integrals, omega, c);
+        let solver = GaussSolver::new();
+        let mut exact = KernelScratch::new(n);
+        assemble_solve(
+            &integrals, omega, sigma_t, &source, &upwind, &solver, false, &mut exact,
+        );
+        for kind in KernelKind::all() {
+            let engine = KernelEngine::new(kind, Precision::Mixed);
+            assert_eq!(engine.precision(), Precision::Mixed);
+            let mut scratch = KernelScratch::new(n);
+            engine.assemble_solve(
+                0,
+                &integrals,
+                omega,
+                sigma_t,
+                &source,
+                &upwind,
+                &solver,
+                false,
+                &mut scratch,
+            );
+            for i in 0..n {
+                let rel = (scratch.rhs[i] - exact.rhs[i]).abs() / exact.rhs[i].abs();
+                assert!(
+                    rel < 1e-5,
+                    "{kind}: node {i} relative error {rel} exceeds f32 tolerance"
+                );
+                // And the result really is f32-representable storage.
+                assert_eq!(scratch.rhs[i], scratch.rhs[i] as f32 as f64);
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,56 @@ use serde::{Deserialize, Serialize};
 
 use unsnap_sweep::LoopOrder;
 
+/// Storage/solve precision of the sweep kernel's local systems.
+///
+/// `F64` is the seed behaviour: assembly, dense solve, and flux storage
+/// all in double precision.  `Mixed` keeps the assembly and the outer
+/// iterations in `f64` but runs the per-cell dense solve in `f32`
+/// (single-precision elimination with partial pivoting), trading a few
+/// extra source iterations for roughly half the solve bandwidth — the
+/// paper's mixed-precision sweep variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Precision {
+    /// Full double precision everywhere (the seed behaviour).
+    #[default]
+    F64,
+    /// `f32` per-cell solves inside `f64` outer iterations.
+    Mixed,
+}
+
+impl Precision {
+    /// Every precision mode, in fixed ablation order.
+    pub fn all() -> [Precision; 2] {
+        [Precision::F64, Precision::Mixed]
+    }
+
+    /// Short name used in tables and for CLI/env selection.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::Mixed => "mixed",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" | "double" | "fp64" => Ok(Precision::F64),
+            "mixed" | "f32" | "single" | "fp32" => Ok(Precision::Mixed),
+            other => Err(format!("unknown precision '{other}'")),
+        }
+    }
+}
+
 /// Shape and ordering of a flux-like array
 /// (node × element × group × angle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -357,6 +407,19 @@ mod tests {
         // The raw orderings differ even though the logical content matches.
         assert_ne!(a.as_slice(), b.as_slice());
         assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn precision_round_trips_through_strings() {
+        for p in Precision::all() {
+            let parsed: Precision = p.label().parse().unwrap();
+            assert_eq!(parsed, p);
+            assert_eq!(format!("{p}"), p.label());
+        }
+        assert_eq!("fp32".parse::<Precision>(), Ok(Precision::Mixed));
+        assert_eq!("DOUBLE".parse::<Precision>(), Ok(Precision::F64));
+        assert!("f16".parse::<Precision>().is_err());
+        assert_eq!(Precision::default(), Precision::F64);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use unsnap_sweep::{ConcurrencyScheme, LoopOrder, ThreadedLoops};
 
 use crate::data::{MaterialOption, SourceOption};
 use crate::error::{Error, Result};
+use crate::kernel::KernelKind;
+use crate::layout::Precision;
 use crate::strategy::{AcceleratorKind, StrategyKind};
 
 /// Full description of an UnSNAP run.
@@ -115,6 +117,15 @@ pub struct Problem {
     /// Record the time spent inside the linear solve separately from the
     /// assembly (adds a small timing overhead, as the paper notes).
     pub time_solve: bool,
+    /// Which assemble kernel runs the per-cell hot loop: the scalar
+    /// reference kernel or the SoA cache-blocked kernel.  Both produce
+    /// bit-for-bit identical physics; the knob only changes speed.
+    pub kernel: KernelKind,
+    /// Storage/solve precision of the per-cell dense solves.  `Mixed`
+    /// runs `f32` local solves inside `f64` outer iterations (changes
+    /// the flux at single-precision level — see
+    /// [`Precision`]).
+    pub precision: Precision,
 }
 
 impl Problem {
@@ -150,6 +161,8 @@ impl Problem {
             num_threads: Some(1),
             precompute_integrals: true,
             time_solve: false,
+            kernel: KernelKind::Reference,
+            precision: Precision::F64,
         }
     }
 
@@ -455,6 +468,18 @@ impl Problem {
     /// Enable/disable precomputed per-element integrals.
     pub fn with_precomputed_integrals(mut self, on: bool) -> Self {
         self.precompute_integrals = on;
+        self
+    }
+
+    /// Override the assemble kernel (see [`Problem::kernel`]).
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Override the solve precision (see [`Problem::precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -805,6 +830,19 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn kernel_and_precision_builders_apply() {
+        let p = Problem::tiny()
+            .with_kernel(KernelKind::Blocked)
+            .with_precision(Precision::Mixed);
+        assert_eq!(p.kernel, KernelKind::Blocked);
+        assert_eq!(p.precision, Precision::Mixed);
+        assert!(p.validate().is_ok());
+        // Defaults preserve the seed behaviour.
+        assert_eq!(Problem::tiny().kernel, KernelKind::Reference);
+        assert_eq!(Problem::tiny().precision, Precision::F64);
     }
 
     #[test]

@@ -47,8 +47,8 @@ use crate::angular::AngularQuadrature;
 use crate::cancel::CancelToken;
 use crate::data::ProblemData;
 use crate::error::{Error, Result};
-use crate::kernel::{assemble_solve, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
-use crate::layout::{FluxLayout, FluxStorage};
+use crate::kernel::{KernelEngine, KernelScratch, KernelTiming, UpwindFace, UpwindSource};
+use crate::layout::{FluxLayout, FluxStorage, Precision};
 use crate::metrics::{MetricsObserver, RunMetrics};
 use crate::problem::Problem;
 use crate::session::{EventLog, NoopObserver, Phase, RunObserver, TeeObserver};
@@ -319,6 +319,11 @@ pub struct TransportSolver {
     /// Recovered state installed by [`TransportSolver::resume_from`],
     /// consumed by the next run.
     resume: Option<ResumePoint>,
+    /// Per-cell assemble+solve engine: kernel implementation (reference
+    /// scalar vs SoA cache-blocked) × arithmetic precision, resolved
+    /// once from [`Problem::kernel`]/[`Problem::precision`] at build
+    /// time.  `Copy`, so sweep closures capture it by value.
+    engine: KernelEngine,
 }
 
 impl TransportSolver {
@@ -441,6 +446,7 @@ impl TransportSolver {
             preassembly_seconds,
             preassembly_reported: false,
             resume: None,
+            engine: KernelEngine::new(problem.kernel, problem.precision),
         })
     }
 
@@ -845,6 +851,7 @@ impl TransportSolver {
                     1.0
                 };
                 let solver = self.solver.as_ref();
+                let engine = self.engine;
 
                 let run_task = |scratch: &mut KernelScratch, e: usize, g: usize| -> TaskResult {
                     let computed;
@@ -875,7 +882,8 @@ impl TransportSolver {
                         };
                         upwind.push(UpwindFace { face, source: src });
                     }
-                    let t = assemble_solve(
+                    let t = engine.assemble_solve(
+                        e,
                         ints,
                         omega,
                         sigma_t,
@@ -906,9 +914,18 @@ impl TransportSolver {
                                 .flat_map(|g| bucket.iter().map(move |&e| (e, g)))
                                 .collect(),
                         };
+                        // Small buckets (the narrow ends of a wavefront)
+                        // are where a static split leaves workers idle
+                        // behind one slow chunk — steal there.  Results
+                        // land in per-index slots either way, so the
+                        // outputs (and thus the physics) are identical
+                        // bit for bit; the flag is purely a scheduling
+                        // choice.
+                        let stealing = pairs.len() < 8 * self.pool.current_num_threads();
                         self.pool.install(|| {
                             pairs
                                 .par_iter()
+                                .with_stealing(stealing)
                                 .map_init(
                                     || KernelScratch::new(nodes),
                                     |scratch, &(e, g)| run_task(scratch, e, g),
@@ -1034,6 +1051,7 @@ impl TransportSolver {
                 1.0
             };
             let solver = self.solver.as_ref();
+            let engine = self.engine;
             let quadrature = &self.quadrature;
             let schedules = &self.schedules;
             let phi_acc = &phi_acc;
@@ -1094,7 +1112,8 @@ impl TransportSolver {
                                         };
                                         upwind.push(UpwindFace { face, source: src });
                                     }
-                                    let t = assemble_solve(
+                                    let t = engine.assemble_solve(
+                                        e,
                                         ints,
                                         omega,
                                         sigma_t,
@@ -1245,6 +1264,14 @@ impl crate::strategy::InnerSolveContext for TransportSolver {
         observer.on_phase_start(Phase::AccelCg);
         let t0 = self.clock.now();
         let result = dsa.correct(self.phi.as_mut_slice(), previous, stats, observer);
+        if result.is_ok() && self.problem.precision == Precision::Mixed {
+            // Mixed mode resolves fluxes at single precision; round the
+            // f64 diffusion correction onto the same grid so the next
+            // sweep's convergence test sees a self-consistent state.
+            for p in self.phi.as_mut_slice() {
+                *p = *p as f32 as f64;
+            }
+        }
         let seconds = self.clock.now().saturating_sub(t0).as_secs_f64();
         observer.on_phase_end(Phase::AccelCg, seconds);
         result

@@ -25,7 +25,8 @@
 //!                 "gmres_restart": 20, "subdomain_krylov_budget": null},
 //!   "accel":     {"accelerator": "none", "cg_tolerance": 1e-8, "cg_iterations": 200},
 //!   "execution": {"solver": "GE", "scheme": "angle/element*/group", "num_threads": 1,
-//!                 "precompute_integrals": true, "time_solve": false}
+//!                 "precompute_integrals": true, "time_solve": false,
+//!                 "kernel": "reference", "precision": "f64"}
 //! }
 //! ```
 //!
@@ -53,6 +54,8 @@ use crate::builder::{
 };
 use crate::data::{MaterialOption, SourceOption};
 use crate::error::{Error, Result};
+use crate::kernel::KernelKind;
+use crate::layout::Precision;
 use crate::problem::Problem;
 use crate::strategy::{AcceleratorKind, StrategyKind};
 
@@ -137,6 +140,8 @@ fn execution_json(execution: &ExecutionConfig) -> String {
     option_usize(obj, "num_threads", execution.num_threads)
         .field_bool("precompute_integrals", execution.precompute_integrals)
         .field_bool("time_solve", execution.time_solve)
+        .field_str("kernel", execution.kernel.label())
+        .field_str("precision", execution.precision.label())
         .finish()
 }
 
@@ -396,6 +401,8 @@ fn apply_execution(execution: &mut ExecutionConfig, value: &JsonValue) -> Result
         "num_threads",
         "precompute_integrals",
         "time_solve",
+        "kernel",
+        "precision",
     ];
     for (key, v) in fields_of(value, "execution")? {
         match key.as_str() {
@@ -408,6 +415,8 @@ fn apply_execution(execution: &mut ExecutionConfig, value: &JsonValue) -> Result
                 execution.precompute_integrals = expect_bool(v, "precompute_integrals")?;
             }
             "time_solve" => execution.time_solve = expect_bool(v, "time_solve")?,
+            "kernel" => execution.kernel = expect_label::<KernelKind>(v, "kernel")?,
+            "precision" => execution.precision = expect_label::<Precision>(v, "precision")?,
             other => return Err(unknown_field("execution", other, KNOWN)),
         }
     }
@@ -551,7 +560,8 @@ mod tests {
             r#"{
                 "iteration": {"strategy": "gmres"},
                 "accel": {"accelerator": "diffusion"},
-                "execution": {"solver": "dgesv", "scheme": "best"},
+                "execution": {"solver": "dgesv", "scheme": "best",
+                              "kernel": "soa", "precision": "fp32"},
                 "physics": {"material": "2", "source": "central"}
             }"#,
         )
@@ -560,6 +570,8 @@ mod tests {
         assert_eq!(builder.accel.accelerator, AcceleratorKind::Dsa);
         assert_eq!(builder.execution.solver, SolverKind::Mkl);
         assert_eq!(builder.execution.scheme, ConcurrencyScheme::best());
+        assert_eq!(builder.execution.kernel, KernelKind::Blocked);
+        assert_eq!(builder.execution.precision, Precision::Mixed);
         assert_eq!(builder.physics.material, MaterialOption::Option2);
         assert_eq!(builder.physics.source, SourceOption::Option2);
     }
@@ -652,6 +664,12 @@ mod tests {
                 .upscatter(0.2)
                 .assemble(),
             ProblemBuilder::quickstart().time_solve(true).assemble(),
+            ProblemBuilder::quickstart()
+                .kernel(crate::kernel::KernelKind::Blocked)
+                .assemble(),
+            ProblemBuilder::quickstart()
+                .precision(crate::layout::Precision::Mixed)
+                .assemble(),
         ];
         for tweaked in tweaks {
             assert_ne!(

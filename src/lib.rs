@@ -112,7 +112,8 @@ pub mod prelude {
     pub use unsnap_core::dsa::DsaAccelerator;
     pub use unsnap_core::error::{Error, Result};
     pub use unsnap_core::fd::DiamondDifferenceSolver;
-    pub use unsnap_core::layout::{FluxLayout, FluxStorage};
+    pub use unsnap_core::kernel::{KernelEngine, KernelKind};
+    pub use unsnap_core::layout::{FluxLayout, FluxStorage, Precision};
     pub use unsnap_core::metrics::{JsonlObserver, MetricsObserver, RunMetrics};
     pub use unsnap_core::problem::Problem;
     pub use unsnap_core::report;

@@ -1,0 +1,160 @@
+//! Golden-outcome regression fixtures: every preset in the
+//! [`Problem::from_name`] registry, under every iteration strategy, is
+//! pinned to a committed canonical outcome under `tests/golden/`.
+//!
+//! Each fixture is the [`SolveOutcome::to_json`] dump with the
+//! wall-clock fields zeroed (the `tests/parallel_determinism.rs`
+//! normalisation), so the comparison is **bit for bit** on every
+//! deterministic field: iteration counts, residual histories,
+//! convergence histories, kernel invocation counts, and the scalar-flux
+//! aggregates in shortest-round-trip form.  Any change to the physics,
+//! the iteration strategies, the kernel engine or the telemetry
+//! contract shows up here as a diff against a committed file — reviewed
+//! deliberately, never drifted into.
+//!
+//! The published `-full` problem sizes (and the bigger iteration
+//! budgets) are shrunk deterministically before running: the fixture
+//! pins the physics of each preset's *configuration knobs* — material,
+//! source, twist, solver back end, strategy, scheme — not the published
+//! scale, which would take hours under the full catalogue.  The shrink
+//! is part of the fixture definition and applied identically on both
+//! the regeneration and the verification side.
+//!
+//! To regenerate after an intentional physics change:
+//!
+//! ```text
+//! UNSNAP_REGEN_GOLDEN=1 cargo test --test golden_outcomes
+//! git diff tests/golden/   # review every changed field deliberately
+//! ```
+//!
+//! Because the execution model is bit-for-bit thread-count invariant,
+//! these fixtures must also hold under the CI `RAYON_NUM_THREADS`
+//! matrix at widths 1, 2 and 8 — the suite doubles as a determinism
+//! gate against a *committed* reference rather than a same-process
+//! rerun.
+
+use std::path::PathBuf;
+
+use unsnap::prelude::*;
+
+const STRATEGIES: [StrategyKind; 3] = [
+    StrategyKind::SourceIteration,
+    StrategyKind::DsaSourceIteration,
+    StrategyKind::SweepGmres,
+];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn fixture_name(problem: &str, strategy: StrategyKind) -> String {
+    format!("{problem}__{}.json", strategy.label().to_ascii_lowercase())
+}
+
+/// The deterministic shrink: cap the scale knobs so the whole catalogue
+/// runs in seconds while every *identity* knob of the preset (material,
+/// source, twist, boundaries, solver back end, scheme, tolerances)
+/// survives untouched.  One worker keeps the fixture independent of
+/// the host's core count; the thread-invariance suite guarantees the
+/// values would be identical at any width anyway.
+fn fixture_problem(name: &str, strategy: StrategyKind) -> Problem {
+    let mut p = Problem::from_name(name)
+        .unwrap_or_else(|e| panic!("registry name {name} failed to resolve: {e}"))
+        .with_strategy(strategy);
+    p.nx = p.nx.min(4);
+    p.ny = p.ny.min(4);
+    p.nz = p.nz.min(4);
+    p.angles_per_octant = p.angles_per_octant.min(2);
+    p.num_groups = p.num_groups.min(2);
+    p.element_order = p.element_order.min(2);
+    p.inner_iterations = p.inner_iterations.min(4);
+    p.outer_iterations = p.outer_iterations.min(2);
+    p.num_threads = Some(1);
+    p
+}
+
+/// The outcome dump with wall-clock timing zeroed — every byte left is
+/// deterministic, so string equality *is* bit-for-bit field equality
+/// (floats are written in shortest-round-trip form).
+fn canonical_json(outcome: &SolveOutcome) -> String {
+    let mut o = outcome.clone();
+    o.assemble_solve_seconds = 0.0;
+    o.kernel_assemble_seconds = 0.0;
+    o.kernel_solve_seconds = 0.0;
+    o.metrics.zero_wallclock();
+    o.to_json()
+}
+
+fn regen() -> bool {
+    std::env::var("UNSNAP_REGEN_GOLDEN").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+}
+
+#[test]
+fn every_registry_preset_matches_its_golden_outcome_under_every_strategy() {
+    let dir = golden_dir();
+    if regen() {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut failures = Vec::new();
+    for &name in Problem::registry_names() {
+        for strategy in STRATEGIES {
+            let problem = fixture_problem(name, strategy);
+            let outcome = TransportSolver::new(&problem)
+                .and_then(|mut s| s.run())
+                .unwrap_or_else(|e| panic!("{name}/{strategy}: solve failed: {e}"));
+            let actual = canonical_json(&outcome);
+            let path = dir.join(fixture_name(name, strategy));
+            if regen() {
+                std::fs::write(&path, format!("{actual}\n")).unwrap();
+                continue;
+            }
+            let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: cannot read golden fixture ({e}); regenerate with \
+                     UNSNAP_REGEN_GOLDEN=1 cargo test --test golden_outcomes",
+                    path.display()
+                )
+            });
+            if actual != expected.trim_end() {
+                failures.push(format!(
+                    "{name}/{strategy}: outcome drifted from {}\n  expected: {}\n  actual:   {actual}",
+                    path.display(),
+                    expected.trim_end(),
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} fixture(s) drifted — if the physics change is intentional, regenerate with \
+         UNSNAP_REGEN_GOLDEN=1 and review the diff:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn the_golden_directory_holds_exactly_the_catalogue() {
+    // A stray or missing fixture is a silent coverage hole: a renamed
+    // preset would otherwise leave its stale golden behind (and never
+    // be compared again).
+    if regen() {
+        return; // the regenerating run may be mid-edit; only verify in normal runs
+    }
+    let mut expected: Vec<String> = Problem::registry_names()
+        .iter()
+        .flat_map(|name| STRATEGIES.map(|s| fixture_name(name, s)))
+        .collect();
+    expected.sort();
+    let mut actual: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("tests/golden/ must exist (regenerate with UNSNAP_REGEN_GOLDEN=1)")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    actual.sort();
+    assert_eq!(
+        actual, expected,
+        "tests/golden/ must hold exactly one fixture per registry preset × strategy"
+    );
+}

@@ -32,6 +32,30 @@
 //!   on the calling thread once every in-flight chunk has drained — never
 //!   a hang, never a dead worker thread.
 //!
+//! # Work-stealing mode
+//!
+//! [`ParIter::with_stealing`] opts a single parallel call into a
+//! work-stealing execution mode for imbalanced workloads (typically the
+//! small wavefront buckets of a transport sweep, where a static split
+//! leaves most workers idle behind one slow chunk).  The input is still
+//! decomposed into the same index-ordered chunks, but each chunk becomes
+//! a half-open index *range* behind an atomic: the owning worker claims
+//! indices off the front one at a time, and a worker whose own range has
+//! drained steals the back half of another's range (or its single
+//! remaining item).  Determinism survives by construction:
+//!
+//! * every index is claimed by **exactly one** worker (the claim is an
+//!   atomic compare-and-swap on the range bounds), and its output is
+//!   written to the slot of that index, so reassembly is in input order
+//!   no matter which thread computed what;
+//! * reductions and error selection reuse the in-order rules above, so
+//!   `sum`, `collect` and the earliest-error guarantee of
+//!   [`ParIter::try_for_each`] are unchanged;
+//! * only the *association* of items to `map_init` scratch states varies
+//!   between runs — callers whose scratch is a pure cache (bit-identical
+//!   values recomputed on miss) therefore still observe bit-for-bit
+//!   identical results at every thread count.
+//!
 //! Parallel calls made on a thread that is itself a worker of the target
 //! pool run inline (sequentially) instead of enqueueing, so nested
 //! parallelism cannot deadlock.
@@ -44,6 +68,13 @@ mod pool;
 
 pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, NUM_THREADS_ENV};
 
+/// The effective width of the pool a parallel call issued on this thread
+/// would target: the innermost [`ThreadPool::install`], or the global
+/// pool (rayon `current_num_threads`).
+pub fn current_num_threads() -> usize {
+    pool::current_registry().width()
+}
+
 /// A parallel iterator over an in-order, materialised item sequence.
 ///
 /// Produced by [`IntoParallelIterator::into_par_iter`],
@@ -55,11 +86,25 @@ pub use pool::{ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, NUM_THREADS_
 /// reassembly steps and run on the calling thread.
 pub struct ParIter<T: Send> {
     items: Vec<T>,
+    stealing: bool,
 }
 
 impl<T: Send> ParIter<T> {
     fn from_vec(items: Vec<T>) -> Self {
-        Self { items }
+        Self {
+            items,
+            stealing: false,
+        }
+    }
+
+    /// Opt this iterator into the work-stealing execution mode (see the
+    /// crate docs) — an extension over rayon, whose iterators always
+    /// steal.  The flag survives [`ParIter::flatten`] and applies to the
+    /// next fan-out terminal (`map`, `map_init`, `for_each`,
+    /// `try_for_each`, `try_for_each_init`).
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
+        self
     }
 
     /// Map every item on the pool (rayon `ParallelIterator::map`).
@@ -70,23 +115,29 @@ impl<T: Send> ParIter<T> {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        ParIter::from_vec(parallel_map_init(
-            self.items,
-            || (),
-            move |(), item| f(item),
-        ))
+        let stealing = self.stealing;
+        ParIter {
+            items: run_map_init(self.items, stealing, || (), move |(), item| f(item)),
+            stealing,
+        }
     }
 
     /// Map with per-worker scratch state (rayon `map_init`): `init` runs
     /// once per chunk — hence at most once per worker — and the state is
-    /// threaded through that chunk's items in index order.
+    /// threaded through that chunk's items in index order.  In stealing
+    /// mode the state is still created once per chunk job, but a worker
+    /// that steals applies *its* state to the stolen items.
     pub fn map_init<S, U, INIT, F>(self, init: INIT, f: F) -> ParIter<U>
     where
         U: Send,
         INIT: Fn() -> S + Sync,
         F: Fn(&mut S, T) -> U + Sync,
     {
-        ParIter::from_vec(parallel_map_init(self.items, init, f))
+        let stealing = self.stealing;
+        ParIter {
+            items: run_map_init(self.items, stealing, init, f),
+            stealing,
+        }
     }
 
     /// Flatten nested iterables (rayon `flatten`), preserving order.
@@ -95,7 +146,10 @@ impl<T: Send> ParIter<T> {
         T: IntoIterator,
         <T as IntoIterator>::Item: Send,
     {
-        ParIter::from_vec(self.items.into_iter().flatten().collect())
+        ParIter {
+            items: self.items.into_iter().flatten().collect(),
+            stealing: self.stealing,
+        }
     }
 
     /// Collect into any `FromIterator` target, including
@@ -107,7 +161,7 @@ impl<T: Send> ParIter<T> {
 
     /// Apply `f` to every item on the pool (rayon `for_each`).
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        parallel_map_init(self.items, || (), move |(), item| f(item));
+        run_map_init(self.items, self.stealing, || (), move |(), item| f(item));
     }
 
     /// Fallible `for_each` (rayon `try_for_each`): the error at the
@@ -118,7 +172,7 @@ impl<T: Send> ParIter<T> {
         E: Send,
         F: Fn(T) -> Result<(), E> + Sync,
     {
-        parallel_try_for_each_init(self.items, || (), move |(), item| f(item))
+        run_try_for_each_init(self.items, self.stealing, || (), move |(), item| f(item))
     }
 
     /// [`ParIter::try_for_each`] with per-worker scratch state created as
@@ -129,7 +183,7 @@ impl<T: Send> ParIter<T> {
         INIT: Fn() -> S + Sync,
         F: Fn(&mut S, T) -> Result<(), E> + Sync,
     {
-        parallel_try_for_each_init(self.items, init, f)
+        run_try_for_each_init(self.items, self.stealing, init, f)
     }
 
     /// Sum the items (rayon `sum`).
@@ -268,6 +322,335 @@ where
         registry.run_scoped(jobs);
     }
     match slots.into_iter().flatten().min_by_key(|(index, _)| *index) {
+        Some((_, error)) => Err(error),
+        None => Ok(()),
+    }
+}
+
+/// Dispatch between the static-chunk and work-stealing map engines.
+fn run_map_init<T, S, U, INIT, F>(items: Vec<T>, stealing: bool, init: INIT, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    if stealing {
+        parallel_map_init_stealing(items, init, f)
+    } else {
+        parallel_map_init(items, init, f)
+    }
+}
+
+/// Dispatch between the static-chunk and work-stealing `try_for_each`
+/// engines.
+fn run_try_for_each_init<T, S, E, INIT, F>(
+    items: Vec<T>,
+    stealing: bool,
+    init: INIT,
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> Result<(), E> + Sync,
+{
+    if stealing {
+        parallel_try_for_each_init_stealing(items, init, f)
+    } else {
+        parallel_try_for_each_init(items, init, f)
+    }
+}
+
+/// A single-owner cell of the stealing engine's input/output arrays.
+///
+/// The range claim protocol (see [`claim_front`]/[`steal_back_half`])
+/// hands every index to exactly one worker, so the unsynchronised
+/// interior access at a claimed index is exclusive by construction.
+struct StealSlot<V>(std::cell::UnsafeCell<Option<V>>);
+
+// SAFETY: a slot is only accessed at an index the claim protocol handed
+// to exactly one worker; `V: Send` lets the value cross the worker
+// boundary with the claim.
+unsafe impl<V: Send> Sync for StealSlot<V> {}
+
+impl<V> StealSlot<V> {
+    fn filled(value: V) -> Self {
+        Self(std::cell::UnsafeCell::new(Some(value)))
+    }
+
+    fn empty() -> Self {
+        Self(std::cell::UnsafeCell::new(None))
+    }
+
+    /// Move the value out.
+    ///
+    /// # Safety
+    /// The caller must hold the exclusive claim on this slot's index.
+    unsafe fn take(&self) -> Option<V> {
+        (*self.0.get()).take()
+    }
+
+    /// Store a value.
+    ///
+    /// # Safety
+    /// The caller must hold the exclusive claim on this slot's index.
+    unsafe fn put(&self, value: V) {
+        *self.0.get() = Some(value);
+    }
+
+    fn into_inner(self) -> Option<V> {
+        self.0.into_inner()
+    }
+}
+
+/// Pack a half-open index range into the stealing engine's atomic word.
+fn pack_range(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+/// Inverse of [`pack_range`].
+fn unpack_range(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
+/// The stealing decomposition: the same `(len, width)`-pure split as
+/// [`split_in_order`] (at most `width` contiguous ranges, sizes differing
+/// by at most one, longer ranges first), but as atomically-mutable
+/// half-open ranges instead of materialised chunks.
+fn steal_ranges(n: usize, width: usize) -> Vec<std::sync::atomic::AtomicU64> {
+    use std::sync::atomic::AtomicU64;
+    let w = width.min(n).max(1);
+    let base = n / w;
+    let extra = n % w;
+    let mut ranges = Vec::with_capacity(w);
+    let mut start = 0usize;
+    for index in 0..w {
+        let len = base + usize::from(index < extra);
+        ranges.push(AtomicU64::new(pack_range(
+            start as u32,
+            (start + len) as u32,
+        )));
+        start += len;
+    }
+    ranges
+}
+
+/// Claim the front index of a range; `None` when it has drained.
+fn claim_front(range: &std::sync::atomic::AtomicU64) -> Option<usize> {
+    use std::sync::atomic::Ordering;
+    let mut current = range.load(Ordering::Acquire);
+    loop {
+        let (start, end) = unpack_range(current);
+        if start >= end {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            current,
+            pack_range(start + 1, end),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(start as usize),
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// Steal the back half of a victim's range (or its single remaining
+/// item), returning the half-open index range now owned exclusively by
+/// the thief; `None` when the victim has drained.
+fn steal_back_half(range: &std::sync::atomic::AtomicU64) -> Option<(usize, usize)> {
+    use std::sync::atomic::Ordering;
+    let mut current = range.load(Ordering::Acquire);
+    loop {
+        let (start, end) = unpack_range(current);
+        if start >= end {
+            return None;
+        }
+        // The victim keeps the front ceil-half and the thief takes
+        // `[mid, end)`; a single remaining item is taken outright.
+        let mid = if end - start == 1 {
+            start
+        } else {
+            start + (end - start).div_ceil(2)
+        };
+        match range.compare_exchange_weak(
+            current,
+            pack_range(start, mid),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((mid as usize, end as usize)),
+            Err(now) => current = now,
+        }
+    }
+}
+
+/// One stealing worker's schedule: drain the own range off the front,
+/// then cycle over the other ranges stealing back halves until a full
+/// pass finds nothing left anywhere.
+fn drain_with_stealing(
+    ranges: &[std::sync::atomic::AtomicU64],
+    me: usize,
+    run: &mut dyn FnMut(usize),
+) {
+    while let Some(index) = claim_front(&ranges[me]) {
+        run(index);
+    }
+    let w = ranges.len();
+    loop {
+        let mut stole = false;
+        for k in 1..w {
+            if let Some((start, end)) = steal_back_half(&ranges[(me + k) % w]) {
+                stole = true;
+                for index in start..end {
+                    run(index);
+                }
+            }
+        }
+        if !stole {
+            return;
+        }
+    }
+}
+
+/// The work-stealing engine behind `map`/`map_init`/`for_each` when
+/// [`ParIter::with_stealing`] is set.  Outputs land in per-index slots,
+/// so reassembly is in input order regardless of which worker computed
+/// which item.
+fn parallel_map_init_stealing<T, S, U, INIT, F>(items: Vec<T>, init: INIT, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let registry = pool::current_registry();
+    if n == 1 || registry.width() <= 1 || registry.on_worker_thread() {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+    if n > u32::MAX as usize {
+        // The packed ranges index with u32; fall back to static chunks
+        // rather than truncate (no real sweep bucket gets this large).
+        return parallel_map_init(items, init, f);
+    }
+
+    let input: Vec<StealSlot<T>> = items.into_iter().map(StealSlot::filled).collect();
+    let output: Vec<StealSlot<U>> = (0..n).map(|_| StealSlot::<U>::empty()).collect();
+    let ranges = steal_ranges(n, registry.width());
+    {
+        let input = &input;
+        let output = &output;
+        let ranges = &ranges[..];
+        let init = &init;
+        let f = &f;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..ranges.len())
+            .map(|me| {
+                Box::new(move || {
+                    let mut state = init();
+                    drain_with_stealing(ranges, me, &mut |index| {
+                        // SAFETY: `index` was claimed exactly once by
+                        // this worker (range CAS protocol).
+                        let item = unsafe { input[index].take() }
+                            .expect("claimed index was already consumed");
+                        let value = f(&mut state, item);
+                        unsafe { output[index].put(value) };
+                    });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        registry.run_scoped(jobs);
+    }
+    output
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("drained stealing scope left an output slot empty")
+        })
+        .collect()
+}
+
+/// The work-stealing engine behind `try_for_each`/`try_for_each_init`
+/// when [`ParIter::with_stealing`] is set: same earliest-error-wins and
+/// cancellation rules as the static engine.
+fn parallel_try_for_each_init_stealing<T, S, E, INIT, F>(
+    items: Vec<T>,
+    init: INIT,
+    f: F,
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> Result<(), E> + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let registry = pool::current_registry();
+    if n == 1 || registry.width() <= 1 || registry.on_worker_thread() {
+        let mut state = init();
+        return items.into_iter().try_for_each(|item| f(&mut state, item));
+    }
+    if n > u32::MAX as usize {
+        return parallel_try_for_each_init(items, init, f);
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    // Same deterministic error rule as the static engine: the earliest
+    // input index wins, and later-indexed work is cancelled once an
+    // earlier error is known.
+    let earliest = AtomicUsize::new(usize::MAX);
+    let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    let input: Vec<StealSlot<T>> = items.into_iter().map(StealSlot::filled).collect();
+    let ranges = steal_ranges(n, registry.width());
+    {
+        let input = &input;
+        let ranges = &ranges[..];
+        let init = &init;
+        let f = &f;
+        let earliest = &earliest;
+        let errors = &errors;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..ranges.len())
+            .map(|me| {
+                Box::new(move || {
+                    let mut state = init();
+                    drain_with_stealing(ranges, me, &mut |index| {
+                        if earliest.load(Ordering::Relaxed) < index {
+                            return;
+                        }
+                        // SAFETY: `index` was claimed exactly once by
+                        // this worker (range CAS protocol).
+                        let item = unsafe { input[index].take() }
+                            .expect("claimed index was already consumed");
+                        if let Err(error) = f(&mut state, item) {
+                            earliest.fetch_min(index, Ordering::Relaxed);
+                            errors
+                                .lock()
+                                .expect("error list poisoned")
+                                .push((index, error));
+                        }
+                    });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        registry.run_scoped(jobs);
+    }
+    match errors
+        .into_inner()
+        .expect("error list poisoned")
+        .into_iter()
+        .min_by_key(|(index, _)| *index)
+    {
         Some((_, error)) => Err(error),
         None => Ok(()),
     }

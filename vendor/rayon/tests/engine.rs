@@ -204,6 +204,156 @@ fn map_init_threads_state_through_a_chunk_in_order() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stealing mode with adversarial bucket-shaped inputs: lots of tiny
+    /// (often 1-element) work lists, the exact shape of the narrow ends
+    /// of a wavefront schedule.  Order must be preserved at every width.
+    #[test]
+    fn stealing_collect_preserves_order_on_adversarial_sizes(
+        lens in collection::vec(0usize..4, 0..64),
+        threads in 1usize..=8,
+    ) {
+        let pool = pool_of(threads);
+        for len in lens {
+            let out: Vec<usize> = pool.install(|| {
+                (0..len)
+                    .into_par_iter()
+                    .with_stealing(true)
+                    .map(|i| i.wrapping_mul(13))
+                    .collect()
+            });
+            let expected: Vec<usize> = (0..len).map(|i| i.wrapping_mul(13)).collect();
+            prop_assert_eq!(out, expected);
+        }
+    }
+
+    /// Stealing and static modes agree item for item, including under
+    /// heavy imbalance (item cost grows with the index, so back halves
+    /// are the expensive ones and get stolen).
+    #[test]
+    fn stealing_matches_static_under_imbalance(len in 1usize..300, threads in 2usize..=8) {
+        let pool = pool_of(threads);
+        let work = |i: usize| -> usize {
+            let mut acc = i;
+            for _ in 0..(i % 17) * 50 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let stolen: Vec<usize> = pool.install(|| {
+            (0..len).into_par_iter().with_stealing(true).map(work).collect()
+        });
+        let fixed: Vec<usize> = pool.install(|| {
+            (0..len).into_par_iter().map(work).collect()
+        });
+        prop_assert_eq!(stolen, fixed);
+    }
+
+    /// The earliest-index error rule survives stealing: whichever worker
+    /// hits an error, the error reported is the one at the lowest input
+    /// index.
+    #[test]
+    fn stealing_try_for_each_reports_the_earliest_error(
+        flags in collection::vec(0u32..6, 1..200),
+        threads in 1usize..=8,
+    ) {
+        let pool = pool_of(threads);
+        let indexed: Vec<(usize, u32)> = flags.iter().copied().enumerate().collect();
+        let result: Result<(), usize> = pool.install(|| {
+            indexed
+                .into_par_iter()
+                .with_stealing(true)
+                .try_for_each(|(index, flag)| if flag == 0 { Err(index) } else { Ok(()) })
+        });
+        let expected = flags.iter().position(|&flag| flag == 0);
+        match expected {
+            None => prop_assert_eq!(result, Ok(())),
+            Some(first) => prop_assert_eq!(result, Err(first)),
+        }
+    }
+}
+
+#[test]
+fn stealing_visits_every_index_exactly_once() {
+    // Each index increments its own counter; stealing must neither skip
+    // nor duplicate work, even across many repetitions.
+    let pool = pool_of(8);
+    for _ in 0..50 {
+        let n = 97usize;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            (0..n).into_par_iter().with_stealing(true).for_each(|i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        for (i, counter) in counters.iter().enumerate() {
+            assert_eq!(counter.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+}
+
+#[test]
+fn stealing_panic_propagates_and_the_pool_survives() {
+    let pool = pool_of(4);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .with_stealing(true)
+                .for_each(|i| {
+                    if i == 23 {
+                        panic!("stolen kernel exploded at {i}");
+                    }
+                })
+        })
+    }));
+    let payload = result.expect_err("panic must cross the pool boundary");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("stolen kernel exploded at 23"),
+        "unexpected payload: {message}"
+    );
+
+    // The pool keeps serving both execution modes after the panic.
+    let doubled: Vec<usize> = pool.install(|| {
+        (0..16usize)
+            .into_par_iter()
+            .with_stealing(true)
+            .map(|x| 2 * x)
+            .collect()
+    });
+    assert_eq!(doubled, (0..16).map(|x| 2 * x).collect::<Vec<_>>());
+    let tripled: Vec<usize> =
+        pool.install(|| (0..16usize).into_par_iter().map(|x| 3 * x).collect());
+    assert_eq!(tripled, (0..16).map(|x| 3 * x).collect::<Vec<_>>());
+}
+
+#[test]
+fn stealing_map_init_creates_at_most_one_state_per_chunk_job() {
+    let pool = pool_of(4);
+    let inits = AtomicUsize::new(0);
+    let out: Vec<usize> = pool.install(|| {
+        (0..200usize)
+            .into_par_iter()
+            .with_stealing(true)
+            .map_init(|| inits.fetch_add(1, Ordering::Relaxed), |_, x| x)
+            .collect()
+    });
+    assert_eq!(out, (0..200).collect::<Vec<_>>());
+    let created = inits.load(Ordering::Relaxed);
+    assert!(created >= 1);
+    assert!(
+        created <= pool.current_num_threads(),
+        "{created} states for {} workers",
+        pool.current_num_threads()
+    );
+}
+
 #[test]
 fn many_concurrent_installs_share_the_pool() {
     let pool = std::sync::Arc::new(pool_of(4));
