@@ -27,7 +27,8 @@
 //! * `UNSNAP_BUDGET`  — inner-iteration budget per outer (default 4000).
 
 use unsnap_bench::{
-    effective_threads, emit_metrics_record, env_parse, run_strategy, HarnessOptions, MetricsRecord,
+    effective_threads, emit_metrics_record, emit_trace, env_parse, run_strategy, HarnessOptions,
+    MetricsRecord,
 };
 use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::json::{array_raw, JsonObject};
@@ -106,6 +107,7 @@ fn main() {
                     &outcome.metrics,
                 ),
             );
+            emit_trace(&opts, &outcome.trace);
         }
 
         let row = AccelAblationRow {

@@ -35,7 +35,8 @@
 //! * `UNSNAP_BUDGET` — inner-iteration budget per outer (default 1200).
 
 use unsnap_bench::{
-    effective_threads, emit_metrics_record, env_parse, run_strategy, HarnessOptions, MetricsRecord,
+    effective_threads, emit_metrics_record, emit_trace, env_parse, run_strategy, HarnessOptions,
+    MetricsRecord,
 };
 use unsnap_core::builder::ProblemBuilder;
 use unsnap_core::json::{array_raw, JsonObject};
@@ -204,6 +205,7 @@ fn main() {
                     &out.metrics,
                 ),
             );
+            emit_trace(&opts, &out.trace);
 
             let drift = rel_diff(reference.scalar_flux_total, out.scalar_flux_total);
             if opts.json {

@@ -4,8 +4,20 @@
 //! ```text
 //! cargo run --release -p unsnap-bench --bin ablation_dsa -- --quick --metrics-out run.jsonl
 //! cargo run --release -p unsnap-bench --bin trajectory -- run.jsonl [more.jsonl ...] \
-//!     [--out BENCH_6.json]
+//!     [--out BENCH_6.json] [--compare BASE.json] [--tolerance 25]
 //! ```
+//!
+//! With `--compare BASE.json` the binary doubles as the CI
+//! perf-regression gate: after merging, the fresh trajectory is diffed
+//! against the committed baseline via
+//! [`compare_trajectories`](unsnap_bench::compare_trajectories) —
+//! deterministic counters (sweeps, cells swept, inner iterations, halo
+//! exchanges, per-phase span counts) must match **exactly**, per-phase
+//! wall clock may regress up to `--tolerance`× (default
+//! [`WALLCLOCK_TOLERANCE_RATIO`](unsnap_bench::WALLCLOCK_TOLERANCE_RATIO)),
+//! and bins present on only one side warn instead of failing.  Exit
+//! status: 0 clean, 1 on any regression, 2 on usage or I/O errors.  In
+//! compare mode nothing is written unless `--out` is given explicitly.
 //!
 //! Every input line must be a [`MetricsRecord`](unsnap_bench::MetricsRecord)
 //! document — the uniform schema all emitting bins share (bin, case,
@@ -29,6 +41,9 @@ use unsnap_obs::reader;
 
 fn main() {
     let mut out_path = String::from("BENCH_6.json");
+    let mut out_explicit = false;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance = unsnap_bench::WALLCLOCK_TOLERANCE_RATIO;
     let mut inputs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,13 +51,30 @@ fn main() {
             "--out" => {
                 if let Some(path) = args.next() {
                     out_path = path;
+                    out_explicit = true;
                 }
+            }
+            "--compare" => {
+                compare_path = args.next();
+                if compare_path.is_none() {
+                    eprintln!("--compare needs a baseline path");
+                    std::process::exit(2);
+                }
+            }
+            "--tolerance" => {
+                tolerance = args.next().and_then(|t| t.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a numeric ratio");
+                    std::process::exit(2);
+                });
             }
             _ => inputs.push(arg),
         }
     }
     if inputs.is_empty() {
-        eprintln!("usage: trajectory <run.jsonl> [more.jsonl ...] [--out BENCH_6.json]");
+        eprintln!(
+            "usage: trajectory <run.jsonl> [more.jsonl ...] [--out BENCH_6.json] \
+             [--compare BASE.json] [--tolerance 25]"
+        );
         std::process::exit(2);
     }
 
@@ -105,15 +137,50 @@ fn main() {
         .field_raw("records", &array_raw(records))
         .finish();
 
-    let mut file = std::fs::File::create(&out_path)
-        .unwrap_or_else(|e| panic!("{out_path}: cannot create: {e}"));
-    file.write_all(trajectory.as_bytes())
-        .and_then(|()| file.write_all(b"\n"))
-        .unwrap_or_else(|e| panic!("{out_path}: write failed: {e}"));
-    eprintln!(
-        "trajectory: merged {count} record(s) from {} file(s) into {out_path} \
-         (strategies: {})",
-        inputs.len(),
-        strategies.join(", ")
-    );
+    if let Some(base_path) = &compare_path {
+        let base_text = std::fs::read_to_string(base_path).unwrap_or_else(|e| {
+            eprintln!("{base_path}: cannot read baseline: {e}");
+            std::process::exit(2);
+        });
+        let base = reader::parse(&base_text).unwrap_or_else(|e| {
+            eprintln!("{base_path}: invalid JSON: {e}");
+            std::process::exit(2);
+        });
+        let current = reader::parse(&trajectory).expect("freshly merged trajectory is JSON");
+        let report = unsnap_bench::compare_trajectories(&base, &current, tolerance).unwrap_or_else(
+            |reason| {
+                eprintln!("compare: {reason}");
+                std::process::exit(2);
+            },
+        );
+        for warning in &report.warnings {
+            eprintln!("compare: warning: {warning}");
+        }
+        for failure in &report.failures {
+            eprintln!("compare: FAIL: {failure}");
+        }
+        eprintln!(
+            "compare: {} record pair(s) diffed against {base_path}: {} failure(s), {} warning(s)",
+            report.compared,
+            report.failures.len(),
+            report.warnings.len()
+        );
+        if !report.failures.is_empty() {
+            std::process::exit(1);
+        }
+    }
+
+    if compare_path.is_none() || out_explicit {
+        let mut file = std::fs::File::create(&out_path)
+            .unwrap_or_else(|e| panic!("{out_path}: cannot create: {e}"));
+        file.write_all(trajectory.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .unwrap_or_else(|e| panic!("{out_path}: write failed: {e}"));
+        eprintln!(
+            "trajectory: merged {count} record(s) from {} file(s) into {out_path} \
+             (strategies: {})",
+            inputs.len(),
+            strategies.join(", ")
+        );
+    }
 }

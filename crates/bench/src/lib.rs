@@ -28,8 +28,13 @@
 //! `--metrics-out <path>` appends one uniform-schema JSONL
 //! [`MetricsRecord`] per measured solve (bin, case, strategy, threads,
 //! per-phase breakdown, per-sweep latency percentiles) for the
-//! `trajectory` binary to merge into `BENCH_6.json`; the default sizes
+//! `trajectory` binary to merge into `BENCH_6.json`, and
+//! `--trace-out <path>` writes the last solve's hierarchical span tree
+//! as Chrome `trace_event` JSON (Perfetto-loadable); the default sizes
 //! are scaled down so the whole suite completes on a laptop.  The
+//! `trajectory` binary doubles as the perf-regression gate: its
+//! `--compare BASE.json` mode diffs a fresh run against a committed
+//! trajectory via [`compare_trajectories`] and exits nonzero on drift.  The
 //! harness helpers — [`run_scaling_experiment`],
 //! [`run_solver_comparison`], [`scaling_table`]/[`scaling_csv`],
 //! [`print_header`] and [`time_it`] — are exported so new experiment
@@ -74,6 +79,11 @@ pub struct HarnessOptions {
     /// file (`--metrics-out <path>`); the `trajectory` binary merges
     /// such files into the repo-level `BENCH_6.json`.
     pub metrics_out: Option<String>,
+    /// Write the Chrome `trace_event` profile of the last measured
+    /// solve to this path (`--trace-out <path>`) — loadable in
+    /// Perfetto / `chrome://tracing`.  Each emission overwrites the
+    /// file, so the profile on disk is always the final solve's.
+    pub trace_out: Option<String>,
 }
 
 impl HarnessOptions {
@@ -93,6 +103,7 @@ impl HarnessOptions {
             threads: None,
             max_order: None,
             metrics_out: None,
+            trace_out: None,
         };
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -116,6 +127,9 @@ impl HarnessOptions {
                 }
                 "--metrics-out" => {
                     opts.metrics_out = iter.next().filter(|p| !p.trim().is_empty());
+                }
+                "--trace-out" => {
+                    opts.trace_out = iter.next().filter(|p| !p.trim().is_empty());
                 }
                 _ => {}
             }
@@ -249,6 +263,7 @@ impl MetricsRecord {
             .field_raw("phases", &phases)
             .field_f64("sweep_p50", self.metrics.sweep_p50().unwrap_or(f64::NAN))
             .field_f64("sweep_p95", self.metrics.sweep_p95().unwrap_or(f64::NAN))
+            .field_f64("sweep_p99", self.metrics.sweep_p99().unwrap_or(f64::NAN))
             .finish()
     }
 }
@@ -265,7 +280,7 @@ pub fn effective_threads(problem: &Problem) -> usize {
 /// The keys every trajectory record must carry — the `trajectory`
 /// binary rejects lines missing any of them, so schema drift between
 /// the emitting bins and the merger fails loudly.
-pub const METRICS_RECORD_KEYS: [&str; 10] = [
+pub const METRICS_RECORD_KEYS: [&str; 11] = [
     "bin",
     "case",
     "strategy",
@@ -276,13 +291,14 @@ pub const METRICS_RECORD_KEYS: [&str; 10] = [
     "halo_exchanges",
     "phases",
     "sweep_p50",
+    "sweep_p99",
 ];
 
 /// The trajectory-record fields that must be a JSON number or an
 /// explicit `null` (the per-sweep latency percentiles: `null` means the
 /// solve recorded no sweep latency samples — anything else in these
 /// slots is schema drift the merger must reject).
-pub const METRICS_RECORD_NUMBER_OR_NULL_KEYS: [&str; 2] = ["sweep_p50", "sweep_p95"];
+pub const METRICS_RECORD_NUMBER_OR_NULL_KEYS: [&str; 3] = ["sweep_p50", "sweep_p95", "sweep_p99"];
 
 /// Validate that `doc[key]` is a JSON number or an explicit `null`.
 ///
@@ -315,6 +331,183 @@ pub fn emit_metrics_record(opts: &HarnessOptions, record: &MetricsRecord) {
         .write_line(&record.to_json())
         .and_then(|()| writer.flush())
         .unwrap_or_else(|e| panic!("--metrics-out {path}: write failed: {e}"));
+}
+
+/// Write `trace` as Chrome `trace_event` JSON to `opts.trace_out` if
+/// the flag was given; a no-op otherwise.  Overwrites (last solve
+/// wins), unlike the appending `--metrics-out` — a profile is a
+/// self-contained document, not a record stream.  Panics on an
+/// unwritable path — the flag names a file the caller asked for.
+pub fn emit_trace(opts: &HarnessOptions, trace: &unsnap_obs::trace::TraceTree) {
+    let Some(path) = &opts.trace_out else {
+        return;
+    };
+    std::fs::write(path, trace.to_chrome_json())
+        .unwrap_or_else(|e| panic!("--trace-out {path}: write failed: {e}"));
+}
+
+/// Default wall-clock tolerance of [`compare_trajectories`]: a phase
+/// fails the gate only when it runs more than this many times slower
+/// than the baseline.  Generous on purpose — CI machines are noisy and
+/// the quick-run phases are tiny; the gate is for order-of-magnitude
+/// regressions, while the deterministic counters catch algorithmic
+/// drift exactly.
+pub const WALLCLOCK_TOLERANCE_RATIO: f64 = 25.0;
+
+/// Wall-clock comparisons never fail a phase whose current time is
+/// under this floor (seconds): below it, scheduler noise dominates and
+/// a ratio test is meaningless.
+pub const WALLCLOCK_FLOOR_SECONDS: f64 = 0.05;
+
+/// The outcome of [`compare_trajectories`]: hard failures (deterministic
+/// counter drift, wall-clock blow-ups, records missing from a covered
+/// bin) and soft warnings (bins absent from one side — new experiments
+/// appear and CI matrices shrink without that being a regression).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TrajectoryComparison {
+    /// Regressions: the gate must exit nonzero when any are present.
+    pub failures: Vec<String>,
+    /// Coverage drift worth printing but not failing on.
+    pub warnings: Vec<String>,
+    /// How many record pairs were actually diffed.
+    pub compared: usize,
+}
+
+/// The identity key records are matched on across the two trajectories.
+fn record_key(doc: &unsnap_obs::reader::JsonValue) -> Option<(String, String, String, u64)> {
+    Some((
+        doc.get("bin")?.as_str()?.to_string(),
+        doc.get("case")?.as_str()?.to_string(),
+        doc.get("strategy")?.as_str()?.to_string(),
+        doc.get("threads")?.as_u64()?,
+    ))
+}
+
+/// Diff two `unsnap-perf-trajectory/v1` documents: the perf-regression
+/// gate behind `trajectory --compare`.
+///
+/// Records are matched on `(bin, case, strategy, threads)`.  For every
+/// matched pair the deterministic counters (`sweeps`, `cells_swept`,
+/// `inner_iterations`, `halo_exchanges`, and per-phase `spans`) must be
+/// **exactly** equal — they are bit-for-bit reproducible, so any drift
+/// is an algorithmic change, not noise.  Per-phase wall-clock `seconds`
+/// may regress up to `tolerance`× the baseline before failing, and a
+/// phase whose current time is under [`WALLCLOCK_FLOOR_SECONDS`] is
+/// never failed on time.  Bins present on only one side produce
+/// warnings, not failures, so the gate tolerates experiment-matrix
+/// drift; a record missing from a bin both sides cover is a failure.
+pub fn compare_trajectories(
+    base: &unsnap_obs::reader::JsonValue,
+    current: &unsnap_obs::reader::JsonValue,
+    tolerance: f64,
+) -> Result<TrajectoryComparison, String> {
+    let records = |doc: &unsnap_obs::reader::JsonValue, side: &str| {
+        doc.get("records")
+            .and_then(|r| r.as_array())
+            .map(|r| r.to_vec())
+            .ok_or_else(|| format!("{side} trajectory has no `records` array"))
+    };
+    let base_records = records(base, "base")?;
+    let current_records = records(current, "current")?;
+
+    let mut current_by_key = std::collections::BTreeMap::new();
+    let mut current_bins = std::collections::BTreeSet::new();
+    for doc in &current_records {
+        let key = record_key(doc).ok_or("current record missing identity keys")?;
+        current_bins.insert(key.0.clone());
+        current_by_key.insert(key, doc);
+    }
+
+    let mut report = TrajectoryComparison::default();
+    let mut base_bins = std::collections::BTreeSet::new();
+    let mut warned_bins = std::collections::BTreeSet::new();
+    for doc in &base_records {
+        let key = record_key(doc).ok_or("base record missing identity keys")?;
+        base_bins.insert(key.0.clone());
+        let label = format!("{}/{}/{}/t{}", key.0, key.1, key.2, key.3);
+        let Some(current_doc) = current_by_key.get(&key) else {
+            if !current_bins.contains(&key.0) {
+                if warned_bins.insert(key.0.clone()) {
+                    report.warnings.push(format!(
+                        "bin `{}` absent from the current run; skipped",
+                        key.0
+                    ));
+                }
+            } else {
+                report
+                    .failures
+                    .push(format!("{label}: record missing from the current run"));
+            }
+            continue;
+        };
+        compare_record(&label, doc, current_doc, tolerance, &mut report);
+        report.compared += 1;
+    }
+    for bin in current_bins.difference(&base_bins) {
+        report.warnings.push(format!(
+            "bin `{bin}` is new (no baseline to compare against)"
+        ));
+    }
+    Ok(report)
+}
+
+/// Diff one matched record pair into `report` (see
+/// [`compare_trajectories`] for the rules).
+fn compare_record(
+    label: &str,
+    base: &unsnap_obs::reader::JsonValue,
+    current: &unsnap_obs::reader::JsonValue,
+    tolerance: f64,
+    report: &mut TrajectoryComparison,
+) {
+    for counter in [
+        "sweeps",
+        "cells_swept",
+        "inner_iterations",
+        "halo_exchanges",
+    ] {
+        let read = |doc: &unsnap_obs::reader::JsonValue| doc.get(counter).and_then(|v| v.as_u64());
+        let (was, now) = (read(base), read(current));
+        if was != now {
+            report.failures.push(format!(
+                "{label}: deterministic counter `{counter}` drifted: {} -> {}",
+                was.map_or("missing".into(), |v| v.to_string()),
+                now.map_or("missing".into(), |v| v.to_string()),
+            ));
+        }
+    }
+    let Some(base_phases) = base.get("phases").and_then(|p| p.as_object()) else {
+        report
+            .failures
+            .push(format!("{label}: base record has no phases object"));
+        return;
+    };
+    for (phase, base_phase) in base_phases {
+        let current_phase = current.get("phases").and_then(|p| p.get(phase));
+        let spans = |doc: Option<&unsnap_obs::reader::JsonValue>| {
+            doc.and_then(|p| p.get("spans")).and_then(|v| v.as_u64())
+        };
+        let (was, now) = (spans(Some(base_phase)), spans(current_phase));
+        if was != now {
+            report.failures.push(format!(
+                "{label}: phase `{phase}` span count drifted: {} -> {}",
+                was.map_or("missing".into(), |v| v.to_string()),
+                now.map_or("missing".into(), |v| v.to_string()),
+            ));
+        }
+        let seconds = |doc: Option<&unsnap_obs::reader::JsonValue>| {
+            doc.and_then(|p| p.get("seconds")).and_then(|v| v.as_f64())
+        };
+        if let (Some(was), Some(now)) = (seconds(Some(base_phase)), seconds(current_phase)) {
+            if now > WALLCLOCK_FLOOR_SECONDS && now > was * tolerance {
+                report.failures.push(format!(
+                    "{label}: phase `{phase}` wall clock regressed {:.1}x \
+                     ({was:.3}s -> {now:.3}s, tolerance {tolerance}x)",
+                    now / was,
+                ));
+            }
+        }
+    }
 }
 
 /// One measured point of a thread-scaling experiment (Figures 3/4).
@@ -585,12 +778,20 @@ mod tests {
             "--metrics-out must capture its path"
         );
 
+        assert_eq!(
+            HarnessOptions::parse(["--trace-out", "t.json"].iter().map(|s| s.to_string()))
+                .trace_out,
+            Some("t.json".to_string()),
+            "--trace-out must capture its path"
+        );
+
         let d = HarnessOptions::parse(std::iter::empty());
         assert!(!d.full);
         assert!(!d.csv);
         assert!(d.threads.is_none());
         assert!(!d.thread_sweep().is_empty());
         assert!(d.metrics_out.is_none());
+        assert!(d.trace_out.is_none());
     }
 
     #[test]
@@ -629,8 +830,11 @@ mod tests {
     fn latency_percentiles_validate_as_number_or_null() {
         // Both shapes an emitting bin can legitimately produce.
         let with_samples =
-            unsnap_obs::reader::parse(r#"{"sweep_p50":0.012,"sweep_p95":0.5}"#).unwrap();
-        let without = unsnap_obs::reader::parse(r#"{"sweep_p50":null,"sweep_p95":null}"#).unwrap();
+            unsnap_obs::reader::parse(r#"{"sweep_p50":0.012,"sweep_p95":0.5,"sweep_p99":0.9}"#)
+                .unwrap();
+        let without =
+            unsnap_obs::reader::parse(r#"{"sweep_p50":null,"sweep_p95":null,"sweep_p99":null}"#)
+                .unwrap();
         for key in METRICS_RECORD_NUMBER_OR_NULL_KEYS {
             assert_eq!(validate_number_or_null(&with_samples, key), Ok(()));
             assert_eq!(validate_number_or_null(&without, key), Ok(()));
@@ -692,6 +896,88 @@ mod tests {
         // Without the flag the emitter is a no-op.
         emit_metrics_record(&HarnessOptions::parse(std::iter::empty()), &record);
         assert!(!path.exists());
+    }
+
+    /// A minimal trajectory document for the compare-gate tests.
+    fn trajectory_doc(records: &[&str]) -> unsnap_obs::reader::JsonValue {
+        let text = format!(
+            r#"{{"schema":"unsnap-perf-trajectory/v1","records":[{}]}}"#,
+            records.join(",")
+        );
+        unsnap_obs::reader::parse(&text).unwrap()
+    }
+
+    fn record(bin: &str, sweeps: usize, sweep_seconds: f64) -> String {
+        format!(
+            r#"{{"bin":"{bin}","case":"c=0.9","strategy":"si","threads":1,
+               "sweeps":{sweeps},"cells_swept":1000,"inner_iterations":{sweeps},
+               "halo_exchanges":0,
+               "phases":{{"sweep":{{"spans":{sweeps},"seconds":{sweep_seconds}}}}},
+               "sweep_p50":null,"sweep_p99":null}}"#
+        )
+        .replace('\n', "")
+    }
+
+    #[test]
+    fn compare_passes_identical_trajectories_and_warns_on_bin_drift() {
+        let base = trajectory_doc(&[&record("a", 10, 0.2), &record("gone", 5, 0.1)]);
+        let current = trajectory_doc(&[&record("a", 10, 0.21), &record("new", 7, 0.1)]);
+        let report = compare_trajectories(&base, &current, WALLCLOCK_TOLERANCE_RATIO).unwrap();
+        assert_eq!(report.failures, Vec::<String>::new());
+        assert_eq!(report.compared, 1);
+        assert_eq!(
+            report.warnings.len(),
+            2,
+            "absent + new bin: {:?}",
+            report.warnings
+        );
+        assert!(report.warnings.iter().any(|w| w.contains("`gone` absent")));
+        assert!(report.warnings.iter().any(|w| w.contains("`new` is new")));
+    }
+
+    #[test]
+    fn compare_fails_on_deterministic_counter_drift() {
+        let base = trajectory_doc(&[&record("a", 10, 0.2)]);
+        let current = trajectory_doc(&[&record("a", 11, 0.2)]);
+        let report = compare_trajectories(&base, &current, WALLCLOCK_TOLERANCE_RATIO).unwrap();
+        // sweeps, inner_iterations and the sweep-phase span count all
+        // track the injected drift.
+        assert_eq!(report.failures.len(), 3, "{:?}", report.failures);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("`sweeps` drifted: 10 -> 11")));
+    }
+
+    #[test]
+    fn compare_fails_on_wallclock_blowup_but_tolerates_noise() {
+        let base = trajectory_doc(&[&record("a", 10, 0.2)]);
+        let noisy = trajectory_doc(&[&record("a", 10, 0.2 * 20.0)]);
+        let report = compare_trajectories(&base, &noisy, WALLCLOCK_TOLERANCE_RATIO).unwrap();
+        assert!(report.failures.is_empty(), "20x is inside the 25x budget");
+
+        let blown = trajectory_doc(&[&record("a", 10, 0.2 * 30.0)]);
+        let report = compare_trajectories(&base, &blown, WALLCLOCK_TOLERANCE_RATIO).unwrap();
+        assert_eq!(report.failures.len(), 1, "{:?}", report.failures);
+        assert!(report.failures[0].contains("wall clock regressed"));
+
+        // Sub-floor current times never fail, whatever the ratio says.
+        let tiny_base = trajectory_doc(&[&record("a", 10, 0.0001)]);
+        let tiny_now = trajectory_doc(&[&record("a", 10, 0.01)]);
+        let report =
+            compare_trajectories(&tiny_base, &tiny_now, WALLCLOCK_TOLERANCE_RATIO).unwrap();
+        assert!(report.failures.is_empty(), "sub-floor noise must pass");
+    }
+
+    #[test]
+    fn compare_fails_on_a_missing_record_in_a_covered_bin() {
+        let two = trajectory_doc(&[&record("a", 10, 0.2), &{
+            record("a", 5, 0.1).replace("c=0.9", "c=0.99")
+        }]);
+        let one = trajectory_doc(&[&record("a", 10, 0.2)]);
+        let report = compare_trajectories(&two, &one, WALLCLOCK_TOLERANCE_RATIO).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("record missing"));
     }
 
     #[test]

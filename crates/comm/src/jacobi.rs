@@ -67,6 +67,7 @@ use unsnap_core::report::IterationSummary;
 use unsnap_core::session::{EventLog, NoopObserver, Phase, RunObserver, TeeObserver};
 use unsnap_core::solver::{relative_change, RunStats};
 use unsnap_core::strategy::{InnerSolveContext, StrategyKind};
+use unsnap_core::trace::TraceObserver;
 use unsnap_fem::element::ReferenceElement;
 use unsnap_fem::face::{face_node_indices, FACES};
 use unsnap_fem::geometry::HexVertices;
@@ -74,6 +75,7 @@ use unsnap_fem::integrals::ElementIntegrals;
 use unsnap_krylov::GmresWorkspace;
 use unsnap_linalg::LinearSolver;
 use unsnap_mesh::{Decomposition2D, NeighborRef, Subdomain, UnstructuredMesh};
+use unsnap_obs::trace::TraceTree;
 use unsnap_sweep::{LoopOrder, SweepSchedule};
 
 /// Summary of a block-Jacobi distributed solve.
@@ -118,6 +120,14 @@ pub struct BlockJacobiOutcome {
     /// every thread and rank-execution ordering; strip the wall-clock
     /// half with [`RunMetrics::zero_wallclock`] before comparisons.
     pub metrics: RunMetrics,
+    /// The run's hierarchical span tree, built by the solver's internal
+    /// [`unsnap_core::trace::TraceObserver`] tee: driver events on lane
+    /// 0, each rank's replayed stream on lane `rank + 1`.  Structure is
+    /// deterministic (rank-ordered replay); timestamps are wall-clock
+    /// and ignored by `PartialEq`.  Excluded from
+    /// [`BlockJacobiOutcome::to_json`] — export with
+    /// [`TraceTree::to_chrome_json`] or [`TraceTree::to_collapsed`].
+    pub trace: TraceTree,
 }
 
 impl BlockJacobiOutcome {
@@ -449,6 +459,20 @@ impl InnerSolveContext for RankContext<'_> {
         let t0 = self.shared.clock.now();
         let (timing, count) = self.sweep_rank();
         let seconds = self.shared.clock.now().saturating_sub(t0).as_secs_f64();
+        // Per-wavefront-bucket structure events, emitted inside the
+        // Sweep span with no extra clock reads.  Payloads are derived
+        // from the rank's masked schedules in (angle, bucket) order, so
+        // the buffered stream is identical at every thread count.
+        let ng = self.shared.problem.num_groups as u64;
+        let mut bucket_tasks = 0u64;
+        for (angle, schedule) in self.shared.schedules[self.rank].iter().enumerate() {
+            for (bucket_index, bucket) in schedule.buckets.iter().enumerate() {
+                let tasks = bucket.len() as u64 * ng;
+                bucket_tasks += tasks;
+                observer.on_sweep_bucket(angle, bucket_index, tasks);
+            }
+        }
+        debug_assert_eq!(bucket_tasks, count);
         observer.on_phase_end(Phase::Sweep, seconds);
         stats.sweep_seconds += seconds;
         stats.kernel_timing.accumulate(timing);
@@ -925,10 +949,13 @@ impl BlockJacobiSolver {
         sink: &mut dyn JacobiCheckpointSink,
     ) -> Result<BlockJacobiOutcome> {
         // Tee the caller's observer with an internal metrics aggregator
-        // so every outcome carries its telemetry without caller wiring.
+        // and a trace builder, so every outcome carries its telemetry
+        // and span tree without caller wiring.
         let mut metrics = MetricsObserver::new();
+        let mut tracer = TraceObserver::new();
         let mut outcome = {
-            let mut tee = TeeObserver::new(observer, &mut metrics);
+            let mut inner_tee = TeeObserver::new(observer, &mut metrics);
+            let mut tee = TeeObserver::new(&mut inner_tee, &mut tracer);
             self.run_observed_inner(&mut tee, sink)?
         };
         let mut snapshot = metrics.snapshot();
@@ -943,6 +970,7 @@ impl BlockJacobiSolver {
             .map(|r| r.stats.kernel_timing.solve_ns as f64 * 1e-9)
             .sum();
         outcome.metrics = snapshot;
+        outcome.trace = tracer.into_tree();
         Ok(outcome)
     }
 
@@ -1185,6 +1213,7 @@ impl BlockJacobiSolver {
                 .map(|r| r.stats.accel_cg_iterations)
                 .collect(),
             metrics: RunMetrics::default(),
+            trace: TraceTree::default(),
         })
     }
 }

@@ -106,6 +106,7 @@ pub mod report;
 pub mod session;
 pub mod solver;
 pub mod strategy;
+pub mod trace;
 pub mod wire;
 
 /// The hand-rolled JSON writer (moved to `unsnap-obs` in PR 6;

@@ -55,6 +55,13 @@ fn cells_histogram() -> Histogram {
 pub struct RunMetrics {
     /// Transport sweeps performed (summed across ranks).
     pub sweeps: usize,
+    /// Wavefront buckets dispatched, summed over all sweeps on all
+    /// ranks (deterministic — the scheduling *structure*, not timing).
+    pub sweep_buckets: usize,
+    /// Assemble/solve tasks summed over all observed buckets
+    /// (deterministic; matches `cells_swept` once per-bucket events
+    /// stream).
+    pub bucket_tasks: u64,
     /// Kernel invocations (elements × groups × angles) summed over all
     /// sweeps on all ranks.
     pub cells_swept: u64,
@@ -93,6 +100,8 @@ impl Default for RunMetrics {
     fn default() -> Self {
         Self {
             sweeps: 0,
+            sweep_buckets: 0,
+            bucket_tasks: 0,
             cells_swept: 0,
             outers: 0,
             inner_iterations: 0,
@@ -133,6 +142,12 @@ impl RunMetrics {
         self.sweep_latency.quantile(0.95)
     }
 
+    /// 99th-percentile per-sweep wall-clock latency (tail latency —
+    /// the trajectory schema's `sweep_p99` column).
+    pub fn sweep_p99(&self) -> Option<f64> {
+        self.sweep_latency.quantile(0.99)
+    }
+
     /// Zero every wall-clock field in place, leaving the deterministic
     /// counters untouched — the normalisation the determinism suites
     /// apply before comparing metrics across thread/rank counts.
@@ -159,6 +174,8 @@ impl RunMetrics {
         let det = Determinism::Deterministic;
         let wall = Determinism::WallClock;
         r.counter_add("sweeps", det, self.sweeps as u64);
+        r.counter_add("sweep_buckets", det, self.sweep_buckets as u64);
+        r.counter_add("bucket_tasks", det, self.bucket_tasks);
         r.counter_add("cells_swept", det, self.cells_swept);
         r.counter_add("outers", det, self.outers as u64);
         r.counter_add("inner_iterations", det, self.inner_iterations as u64);
@@ -216,6 +233,8 @@ impl RunMetrics {
         }
         let deterministic = JsonObject::new()
             .field_usize("sweeps", self.sweeps)
+            .field_usize("sweep_buckets", self.sweep_buckets)
+            .field_u64("bucket_tasks", self.bucket_tasks)
             .field_u64("cells_swept", self.cells_swept)
             .field_usize("outers", self.outers)
             .field_usize("inner_iterations", self.inner_iterations)
@@ -316,6 +335,11 @@ impl RunObserver for MetricsObserver {
         self.record_sweep(cells, seconds);
     }
 
+    fn on_sweep_bucket(&mut self, _angle: usize, _bucket: usize, tasks: u64) {
+        self.metrics.sweep_buckets += 1;
+        self.metrics.bucket_tasks += tasks;
+    }
+
     fn on_krylov_residual(&mut self, _iteration: usize, _relative_residual: f64) {
         self.metrics.krylov_residual_events += 1;
     }
@@ -345,6 +369,11 @@ impl RunObserver for MetricsObserver {
     fn on_rank_sweep(&mut self, _rank: usize, _sweep: usize, cells: u64, seconds: f64) {
         self.metrics.sweeps += 1;
         self.record_sweep(cells, seconds);
+    }
+
+    fn on_rank_sweep_bucket(&mut self, _rank: usize, _angle: usize, _bucket: usize, tasks: u64) {
+        self.metrics.sweep_buckets += 1;
+        self.metrics.bucket_tasks += tasks;
     }
 
     fn on_rank_krylov_residual(&mut self, _rank: usize, _iteration: usize, _residual: f64) {
@@ -455,6 +484,15 @@ impl<W: Write> RunObserver for JsonlObserver<W> {
         );
     }
 
+    fn on_sweep_bucket(&mut self, angle: usize, bucket: usize, tasks: u64) {
+        self.write(
+            Self::event("sweep_bucket")
+                .field_usize("angle", angle)
+                .field_usize("bucket", bucket)
+                .field_u64("tasks", tasks),
+        );
+    }
+
     fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
         self.write(
             Self::event("krylov_residual")
@@ -521,6 +559,15 @@ impl<W: Write> RunObserver for JsonlObserver<W> {
         );
     }
 
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.write(
+            Self::rank_event("sweep_bucket", rank)
+                .field_usize("angle", angle)
+                .field_usize("bucket", bucket)
+                .field_u64("tasks", tasks),
+        );
+    }
+
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
         self.write(
             Self::rank_event("krylov_residual", rank)
@@ -570,6 +617,8 @@ mod tests {
         observer.on_rank_accel_residual(2, 0, 0.5);
         observer.on_rank_phase_start(2, Phase::Krylov);
         observer.on_rank_phase_end(2, Phase::Krylov, 0.125);
+        observer.on_sweep_bucket(0, 0, 32);
+        observer.on_rank_sweep_bucket(2, 0, 1, 16);
         observer.on_outer_end(0, true);
     }
 
@@ -579,6 +628,8 @@ mod tests {
         feed(&mut m);
         let metrics = m.snapshot();
         assert_eq!(metrics.sweeps, 2); // running count 1 + one rank sweep
+        assert_eq!(metrics.sweep_buckets, 2);
+        assert_eq!(metrics.bucket_tasks, 48);
         assert_eq!(metrics.cells_swept, 48);
         assert_eq!(metrics.outers, 1);
         assert_eq!(metrics.inner_iterations, 1);
@@ -629,6 +680,7 @@ mod tests {
         feed(&mut m);
         let registry = m.snapshot().registry();
         assert_eq!(registry.counter("sweeps"), Some(2));
+        assert_eq!(registry.counter("sweep_buckets"), Some(2));
         assert_eq!(registry.counter("halo_bytes"), Some(512));
         assert_eq!(registry.gauge("phase_seconds.krylov"), Some(0.125));
         let det = registry.deterministic_only();
@@ -681,11 +733,11 @@ mod tests {
         {
             let mut observer = JsonlObserver::new(JsonlWriter::new(&mut buf));
             feed(&mut observer);
-            assert_eq!(observer.events_written(), 15);
+            assert_eq!(observer.events_written(), 17);
             observer.finish().unwrap();
         }
         let docs = read_str(std::str::from_utf8(&buf).unwrap()).unwrap();
-        assert_eq!(docs.len(), 15);
+        assert_eq!(docs.len(), 17);
         assert_eq!(docs[0].get("event").unwrap().as_str(), Some("outer_start"));
         let sweep = &docs[3];
         assert_eq!(sweep.get("event").unwrap().as_str(), Some("sweep"));

@@ -329,6 +329,7 @@ mod tests {
             scalar_flux_max: 1.0,
             scalar_flux_min: 0.0,
             metrics: crate::metrics::RunMetrics::default(),
+            trace: Default::default(),
         };
         let text = iteration_summary(&outcome);
         assert!(text.contains("converged in 12 sweeps"));

@@ -137,6 +137,19 @@ pub trait RunObserver {
         let _ = (sweep, cells, seconds);
     }
 
+    /// One wavefront bucket of the current sweep completed: `angle` is
+    /// the sweep direction, `bucket` the bucket's position in that
+    /// angle's dependency order and `tasks` the local assemble/solve
+    /// tasks it contained (cells × groups).  The payload is entirely
+    /// deterministic — no seconds ride on this event, so emitting it
+    /// costs the solver no clock reads; tracing layers timestamp it on
+    /// arrival.  Fires between the enclosing sweep's
+    /// [`RunObserver::on_phase_start`]/[`RunObserver::on_phase_end`]
+    /// pair, in `(angle, bucket)` order at every thread count.
+    fn on_sweep_bucket(&mut self, angle: usize, bucket: usize, tasks: u64) {
+        let _ = (angle, bucket, tasks);
+    }
+
     /// A Krylov iteration reported a relative residual (one event per
     /// entry of [`SolveOutcome::krylov_residual_history`]; never fires
     /// under plain source iteration).
@@ -211,6 +224,14 @@ pub trait RunObserver {
         let _ = (rank, sweep, cells, seconds);
     }
 
+    /// Rank `rank` completed one wavefront bucket of its masked
+    /// subdomain sweep (see [`RunObserver::on_sweep_bucket`] for the
+    /// payload semantics; the stream is deterministic because rank logs
+    /// replay in rank order).
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        let _ = (rank, angle, bucket, tasks);
+    }
+
     /// Rank `rank`'s subdomain Krylov solve reported a relative residual.
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
         let _ = (rank, iteration, relative_residual);
@@ -263,6 +284,15 @@ pub enum SolveEvent {
         cells: u64,
         /// Wall-clock seconds of this sweep.
         seconds: f64,
+    },
+    /// [`RunObserver::on_sweep_bucket`].
+    SweepBucket {
+        /// Sweep direction (angle index).
+        angle: usize,
+        /// Bucket position in the angle's dependency order.
+        bucket: usize,
+        /// Assemble/solve tasks the bucket contained (cells × groups).
+        tasks: u64,
     },
     /// [`RunObserver::on_krylov_residual`].
     KrylovResidual {
@@ -349,6 +379,11 @@ impl EventLog {
                 cells,
                 seconds,
             } => observer.on_rank_sweep(rank, sweep, cells, seconds),
+            SolveEvent::SweepBucket {
+                angle,
+                bucket,
+                tasks,
+            } => observer.on_rank_sweep_bucket(rank, angle, bucket, tasks),
             SolveEvent::KrylovResidual {
                 iteration,
                 relative_residual,
@@ -398,6 +433,11 @@ impl EventLog {
                     cells,
                     seconds,
                 } => observer.on_sweep(sweep, cells, seconds),
+                SolveEvent::SweepBucket {
+                    angle,
+                    bucket,
+                    tasks,
+                } => observer.on_sweep_bucket(angle, bucket, tasks),
                 SolveEvent::KrylovResidual {
                     iteration,
                     relative_residual,
@@ -449,6 +489,14 @@ impl RunObserver for EventLog {
             sweep,
             cells,
             seconds,
+        });
+    }
+
+    fn on_sweep_bucket(&mut self, angle: usize, bucket: usize, tasks: u64) {
+        self.events.push(SolveEvent::SweepBucket {
+            angle,
+            bucket,
+            tasks,
         });
     }
 
@@ -517,6 +565,17 @@ impl RunObserver for EventLog {
         });
     }
 
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.events.push(SolveEvent::Rank {
+            rank,
+            event: Box::new(SolveEvent::SweepBucket {
+                angle,
+                bucket,
+                tasks,
+            }),
+        });
+    }
+
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
         self.events.push(SolveEvent::Rank {
             rank,
@@ -581,6 +640,11 @@ pub struct RecordingObserver {
     pub accel_residual_history: Vec<f64>,
     /// Transport sweeps observed.
     pub sweep_count: usize,
+    /// Wavefront buckets observed across all sweeps (deterministic).
+    pub sweep_buckets: usize,
+    /// Assemble/solve tasks summed over the observed buckets
+    /// (deterministic; equals `cells_swept` when bucket events fire).
+    pub bucket_tasks: u64,
     /// Kernel invocations summed over the observed sweeps
     /// (deterministic, unlike the seconds).
     pub cells_swept: u64,
@@ -647,6 +711,11 @@ impl RunObserver for RecordingObserver {
         self.sweep_seconds += seconds;
     }
 
+    fn on_sweep_bucket(&mut self, _angle: usize, _bucket: usize, tasks: u64) {
+        self.sweep_buckets += 1;
+        self.bucket_tasks += tasks;
+    }
+
     fn on_krylov_residual(&mut self, _iteration: usize, relative_residual: f64) {
         self.krylov_residual_history.push(relative_residual);
     }
@@ -692,6 +761,10 @@ impl RunObserver for RecordingObserver {
 
     fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
         self.rank_mut(rank).on_sweep(sweep, cells, seconds);
+    }
+
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.rank_mut(rank).on_sweep_bucket(angle, bucket, tasks);
     }
 
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
@@ -754,6 +827,11 @@ impl RunObserver for TeeObserver<'_> {
         self.secondary.on_sweep(sweep, cells, seconds);
     }
 
+    fn on_sweep_bucket(&mut self, angle: usize, bucket: usize, tasks: u64) {
+        self.primary.on_sweep_bucket(angle, bucket, tasks);
+        self.secondary.on_sweep_bucket(angle, bucket, tasks);
+    }
+
     fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
         self.primary
             .on_krylov_residual(iteration, relative_residual);
@@ -802,6 +880,13 @@ impl RunObserver for TeeObserver<'_> {
     fn on_rank_sweep(&mut self, rank: usize, sweep: usize, cells: u64, seconds: f64) {
         self.primary.on_rank_sweep(rank, sweep, cells, seconds);
         self.secondary.on_rank_sweep(rank, sweep, cells, seconds);
+    }
+
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.primary
+            .on_rank_sweep_bucket(rank, angle, bucket, tasks);
+        self.secondary
+            .on_rank_sweep_bucket(rank, angle, bucket, tasks);
     }
 
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {
@@ -1521,6 +1606,26 @@ mod tests {
             tagged.rank(1).unwrap().accel_residual_history,
             vec![1.0, 0.25]
         );
+    }
+
+    #[test]
+    fn sweep_bucket_events_buffer_and_replay_both_ways() {
+        let mut log = EventLog::default();
+        log.on_sweep_bucket(0, 0, 100);
+        log.on_sweep_bucket(0, 1, 44);
+        log.on_sweep_bucket(1, 0, 100);
+        assert_eq!(log.events.len(), 3);
+
+        let mut direct = RecordingObserver::default();
+        log.replay(&mut direct);
+        assert_eq!(direct.sweep_buckets, 3);
+        assert_eq!(direct.bucket_tasks, 244);
+
+        let mut tagged = RecordingObserver::default();
+        log.replay_as_rank(2, &mut tagged);
+        assert_eq!(tagged.sweep_buckets, 0);
+        assert_eq!(tagged.rank(2).unwrap().sweep_buckets, 3);
+        assert_eq!(tagged.rank(2).unwrap().bucket_tasks, 244);
     }
 
     #[test]

@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use unsnap_obs::clock::{Clock, SystemClock};
+use unsnap_obs::trace::TraceTree;
 
 use unsnap_fem::element::ReferenceElement;
 use unsnap_fem::face::{face_node_indices, FACES};
@@ -116,6 +117,13 @@ pub struct SolveOutcome {
     /// stripped by [`RunMetrics::zero_wallclock`] before such
     /// comparisons.
     pub metrics: RunMetrics,
+    /// The run's hierarchical span tree, built by the solver's internal
+    /// [`crate::trace::TraceObserver`] tee.  Structure (ids, nesting,
+    /// lanes, counts) is deterministic; timestamps are wall-clock and
+    /// ignored by `PartialEq`.  Excluded from [`SolveOutcome::to_json`]
+    /// — export it with [`TraceTree::to_chrome_json`] or
+    /// [`TraceTree::to_collapsed`] instead.
+    pub trace: TraceTree,
 }
 
 impl SolveOutcome {
@@ -578,16 +586,20 @@ impl TransportSolver {
         sink: &mut dyn CheckpointSink,
     ) -> Result<SolveOutcome> {
         // Tee the caller's observer with an internal metrics aggregator
-        // so every outcome carries its telemetry without caller wiring.
+        // and a trace builder, so every outcome carries its telemetry
+        // and span tree without caller wiring.
         let mut metrics = MetricsObserver::new();
+        let mut tracer = crate::trace::TraceObserver::new();
         let mut outcome = {
-            let mut tee = TeeObserver::new(observer, &mut metrics);
+            let mut inner_tee = TeeObserver::new(observer, &mut metrics);
+            let mut tee = TeeObserver::new(&mut inner_tee, &mut tracer);
             self.run_observed_inner(&mut tee, sink)?
         };
         let mut snapshot = metrics.snapshot();
         snapshot.kernel_assemble_seconds = outcome.kernel_assemble_seconds;
         snapshot.kernel_solve_seconds = outcome.kernel_solve_seconds;
         outcome.metrics = snapshot;
+        outcome.trace = tracer.into_tree();
         Ok(outcome)
     }
 
@@ -668,6 +680,7 @@ impl TransportSolver {
             scalar_flux_max,
             scalar_flux_min,
             metrics: RunMetrics::default(),
+            trace: TraceTree::default(),
         })
     }
 
@@ -751,6 +764,22 @@ impl TransportSolver {
         let t0 = self.clock.now();
         let (timing, count) = self.sweep_all();
         let seconds = self.clock.now().saturating_sub(t0).as_secs_f64();
+        // Per-wavefront-bucket structure events, emitted inside the
+        // Sweep span with no extra clock reads (the MockClock pinning
+        // contract).  Every (element, group) pair of a bucket is exactly
+        // one kernel task in every concurrency scheme, so the payloads
+        // are derived from the schedules in (angle, bucket) order —
+        // identical at every thread count by construction.
+        let ng = self.problem.num_groups as u64;
+        let mut bucket_tasks = 0u64;
+        for angle in 0..self.quadrature.num_angles() {
+            for (bucket_index, bucket) in self.schedules[angle].buckets.iter().enumerate() {
+                let tasks = bucket.len() as u64 * ng;
+                bucket_tasks += tasks;
+                observer.on_sweep_bucket(angle, bucket_index, tasks);
+            }
+        }
+        debug_assert_eq!(bucket_tasks, count);
         observer.on_phase_end(Phase::Sweep, seconds);
         stats.sweep_seconds += seconds;
         stats.kernel_timing.accumulate(timing);

@@ -1,0 +1,316 @@
+//! The [`TraceObserver`]: folds the [`RunObserver`] event stream into a
+//! hierarchical [`TraceTree`] (PR 10).
+//!
+//! The observer is teed into every `run_observed` alongside the
+//! [`MetricsObserver`](crate::metrics::MetricsObserver), so each
+//! [`SolveOutcome`](crate::solver::SolveOutcome) (and the distributed
+//! `BlockJacobiOutcome`) carries a span tree with no caller wiring.
+//!
+//! ## Span model
+//!
+//! Untagged events land on **lane 0** (the driver); rank-tagged events
+//! land on **lane `rank + 1`**.  Within a lane the nesting is:
+//!
+//! ```text
+//! solve                              (lane 0 root, opened at tee time)
+//! └── outer / rank_solve             (on_outer_start .. on_outer_end)
+//!     └── inner                      (synthesised: first phase event of
+//!         │                           the iterate .. on_inner_iteration)
+//!         ├── source_assembly        (phase span)
+//!         ├── sweep                  (phase span)
+//!         │   └── bucket             (one per wavefront bucket, in
+//!         │       └── local_solve    (angle, bucket) order; the leaf
+//!         │                           carries the task count)
+//!         ├── krylov                 (phase span)
+//!         ├── accel_cg               (phase span)
+//!         │   └── cg_iter            (one per streamed DSA CG residual
+//!         │                           — `unsnap-accel` reports them
+//!         │                           through its residual closure)
+//!         └── halo_exchange          (phase span + instant marker)
+//! ```
+//!
+//! ## The determinism split
+//!
+//! Span *structure* — ids, parents, lanes, depths, names, details,
+//! counts — is derived purely from the deterministic half of the event
+//! stream, so it is bit-for-bit identical at every thread and rank
+//! count (and across checkpoint/resume, because the replayed prefix
+//! reproduces the stream verbatim).  Timestamps come from the tracer's
+//! own clock at event *arrival* time — never from the solver's clock,
+//! so the `MockClock` phase-pinning contract is untouched — and are
+//! wall-clock: [`TraceTree::zero_wallclock`] strips them, and
+//! [`TraceTree`]'s `PartialEq` ignores them outright.
+
+use unsnap_obs::clock::Clock;
+use unsnap_obs::trace::{TraceTree, Tracer};
+
+use crate::session::{Phase, RunObserver};
+
+/// A [`RunObserver`] that builds a [`TraceTree`] from the event stream.
+///
+/// See the [module docs](self) for the span model and determinism
+/// contract.
+#[derive(Debug)]
+pub struct TraceObserver {
+    tracer: Tracer,
+    /// Per lane: is an `outer`/`rank_solve` span currently open?
+    outer_open: Vec<bool>,
+    /// Per lane: is a synthesised `inner` span currently open?
+    inner_open: Vec<bool>,
+}
+
+impl Default for TraceObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceObserver {
+    /// A trace observer over the system clock, with the driver-lane
+    /// `solve` root already open.
+    pub fn new() -> Self {
+        Self::with_tracer(Tracer::new())
+    }
+
+    /// A trace observer over the given clock (tests inject a
+    /// [`MockClock`](unsnap_obs::clock::MockClock) to pin timestamps).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Self::with_tracer(Tracer::with_clock(clock))
+    }
+
+    fn with_tracer(mut tracer: Tracer) -> Self {
+        tracer.open(0, "solve", "");
+        Self {
+            tracer,
+            outer_open: Vec::new(),
+            inner_open: Vec::new(),
+        }
+    }
+
+    /// Close everything still open and return the finished tree.
+    pub fn into_tree(self) -> TraceTree {
+        self.tracer.finish()
+    }
+
+    fn flag(v: &mut Vec<bool>, lane: usize) -> &mut bool {
+        if v.len() <= lane {
+            v.resize(lane + 1, false);
+        }
+        &mut v[lane]
+    }
+
+    fn outer_start(&mut self, lane: usize, outer: usize) {
+        let name = if lane == 0 { "outer" } else { "rank_solve" };
+        self.tracer.open(lane, name, &format!("outer={outer}"));
+        *Self::flag(&mut self.outer_open, lane) = true;
+    }
+
+    fn outer_end(&mut self, lane: usize) {
+        self.close_inner(lane);
+        if std::mem::take(Self::flag(&mut self.outer_open, lane)) {
+            self.tracer.close(lane);
+        }
+    }
+
+    fn close_inner(&mut self, lane: usize) {
+        if std::mem::take(Self::flag(&mut self.inner_open, lane)) {
+            self.tracer.close(lane);
+        }
+    }
+
+    fn phase_start(&mut self, lane: usize, phase: Phase) {
+        // The iterate has no event of its own: the first phase span of
+        // an outer opens the synthesised `inner`, and
+        // `on_inner_iteration` (the iterate's summary event) closes it.
+        if *Self::flag(&mut self.outer_open, lane)
+            && !*Self::flag(&mut self.inner_open, lane)
+            && phase != Phase::Preassembly
+        {
+            self.tracer.open(lane, "inner", "");
+            *Self::flag(&mut self.inner_open, lane) = true;
+        }
+        self.tracer.open(lane, phase.label(), "");
+    }
+
+    fn phase_end(&mut self, lane: usize) {
+        self.tracer.close(lane);
+    }
+
+    fn inner_iteration(&mut self, lane: usize) {
+        self.close_inner(lane);
+    }
+
+    fn sweep_bucket(&mut self, lane: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.tracer
+            .open(lane, "bucket", &format!("angle={angle} bucket={bucket}"));
+        self.tracer
+            .open(lane, "local_solve", &format!("tasks={tasks}"));
+        self.tracer.close(lane);
+        self.tracer.close(lane);
+    }
+
+    fn accel_iter(&mut self, lane: usize, iteration: usize) {
+        self.tracer
+            .open(lane, "cg_iter", &format!("iter={iteration}"));
+        self.tracer.close(lane);
+    }
+
+    fn halo_exchange(&mut self, lane: usize, iteration: usize, faces: usize, bytes: u64) {
+        self.tracer.open(
+            lane,
+            "halo_exchange",
+            &format!("iter={iteration} faces={faces} bytes={bytes}"),
+        );
+        self.tracer.close(lane);
+    }
+}
+
+impl RunObserver for TraceObserver {
+    fn on_outer_start(&mut self, outer: usize) {
+        self.outer_start(0, outer);
+    }
+
+    fn on_outer_end(&mut self, _outer: usize, _converged: bool) {
+        self.outer_end(0);
+    }
+
+    fn on_inner_iteration(&mut self, _inner: usize, _relative_change: f64) {
+        self.inner_iteration(0);
+    }
+
+    fn on_sweep_bucket(&mut self, angle: usize, bucket: usize, tasks: u64) {
+        self.sweep_bucket(0, angle, bucket, tasks);
+    }
+
+    fn on_phase_start(&mut self, phase: Phase) {
+        self.phase_start(0, phase);
+    }
+
+    fn on_phase_end(&mut self, phase: Phase, _seconds: f64) {
+        let _ = phase;
+        self.phase_end(0);
+    }
+
+    fn on_accel_residual(&mut self, iteration: usize, _relative_residual: f64) {
+        self.accel_iter(0, iteration);
+    }
+
+    fn on_halo_exchange(&mut self, iteration: usize, faces: usize, bytes: u64) {
+        self.halo_exchange(0, iteration, faces, bytes);
+    }
+
+    fn on_rank_outer_start(&mut self, rank: usize, outer: usize) {
+        self.outer_start(rank + 1, outer);
+    }
+
+    fn on_rank_outer_end(&mut self, rank: usize, _outer: usize, _converged: bool) {
+        self.outer_end(rank + 1);
+    }
+
+    fn on_rank_inner_iteration(&mut self, rank: usize, _inner: usize, _relative_change: f64) {
+        self.inner_iteration(rank + 1);
+    }
+
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.sweep_bucket(rank + 1, angle, bucket, tasks);
+    }
+
+    fn on_rank_accel_residual(&mut self, rank: usize, iteration: usize, _residual: f64) {
+        self.accel_iter(rank + 1, iteration);
+    }
+
+    fn on_rank_phase_start(&mut self, rank: usize, phase: Phase) {
+        self.phase_start(rank + 1, phase);
+    }
+
+    fn on_rank_phase_end(&mut self, rank: usize, phase: Phase, _seconds: f64) {
+        let _ = phase;
+        self.phase_end(rank + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use unsnap_obs::clock::MockClock;
+
+    fn observer() -> TraceObserver {
+        TraceObserver::with_clock(Box::new(MockClock::with_step(Duration::from_micros(7))))
+    }
+
+    fn feed(t: &mut TraceObserver) {
+        t.on_phase_start(Phase::Preassembly);
+        t.on_phase_end(Phase::Preassembly, 0.5);
+        t.on_outer_start(0);
+        t.on_phase_start(Phase::SourceAssembly);
+        t.on_phase_end(Phase::SourceAssembly, 0.1);
+        t.on_phase_start(Phase::Sweep);
+        t.on_sweep_bucket(0, 0, 8);
+        t.on_sweep_bucket(0, 1, 4);
+        t.on_phase_end(Phase::Sweep, 0.2);
+        t.on_inner_iteration(1, 0.5);
+        t.on_outer_end(0, true);
+    }
+
+    #[test]
+    fn driver_stream_builds_the_documented_nesting() {
+        let mut t = observer();
+        feed(&mut t);
+        let tree = t.into_tree();
+        // solve, preassembly, outer, inner, source_assembly, sweep,
+        // 2 × (bucket + local_solve), = 10 spans.
+        assert_eq!(tree.len(), 10);
+        assert_eq!(tree.count_named("bucket"), 2);
+        let solve = &tree.spans[0];
+        assert_eq!(solve.name, "solve");
+        assert_eq!(solve.parent, None);
+        let pre = tree.spans.iter().find(|s| s.name == "preassembly").unwrap();
+        assert_eq!(pre.parent, Some(solve.id));
+        let outer = tree.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.parent, Some(solve.id));
+        let inner = tree.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        let sweep = tree.spans.iter().find(|s| s.name == "sweep").unwrap();
+        assert_eq!(sweep.parent, Some(inner.id));
+        for bucket in tree.spans.iter().filter(|s| s.name == "bucket") {
+            assert_eq!(bucket.parent, Some(sweep.id));
+        }
+        let leaf = tree.spans.iter().find(|s| s.name == "local_solve").unwrap();
+        assert_eq!(leaf.detail, "tasks=8");
+    }
+
+    #[test]
+    fn rank_events_land_on_their_own_lane() {
+        let mut t = observer();
+        t.on_rank_outer_start(2, 0);
+        t.on_rank_phase_start(2, Phase::Sweep);
+        t.on_rank_sweep_bucket(2, 1, 0, 16);
+        t.on_rank_phase_end(2, Phase::Sweep, 0.1);
+        t.on_rank_inner_iteration(2, 1, 0.5);
+        t.on_rank_outer_end(2, 0, true);
+        let tree = t.into_tree();
+        let rank_solve = tree.spans.iter().find(|s| s.name == "rank_solve").unwrap();
+        assert_eq!(rank_solve.lane, 3);
+        assert_eq!(rank_solve.parent, None);
+        let inner = tree.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.lane, 3);
+        assert_eq!(inner.parent, Some(rank_solve.id));
+        // The driver-lane root is untouched by rank traffic.
+        assert_eq!(tree.spans[0].name, "solve");
+        assert_eq!(tree.spans[0].lane, 0);
+    }
+
+    #[test]
+    fn identical_streams_give_structurally_equal_trees() {
+        let mut a = observer();
+        feed(&mut a);
+        // Different clock step — every timestamp differs.
+        let mut b =
+            TraceObserver::with_clock(Box::new(MockClock::with_step(Duration::from_micros(31))));
+        feed(&mut b);
+        let (ta, tb) = (a.into_tree(), b.into_tree());
+        assert_eq!(ta, tb);
+        assert_ne!(ta.spans[1].start_us, tb.spans[1].start_us);
+    }
+}

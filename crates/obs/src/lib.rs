@@ -27,6 +27,10 @@
 //! * [`stream`] — [`LineChannel`]: an in-memory, multi-consumer line
 //!   stream with blocking tails, the live-event transport behind
 //!   `unsnap-serve`'s chunked JSONL endpoint.
+//! * [`trace`] — hierarchical spans: a [`Tracer`] building a
+//!   determinism-split [`TraceTree`] (structure deterministic,
+//!   timestamps wall-clock) with Chrome `trace_event` and
+//!   collapsed-stack flamegraph exporters.
 //!
 //! ## The determinism contract
 //!
@@ -51,9 +55,11 @@ pub mod jsonl;
 pub mod metrics;
 pub mod reader;
 pub mod stream;
+pub mod trace;
 
 pub use clock::{Clock, MockClock, SystemClock};
 pub use jsonl::JsonlWriter;
 pub use metrics::{Determinism, Histogram, MetricsRegistry};
 pub use reader::JsonValue;
 pub use stream::{ChannelWriter, LineChannel};
+pub use trace::{SpanRecord, TraceTree, Tracer};

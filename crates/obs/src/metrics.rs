@@ -317,6 +317,90 @@ impl MetricsRegistry {
         }
     }
 
+    /// Serialise in the Prometheus text exposition format (version
+    /// 0.0.4): every counter, gauge and histogram in the registry, in
+    /// deterministic (sorted) order.
+    ///
+    /// Registry names are sanitised to the Prometheus grammar (dots and
+    /// other punctuation become `_`), and every sample carries its
+    /// [`Determinism`] class as a `class` label so scrape consumers can
+    /// apply the same deterministic/wall-clock split the JSON form
+    /// exposes structurally.  Histograms expose the standard cumulative
+    /// `_bucket{le="..."}` series (including `+Inf`) plus `_sum` and
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitise(name: &str) -> String {
+            let mut out = String::with_capacity(name.len());
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    if i == 0 && c.is_ascii_digit() {
+                        out.push('_');
+                    }
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn render(v: f64) -> String {
+            if v.is_nan() {
+                "NaN".to_string()
+            } else if v == f64::INFINITY {
+                "+Inf".to_string()
+            } else if v == f64::NEG_INFINITY {
+                "-Inf".to_string()
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for (name, (class, value)) in &self.counters {
+            let name = sanitise(name);
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name}{{class=\"{}\"}} {value}\n", class.label()));
+        }
+        for (name, (class, value)) in &self.gauges {
+            let name = sanitise(name);
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!(
+                "{name}{{class=\"{}\"}} {}\n",
+                class.label(),
+                render(*value)
+            ));
+        }
+        for (name, (class, histogram)) in &self.histograms {
+            let name = sanitise(name);
+            let class = class.label();
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in histogram
+                .bounds()
+                .iter()
+                .zip(histogram.bucket_counts().iter())
+            {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{name}_bucket{{class=\"{class}\",le=\"{}\"}} {cumulative}\n",
+                    render(*bound)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{class=\"{class}\",le=\"+Inf\"}} {}\n",
+                histogram.count()
+            ));
+            out.push_str(&format!(
+                "{name}_sum{{class=\"{class}\"}} {}\n",
+                render(histogram.sum())
+            ));
+            out.push_str(&format!(
+                "{name}_count{{class=\"{class}\"}} {}\n",
+                histogram.count()
+            ));
+        }
+        out
+    }
+
     /// Serialise as `{"deterministic": {...}, "wallclock": {...}}`, each
     /// class holding its `counters`/`gauges`/`histograms` objects.
     pub fn to_json(&self) -> String {
@@ -473,6 +557,39 @@ mod tests {
         assert!(json.contains(r#""sweeps":5"#));
         assert!(json.contains(r#""wallclock":"#));
         assert!(json.contains(r#""seconds":0.5"#));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_instrument() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("phase_starts.sweep", Determinism::Deterministic, 7);
+        r.gauge_set("serve_jobs_queued", Determinism::Deterministic, 2.0);
+        let mut h = Histogram::with_bounds(&[1.0, 2.0]);
+        for v in [0.5, 1.5, 1.5, 5.0] {
+            h.record(v);
+        }
+        r.histogram_insert("queue_wait_seconds", Determinism::WallClock, h);
+
+        let text = r.to_prometheus();
+        // Dotted names are sanitised, classes ride as labels.
+        assert!(text.contains("# TYPE phase_starts_sweep counter\n"));
+        assert!(text.contains("phase_starts_sweep{class=\"deterministic\"} 7\n"));
+        assert!(text.contains("# TYPE serve_jobs_queued gauge\n"));
+        assert!(text.contains("serve_jobs_queued{class=\"deterministic\"} 2\n"));
+        // Histogram buckets are cumulative and end at +Inf == count.
+        assert!(text.contains("# TYPE queue_wait_seconds histogram\n"));
+        assert!(text.contains("queue_wait_seconds_bucket{class=\"wallclock\",le=\"1\"} 1\n"));
+        assert!(text.contains("queue_wait_seconds_bucket{class=\"wallclock\",le=\"2\"} 3\n"));
+        assert!(text.contains("queue_wait_seconds_bucket{class=\"wallclock\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("queue_wait_seconds_sum{class=\"wallclock\"} 8.5\n"));
+        assert!(text.contains("queue_wait_seconds_count{class=\"wallclock\"} 4\n"));
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.contains("} "),
+                "malformed exposition line: {line}"
+            );
+        }
     }
 
     #[test]

@@ -50,6 +50,16 @@ pub fn event_to_json(event: &SolveEvent) -> String {
             .field_u64("cells", cells)
             .field_f64("seconds", seconds)
             .finish(),
+        SolveEvent::SweepBucket {
+            angle,
+            bucket,
+            tasks,
+        } => JsonObject::new()
+            .field_str("t", "sweep_bucket")
+            .field_usize("angle", angle)
+            .field_usize("bucket", bucket)
+            .field_u64("tasks", tasks)
+            .finish(),
         SolveEvent::KrylovResidual {
             iteration,
             relative_residual,
@@ -156,6 +166,11 @@ pub fn event_from_json(value: &JsonValue) -> Result<SolveEvent, String> {
             sweep: usize_of(value, "sweep")?,
             cells: u64_of(value, "cells")?,
             seconds: f64_of(value, "seconds")?,
+        }),
+        "sweep_bucket" => Ok(SolveEvent::SweepBucket {
+            angle: usize_of(value, "angle")?,
+            bucket: usize_of(value, "bucket")?,
+            tasks: u64_of(value, "tasks")?,
         }),
         "krylov" => Ok(SolveEvent::KrylovResidual {
             iteration: usize_of(value, "iteration")?,
@@ -280,6 +295,11 @@ mod tests {
                 sweep: 1,
                 cells: 123_456,
                 seconds: 1.5e-3,
+            },
+            SolveEvent::SweepBucket {
+                angle: 2,
+                bucket: 7,
+                tasks: 4096,
             },
             SolveEvent::InnerIteration {
                 inner: 1,

@@ -289,6 +289,13 @@ impl RunObserver for CheckpointObserver {
             .on_sweep(sweep, cells, seconds);
     }
 
+    fn on_sweep_bucket(&mut self, angle: usize, bucket: usize, tasks: u64) {
+        self.inner
+            .borrow_mut()
+            .delta
+            .on_sweep_bucket(angle, bucket, tasks);
+    }
+
     fn on_krylov_residual(&mut self, iteration: usize, relative_residual: f64) {
         self.inner
             .borrow_mut()
@@ -344,6 +351,13 @@ impl RunObserver for CheckpointObserver {
             .borrow_mut()
             .delta
             .on_rank_sweep(rank, sweep, cells, seconds);
+    }
+
+    fn on_rank_sweep_bucket(&mut self, rank: usize, angle: usize, bucket: usize, tasks: u64) {
+        self.inner
+            .borrow_mut()
+            .delta
+            .on_rank_sweep_bucket(rank, angle, bucket, tasks);
     }
 
     fn on_rank_krylov_residual(&mut self, rank: usize, iteration: usize, relative_residual: f64) {

@@ -59,7 +59,7 @@ fn main() -> ExitCode {
         Problem::registry_names().join(", ")
     );
     println!(
-        "POST /v1/solve | GET /v1/jobs | GET /v1/jobs/{{id}}[/events] | POST /v1/jobs/{{id}}/resume | DELETE /v1/jobs/{{id}} | GET /v1/metrics"
+        "POST /v1/solve | GET /v1/jobs | GET /v1/jobs/{{id}}[/events|/trace] | POST /v1/jobs/{{id}}/resume | DELETE /v1/jobs/{{id}} | GET /v1/metrics[?format=prometheus]"
     );
     // Serve forever: the accept loop owns the work; unparks are spurious
     // by contract, so loop.

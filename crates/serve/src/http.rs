@@ -30,9 +30,12 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
     pub method: String,
-    /// The path component of the request target (query strings are not
-    /// part of the API and are kept attached, so they fail routing).
+    /// The path component of the request target, with any query string
+    /// split off into [`Request::query`].
     pub path: String,
+    /// The raw query string (after `?`, undecoded), if any.  The API's
+    /// only query parameter is `/v1/metrics?format=prometheus`.
+    pub query: Option<String>,
     /// Lower-cased header names with their values.
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
@@ -67,10 +70,13 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
         .next()
         .ok_or_else(|| bad_request("empty request line"))?
         .to_ascii_uppercase();
-    let path = parts
+    let target = parts
         .next()
-        .ok_or_else(|| bad_request("request line has no path"))?
-        .to_string();
+        .ok_or_else(|| bad_request("request line has no path"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), Some(query.to_string())),
+        None => (target.to_string(), None),
+    };
     let version = parts
         .next()
         .ok_or_else(|| bad_request("request line has no version"))?;
@@ -100,6 +106,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
     let mut request = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
     };
@@ -136,9 +143,20 @@ pub fn status_reason(status: u16) -> &'static str {
 
 /// Write a complete fixed-length JSON response and flush it.
 pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(writer, status, "application/json", body)
+}
+
+/// Write a complete fixed-length response with an explicit content type
+/// (the Prometheus exposition endpoint serves `text/plain`).
+pub fn write_response_typed<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         status_reason(status),
         body.len(),
     )?;
@@ -297,7 +315,25 @@ mod tests {
         let raw = b"GET /v1/metrics HTTP/1.1\r\n\r\n";
         let request = read_request(&mut Cursor::new(&raw[..])).unwrap();
         assert_eq!(request.method, "GET");
+        assert_eq!(request.query, None);
         assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn splits_the_query_string_off_the_path() {
+        let raw = b"GET /v1/metrics?format=prometheus HTTP/1.1\r\n\r\n";
+        let request = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(request.path, "/v1/metrics");
+        assert_eq!(request.query.as_deref(), Some("format=prometheus"));
+    }
+
+    #[test]
+    fn typed_response_carries_its_content_type() {
+        let mut out = Vec::new();
+        write_response_typed(&mut out, 200, "text/plain; version=0.0.4", "a 1\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("a 1\n"));
     }
 
     #[test]

@@ -42,9 +42,11 @@
 //! `Done` with the cached outcome bytes and no solver work at all.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use unsnap_core::cancel::CancelToken;
 use unsnap_core::error::{Error, Result};
@@ -53,7 +55,7 @@ use unsnap_core::problem::Problem;
 use unsnap_core::session::{Session, TeeObserver};
 use unsnap_obs::json::JsonObject;
 use unsnap_obs::jsonl::JsonlWriter;
-use unsnap_obs::metrics::{Determinism, MetricsRegistry};
+use unsnap_obs::metrics::{Determinism, Histogram, MetricsRegistry};
 use unsnap_obs::stream::LineChannel;
 use unsnap_runlog::{recover, CheckpointObserver, RunMode, SessionResume};
 
@@ -138,12 +140,18 @@ struct JobEntry {
     cached: bool,
     hash: u64,
     outcome_json: Option<String>,
+    /// The run's span tree as Chrome `trace_event` JSON (`Done` jobs
+    /// that actually solved; cache hits replay no work, so no trace).
+    trace_json: Option<String>,
     error: Option<String>,
     cancel: CancelToken,
     events: LineChannel,
     /// `Some` once an interrupted run log exists for this job — the
     /// worker resumes from it instead of starting fresh.
     resume_log: Option<PathBuf>,
+    /// When the job entered the queue — the anchor of the queue-wait
+    /// and time-to-first-event latency histograms.
+    submitted_at: Instant,
 }
 
 /// Durability settings shared by the workers.
@@ -183,6 +191,17 @@ impl QueueShared {
             .lock()
             .unwrap()
             .counter_add(name, Determinism::Deterministic, 1);
+    }
+
+    /// Record one wall-clock latency sample into a histogram created on
+    /// first touch with the standard latency bucket scale.
+    fn observe_seconds(&self, name: &str, seconds: f64) {
+        self.metrics.lock().unwrap().histogram_record(
+            name,
+            Determinism::WallClock,
+            Histogram::latency_seconds,
+            seconds,
+        );
     }
 }
 
@@ -252,10 +271,12 @@ impl JobQueue {
                         cached: false,
                         hash,
                         outcome_json: None,
+                        trace_json: None,
                         error: None,
                         cancel: CancelToken::new(),
                         events: LineChannel::new(),
                         resume_log: Some(path),
+                        submitted_at: Instant::now(),
                     },
                 );
             }
@@ -316,10 +337,12 @@ impl JobQueue {
                     cached: true,
                     hash,
                     outcome_json: Some(outcome_json),
+                    trace_json: None,
                     error: None,
                     cancel: CancelToken::new(),
                     events,
                     resume_log: None,
+                    submitted_at: Instant::now(),
                 },
             );
             drop(state);
@@ -354,10 +377,12 @@ impl JobQueue {
                 cached: false,
                 hash,
                 outcome_json: None,
+                trace_json: None,
                 error: None,
                 cancel: CancelToken::new(),
                 events: LineChannel::new(),
                 resume_log: None,
+                submitted_at: Instant::now(),
             },
         );
         state.pending.push_back(id);
@@ -479,6 +504,21 @@ impl JobQueue {
         self.shared.metrics.lock().unwrap().to_json()
     }
 
+    /// The metrics registry snapshot in Prometheus text exposition
+    /// format (`/v1/metrics?format=prometheus`).
+    pub fn metrics_prometheus(&self) -> String {
+        self.shared.metrics.lock().unwrap().to_prometheus()
+    }
+
+    /// A `Done` job's span tree as Chrome `trace_event` JSON
+    /// (`GET /v1/jobs/{id}/trace`).  Outer `None` = unknown ID; inner
+    /// `None` = no trace available (the job has not finished solving,
+    /// or it was served from the result cache and replayed no work).
+    pub fn trace_json(&self, id: u64) -> Option<Option<String>> {
+        let state = self.shared.state.lock().unwrap();
+        state.jobs.get(&id).map(|entry| entry.trace_json.clone())
+    }
+
     /// One counter's current value (test and loadgen convenience).
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.shared.metrics.lock().unwrap().counter(name)
@@ -562,28 +602,66 @@ fn scan_resumable(dir: &Path) -> Result<Vec<(u64, Problem, PathBuf)>> {
     Ok(found)
 }
 
+/// Wraps the job's event writer and records the submit → first-byte
+/// latency into the `serve_time_to_first_event_seconds` histogram on
+/// the first successful write.  Cached jobs never run through a worker
+/// and so never touch the histogram.
+struct FirstEventProbe<'a, W: Write> {
+    inner: W,
+    shared: &'a QueueShared,
+    submitted_at: Instant,
+    fired: bool,
+}
+
+impl<W: Write> Write for FirstEventProbe<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let written = self.inner.write(buf)?;
+        if !self.fired && written > 0 {
+            self.fired = true;
+            self.shared.observe_seconds(
+                "serve_time_to_first_event_seconds",
+                self.submitted_at.elapsed().as_secs_f64(),
+            );
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// Run one job to completion: session construction (fresh, or restored
 /// from an interrupted run log), the observed solve streaming JSONL
 /// into the job's channel, and the error path.  With a run-log
 /// directory configured the solve checkpoints as it goes; a successful
 /// run deletes its log (nothing left to resume), any other exit keeps
 /// it for the next restart.
+///
+/// Returns the outcome JSON alongside the solve's span tree rendered
+/// as Chrome `trace_event` JSON (`GET /v1/jobs/{id}/trace`).
 fn run_job(
+    shared: &QueueShared,
     problem: &Problem,
     cancel: CancelToken,
     events: &LineChannel,
-    runlog: Option<&RunlogSettings>,
     id: u64,
     resume_log: Option<&Path>,
-) -> Result<String> {
-    let mut jsonl = JsonlObserver::new(JsonlWriter::new(events.writer()));
-    let Some(settings) = runlog else {
+    submitted_at: Instant,
+) -> Result<(String, String)> {
+    let mut jsonl = JsonlObserver::new(JsonlWriter::new(FirstEventProbe {
+        inner: events.writer(),
+        shared,
+        submitted_at,
+        fired: false,
+    }));
+    let Some(settings) = shared.runlog.as_ref() else {
         let mut session = Session::new(problem)?;
         session.solver_mut().set_cancel_token(cancel);
         let outcome = session.run_observed(&mut jsonl)?;
         // Dropping the observer flushes its writer into the channel.
         drop(jsonl);
-        return Ok(outcome.to_json());
+        return Ok((outcome.to_json(), outcome.trace.to_chrome_json()));
     };
 
     let path = settings.job_path(id);
@@ -612,12 +690,12 @@ fn run_job(
     // The run finished: its log records a completed run and can never
     // be resumed, so reclaim the disk space.
     let _ = std::fs::remove_file(resume_log.unwrap_or(&path));
-    Ok(outcome.to_json())
+    Ok((outcome.to_json(), outcome.trace.to_chrome_json()))
 }
 
 fn worker_loop(shared: &QueueShared) {
     loop {
-        let (id, problem, cancel, events, resume_log) = {
+        let (id, problem, cancel, events, resume_log, submitted_at) = {
             let mut state = shared.state.lock().unwrap();
             loop {
                 if state.shutdown {
@@ -632,19 +710,25 @@ fn worker_loop(shared: &QueueShared) {
                         entry.cancel.clone(),
                         entry.events.clone(),
                         entry.resume_log.clone(),
+                        entry.submitted_at,
                     );
                 }
                 state = shared.cv.wait(state).unwrap();
             }
         };
+        shared.observe_seconds(
+            "serve_queue_wait_seconds",
+            submitted_at.elapsed().as_secs_f64(),
+        );
 
         let result = run_job(
+            shared,
             &problem,
             cancel,
             &events,
-            shared.runlog.as_ref(),
             id,
             resume_log.as_deref(),
+            submitted_at,
         );
 
         let mut state = shared.state.lock().unwrap();
@@ -659,8 +743,9 @@ fn worker_loop(shared: &QueueShared) {
             .field_str("event", "job_done")
             .field_str("status", final_state.label());
         match result {
-            Ok(outcome_json) => {
+            Ok((outcome_json, trace_json)) => {
                 entry.outcome_json = Some(outcome_json.clone());
+                entry.trace_json = Some(trace_json);
                 shared
                     .store
                     .lock()
@@ -762,6 +847,35 @@ mod tests {
             queue.counter("serve_sweeps_total").unwrap(),
             sweeps_after_first
         );
+    }
+
+    #[test]
+    fn solved_jobs_expose_traces_and_latency_histograms() {
+        let queue = JobQueue::start(1, 8, 8);
+        let receipt = queue.submit(tiny()).unwrap();
+        wait_terminal(&queue, receipt.id);
+
+        // The finished job carries a Chrome trace_event profile rooted
+        // at the driver-lane `solve` span.
+        let trace = queue
+            .trace_json(receipt.id)
+            .unwrap()
+            .expect("trace rendered");
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("solve"));
+
+        // A cache hit replays no work, so it has no trace; an unknown
+        // ID is distinguishable from that.
+        let cached = queue.submit(tiny()).unwrap();
+        assert!(cached.cached);
+        assert_eq!(queue.trace_json(cached.id), Some(None));
+        assert_eq!(queue.trace_json(9_999), None);
+
+        // Both wall-clock latency histograms saw exactly the solved
+        // job — the cache hit never entered the FIFO.
+        let text = queue.metrics_prometheus();
+        assert!(text.contains("serve_queue_wait_seconds_count{class=\"wallclock\"} 1\n"));
+        assert!(text.contains("serve_time_to_first_event_seconds_count{class=\"wallclock\"} 1\n"));
     }
 
     #[test]

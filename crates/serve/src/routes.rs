@@ -6,9 +6,14 @@
 //! | GET    | `/v1/jobs`            | list every known job (incl. `resumable`)  | 200 |
 //! | GET    | `/v1/jobs/{id}`       | job status + outcome JSON when done       | 200 |
 //! | GET    | `/v1/jobs/{id}/events`| chunked live JSONL solve-event stream     | 200 |
+//! | GET    | `/v1/jobs/{id}/trace` | finished job's Chrome `trace_event` JSON  | 200 |
 //! | POST   | `/v1/jobs/{id}/resume`| re-queue a `resumable` (interrupted) job  | 202 |
 //! | DELETE | `/v1/jobs/{id}`       | cooperative cancel                        | 200 |
 //! | GET    | `/v1/metrics`         | the server's metrics-registry snapshot    | 200 |
+//!
+//! `/v1/metrics` defaults to the JSON registry snapshot;
+//! `?format=prometheus` switches to the Prometheus text exposition
+//! (`text/plain`).  Any other `format` value falls back to JSON.
 //!
 //! Failures use the typed-error mapping of [`crate::wire::status_for`]:
 //! validation problems are 400s with the offending field named in the
@@ -79,16 +84,20 @@ enum JobRoute {
     Status,
     /// `/v1/jobs/{id}/events` — the chunked JSONL stream.
     Events,
+    /// `/v1/jobs/{id}/trace` — the Chrome `trace_event` profile.
+    Trace,
     /// `/v1/jobs/{id}/resume` — re-queue an interrupted job.
     Resume,
 }
 
-/// Parse `/v1/jobs/{id}`, `/v1/jobs/{id}/events` and
-/// `/v1/jobs/{id}/resume` paths.
+/// Parse `/v1/jobs/{id}`, `/v1/jobs/{id}/events`,
+/// `/v1/jobs/{id}/trace` and `/v1/jobs/{id}/resume` paths.
 fn job_path(path: &str) -> Option<(u64, JobRoute)> {
     let rest = path.strip_prefix("/v1/jobs/")?;
     if let Some(id_text) = rest.strip_suffix("/events") {
         Some((id_text.parse().ok()?, JobRoute::Events))
+    } else if let Some(id_text) = rest.strip_suffix("/trace") {
+        Some((id_text.parse().ok()?, JobRoute::Trace))
     } else if let Some(id_text) = rest.strip_suffix("/resume") {
         Some((id_text.parse().ok()?, JobRoute::Resume))
     } else {
@@ -119,6 +128,27 @@ fn post_solve(queue: &JobQueue, request: &Request) -> (u16, String) {
 fn get_job(queue: &JobQueue, id: u64) -> (u16, String) {
     match queue.status(id) {
         Some(status) => (200, status_body(&status)),
+        None => not_found(&format!("job {id}")),
+    }
+}
+
+/// `GET /v1/jobs/{id}/trace`: the Chrome `trace_event` profile of a
+/// finished solve.  404 for an unknown ID; 409 when the job exists but
+/// has no trace (still queued/running, failed, or a cache hit that
+/// replayed no work).
+fn get_trace(queue: &JobQueue, id: u64) -> (u16, String) {
+    match queue.trace_json(id) {
+        Some(Some(trace)) => (200, trace),
+        Some(None) => (
+            409,
+            JsonObject::new()
+                .field_str(
+                    "error",
+                    &format!("job {id} has no trace (not finished, or served from cache)"),
+                )
+                .field_raw("field", "null")
+                .finish(),
+        ),
         None => not_found(&format!("job {id}")),
     }
 }
@@ -228,13 +258,24 @@ pub fn handle_connection(stream: TcpStream, queue: &JobQueue) {
         }
     }
 
+    // The metrics endpoint picks its content type from the query
+    // string, so it writes its own (fixed-length) response too.
+    if request.method == "GET" && request.path == "/v1/metrics" {
+        let (content_type, body) = match request.query.as_deref() {
+            Some("format=prometheus") => ("text/plain; version=0.0.4", queue.metrics_prometheus()),
+            _ => ("application/json", queue.metrics_json()),
+        };
+        let _ = http::write_response_typed(&mut &stream, 200, content_type, &body);
+        return;
+    }
+
     let (status, body) = match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/solve") => post_solve(queue, &request),
         ("GET", "/v1/jobs") => list_jobs(queue),
-        ("GET", "/v1/metrics") => (200, queue.metrics_json()),
         (method, path) => match job_path(path) {
             Some((id, JobRoute::Status)) if method == "GET" => get_job(queue, id),
             Some((id, JobRoute::Status)) if method == "DELETE" => delete_job(queue, id),
+            Some((id, JobRoute::Trace)) if method == "GET" => get_trace(queue, id),
             Some((id, JobRoute::Resume)) if method == "POST" => resume_job(queue, id),
             Some(_) => (
                 405,
@@ -264,6 +305,7 @@ mod tests {
     fn job_paths_parse() {
         assert_eq!(job_path("/v1/jobs/7"), Some((7, JobRoute::Status)));
         assert_eq!(job_path("/v1/jobs/7/events"), Some((7, JobRoute::Events)));
+        assert_eq!(job_path("/v1/jobs/7/trace"), Some((7, JobRoute::Trace)));
         assert_eq!(job_path("/v1/jobs/7/resume"), Some((7, JobRoute::Resume)));
         assert_eq!(job_path("/v1/jobs/"), None);
         assert_eq!(job_path("/v1/jobs/x"), None);

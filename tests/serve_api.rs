@@ -12,7 +12,13 @@
 //! * the event stream replays a finished job's history as JSONL and
 //!   terminates with the `job_done` line;
 //! * protocol errors (bad body, unknown path, wrong method, unknown
-//!   job) map to 400/404/405 with JSON bodies naming the field.
+//!   job) map to 400/404/405 with JSON bodies naming the field;
+//! * `GET /v1/metrics?format=prometheus` exposes the registry as text
+//!   exposition whose counter values round-trip against the JSON view,
+//!   even while jobs are in flight;
+//! * a finished job's Chrome trace downloads from
+//!   `GET /v1/jobs/{id}/trace`; cache-served jobs answer 409 and
+//!   unknown jobs 404.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -307,5 +313,156 @@ fn protocol_errors_map_to_typed_statuses() {
 
     // None of that touched the solver.
     assert_eq!(counter(addr, "serve_jobs_submitted"), 0);
+    server.shutdown();
+}
+
+/// Parse one Prometheus sample line (`name{labels} value` or
+/// `name value`) into its metric name (labels included) and value.
+fn prometheus_sample(line: &str) -> (String, f64) {
+    let (name, value) = line.rsplit_once(' ').expect("sample line");
+    (
+        name.to_string(),
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad sample: {line}")),
+    )
+}
+
+#[test]
+fn prometheus_exposition_round_trips_under_concurrent_jobs() {
+    let server = start(2);
+    let addr = server.addr();
+
+    // Keep one worker busy so the scrape genuinely races an in-flight
+    // job, and complete a second job so the latency histograms and the
+    // completion counters have samples.
+    let slow = post_solve(addr, SLOW_BODY);
+    let done = post_solve(addr, r#"{"problem": "tiny"}"#);
+    wait_terminal(addr, job_id(&done));
+
+    let response =
+        http::request(addr, "GET", "/v1/metrics?format=prometheus", None).expect("GET metrics");
+    assert_eq!(response.status, 200);
+    let text = response.body;
+
+    // Well-formed exposition: every line is a comment or a parseable
+    // sample, and the named families are present with TYPE headers.
+    let mut samples = std::collections::BTreeMap::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = prometheus_sample(line);
+        samples.insert(name, value);
+    }
+    for family in [
+        "serve_queue_wait_seconds",
+        "serve_time_to_first_event_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} histogram")),
+            "exposition must type {family} as a histogram"
+        );
+        let count = samples
+            .iter()
+            .find(|(name, _)| name.starts_with(&format!("{family}_count")))
+            .map(|(_, &v)| v)
+            .unwrap_or_else(|| panic!("missing {family}_count"));
+        assert!(count >= 1.0, "{family} has at least the finished job");
+        let inf_bucket = samples
+            .iter()
+            .find(|(name, _)| {
+                name.starts_with(&format!("{family}_bucket")) && name.contains("+Inf")
+            })
+            .map(|(_, &v)| v)
+            .unwrap_or_else(|| panic!("missing {family} +Inf bucket"));
+        assert_eq!(
+            inf_bucket, count,
+            "+Inf bucket is cumulative over all samples"
+        );
+    }
+
+    // Round-trip: the counter samples agree with the JSON exposition of
+    // the same registry, scraped while the slow job is still in flight.
+    for name in [
+        "serve_jobs_submitted",
+        "serve_jobs_completed",
+        "serve_sweeps_total",
+    ] {
+        let json_value = counter(addr, name) as f64;
+        let text_value = samples
+            .iter()
+            .find(|(sample, _)| sample.starts_with(name))
+            .map(|(_, &v)| v)
+            .unwrap_or_else(|| panic!("missing counter {name}"));
+        assert_eq!(
+            text_value, json_value,
+            "counter {name} disagrees between the two expositions"
+        );
+    }
+    // An unknown format falls back to the JSON exposition.
+    let fallback =
+        http::request(addr, "GET", "/v1/metrics?format=yaml", None).expect("GET metrics");
+    assert_eq!(fallback.status, 200);
+    assert!(reader::parse(&fallback.body).is_ok(), "fallback is JSON");
+
+    // Clean up the in-flight job so shutdown is prompt.
+    http::request(addr, "DELETE", &format!("/v1/jobs/{}", job_id(&slow)), None).expect("DELETE");
+    wait_terminal(addr, job_id(&slow));
+    server.shutdown();
+}
+
+#[test]
+fn finished_jobs_serve_their_chrome_trace_and_cache_hits_answer_409() {
+    let server = start(1);
+    let addr = server.addr();
+
+    let first = post_solve(addr, r#"{"problem": "tiny"}"#);
+    wait_terminal(addr, job_id(&first));
+    let response = http::request(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{}/trace", job_id(&first)),
+        None,
+    )
+    .expect("GET trace");
+    assert_eq!(response.status, 200);
+    let doc = reader::parse(&response.body).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("Chrome trace_event document");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("name").and_then(|n| n.as_str()) == Some("solve")),
+        "the trace contains the solve root span"
+    );
+
+    // The identical problem replays from the cache, which stores the
+    // outcome but not a trace: the route answers 409, not a stale copy.
+    let second = post_solve(addr, r#"{"problem": "tiny"}"#);
+    assert_eq!(second.get("cache").and_then(|v| v.as_str()), Some("hit"));
+    wait_terminal(addr, job_id(&second));
+    let cached = http::request(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{}/trace", job_id(&second)),
+        None,
+    )
+    .expect("GET trace");
+    assert_eq!(cached.status, 409);
+    let doc = reader::parse(&cached.body).expect("error JSON");
+    assert!(
+        doc.get("error")
+            .and_then(|v| v.as_str())
+            .is_some_and(|e| e.contains("cache")),
+        "the 409 names the cache as the reason"
+    );
+
+    // Unknown job: 404, same as the other job routes.
+    let missing = http::request(addr, "GET", "/v1/jobs/999/trace", None).expect("GET trace");
+    assert_eq!(missing.status, 404);
     server.shutdown();
 }
